@@ -1,0 +1,58 @@
+package stochsched
+
+// One benchmark per experiment: each regenerates (in quick mode) the table
+// that reproduces the corresponding surveyed result, so `go test -bench=.`
+// exercises the entire reproduction suite and reports its cost.
+
+import (
+	"testing"
+
+	"stochsched/internal/experiments"
+)
+
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	e, err := experiments.Get(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tab, err := e.Run(experiments.Config{Seed: uint64(i) + 1, Quick: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(tab.Rows) == 0 {
+			b.Fatalf("%s produced no rows", id)
+		}
+	}
+}
+
+func BenchmarkE01_WSEPTSingleMachine(b *testing.B)     { benchExperiment(b, "E01") }
+func BenchmarkE02_SevcikPreemptive(b *testing.B)       { benchExperiment(b, "E02") }
+func BenchmarkE03_SEPTParallelFlowtime(b *testing.B)   { benchExperiment(b, "E03") }
+func BenchmarkE04_LEPTParallelMakespan(b *testing.B)   { benchExperiment(b, "E04") }
+func BenchmarkE05_WeibullHazardSweep(b *testing.B)     { benchExperiment(b, "E05") }
+func BenchmarkE06_TwoPointCounterexample(b *testing.B) { benchExperiment(b, "E06") }
+func BenchmarkE07_WSEPTTurnpike(b *testing.B)          { benchExperiment(b, "E07") }
+func BenchmarkE08_HLFInTree(b *testing.B)              { benchExperiment(b, "E08") }
+func BenchmarkE09_GittinsOptimality(b *testing.B)      { benchExperiment(b, "E09") }
+func BenchmarkE10_SwitchingCosts(b *testing.B)         { benchExperiment(b, "E10") }
+func BenchmarkE11_WhittleLPBound(b *testing.B)         { benchExperiment(b, "E11") }
+func BenchmarkE12_WhittleAsymptotic(b *testing.B)      { benchExperiment(b, "E12") }
+func BenchmarkE13_PrimalDualHeuristic(b *testing.B)    { benchExperiment(b, "E13") }
+func BenchmarkE14_CMuRule(b *testing.B)                { benchExperiment(b, "E14") }
+func BenchmarkE15_KlimovFeedback(b *testing.B)         { benchExperiment(b, "E15") }
+func BenchmarkE16_ParallelHeavyTraffic(b *testing.B)   { benchExperiment(b, "E16") }
+func BenchmarkE17_ConservationLaw(b *testing.B)        { benchExperiment(b, "E17") }
+func BenchmarkE18_PerformancePolytope(b *testing.B)    { benchExperiment(b, "E18") }
+func BenchmarkE19_LuKumarInstability(b *testing.B)     { benchExperiment(b, "E19") }
+func BenchmarkE20_FluidRecoversCMu(b *testing.B)       { benchExperiment(b, "E20") }
+func BenchmarkE21_DiscountedKlimov(b *testing.B)       { benchExperiment(b, "E21") }
+func BenchmarkE22_PollingRegimes(b *testing.B)         { benchExperiment(b, "E22") }
+func BenchmarkE23_PreemptionAblation(b *testing.B)     { benchExperiment(b, "E23") }
+func BenchmarkE24_UniformAssignment(b *testing.B)      { benchExperiment(b, "E24") }
+func BenchmarkE25_AverageVsDiscounted(b *testing.B)    { benchExperiment(b, "E25") }
+func BenchmarkE26_WMuBeyondRegime(b *testing.B)        { benchExperiment(b, "E26") }
+func BenchmarkE27_PhaseTypeServices(b *testing.B)      { benchExperiment(b, "E27") }
+func BenchmarkE28_FlowShopBlocking(b *testing.B)       { benchExperiment(b, "E28") }

@@ -1,0 +1,66 @@
+// Command gittins computes Gittins indices for a bandit project specified
+// as JSON on stdin or via -file:
+//
+//	{
+//	  "beta": 0.9,
+//	  "transitions": [[0.5, 0.5], [0.2, 0.8]],
+//	  "rewards": [1, 0.3]
+//	}
+//
+// It prints one line per state with the index computed independently by the
+// restart-in-state and largest-index-first algorithms.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+
+	"stochsched/internal/bandit"
+	"stochsched/internal/linalg"
+)
+
+type spec struct {
+	Beta        float64     `json:"beta"`
+	Transitions [][]float64 `json:"transitions"`
+	Rewards     []float64   `json:"rewards"`
+}
+
+func main() {
+	file := flag.String("file", "", "JSON file (default: stdin)")
+	flag.Parse()
+
+	var data []byte
+	var err error
+	if *file != "" {
+		data, err = os.ReadFile(*file)
+	} else {
+		data, err = io.ReadAll(os.Stdin)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+	var sp spec
+	if err := json.Unmarshal(data, &sp); err != nil {
+		log.Fatalf("parsing spec: %v", err)
+	}
+	if len(sp.Transitions) == 0 {
+		log.Fatal("spec needs a transitions matrix")
+	}
+	p := &bandit.Project{P: linalg.FromRows(sp.Transitions), R: sp.Rewards}
+	restart, err := bandit.GittinsRestart(p, sp.Beta)
+	if err != nil {
+		log.Fatal(err)
+	}
+	largest, err := bandit.GittinsLargestIndex(p, sp.Beta)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("state  reward   gittins(restart)  gittins(largest-index)\n")
+	for i := range restart {
+		fmt.Printf("%5d  %7.4f  %16.6f  %21.6f\n", i, sp.Rewards[i], restart[i], largest[i])
+	}
+}

@@ -1,0 +1,29 @@
+package main
+
+import (
+	"math"
+	"testing"
+)
+
+func TestClassListSet(t *testing.T) {
+	var cl classList
+	if err := cl.Set("0.3:0.5:4"); err != nil {
+		t.Fatal(err)
+	}
+	if len(cl) != 1 {
+		t.Fatalf("classes = %d", len(cl))
+	}
+	c := cl[0]
+	if c.ArrivalRate != 0.3 || c.HoldCost != 4 {
+		t.Fatalf("parsed %+v", c)
+	}
+	if math.Abs(c.Service.Mean()-0.5) > 1e-12 {
+		t.Fatalf("service mean %v, want 0.5", c.Service.Mean())
+	}
+	if err := cl.Set("bogus"); err == nil {
+		t.Fatal("malformed spec accepted")
+	}
+	if err := cl.Set("1:2"); err == nil {
+		t.Fatal("short spec accepted")
+	}
+}

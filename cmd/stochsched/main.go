@@ -1,0 +1,67 @@
+// Command stochsched runs the reproduction suite: it lists the experiments
+// derived from the survey's catalogue of classical results and executes any
+// subset, printing the tables EXPERIMENTS.md records.
+//
+// Usage:
+//
+//	stochsched -list
+//	stochsched -run E09 -seed 1
+//	stochsched -run all -quick
+//	stochsched -catalog
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"stochsched/internal/core"
+	"stochsched/internal/experiments"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list all experiments and exit")
+	catalog := flag.Bool("catalog", false, "print the index-rule catalog and exit")
+	run := flag.String("run", "", "experiment ID to run (e.g. E09), comma-separated list, or 'all'")
+	seed := flag.Uint64("seed", 1, "random seed")
+	quick := flag.Bool("quick", false, "reduced replication counts")
+	flag.Parse()
+
+	switch {
+	case *list:
+		for _, e := range experiments.All() {
+			fmt.Printf("%s  %-45s %s\n", e.ID, e.Title, e.Ref)
+		}
+	case *catalog:
+		for _, r := range core.Catalog() {
+			fmt.Printf("%-24s %-22s index: %-38s %s\n", r.Name, string(r.Family), r.Index, r.Ref)
+			fmt.Printf("%-24s optimal: %s; experiments %v\n", "", r.Optimality, r.Experiments)
+		}
+	case *run != "":
+		ids := strings.Split(*run, ",")
+		if *run == "all" {
+			ids = nil
+			for _, e := range experiments.All() {
+				ids = append(ids, e.ID)
+			}
+		}
+		cfg := experiments.Config{Seed: *seed, Quick: *quick}
+		for _, id := range ids {
+			e, err := experiments.Get(strings.TrimSpace(id))
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			tab, err := e.Run(cfg)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "%s: %v\n", e.ID, err)
+				os.Exit(1)
+			}
+			fmt.Println(tab.String())
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,35 @@
+// Package stochsched is a Go library reproducing the model families,
+// index policies, and classical results catalogued in José Niño-Mora's
+// survey "Stochastic Scheduling" (Encyclopedia of Optimization, 2001;
+// revised 2005).
+//
+// The library implements, from scratch on the standard library:
+//
+//   - Batch stochastic scheduling (internal/batch): WSEPT/Smith's rule,
+//     Sevcik's preemptive index, SEPT/LEPT on identical and uniform parallel
+//     machines with exact subset-DP baselines, in-tree precedence with HLF,
+//     stochastic flow shops, and the two-point counterexample machinery.
+//   - Multi-armed bandits (internal/bandit): Gittins indices by two
+//     independent algorithms, product-chain DP ground truth, switching-cost
+//     extensions, and Beta–Bernoulli indices.
+//   - Restless bandits (internal/restless): Whittle indices, indexability
+//     checking, the Whittle LP relaxation bound, a primal–dual index
+//     heuristic, and fleet simulation.
+//   - Queueing control (internal/queueing): multiclass M/G/1 with the cµ
+//     rule and exact Cobham/Pollaczek–Khinchine formulas, Klimov's feedback
+//     model and index algorithm, conservation laws and the performance
+//     polytope, multiclass M/M/m, polling with setups, multi-station
+//     networks with the Lu–Kumar instability, and fluid models.
+//   - Substrates: deterministic splittable RNG (internal/rng), probability
+//     distributions with hazard-rate machinery (internal/dist), dense linear
+//     algebra (internal/linalg), Markov-chain analysis and MDP value
+//     iteration (internal/markov), a two-phase simplex LP solver
+//     (internal/lp), streaming statistics (internal/stats), and a
+//     discrete-event simulation kernel (internal/des).
+//
+// The reproduction suite (internal/experiments, runnable via
+// cmd/stochsched) contains 28 experiments, one per classical result the
+// survey cites; BenchmarkE* in this package regenerate each experiment's
+// table. See DESIGN.md for the experiment index and EXPERIMENTS.md for
+// recorded outputs.
+package stochsched

@@ -1,0 +1,75 @@
+// Clinical trial: the application that motivated the Gittins index
+// (Gittins–Jones 1974). Three treatments with unknown success probabilities
+// are allocated to a sequence of patients; the Gittins rule on
+// Beta-posterior states is compared with the greedy (posterior-mean) rule.
+package main
+
+import (
+	"fmt"
+
+	"stochsched/internal/bandit"
+	"stochsched/internal/rng"
+)
+
+func main() {
+	const beta = 0.95 // discount per patient
+	const depth = 200
+
+	fmt.Println("Gittins indices for Beta(a,b) posterior states (β = 0.95):")
+	fmt.Println("   a\\b      1        2        3")
+	for a := 1; a <= 3; a++ {
+		fmt.Printf("   %d   ", a)
+		for b := 1; b <= 3; b++ {
+			g, err := bandit.BernoulliIndex(a, b, beta, depth)
+			if err != nil {
+				panic(err)
+			}
+			fmt.Printf(" %.4f ", g)
+		}
+		fmt.Println()
+	}
+	fmt.Println("\n(each index exceeds the posterior mean a/(a+b): exploration bonus)")
+
+	// Simulate a trial: true success rates hidden from the allocator.
+	truth := []float64{0.35, 0.55, 0.45}
+	s := rng.New(2026)
+	const patients = 2000
+
+	run := func(useGittins bool) (successes int, pulls [3]int) {
+		a := [3]int{1, 1, 1}
+		b := [3]int{1, 1, 1}
+		for p := 0; p < patients; p++ {
+			bestArm, bestScore := 0, -1.0
+			for arm := 0; arm < 3; arm++ {
+				var score float64
+				if useGittins {
+					g, err := bandit.BernoulliIndex(a[arm], b[arm], beta, 80)
+					if err != nil {
+						panic(err)
+					}
+					score = g
+				} else {
+					score = bandit.BernoulliMean(a[arm], b[arm])
+				}
+				if score > bestScore {
+					bestArm, bestScore = arm, score
+				}
+			}
+			pulls[bestArm]++
+			if s.Bernoulli(truth[bestArm]) {
+				successes++
+				a[bestArm]++
+			} else {
+				b[bestArm]++
+			}
+		}
+		return successes, pulls
+	}
+
+	gs, gp := run(true)
+	ms, mp := run(false)
+	fmt.Printf("\ntrue success rates: %v, best arm is #2 (0.55)\n", truth)
+	fmt.Printf("Gittins rule: %4d successes / %d patients, allocations %v\n", gs, patients, gp)
+	fmt.Printf("greedy rule:  %4d successes / %d patients, allocations %v\n", ms, patients, mp)
+	fmt.Println("\nthe greedy rule risks locking onto an early lucky arm; the index pays for exploration exactly when it is worth it")
+}

@@ -1,0 +1,44 @@
+// Stochastic flow shop: jobs pass through two machines in series. Talwar's
+// rule (sequence by µ₁ − µ₂, the exponential analogue of Johnson's rule)
+// is compared against exhaustive search with common random numbers, with
+// and without intermediate buffers (the Wie–Pinedo blocking model).
+package main
+
+import (
+	"fmt"
+
+	"stochsched/internal/batch"
+	"stochsched/internal/dist"
+	"stochsched/internal/rng"
+)
+
+func main() {
+	s := rng.New(3)
+	jobs := []batch.FlowShopJob{
+		{ID: 0, Stages: []dist.Distribution{dist.Exponential{Rate: 3}, dist.Exponential{Rate: 0.8}}},
+		{ID: 1, Stages: []dist.Distribution{dist.Exponential{Rate: 1}, dist.Exponential{Rate: 1}}},
+		{ID: 2, Stages: []dist.Distribution{dist.Exponential{Rate: 0.7}, dist.Exponential{Rate: 2.5}}},
+		{ID: 3, Stages: []dist.Distribution{dist.Exponential{Rate: 2}, dist.Exponential{Rate: 1.5}}},
+	}
+	talwar := batch.TalwarOrder(jobs)
+	fmt.Println("Talwar order (µ1−µ2 decreasing):", talwar)
+
+	const reps = 20000
+	est := batch.EstimateFlowShop(jobs, talwar, reps, s.Split())
+	fmt.Printf("Talwar E[makespan], infinite buffer: %v\n", est)
+
+	bestOrder, bestVal := batch.BestFlowShopOrderCRN(jobs, 5000, s.Split())
+	fmt.Printf("exhaustive-best order %v: %.4f (Talwar within noise)\n", bestOrder, bestVal)
+
+	// Blocking (zero intermediate buffer) inflates every schedule.
+	var nb, bl float64
+	sub := s.Split()
+	for i := 0; i < reps; i++ {
+		p := batch.SampleFlowShop(jobs, sub.Split())
+		nb += batch.FlowShopMakespan(p, talwar)
+		bl += batch.FlowShopBlockingMakespan(p, talwar)
+	}
+	fmt.Printf("\nblocking vs buffered makespan (Talwar order): %.4f vs %.4f (+%.1f%%)\n",
+		bl/reps, nb/reps, 100*(bl-nb)/nb)
+	fmt.Println("zero buffers hold machine 1 hostage to machine 2 — the Wie–Pinedo blocking effect")
+}

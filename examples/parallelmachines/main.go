@@ -1,0 +1,53 @@
+// Parallel machines: SEPT vs LEPT on identical machines, with the exact
+// exponential-case dynamic program as ground truth — the survey's
+// flowtime/makespan dichotomy in one run.
+package main
+
+import (
+	"fmt"
+
+	"stochsched/internal/batch"
+	"stochsched/internal/dist"
+	"stochsched/internal/rng"
+)
+
+func main() {
+	s := rng.New(5)
+	const n, m = 7, 2
+	rates := make([]float64, n)
+	jobs := make([]batch.Job, n)
+	for i := range rates {
+		rates[i] = 0.4 + 2.5*s.Float64()
+		jobs[i] = batch.Job{ID: i, Weight: 1, Dist: dist.Exponential{Rate: rates[i]}}
+	}
+	fmt.Printf("%d exponential jobs on %d machines; means:", n, m)
+	for _, j := range jobs {
+		fmt.Printf(" %.2f", j.Mean())
+	}
+	fmt.Println()
+
+	eval := func(o batch.Order, obj batch.Objective) float64 {
+		v, err := batch.ExpPolicyValue(rates, m, o, obj)
+		if err != nil {
+			panic(err)
+		}
+		return v
+	}
+	optF, err := batch.ExpOptimalDP(rates, m, batch.Flowtime)
+	if err != nil {
+		panic(err)
+	}
+	optM, err := batch.ExpOptimalDP(rates, m, batch.Makespan)
+	if err != nil {
+		panic(err)
+	}
+
+	sept, lept := batch.SEPT(jobs), batch.LEPT(jobs)
+	fmt.Printf("\n%-10s %-12s %-12s\n", "policy", "E[ΣC]", "E[Cmax]")
+	fmt.Printf("%-10s %-12.4f %-12.4f\n", "SEPT", eval(sept, batch.Flowtime), eval(sept, batch.Makespan))
+	fmt.Printf("%-10s %-12.4f %-12.4f\n", "LEPT", eval(lept, batch.Flowtime), eval(lept, batch.Makespan))
+	rnd := batch.RandomOrder(n, s)
+	fmt.Printf("%-10s %-12.4f %-12.4f\n", "random", eval(rnd, batch.Flowtime), eval(rnd, batch.Makespan))
+	fmt.Printf("%-10s %-12.4f %-12.4f\n", "optimal", optF, optM)
+	fmt.Println("\nSEPT attains the optimal flowtime; LEPT the optimal makespan — the survey's dichotomy, verified exactly by subset DP.")
+}

@@ -1,0 +1,246 @@
+package bandit
+
+import (
+	"fmt"
+
+	"stochsched/internal/linalg"
+	"stochsched/internal/markov"
+)
+
+// Product-chain dynamic programming: the bandit's full state is the vector
+// of all project states. For small instances this MDP is solvable exactly
+// and serves as the ground truth that certifies the optimality of the
+// Gittins rule (experiment E09) and quantifies its loss under switching
+// costs (E10).
+
+// stateSpace handles mixed-radix encoding of product states.
+type stateSpace struct {
+	dims   []int
+	stride []int
+	size   int
+}
+
+func newStateSpace(b *Bandit) *stateSpace {
+	dims := make([]int, len(b.Projects))
+	stride := make([]int, len(b.Projects))
+	size := 1
+	for i, p := range b.Projects {
+		dims[i] = p.N()
+		stride[i] = size
+		size *= p.N()
+	}
+	return &stateSpace{dims: dims, stride: stride, size: size}
+}
+
+// decode fills dst with the component states of code.
+func (ss *stateSpace) decode(code int, dst []int) {
+	for i := range ss.dims {
+		dst[i] = (code / ss.stride[i]) % ss.dims[i]
+	}
+}
+
+// with returns the code with component i replaced by v.
+func (ss *stateSpace) with(code, i, v int) int {
+	cur := (code / ss.stride[i]) % ss.dims[i]
+	return code + (v-cur)*ss.stride[i]
+}
+
+const maxProductStates = 1 << 14
+
+// OptimalValue solves the bandit exactly on the product chain and returns
+// the optimal value for every product state (indexed by mixed-radix code)
+// and the optimal action (project to engage).
+func OptimalValue(b *Bandit) ([]float64, []int, error) {
+	if err := b.Validate(); err != nil {
+		return nil, nil, err
+	}
+	ss := newStateSpace(b)
+	if ss.size > maxProductStates {
+		return nil, nil, fmt.Errorf("bandit: product space %d exceeds limit %d", ss.size, maxProductStates)
+	}
+	nProj := len(b.Projects)
+	transitions := make([]*linalg.Matrix, nProj)
+	rewards := make([][]float64, nProj)
+	comp := make([]int, nProj)
+	for a := 0; a < nProj; a++ {
+		tr := linalg.NewMatrix(ss.size, ss.size)
+		rw := make([]float64, ss.size)
+		proj := b.Projects[a]
+		for code := 0; code < ss.size; code++ {
+			ss.decode(code, comp)
+			sa := comp[a]
+			rw[code] = proj.R[sa]
+			for next := 0; next < proj.N(); next++ {
+				pr := proj.P.At(sa, next)
+				if pr > 0 {
+					tr.Set(code, ss.with(code, a, next), tr.At(code, ss.with(code, a, next))+pr)
+				}
+			}
+		}
+		transitions[a] = tr
+		rewards[a] = rw
+	}
+	v, pol, err := markov.ValueIteration(transitions, rewards, nil, b.Beta, 1e-10, 1_000_000)
+	if err != nil {
+		return nil, nil, err
+	}
+	return v, pol, nil
+}
+
+// Policy selects which project to engage given the component states.
+type Policy func(componentStates []int) int
+
+// IndexPolicy returns a policy that engages the project whose current state
+// has the largest index (ties to the lowest project number).
+func IndexPolicy(indices [][]float64) Policy {
+	return func(comp []int) int {
+		best := indices[0][comp[0]]
+		bestA := 0
+		for a := 1; a < len(indices); a++ {
+			if v := indices[a][comp[a]]; v > best {
+				best, bestA = v, a
+			}
+		}
+		return bestA
+	}
+}
+
+// GreedyPolicy engages the project with the largest immediate reward — the
+// myopic baseline the Gittins rule improves upon.
+func GreedyPolicy(b *Bandit) Policy {
+	return func(comp []int) int {
+		best := b.Projects[0].R[comp[0]]
+		bestA := 0
+		for a := 1; a < len(b.Projects); a++ {
+			if v := b.Projects[a].R[comp[a]]; v > best {
+				best, bestA = v, a
+			}
+		}
+		return bestA
+	}
+}
+
+// PolicyValue evaluates a stationary policy exactly on the product chain:
+// v = (I − βP_π)⁻¹ r_π.
+func PolicyValue(b *Bandit, pol Policy) ([]float64, error) {
+	if err := b.Validate(); err != nil {
+		return nil, err
+	}
+	ss := newStateSpace(b)
+	if ss.size > maxProductStates {
+		return nil, fmt.Errorf("bandit: product space %d exceeds limit %d", ss.size, maxProductStates)
+	}
+	p := linalg.NewMatrix(ss.size, ss.size)
+	r := make([]float64, ss.size)
+	comp := make([]int, len(b.Projects))
+	for code := 0; code < ss.size; code++ {
+		ss.decode(code, comp)
+		a := pol(comp)
+		proj := b.Projects[a]
+		sa := comp[a]
+		r[code] = proj.R[sa]
+		for next := 0; next < proj.N(); next++ {
+			pr := proj.P.At(sa, next)
+			if pr > 0 {
+				tgt := ss.with(code, a, next)
+				p.Set(code, tgt, p.At(code, tgt)+pr)
+			}
+		}
+	}
+	chain, err := markov.NewChain(p)
+	if err != nil {
+		return nil, err
+	}
+	return chain.DiscountedValue(r, b.Beta)
+}
+
+// ---------------------------------------------------------------------------
+// Switching costs (Asawa–Teneketzis 1996)
+
+// SwitchingOptimalValue solves the bandit with a switching penalty: engaging
+// a project different from the previously engaged one costs `cost`. The
+// state is (product state, last project); the returned slices are indexed by
+// code*N + last.
+func SwitchingOptimalValue(b *Bandit, cost float64) ([]float64, []int, error) {
+	if err := b.Validate(); err != nil {
+		return nil, nil, err
+	}
+	ss := newStateSpace(b)
+	nProj := len(b.Projects)
+	ext := ss.size * nProj
+	if ext > maxProductStates {
+		return nil, nil, fmt.Errorf("bandit: extended space %d exceeds limit %d", ext, maxProductStates)
+	}
+	transitions := make([]*linalg.Matrix, nProj)
+	rewards := make([][]float64, nProj)
+	comp := make([]int, nProj)
+	for a := 0; a < nProj; a++ {
+		tr := linalg.NewMatrix(ext, ext)
+		rw := make([]float64, ext)
+		proj := b.Projects[a]
+		for code := 0; code < ss.size; code++ {
+			ss.decode(code, comp)
+			sa := comp[a]
+			for last := 0; last < nProj; last++ {
+				st := code*nProj + last
+				rw[st] = proj.R[sa]
+				if last != a {
+					rw[st] -= cost
+				}
+				for next := 0; next < proj.N(); next++ {
+					pr := proj.P.At(sa, next)
+					if pr > 0 {
+						tgt := ss.with(code, a, next)*nProj + a
+						tr.Set(st, tgt, tr.At(st, tgt)+pr)
+					}
+				}
+			}
+		}
+		transitions[a] = tr
+		rewards[a] = rw
+	}
+	return markov.ValueIteration(transitions, rewards, nil, b.Beta, 1e-10, 1_000_000)
+}
+
+// SwitchingPolicyValue evaluates, on the extended chain, a policy that sees
+// only the component states (e.g. the Gittins rule, which ignores switching
+// costs). Indexing matches SwitchingOptimalValue.
+func SwitchingPolicyValue(b *Bandit, cost float64, pol Policy) ([]float64, error) {
+	if err := b.Validate(); err != nil {
+		return nil, err
+	}
+	ss := newStateSpace(b)
+	nProj := len(b.Projects)
+	ext := ss.size * nProj
+	if ext > maxProductStates {
+		return nil, fmt.Errorf("bandit: extended space %d exceeds limit %d", ext, maxProductStates)
+	}
+	p := linalg.NewMatrix(ext, ext)
+	r := make([]float64, ext)
+	comp := make([]int, nProj)
+	for code := 0; code < ss.size; code++ {
+		ss.decode(code, comp)
+		a := pol(comp)
+		proj := b.Projects[a]
+		sa := comp[a]
+		for last := 0; last < nProj; last++ {
+			st := code*nProj + last
+			r[st] = proj.R[sa]
+			if last != a {
+				r[st] -= cost
+			}
+			for next := 0; next < proj.N(); next++ {
+				pr := proj.P.At(sa, next)
+				if pr > 0 {
+					tgt := ss.with(code, a, next)*nProj + a
+					p.Set(st, tgt, p.At(st, tgt)+pr)
+				}
+			}
+		}
+	}
+	chain, err := markov.NewChain(p)
+	if err != nil {
+		return nil, err
+	}
+	return chain.DiscountedValue(r, b.Beta)
+}

@@ -1,0 +1,150 @@
+package bandit
+
+import (
+	"math"
+	"testing"
+
+	"stochsched/internal/linalg"
+	"stochsched/internal/rng"
+)
+
+func TestGittinsTwoMethodsAgree(t *testing.T) {
+	s := rng.New(700)
+	for trial := 0; trial < 40; trial++ {
+		n := 2 + s.Intn(5)
+		p := RandomProject(n, s.Split())
+		beta := 0.5 + 0.45*s.Float64()
+		g1, err := GittinsRestart(p, beta)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g2, err := GittinsLargestIndex(p, beta)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range g1 {
+			if math.Abs(g1[i]-g2[i]) > 1e-6 {
+				t.Fatalf("trial %d state %d: restart %v vs largest-index %v", trial, i, g1[i], g2[i])
+			}
+		}
+	}
+}
+
+func TestGittinsBounds(t *testing.T) {
+	// min R ≤ γ ≤ max R, and the argmax-R state has γ = R exactly.
+	s := rng.New(701)
+	for trial := 0; trial < 50; trial++ {
+		n := 2 + s.Intn(6)
+		p := RandomProject(n, s.Split())
+		beta := 0.9
+		g, err := GittinsRestart(p, beta)
+		if err != nil {
+			t.Fatal(err)
+		}
+		minR, maxR := p.R[0], p.R[0]
+		arg := 0
+		for i, r := range p.R {
+			if r < minR {
+				minR = r
+			}
+			if r > maxR {
+				maxR = r
+				arg = i
+			}
+		}
+		for i, gi := range g {
+			if gi < minR-1e-9 || gi > maxR+1e-9 {
+				t.Fatalf("γ[%d] = %v outside [%v, %v]", i, gi, minR, maxR)
+			}
+		}
+		if math.Abs(g[arg]-maxR) > 1e-8 {
+			t.Fatalf("top state index %v, want its reward %v", g[arg], maxR)
+		}
+	}
+}
+
+func TestGittinsDominatesReward(t *testing.T) {
+	// γ_i ≥ R_i always: stopping immediately after one step achieves R_i.
+	s := rng.New(702)
+	p := RandomProject(5, s)
+	g, err := GittinsRestart(p, 0.85)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range g {
+		if g[i] < p.R[i]-1e-9 {
+			t.Fatalf("γ[%d] = %v below one-step reward %v", i, g[i], p.R[i])
+		}
+	}
+}
+
+func TestGittinsAbsorbingChain(t *testing.T) {
+	// Deterministic chain 0→1→2 (absorbing), rewards 0, 0, 1, β = 0.5.
+	// γ_2 = 1. For state 1, continue to 2 forever:
+	// num = 0 + β/(1-β) = 1, den = 1/(1-β) = 2 → γ_1 = 1/2.
+	// γ_0: engage 0,1,2,...: num = β², den = 1/(1-β) = 2 → 0.125... with
+	// the best stopping time being "never stop": γ_0 = β²(1)/(1+β+β²/(1-β))
+	// — compute: num = Σ_{t≥2} β^t = β²/(1-β) = 0.5; den = 1/(1-β) = 2 →
+	// γ_0 = 0.25.
+	p := &Project{
+		P: linalg.FromRows([][]float64{
+			{0, 1, 0},
+			{0, 0, 1},
+			{0, 0, 1},
+		}),
+		R: []float64{0, 0, 1},
+	}
+	g, err := GittinsRestart(p, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{0.25, 0.5, 1}
+	for i := range want {
+		if math.Abs(g[i]-want[i]) > 1e-8 {
+			t.Fatalf("γ = %v, want %v", g, want)
+		}
+	}
+	g2, err := GittinsLargestIndex(p, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if math.Abs(g2[i]-want[i]) > 1e-9 {
+			t.Fatalf("largest-index γ = %v, want %v", g2, want)
+		}
+	}
+}
+
+func TestGittinsValidation(t *testing.T) {
+	p := RandomProject(3, rng.New(1))
+	if _, err := GittinsRestart(p, 1.0); err == nil {
+		t.Error("beta = 1 accepted")
+	}
+	bad := &Project{P: linalg.FromRows([][]float64{{0.5, 0.4}, {0.5, 0.5}}), R: []float64{1, 1}}
+	if _, err := GittinsRestart(bad, 0.9); err == nil {
+		t.Error("non-stochastic project accepted")
+	}
+	if _, err := GittinsLargestIndex(bad, 0.9); err == nil {
+		t.Error("non-stochastic project accepted by largest-index")
+	}
+}
+
+func BenchmarkGittinsRestart10(b *testing.B) {
+	p := RandomProject(10, rng.New(2))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := GittinsRestart(p, 0.9); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGittinsLargestIndex10(b *testing.B) {
+	p := RandomProject(10, rng.New(2))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := GittinsLargestIndex(p, 0.9); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

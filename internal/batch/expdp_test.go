@@ -1,0 +1,215 @@
+package batch
+
+import (
+	"math"
+	"testing"
+
+	"stochsched/internal/dist"
+	"stochsched/internal/rng"
+)
+
+func randRates(n int, s *rng.Stream) []float64 {
+	r := make([]float64, n)
+	for i := range r {
+		r[i] = 0.3 + 2.7*s.Float64()
+	}
+	return r
+}
+
+func jobsFromRates(rates []float64) []Job {
+	jobs := make([]Job, len(rates))
+	for i, r := range rates {
+		jobs[i] = Job{ID: i, Weight: 1, Dist: dist.Exponential{Rate: r}}
+	}
+	return jobs
+}
+
+// SEPT is optimal for expected flowtime with exponential jobs on identical
+// machines (Glazebrook 1979; Weber–Varaiya–Walrand 1986).
+func TestSEPTOptimalFlowtimeExp(t *testing.T) {
+	s := rng.New(200)
+	for trial := 0; trial < 60; trial++ {
+		n := 2 + s.Intn(5)
+		m := 1 + s.Intn(3)
+		rates := randRates(n, s)
+		opt, err := ExpOptimalDP(rates, m, Flowtime)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sept, err := ExpPolicyValue(rates, m, SEPT(jobsFromRates(rates)), Flowtime)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sept > opt+1e-9 {
+			t.Fatalf("trial %d (n=%d,m=%d): SEPT %v > optimal %v", trial, n, m, sept, opt)
+		}
+	}
+}
+
+// LEPT is optimal for expected makespan with exponential jobs
+// (Bruno–Downey–Frederickson 1981).
+func TestLEPTOptimalMakespanExp(t *testing.T) {
+	s := rng.New(201)
+	for trial := 0; trial < 60; trial++ {
+		n := 2 + s.Intn(5)
+		m := 1 + s.Intn(3)
+		rates := randRates(n, s)
+		opt, err := ExpOptimalDP(rates, m, Makespan)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lept, err := ExpPolicyValue(rates, m, LEPT(jobsFromRates(rates)), Makespan)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if lept > opt+1e-9 {
+			t.Fatalf("trial %d (n=%d,m=%d): LEPT %v > optimal %v", trial, n, m, lept, opt)
+		}
+	}
+}
+
+// On a single machine the DP flowtime must equal the closed-form SEPT value.
+func TestDPSingleMachineClosedForm(t *testing.T) {
+	s := rng.New(202)
+	rates := randRates(5, s)
+	jobs := jobsFromRates(rates)
+	opt, err := ExpOptimalDP(rates, 1, Flowtime)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := ExactWeightedFlowtime(jobs, SEPT(jobs))
+	if math.Abs(opt-want) > 1e-9 {
+		t.Fatalf("DP %v, closed form %v", opt, want)
+	}
+}
+
+// Single machine makespan is just the total expected work, any order.
+func TestDPSingleMachineMakespan(t *testing.T) {
+	rates := []float64{1, 2, 4}
+	opt, err := ExpOptimalDP(rates, 1, Makespan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 1.0 + 0.5 + 0.25
+	if math.Abs(opt-want) > 1e-9 {
+		t.Fatalf("makespan %v, want %v", opt, want)
+	}
+}
+
+// Two identical exponential jobs, two machines: makespan = first completion
+// (1/2µ) + residual of the other (1/µ).
+func TestDPTwoJobsTwoMachines(t *testing.T) {
+	opt, err := ExpOptimalDP([]float64{1, 1}, 2, Makespan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(opt-1.5) > 1e-9 {
+		t.Fatalf("makespan %v, want 1.5", opt)
+	}
+	ft, err := ExpOptimalDP([]float64{1, 1}, 2, Flowtime)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flowtime: E[C1+C2] = E[min] * 2 ... both in service: first completes at
+	// 0.5 (counted once), second at 0.5+1. Σ = 2*0.5 + 1 = 2.
+	if math.Abs(ft-2) > 1e-9 {
+		t.Fatalf("flowtime %v, want 2", ft)
+	}
+}
+
+// The DP value must match a plain Monte-Carlo simulation of the list policy.
+func TestPolicyValueMatchesSimulation(t *testing.T) {
+	s := rng.New(203)
+	rates := []float64{0.5, 1, 2, 3}
+	jobs := jobsFromRates(rates)
+	in := &Instance{Jobs: jobs, Machines: 2}
+	o := SEPT(jobs)
+	exact, err := ExpPolicyValue(rates, 2, o, Flowtime)
+	if err != nil {
+		t.Fatal(err)
+	}
+	est := EstimateParallel(in, o, 40000, s)
+	if math.Abs(est.Flowtime.Mean()-exact) > 4*est.Flowtime.CI95() {
+		t.Fatalf("simulated flowtime %v (±%v), exact %v", est.Flowtime.Mean(), est.Flowtime.CI95(), exact)
+	}
+	exactMk, err := ExpPolicyValue(rates, 2, o, Makespan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(est.Makespan.Mean()-exactMk) > 4*est.Makespan.CI95() {
+		t.Fatalf("simulated makespan %v (±%v), exact %v", est.Makespan.Mean(), est.Makespan.CI95(), exactMk)
+	}
+}
+
+func TestUniformReducesToIdentical(t *testing.T) {
+	s := rng.New(204)
+	rates := randRates(4, s)
+	opt, err := ExpOptimalDP(rates, 2, Flowtime)
+	if err != nil {
+		t.Fatal(err)
+	}
+	uni, err := UniformExpOptimalDP(rates, []float64{1, 1}, Flowtime)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(opt-uni) > 1e-9 {
+		t.Fatalf("uniform with unit speeds %v, identical %v", uni, opt)
+	}
+}
+
+func TestUniformHeuristicDominatedByOptimal(t *testing.T) {
+	s := rng.New(205)
+	for trial := 0; trial < 30; trial++ {
+		n := 2 + s.Intn(4)
+		rates := randRates(n, s)
+		speeds := []float64{1, 0.2 + 0.6*s.Float64()}
+		for _, obj := range []Objective{Flowtime, Makespan} {
+			opt, err := UniformExpOptimalDP(rates, speeds, obj)
+			if err != nil {
+				t.Fatal(err)
+			}
+			heur, err := UniformSEPTFastest(rates, speeds, obj)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if heur < opt-1e-9 {
+				t.Fatalf("trial %d %v: heuristic %v beats optimal %v", trial, obj, heur, opt)
+			}
+		}
+	}
+}
+
+// On uniform machines the job→machine assignment matters: for makespan the
+// long job belongs on the fast machine, so the SEPT-to-fastest heuristic is
+// strictly suboptimal (the threshold/assignment structure of
+// Coffman–Flatto–Garey–Weber 1987).
+func TestUniformAssignmentMatters(t *testing.T) {
+	rates := []float64{0.2, 5} // job 0 long (mean 5), job 1 short (mean 0.2)
+	speeds := []float64{1, 0.1}
+	opt, err := UniformExpOptimalDP(rates, speeds, Makespan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	heur, err := UniformSEPTFastest(rates, speeds, Makespan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if heur <= opt+1e-9 {
+		t.Fatalf("expected strict gap: heuristic %v vs optimal %v", heur, opt)
+	}
+}
+
+func TestDPValidation(t *testing.T) {
+	if _, err := ExpOptimalDP(nil, 1, Flowtime); err == nil {
+		t.Error("empty rates accepted")
+	}
+	if _, err := ExpOptimalDP([]float64{1, -1}, 1, Flowtime); err == nil {
+		t.Error("negative rate accepted")
+	}
+	if _, err := ExpOptimalDP(make([]float64, 20), 1, Flowtime); err == nil {
+		t.Error("oversized instance accepted")
+	}
+	if _, err := ExpPolicyValue([]float64{1, 1}, 1, Order{0}, Flowtime); err == nil {
+		t.Error("invalid order accepted")
+	}
+}

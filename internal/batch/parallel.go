@@ -1,0 +1,215 @@
+package batch
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+
+	"stochsched/internal/dist"
+	"stochsched/internal/rng"
+	"stochsched/internal/stats"
+)
+
+// ParallelResult carries the realized objectives of one replication on
+// identical parallel machines.
+type ParallelResult struct {
+	Flowtime         float64 // Σ C_i
+	WeightedFlowtime float64 // Σ w_i C_i
+	Makespan         float64 // max C_i
+}
+
+// machineHeap is a min-heap of machine free times.
+type machineHeap []float64
+
+func (h machineHeap) Len() int           { return len(h) }
+func (h machineHeap) Less(i, j int) bool { return h[i] < h[j] }
+func (h machineHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *machineHeap) Push(x any)        { *h = append(*h, x.(float64)) }
+func (h *machineHeap) Pop() any          { old := *h; n := len(old); v := old[n-1]; *h = old[:n-1]; return v }
+
+// SimulateParallel runs one replication of a list policy on in.Machines
+// identical machines: whenever a machine frees, the next unstarted job in
+// order o begins there. Returns the realized objectives.
+//
+// For nonpreemptive scheduling of a fixed batch this list mechanism is the
+// standard dynamic implementation of SEPT/LEPT/WSEPT: the order is computed
+// from the distributions up front, and jobs are dispatched as capacity
+// becomes available.
+func SimulateParallel(in *Instance, o Order, s *rng.Stream) ParallelResult {
+	if !validOrder(o, len(in.Jobs)) {
+		panic("batch: invalid order")
+	}
+	m := in.Machines
+	free := make(machineHeap, m)
+	heap.Init(&free)
+	var res ParallelResult
+	for _, idx := range o {
+		start := free[0]
+		dur := in.Jobs[idx].Dist.Sample(s)
+		done := start + dur
+		free[0] = done
+		heap.Fix(&free, 0)
+		res.Flowtime += done
+		res.WeightedFlowtime += in.Jobs[idx].Weight * done
+		if done > res.Makespan {
+			res.Makespan = done
+		}
+	}
+	return res
+}
+
+// ParallelEstimate aggregates replications of a list policy.
+type ParallelEstimate struct {
+	Flowtime         stats.Running
+	WeightedFlowtime stats.Running
+	Makespan         stats.Running
+}
+
+// EstimateParallel runs reps independent replications of order o on the
+// instance and returns aggregate statistics for all three objectives.
+func EstimateParallel(in *Instance, o Order, reps int, s *rng.Stream) *ParallelEstimate {
+	var est ParallelEstimate
+	for i := 0; i < reps; i++ {
+		r := SimulateParallel(in, o, s.Split())
+		est.Flowtime.Add(r.Flowtime)
+		est.WeightedFlowtime.Add(r.WeightedFlowtime)
+		est.Makespan.Add(r.Makespan)
+	}
+	return &est
+}
+
+// supportOf extracts the finite support of a distribution, when it has one.
+func supportOf(d dist.Distribution) (values, probs []float64, ok bool) {
+	switch v := d.(type) {
+	case dist.Deterministic:
+		return []float64{v.Value}, []float64{1}, true
+	case dist.TwoPoint:
+		return []float64{v.A, v.B}, []float64{v.PA, 1 - v.PA}, true
+	case dist.Discrete:
+		return v.Values, v.Probs, true
+	default:
+		return nil, nil, false
+	}
+}
+
+// ExactParallelDiscrete computes the exact expected objectives of a list
+// policy on identical machines when every job has a finite discrete
+// processing-time law, by enumerating the product of supports. Exponential
+// in the number of jobs; intended for the small counterexample instances of
+// Coffman–Hofri–Weiss (experiment E06), where Monte-Carlo noise would mask
+// the reversal.
+func ExactParallelDiscrete(in *Instance, o Order) (ParallelResult, error) {
+	n := len(in.Jobs)
+	if !validOrder(o, n) {
+		return ParallelResult{}, fmt.Errorf("batch: invalid order")
+	}
+	values := make([][]float64, n)
+	probs := make([][]float64, n)
+	total := 1
+	for i, j := range in.Jobs {
+		v, p, ok := supportOf(j.Dist)
+		if !ok {
+			return ParallelResult{}, fmt.Errorf("batch: job %d has non-discrete law %v", i, j.Dist)
+		}
+		values[i], probs[i] = v, p
+		total *= len(v)
+		if total > 1<<20 {
+			return ParallelResult{}, fmt.Errorf("batch: support product too large")
+		}
+	}
+	var res ParallelResult
+	p := make([]float64, n)
+	var rec func(job int, prob float64)
+	rec = func(job int, prob float64) {
+		if job == n {
+			r := evalListDeterministic(in, o, p)
+			res.Flowtime += prob * r.Flowtime
+			res.WeightedFlowtime += prob * r.WeightedFlowtime
+			res.Makespan += prob * r.Makespan
+			return
+		}
+		for k := range values[job] {
+			if probs[job][k] == 0 {
+				continue
+			}
+			p[job] = values[job][k]
+			rec(job+1, prob*probs[job][k])
+		}
+	}
+	rec(0, 1)
+	return res, nil
+}
+
+// evalListDeterministic runs the list policy on given realized times.
+func evalListDeterministic(in *Instance, o Order, p []float64) ParallelResult {
+	free := make(machineHeap, in.Machines)
+	heap.Init(&free)
+	var res ParallelResult
+	for _, idx := range o {
+		start := free[0]
+		done := start + p[idx]
+		free[0] = done
+		heap.Fix(&free, 0)
+		res.Flowtime += done
+		res.WeightedFlowtime += in.Jobs[idx].Weight * done
+		if done > res.Makespan {
+			res.Makespan = done
+		}
+	}
+	return res
+}
+
+// eeiRealized returns the Eastman–Even–Isaacs lower bound for one realized
+// processing-time vector p on m machines:
+//
+//	(1/m) · Σ w_j Σ_{k ≼ j} p_k  +  ((m−1)/(2m)) · Σ w_j p_j,
+//
+// where ≼ orders jobs by realized Smith ratio w/p (the per-realization
+// optimal single-machine order). This bounds the realized Σ w_j C_j of any
+// schedule of those times, hence its expectation bounds every
+// nonanticipative policy's expected cost.
+func eeiRealized(jobs []Job, p []float64, m int) float64 {
+	n := len(jobs)
+	o := identityOrder(n)
+	// Sort by realized Smith ratio (descending). Jobs with p = 0 first.
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			ri := smithRealized(jobs[o[i]].Weight, p[o[i]])
+			rj := smithRealized(jobs[o[j]].Weight, p[o[j]])
+			if rj > ri {
+				o[i], o[j] = o[j], o[i]
+			}
+		}
+	}
+	first, second := 0.0, 0.0
+	elapsed := 0.0
+	for _, idx := range o {
+		elapsed += p[idx]
+		first += jobs[idx].Weight * elapsed
+		second += jobs[idx].Weight * p[idx]
+	}
+	mf := float64(m)
+	return first/mf + (mf-1)/(2*mf)*second
+}
+
+func smithRealized(w, p float64) float64 {
+	if p <= 0 {
+		return math.Inf(1)
+	}
+	return w / p
+}
+
+// EstimateEEILowerBound Monte-Carlo-estimates the Eastman–Even–Isaacs lower
+// bound on the minimal expected weighted flowtime on m identical machines,
+// E[(1/m)·Σ w_j Σ_{k≼j} p_k + ((m−1)/(2m))·Σ w_j p_j] with ≼ the realized
+// Smith order. Weiss (1992) shows the WSEPT list policy's gap above the
+// optimum is O(1) in the number of jobs, so the relative gap measured
+// against this bound vanishes as n grows — the turnpike experiment E07.
+func EstimateEEILowerBound(in *Instance, reps int, s *rng.Stream) *stats.Running {
+	var r stats.Running
+	for i := 0; i < reps; i++ {
+		p := in.SampleProcessingTimes(s.Split())
+		r.Add(eeiRealized(in.Jobs, p, in.Machines))
+	}
+	return &r
+}

@@ -1,0 +1,134 @@
+package batch
+
+import (
+	"math"
+	"testing"
+
+	"stochsched/internal/dist"
+	"stochsched/internal/rng"
+	"stochsched/internal/stats"
+)
+
+func mustDiscrete(t *testing.T, values, probs []float64) dist.Discrete {
+	t.Helper()
+	d, err := dist.NewDiscrete(values, probs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestSevcikIndexDeterministic(t *testing.T) {
+	// Point mass at v: index = w / v at age 0, w/(v−a) at age a.
+	d := mustDiscrete(t, []float64{4}, []float64{1})
+	g, ms, err := SevcikIndex(d, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(g-0.5) > 1e-12 || ms != 4 {
+		t.Fatalf("γ = %v @ %v, want 0.5 @ 4", g, ms)
+	}
+	g, _, err = SevcikIndex(d, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(g-2) > 1e-12 {
+		t.Fatalf("γ(a=3) = %v, want 2", g)
+	}
+}
+
+func TestSevcikIndexTwoPoint(t *testing.T) {
+	// X = 1 w.p. 0.5, 10 w.p. 0.5, w = 1.
+	d := mustDiscrete(t, []float64{1, 10}, []float64{0.5, 0.5})
+	g, ms, err := SevcikIndex(d, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Stopping at t=1: ratio 0.5 / E[min(X,1)] = 0.5/1 = 0.5.
+	// Stopping at t=10: 1 / 5.5 ≈ 0.1818. So milestone 1, γ = 0.5.
+	if math.Abs(g-0.5) > 1e-12 || ms != 1 {
+		t.Fatalf("γ = %v @ %v, want 0.5 @ 1", g, ms)
+	}
+	// After surviving past 1 the job is surely long: γ = 1/9 at age 1.
+	g, ms, err = SevcikIndex(d, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(g-1.0/9) > 1e-12 || ms != 10 {
+		t.Fatalf("γ(a=1) = %v @ %v, want 1/9 @ 10", g, ms)
+	}
+}
+
+func TestSevcikIndexBeyondSupport(t *testing.T) {
+	d := mustDiscrete(t, []float64{1, 2}, []float64{0.5, 0.5})
+	if _, _, err := SevcikIndex(d, 1, 2); err == nil {
+		t.Fatal("index past support accepted")
+	}
+}
+
+// The preemptive Sevcik policy must beat (or tie) nonpreemptive WSEPT in
+// expectation — preemption strictly helps on two-point mixtures where a job
+// reveals itself to be long (Sevcik 1974), experiment E02.
+func TestSevcikBeatsWSEPT(t *testing.T) {
+	s := rng.New(300)
+	jobs := []DiscreteJob{
+		{ID: 0, Weight: 1, Law: mustDiscrete(t, []float64{1, 20}, []float64{0.8, 0.2})},
+		{ID: 1, Weight: 1, Law: mustDiscrete(t, []float64{1, 20}, []float64{0.8, 0.2})},
+		{ID: 2, Weight: 1, Law: mustDiscrete(t, []float64{5}, []float64{1})},
+	}
+	var sev, wsept stats.Running
+	const reps = 30000
+	for i := 0; i < reps; i++ {
+		sub := s.Split()
+		v, err := SimulateSevcik(jobs, sub)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sev.Add(v)
+		wsept.Add(SimulateNonpreemptiveWSEPTDiscrete(jobs, s.Split()))
+	}
+	if sev.Mean() >= wsept.Mean()-2*(sev.CI95()+wsept.CI95()) {
+		t.Fatalf("Sevcik %v (±%v) did not beat WSEPT %v (±%v)",
+			sev.Mean(), sev.CI95(), wsept.Mean(), wsept.CI95())
+	}
+}
+
+// With deterministic (single-point) laws, preemption cannot help, and the
+// Sevcik policy must coincide with WSEPT in expectation.
+func TestSevcikReducesToWSEPTDeterministic(t *testing.T) {
+	s := rng.New(301)
+	jobs := []DiscreteJob{
+		{ID: 0, Weight: 2, Law: mustDiscrete(t, []float64{3}, []float64{1})},
+		{ID: 1, Weight: 1, Law: mustDiscrete(t, []float64{1}, []float64{1})},
+		{ID: 2, Weight: 5, Law: mustDiscrete(t, []float64{4}, []float64{1})},
+	}
+	v, err := SimulateSevcik(jobs, s.Split())
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := SimulateNonpreemptiveWSEPTDiscrete(jobs, s.Split())
+	if math.Abs(v-w) > 1e-9 {
+		t.Fatalf("deterministic: Sevcik %v != WSEPT %v", v, w)
+	}
+}
+
+// Every realization must account for all jobs: the realized objective is at
+// least Σ w_i x_i (each completion no earlier than its own processing).
+func TestSevcikLowerBoundSanity(t *testing.T) {
+	s := rng.New(302)
+	jobs := []DiscreteJob{
+		{ID: 0, Weight: 1, Law: mustDiscrete(t, []float64{2, 6}, []float64{0.5, 0.5})},
+		{ID: 1, Weight: 3, Law: mustDiscrete(t, []float64{1, 3}, []float64{0.3, 0.7})},
+	}
+	for i := 0; i < 1000; i++ {
+		v, err := SimulateSevcik(jobs, s.Split())
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Weakest valid bound: Σ w_i · min support.
+		lb := 1*2.0 + 3*1.0
+		if v < lb-1e-9 {
+			t.Fatalf("realized %v below lower bound %v", v, lb)
+		}
+	}
+}

@@ -1,0 +1,114 @@
+// Package core is the library's facade: it catalogues the priority-index
+// rules the three model families implement and exposes the reproduction
+// suite.
+//
+// The survey's unifying observation is that across batch scheduling,
+// multi-armed bandits and queueing control, the tractable optimal policies
+// are priority-index rules: a scalar index is computed per job type /
+// project state / customer class, and the resource always goes to the
+// highest index. The Catalog below maps each rule to the package
+// implementing it and the survey citation proving (or bounding) its
+// performance.
+package core
+
+import "stochsched/internal/experiments"
+
+// Family labels the three model families of the survey.
+type Family string
+
+// The survey's three model families.
+const (
+	BatchFamily    Family = "batch scheduling"
+	BanditFamily   Family = "multi-armed bandits"
+	QueueingFamily Family = "queueing control"
+)
+
+// IndexRule documents one implemented priority-index policy.
+type IndexRule struct {
+	Name        string
+	Family      Family
+	Index       string // the scalar the rule ranks by
+	Optimality  string // the regime in which the rule is optimal / near-optimal
+	Ref         string // survey citation
+	Package     string // implementing package
+	Experiments []string
+}
+
+// Catalog returns every index rule the library implements.
+func Catalog() []IndexRule {
+	return []IndexRule{
+		{
+			Name: "WSEPT (Smith's rule)", Family: BatchFamily,
+			Index:      "w_i / E[p_i]",
+			Optimality: "single machine, nonpreemptive, E[Σ wC] (exact)",
+			Ref:        "[34,37]", Package: "internal/batch",
+			Experiments: []string{"E01", "E07"},
+		},
+		{
+			Name: "Sevcik preemptive index", Family: BatchFamily,
+			Index:      "sup_t w·P(done by t)/E[min(p,t)]",
+			Optimality: "single machine, preemptive, E[Σ wC] (exact)",
+			Ref:        "[35]", Package: "internal/batch",
+			Experiments: []string{"E02"},
+		},
+		{
+			Name: "SEPT", Family: BatchFamily,
+			Index:      "−E[p_i]",
+			Optimality: "parallel machines flowtime: exponential / IHR / stochastically ordered",
+			Ref:        "[20,41,43]", Package: "internal/batch",
+			Experiments: []string{"E03", "E05", "E06"},
+		},
+		{
+			Name: "LEPT", Family: BatchFamily,
+			Index:      "E[p_i]",
+			Optimality: "parallel machines makespan: exponential / DHR",
+			Ref:        "[10,41]", Package: "internal/batch",
+			Experiments: []string{"E04", "E05"},
+		},
+		{
+			Name: "HLF", Family: BatchFamily,
+			Index:      "tree level",
+			Optimality: "in-tree precedence makespan, asymptotically optimal",
+			Ref:        "[31]", Package: "internal/batch",
+			Experiments: []string{"E08"},
+		},
+		{
+			Name: "Gittins index", Family: BanditFamily,
+			Index:      "sup_τ E[Σβ^t R]/E[Σβ^t]",
+			Optimality: "classical discounted bandit (exact)",
+			Ref:        "[19,18,47]", Package: "internal/bandit",
+			Experiments: []string{"E09", "E10"},
+		},
+		{
+			Name: "Whittle index", Family: BanditFamily,
+			Index:      "critical passivity subsidy λ",
+			Optimality: "restless bandits: asymptotically optimal as N → ∞",
+			Ref:        "[48,44]", Package: "internal/restless",
+			Experiments: []string{"E11", "E12"},
+		},
+		{
+			Name: "Primal–dual index", Family: BanditFamily,
+			Index:      "LP reduced-cost advantage",
+			Optimality: "restless bandits: competitive heuristic with LP bound",
+			Ref:        "[7]", Package: "internal/restless",
+			Experiments: []string{"E13"},
+		},
+		{
+			Name: "cµ rule", Family: QueueingFamily,
+			Index:      "c_j · µ_j",
+			Optimality: "multiclass M/G/1 nonpreemptive (exact); M/M/m heavy traffic",
+			Ref:        "[15,22]", Package: "internal/queueing",
+			Experiments: []string{"E14", "E16", "E20"},
+		},
+		{
+			Name: "Klimov index", Family: QueueingFamily,
+			Index:      "adaptive-greedy rate sums",
+			Optimality: "M/G/1 with Markovian feedback (exact); discounted variant",
+			Ref:        "[24,38]", Package: "internal/queueing",
+			Experiments: []string{"E15", "E21"},
+		},
+	}
+}
+
+// Experiments exposes the reproduction suite (see internal/experiments).
+func Experiments() []experiments.Experiment { return experiments.All() }

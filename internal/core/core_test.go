@@ -1,0 +1,51 @@
+package core
+
+import "testing"
+
+func TestCatalogConsistency(t *testing.T) {
+	rules := Catalog()
+	if len(rules) < 10 {
+		t.Fatalf("catalog has %d rules, want >= 10", len(rules))
+	}
+	expIDs := map[string]bool{}
+	for _, e := range Experiments() {
+		expIDs[e.ID] = true
+	}
+	families := map[Family]int{}
+	for _, r := range rules {
+		if r.Name == "" || r.Index == "" || r.Ref == "" || r.Package == "" {
+			t.Fatalf("incomplete rule %+v", r)
+		}
+		families[r.Family]++
+		for _, id := range r.Experiments {
+			if !expIDs[id] {
+				t.Fatalf("rule %q references unknown experiment %s", r.Name, id)
+			}
+		}
+	}
+	for _, fam := range []Family{BatchFamily, BanditFamily, QueueingFamily} {
+		if families[fam] == 0 {
+			t.Fatalf("no rules for family %q", fam)
+		}
+	}
+}
+
+func TestAllExperimentsReferenced(t *testing.T) {
+	referenced := map[string]bool{}
+	for _, r := range Catalog() {
+		for _, id := range r.Experiments {
+			referenced[id] = true
+		}
+	}
+	// Not every experiment belongs to a single rule (conservation laws,
+	// stability), but most should be anchored to one.
+	count := 0
+	for _, e := range Experiments() {
+		if referenced[e.ID] {
+			count++
+		}
+	}
+	if count < 15 {
+		t.Fatalf("only %d experiments anchored to catalog rules", count)
+	}
+}

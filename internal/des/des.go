@@ -1,0 +1,159 @@
+// Package des is a deterministic discrete-event simulation kernel.
+//
+// A Simulator owns a virtual clock and a pending-event queue ordered by
+// event time, with FIFO tie-breaking by insertion order so that runs are
+// bit-for-bit reproducible. Events are plain closures; cancellation (needed
+// by preemptive scheduling policies, which must revoke tentative completion
+// events) is supported through handles.
+package des
+
+import (
+	"container/heap"
+	"math"
+)
+
+// Handle identifies a scheduled event and allows cancelling it.
+type Handle struct {
+	ev *event
+}
+
+// Cancel prevents the event from firing. Cancelling an already-fired or
+// already-cancelled event is a no-op.
+func (h *Handle) Cancel() {
+	if h != nil && h.ev != nil {
+		h.ev.cancelled = true
+		h.ev = nil
+	}
+}
+
+type event struct {
+	time      float64
+	seq       uint64
+	action    func()
+	cancelled bool
+	index     int // heap position
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].time != h[j].time {
+		return h[i].time < h[j].time
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	ev := x.(*event)
+	ev.index = len(*h)
+	*h = append(*h, ev)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}
+
+// Simulator is a discrete-event simulation clock and event queue. The zero
+// value is ready to use.
+type Simulator struct {
+	now    float64
+	queue  eventHeap
+	seq    uint64
+	fired  uint64
+	halted bool
+}
+
+// New returns a fresh simulator at time 0.
+func New() *Simulator { return &Simulator{} }
+
+// Now returns the current simulation time.
+func (s *Simulator) Now() float64 { return s.now }
+
+// Fired returns the number of events executed so far.
+func (s *Simulator) Fired() uint64 { return s.fired }
+
+// Pending returns the number of events currently queued (including
+// cancelled events not yet discarded).
+func (s *Simulator) Pending() int { return len(s.queue) }
+
+// Schedule queues action to run after the given nonnegative delay and
+// returns a cancellation handle.
+func (s *Simulator) Schedule(delay float64, action func()) *Handle {
+	if delay < 0 || math.IsNaN(delay) {
+		panic("des: negative or NaN delay")
+	}
+	return s.At(s.now+delay, action)
+}
+
+// At queues action at absolute time t ≥ Now().
+func (s *Simulator) At(t float64, action func()) *Handle {
+	if t < s.now {
+		panic("des: scheduling into the past")
+	}
+	ev := &event{time: t, seq: s.seq, action: action}
+	s.seq++
+	heap.Push(&s.queue, ev)
+	return &Handle{ev: ev}
+}
+
+// Halt stops Run/RunUntil after the current event completes.
+func (s *Simulator) Halt() { s.halted = true }
+
+// Step executes the next pending event, if any, and reports whether one
+// fired. Cancelled events are discarded silently.
+func (s *Simulator) Step() bool {
+	for len(s.queue) > 0 {
+		ev := heap.Pop(&s.queue).(*event)
+		if ev.cancelled {
+			continue
+		}
+		s.now = ev.time
+		s.fired++
+		ev.action()
+		return true
+	}
+	return false
+}
+
+// RunUntil executes events in order until the queue is exhausted, the next
+// event lies beyond horizon, or Halt is called. The clock is left at the
+// horizon if it was reached, else at the last event time.
+func (s *Simulator) RunUntil(horizon float64) {
+	s.halted = false
+	for !s.halted {
+		// Peek next live event.
+		var next *event
+		for len(s.queue) > 0 {
+			top := s.queue[0]
+			if top.cancelled {
+				heap.Pop(&s.queue)
+				continue
+			}
+			next = top
+			break
+		}
+		if next == nil || next.time > horizon {
+			if s.now < horizon {
+				s.now = horizon
+			}
+			return
+		}
+		s.Step()
+	}
+}
+
+// Run executes all pending events until the queue drains or Halt is called.
+func (s *Simulator) Run() {
+	s.halted = false
+	for !s.halted && s.Step() {
+	}
+}

@@ -1,0 +1,293 @@
+package experiments
+
+import (
+	"fmt"
+
+	"stochsched/internal/batch"
+	"stochsched/internal/dist"
+	"stochsched/internal/queueing"
+	"stochsched/internal/restless"
+	"stochsched/internal/rng"
+	"stochsched/internal/stats"
+)
+
+// Extension / ablation experiments beyond the survey's headline results:
+// E23 quantifies the value of preemption in the M/G/1 (the gap between the
+// two halves of the cµ optimality statement); E24 ablates the job→machine
+// assignment on uniform machines; E25 compares the two Whittle-index
+// criteria (discounted vs time-average); E26 stresses the wµ rule outside
+// its proven regime; E27 exercises the queueing formulas on phase-type
+// service laws.
+
+// E23: preemption ablation — exact preemptive vs nonpreemptive cµ cost.
+func runE23(cfg Config) (*Table, error) {
+	s := rng.New(cfg.Seed)
+	horizon, reps := 30000.0, 6
+	if cfg.Quick {
+		horizon, reps = 6000.0, 3
+	}
+	t := &Table{
+		ID: "E23", Title: "Value of preemption: cµ cost, preemptive vs nonpreemptive (exact + sim)",
+		Ref:     "[15,35]",
+		Columns: []string{"ρ", "nonpreemptive (exact)", "preemptive (exact)", "preemptive (sim)", "preemption saves"},
+	}
+	for _, rho := range []float64{0.5, 0.7, 0.9} {
+		m := threeClassSystem(rho)
+		order := m.CMuOrder()
+		_, lNP, err := m.ExactPriority(order)
+		if err != nil {
+			return nil, err
+		}
+		np := m.HoldingCostRate(lNP)
+		_, lP, err := m.ExactPreemptivePriority(order)
+		if err != nil {
+			return nil, err
+		}
+		pr := m.HoldingCostRate(lP)
+		var sim stats.Running
+		for i := 0; i < reps; i++ {
+			res, err := m.SimulatePreemptive(order, horizon, horizon/10, s.Split())
+			if err != nil {
+				return nil, err
+			}
+			sim.Add(res.CostRate)
+		}
+		t.AddRow(f2(rho), f(np), f(pr), ci(sim.Mean(), sim.CI95()), pct((np-pr)/np))
+	}
+	t.Notes = "preemption helps most when high-cµ classes arrive during long low-priority services; the simulator matches the preemptive-resume formula"
+	return t, nil
+}
+
+// E24: uniform machines — how much the job→machine assignment matters.
+func runE24(cfg Config) (*Table, error) {
+	s := rng.New(cfg.Seed)
+	trials := 6
+	if cfg.Quick {
+		trials = 3
+	}
+	t := &Table{
+		ID: "E24", Title: "Uniform machines: SEPT-to-fastest heuristic vs exact optimum (n=5)",
+		Ref:     "[1,12,33]",
+		Columns: []string{"speed ratio", "objective", "optimal (DP)", "heuristic (DP)", "rel gap"},
+	}
+	for _, ratio := range []float64{1.0, 0.5, 0.2, 0.05} {
+		speeds := []float64{1, ratio}
+		var worstF, worstM float64
+		var optF, heuF, optM, heuM stats.Running
+		for k := 0; k < trials; k++ {
+			rates := make([]float64, 5)
+			sub := s.Split()
+			for i := range rates {
+				rates[i] = 0.3 + 2.7*sub.Float64()
+			}
+			for _, obj := range []batch.Objective{batch.Flowtime, batch.Makespan} {
+				opt, err := batch.UniformExpOptimalDP(rates, speeds, obj)
+				if err != nil {
+					return nil, err
+				}
+				heu, err := batch.UniformSEPTFastest(rates, speeds, obj)
+				if err != nil {
+					return nil, err
+				}
+				gap := (heu - opt) / opt
+				if obj == batch.Flowtime {
+					optF.Add(opt)
+					heuF.Add(heu)
+					if gap > worstF {
+						worstF = gap
+					}
+				} else {
+					optM.Add(opt)
+					heuM.Add(heu)
+					if gap > worstM {
+						worstM = gap
+					}
+				}
+			}
+		}
+		t.AddRow(f2(ratio), "flowtime", f(optF.Mean()), f(heuF.Mean()), pct(worstF))
+		t.AddRow(f2(ratio), "makespan", f(optM.Mean()), f(heuM.Mean()), pct(worstM))
+	}
+	t.Notes = "with near-equal speeds the heuristic is near-exact; as machines diverge, committing the wrong job to the slow machine costs more (worst observed gap shown)"
+	return t, nil
+}
+
+// E25: the two Whittle criteria agree — discounted indices converge to the
+// time-average ones as β → 1.
+func runE25(cfg Config) (*Table, error) {
+	p, err := restless.MachineRepair(4, 0.3, 0.5, []float64{1, 0.8, 0.4, 0})
+	if err != nil {
+		return nil, err
+	}
+	avg, err := restless.WhittleIndexAverage(p)
+	if err != nil {
+		return nil, err
+	}
+	betas := []float64{0.9, 0.99, 0.999}
+	if cfg.Quick {
+		betas = []float64{0.9, 0.99}
+	}
+	t := &Table{
+		ID: "E25", Title: "Whittle index: discounted (β sweep) vs time-average (machine repair)",
+		Ref:     "[48]",
+		Columns: []string{"state", "β=0.9", "β=0.99", "β=0.999", "time-average"},
+	}
+	cols := make([][]float64, len(betas))
+	for bi, beta := range betas {
+		idx, err := restless.WhittleIndex(p, beta)
+		if err != nil {
+			return nil, err
+		}
+		cols[bi] = idx
+	}
+	for i := 0; i < p.N(); i++ {
+		row := []string{fmt.Sprint(i)}
+		for bi := range betas {
+			row = append(row, f(cols[bi][i]))
+		}
+		for len(row) < 4 {
+			row = append(row, "–")
+		}
+		row = append(row, f(avg[i]))
+		t.AddRow(row...)
+	}
+	t.Notes = "the vanishing-discount limit recovers Whittle's original time-average index; orderings agree at every β"
+	return t, nil
+}
+
+// E26: the wµ rule outside its proven regime — weighted flowtime on
+// parallel machines.
+func runE26(cfg Config) (*Table, error) {
+	s := rng.New(cfg.Seed)
+	trials := 30
+	if cfg.Quick {
+		trials = 10
+	}
+	t := &Table{
+		ID: "E26", Title: "wµ list rule vs weighted-flowtime DP optimum on 2 machines (random instances)",
+		Ref:     "[46]",
+		Columns: []string{"n", "instances", "mean rel gap", "max rel gap", "exact ties"},
+	}
+	for _, n := range []int{4, 6, 8} {
+		var mean stats.Running
+		maxGap, ties := 0.0, 0
+		for k := 0; k < trials; k++ {
+			sub := s.Split()
+			rates := make([]float64, n)
+			weights := make([]float64, n)
+			for i := range rates {
+				rates[i] = 0.3 + 2.7*sub.Float64()
+				weights[i] = 0.2 + 2*sub.Float64()
+			}
+			opt, err := batch.ExpOptimalWeightedDP(rates, weights, 2)
+			if err != nil {
+				return nil, err
+			}
+			val, err := batch.ExpPolicyValueWeighted(rates, weights, 2, batch.WMuOrder(rates, weights))
+			if err != nil {
+				return nil, err
+			}
+			gap := (val - opt) / opt
+			mean.Add(gap)
+			if gap > maxGap {
+				maxGap = gap
+			}
+			if gap < 1e-9 {
+				ties++
+			}
+		}
+		t.AddRow(fmt.Sprint(n), fmt.Sprint(trials), pct(mean.Mean()), pct(maxGap),
+			fmt.Sprintf("%d/%d", ties, trials))
+	}
+	t.Notes = "the index rule is exactly optimal on most instances and within a fraction of a percent otherwise — the turnpike behaviour Weiss proves for large n"
+	return t, nil
+}
+
+// E28: stochastic flow shop with and without blocking (Wie–Pinedo 1986):
+// Talwar's order versus exhaustive CRN search, and the blocking inflation.
+func runE28(cfg Config) (*Table, error) {
+	s := rng.New(cfg.Seed)
+	reps := 8000
+	crnReps := 3000
+	if cfg.Quick {
+		reps, crnReps = 1500, 600
+	}
+	t := &Table{
+		ID: "E28", Title: "2-machine exponential flow shop: Talwar vs best order; blocking inflation",
+		Ref:     "[49]",
+		Columns: []string{"instance", "Talwar E[Cmax]", "best-order E[Cmax]", "Talwar gap", "blocking inflation"},
+	}
+	for trial := 0; trial < 4; trial++ {
+		sub := s.Split()
+		n := 5
+		jobs := make([]batch.FlowShopJob, n)
+		for i := range jobs {
+			jobs[i] = batch.FlowShopJob{
+				ID: i,
+				Stages: []dist.Distribution{
+					dist.Exponential{Rate: 0.4 + 2.6*sub.Float64()},
+					dist.Exponential{Rate: 0.4 + 2.6*sub.Float64()},
+				},
+			}
+		}
+		talwar := batch.TalwarOrder(jobs)
+		tEst := batch.EstimateFlowShop(jobs, talwar, reps, s.Split())
+		_, best := batch.BestFlowShopOrderCRN(jobs, crnReps, s.Split())
+		var nb, bl float64
+		blockStream := s.Split()
+		for i := 0; i < reps; i++ {
+			p := batch.SampleFlowShop(jobs, blockStream.Split())
+			nb += batch.FlowShopMakespan(p, talwar)
+			bl += batch.FlowShopBlockingMakespan(p, talwar)
+		}
+		t.AddRow(fmt.Sprintf("#%d", trial+1), f(tEst.Mean()), f(best),
+			pct(stats.RelGap(tEst.Mean(), best)), pct((bl-nb)/nb))
+	}
+	t.Notes = "Talwar's rule tracks the exhaustive optimum within Monte-Carlo noise; removing buffers inflates the makespan by the shown fraction"
+	return t, nil
+}
+
+// E27: phase-type service laws in the M/G/1 — Cobham's formula needs only
+// two moments, so PH services must match the same exact values.
+func runE27(cfg Config) (*Table, error) {
+	s := rng.New(cfg.Seed)
+	horizon, reps := 40000.0, 6
+	if cfg.Quick {
+		horizon, reps = 8000.0, 3
+	}
+	ph1, err := dist.ErlangPH(3, 6)
+	if err != nil {
+		return nil, err
+	}
+	ph2, err := dist.HyperExpPH([]float64{0.9, 0.1}, []float64{3, 0.25})
+	if err != nil {
+		return nil, err
+	}
+	m := &queueing.MG1{Classes: []queueing.Class{
+		{Name: "erlang-PH", ArrivalRate: 0.25, Service: ph1, HoldCost: 2},
+		{Name: "hyper-PH", ArrivalRate: 0.2, Service: ph2, HoldCost: 1},
+	}}
+	order := m.CMuOrder()
+	_, lE, err := m.ExactPriority(order)
+	if err != nil {
+		return nil, err
+	}
+	var l0, l1 stats.Running
+	for i := 0; i < reps; i++ {
+		res, err := m.Simulate(queueing.StaticPriority{Order: order}, horizon, horizon/10, s.Split())
+		if err != nil {
+			return nil, err
+		}
+		l0.Add(res.L[0])
+		l1.Add(res.L[1])
+	}
+	t := &Table{
+		ID: "E27", Title: "Phase-type services in the multiclass M/G/1 under cµ priority",
+		Ref:     "[15]",
+		Columns: []string{"class (law)", "SCV", "E[L] exact (Cobham)", "E[L] simulated"},
+	}
+	t.AddRow(m.Classes[0].Name, f(dist.SCV(ph1)), f(lE[0]), ci(l0.Mean(), l0.CI95()))
+	t.AddRow(m.Classes[1].Name, f(dist.SCV(ph2)), f(lE[1]), ci(l1.Mean(), l1.CI95()))
+	t.Notes = "phase-type laws (dense in all service laws) plug into both the simulator and the two-moment formulas; agreement validates the general-distribution machinery"
+	return t, nil
+}

@@ -1,0 +1,81 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestAllExperimentsRunQuick executes the entire suite in quick mode and
+// sanity-checks every table.
+func TestAllExperimentsRunQuick(t *testing.T) {
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			t.Parallel()
+			tab, err := e.Run(Config{Seed: 7, Quick: true})
+			if err != nil {
+				t.Fatalf("%s: %v", e.ID, err)
+			}
+			if tab.ID != e.ID {
+				t.Fatalf("table ID %q, want %q", tab.ID, e.ID)
+			}
+			if len(tab.Rows) == 0 {
+				t.Fatalf("%s produced no rows", e.ID)
+			}
+			for i, row := range tab.Rows {
+				if len(row) != len(tab.Columns) {
+					t.Fatalf("%s row %d has %d cells, want %d", e.ID, i, len(row), len(tab.Columns))
+				}
+			}
+			out := tab.String()
+			if !strings.Contains(out, e.ID) || !strings.Contains(out, tab.Columns[0]) {
+				t.Fatalf("%s rendering incomplete:\n%s", e.ID, out)
+			}
+		})
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	all := All()
+	if len(all) != 28 {
+		t.Fatalf("registry has %d experiments, want 28", len(all))
+	}
+	seen := map[string]bool{}
+	for _, e := range all {
+		if seen[e.ID] {
+			t.Fatalf("duplicate experiment %s", e.ID)
+		}
+		seen[e.ID] = true
+		if e.Run == nil || e.Title == "" || e.Ref == "" {
+			t.Fatalf("experiment %s incomplete", e.ID)
+		}
+	}
+	if _, err := Get("E09"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Get("E99"); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+// TestDeterministicAcrossRuns verifies that equal seeds reproduce identical
+// tables (the reproducibility contract).
+func TestDeterministicAcrossRuns(t *testing.T) {
+	for _, id := range []string{"E01", "E03", "E09", "E14", "E20"} {
+		e, err := Get(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, err := e.Run(Config{Seed: 42, Quick: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := e.Run(Config{Seed: 42, Quick: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.String() != b.String() {
+			t.Fatalf("%s not deterministic under equal seeds", id)
+		}
+	}
+}

@@ -1,0 +1,97 @@
+// Package experiments defines the reproduction suite: one experiment per
+// classical result catalogued by the survey, each emitting a table whose
+// shape (orderings, crossovers, vanishing gaps) reproduces the cited
+// theorem or heuristic study. See DESIGN.md for the experiment index and
+// EXPERIMENTS.md for recorded outputs.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Config controls an experiment run.
+type Config struct {
+	Seed uint64
+	// Quick shrinks replication counts and sweep sizes for use in unit
+	// tests and benchmarks; the table shape is preserved, only confidence
+	// intervals widen.
+	Quick bool
+}
+
+// Table is an experiment's output: the rows the paper's corresponding
+// result would tabulate.
+type Table struct {
+	ID      string
+	Title   string
+	Ref     string // survey citation whose result is reproduced
+	Columns []string
+	Rows    [][]string
+	Notes   string
+}
+
+// AddRow appends a formatted row.
+func (t *Table) AddRow(cells ...string) {
+	t.Rows = append(t.Rows, cells)
+}
+
+// String renders the table as aligned text.
+func (t *Table) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s — %s\n", t.ID, t.Title)
+	if t.Ref != "" {
+		fmt.Fprintf(&sb, "reproduces: %s\n", t.Ref)
+	}
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			fmt.Fprintf(&sb, "%-*s", widths[i], cell)
+		}
+		sb.WriteByte('\n')
+	}
+	line(t.Columns)
+	for i, w := range widths {
+		if i > 0 {
+			sb.WriteString("  ")
+		}
+		sb.WriteString(strings.Repeat("-", w))
+	}
+	sb.WriteByte('\n')
+	for _, row := range t.Rows {
+		line(row)
+	}
+	if t.Notes != "" {
+		fmt.Fprintf(&sb, "note: %s\n", t.Notes)
+	}
+	return sb.String()
+}
+
+// Experiment couples an ID with its runner.
+type Experiment struct {
+	ID    string
+	Title string
+	Ref   string
+	Run   func(cfg Config) (*Table, error)
+}
+
+func f(v float64) string  { return fmt.Sprintf("%.4g", v) }
+func f2(v float64) string { return fmt.Sprintf("%.2f", v) }
+func pct(v float64) string {
+	return fmt.Sprintf("%.2f%%", 100*v)
+}
+func ci(mean, half float64) string {
+	return fmt.Sprintf("%.4g ± %.2g", mean, half)
+}

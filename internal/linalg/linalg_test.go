@@ -1,0 +1,193 @@
+package linalg
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"stochsched/internal/rng"
+)
+
+func TestMulIdentity(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {3, 4}})
+	got := a.Mul(Identity(2))
+	for i := range a.Data {
+		if got.Data[i] != a.Data[i] {
+			t.Fatalf("A*I != A: %v vs %v", got.Data, a.Data)
+		}
+	}
+}
+
+func TestMulKnown(t *testing.T) {
+	a := FromRows([][]float64{{1, 2, 3}, {4, 5, 6}})
+	b := FromRows([][]float64{{7, 8}, {9, 10}, {11, 12}})
+	c := a.Mul(b)
+	want := [][]float64{{58, 64}, {139, 154}}
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 2; j++ {
+			if c.At(i, j) != want[i][j] {
+				t.Fatalf("C[%d][%d] = %v, want %v", i, j, c.At(i, j), want[i][j])
+			}
+		}
+	}
+}
+
+func TestSolveKnown(t *testing.T) {
+	a := FromRows([][]float64{{2, 1}, {1, 3}})
+	x, err := Solve(a, []float64{3, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2x+y=3, x+3y=5 → x=4/5, y=7/5
+	if math.Abs(x[0]-0.8) > 1e-12 || math.Abs(x[1]-1.4) > 1e-12 {
+		t.Fatalf("solve = %v, want [0.8 1.4]", x)
+	}
+}
+
+func TestSolveRandomRoundTrip(t *testing.T) {
+	s := rng.New(31)
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + s.Intn(12)
+		a := NewMatrix(n, n)
+		for i := range a.Data {
+			a.Data[i] = s.Norm()
+		}
+		// Diagonal dominance guarantees nonsingularity.
+		for i := 0; i < n; i++ {
+			a.Set(i, i, a.At(i, i)+float64(n)+1)
+		}
+		want := make([]float64, n)
+		for i := range want {
+			want[i] = s.Norm()
+		}
+		b := a.MulVec(want)
+		got, err := Solve(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range want {
+			if math.Abs(got[i]-want[i]) > 1e-8 {
+				t.Fatalf("trial %d: x[%d] = %v, want %v", trial, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestSingularDetected(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {2, 4}})
+	if _, err := Factorize(a); err == nil {
+		t.Fatal("singular matrix not detected")
+	}
+}
+
+func TestInverse(t *testing.T) {
+	a := FromRows([][]float64{{4, 7}, {2, 6}})
+	inv, err := Inverse(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prod := a.Mul(inv)
+	id := Identity(2)
+	for i := range prod.Data {
+		if math.Abs(prod.Data[i]-id.Data[i]) > 1e-12 {
+			t.Fatalf("A*A⁻¹ = %v, want identity", prod.Data)
+		}
+	}
+}
+
+func TestDet(t *testing.T) {
+	a := FromRows([][]float64{{3, 8}, {4, 6}})
+	f, err := Factorize(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(f.Det()-(-14)) > 1e-10 {
+		t.Fatalf("det = %v, want -14", f.Det())
+	}
+}
+
+func TestTranspose(t *testing.T) {
+	a := FromRows([][]float64{{1, 2, 3}, {4, 5, 6}})
+	tr := a.Transpose()
+	if tr.Rows != 3 || tr.Cols != 2 {
+		t.Fatalf("transpose shape %dx%d", tr.Rows, tr.Cols)
+	}
+	err := quick.Check(func(iRaw, jRaw uint8) bool {
+		i := int(iRaw) % a.Rows
+		j := int(jRaw) % a.Cols
+		return a.At(i, j) == tr.At(j, i)
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAddSubScale(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {3, 4}})
+	b := FromRows([][]float64{{5, 6}, {7, 8}})
+	sum := a.Add(b)
+	if sum.At(1, 1) != 12 {
+		t.Fatalf("add wrong: %v", sum.Data)
+	}
+	diff := b.Sub(a)
+	if diff.At(0, 0) != 4 {
+		t.Fatalf("sub wrong: %v", diff.Data)
+	}
+	sc := a.Scale(2)
+	if sc.At(1, 0) != 6 {
+		t.Fatalf("scale wrong: %v", sc.Data)
+	}
+	// Originals untouched.
+	if a.At(0, 0) != 1 || b.At(0, 0) != 5 {
+		t.Fatal("operations mutated operands")
+	}
+}
+
+func TestDotAXPYNorm(t *testing.T) {
+	a := []float64{1, 2, 3}
+	b := []float64{4, 5, 6}
+	if Dot(a, b) != 32 {
+		t.Fatalf("dot = %v, want 32", Dot(a, b))
+	}
+	y := []float64{1, 1, 1}
+	AXPY(2, a, y)
+	if y[2] != 7 {
+		t.Fatalf("axpy = %v", y)
+	}
+	if NormInf([]float64{-5, 3}) != 5 {
+		t.Fatal("norminf wrong")
+	}
+}
+
+func TestPanicsOnBadShapes(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on shape mismatch")
+		}
+	}()
+	a := NewMatrix(2, 3)
+	b := NewMatrix(2, 3)
+	a.Mul(b)
+}
+
+func BenchmarkSolve50(b *testing.B) {
+	s := rng.New(1)
+	n := 50
+	a := NewMatrix(n, n)
+	for i := range a.Data {
+		a.Data[i] = s.Norm()
+	}
+	for i := 0; i < n; i++ {
+		a.Set(i, i, a.At(i, i)+float64(n))
+	}
+	rhs := make([]float64, n)
+	for i := range rhs {
+		rhs[i] = s.Norm()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Solve(a, rhs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

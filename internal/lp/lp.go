@@ -1,0 +1,343 @@
+// Package lp implements a dense two-phase primal simplex solver for small
+// linear programs.
+//
+// The solver supports ≤, ≥ and = constraints over nonnegative variables, the
+// exact form needed by the Whittle relaxation of restless bandits (Whittle
+// 1988; Bertsimas–Niño-Mora 2000) and by achievable-region performance bounds
+// for multiclass queues (Bertsimas–Paschalidis–Tsitsiklis 1994). Bland's rule
+// guarantees termination in the presence of degeneracy.
+package lp
+
+import (
+	"fmt"
+	"math"
+)
+
+// Rel is a constraint relation.
+type Rel int
+
+const (
+	// LE is a ≤ constraint.
+	LE Rel = iota
+	// GE is a ≥ constraint.
+	GE
+	// EQ is an = constraint.
+	EQ
+)
+
+// Status reports the outcome of a solve.
+type Status int
+
+const (
+	// Optimal means an optimal basic feasible solution was found.
+	Optimal Status = iota
+	// Infeasible means the constraints admit no solution.
+	Infeasible
+	// Unbounded means the objective is unbounded over the feasible region.
+	Unbounded
+)
+
+func (s Status) String() string {
+	switch s {
+	case Optimal:
+		return "optimal"
+	case Infeasible:
+		return "infeasible"
+	case Unbounded:
+		return "unbounded"
+	default:
+		return fmt.Sprintf("Status(%d)", int(s))
+	}
+}
+
+// Problem is a linear program over nonnegative variables x ≥ 0:
+//
+//	maximize (or minimize) C·x  subject to  A[i]·x  Rel[i]  B[i].
+type Problem struct {
+	C        []float64
+	A        [][]float64
+	Rels     []Rel
+	B        []float64
+	Maximize bool
+}
+
+// Result holds the solution of a Problem.
+type Result struct {
+	Status  Status
+	X       []float64 // optimal primal point (valid when Status == Optimal)
+	Obj     float64   // optimal objective value
+	Duals   []float64 // dual value per constraint (simplex multipliers)
+	NumIter int
+}
+
+const eps = 1e-9
+
+// Solve runs two-phase primal simplex on p.
+func Solve(p *Problem) (*Result, error) {
+	n := len(p.C)
+	m := len(p.A)
+	if len(p.B) != m || len(p.Rels) != m {
+		return nil, fmt.Errorf("lp: inconsistent problem dimensions (m=%d, |B|=%d, |Rels|=%d)", m, len(p.B), len(p.Rels))
+	}
+	for i, row := range p.A {
+		if len(row) != n {
+			return nil, fmt.Errorf("lp: constraint %d has %d coefficients, want %d", i, len(row), n)
+		}
+	}
+
+	// Normalize: make every right-hand side nonnegative by flipping rows.
+	a := make([][]float64, m)
+	b := make([]float64, m)
+	rels := make([]Rel, m)
+	flipped := make([]bool, m)
+	for i := range p.A {
+		a[i] = append([]float64(nil), p.A[i]...)
+		b[i] = p.B[i]
+		rels[i] = p.Rels[i]
+		if b[i] < 0 {
+			flipped[i] = true
+			for j := range a[i] {
+				a[i][j] = -a[i][j]
+			}
+			b[i] = -b[i]
+			switch rels[i] {
+			case LE:
+				rels[i] = GE
+			case GE:
+				rels[i] = LE
+			}
+		}
+	}
+
+	// Column layout: x (n) | slack/surplus (one per LE/GE) | artificial.
+	// Slack column index per row (or -1), artificial column per row (or -1).
+	nSlack := 0
+	for _, r := range rels {
+		if r == LE || r == GE {
+			nSlack++
+		}
+	}
+	nArt := 0
+	for i, r := range rels {
+		if r == GE || r == EQ {
+			nArt++
+		} else {
+			_ = i
+		}
+	}
+	total := n + nSlack + nArt
+
+	// Build tableau rows; T[i] has total+1 entries, last is RHS.
+	t := make([][]float64, m)
+	basis := make([]int, m)
+	slackCol := n
+	artCol := n + nSlack
+	artCols := make([]int, 0, nArt)
+	for i := 0; i < m; i++ {
+		t[i] = make([]float64, total+1)
+		copy(t[i], a[i])
+		t[i][total] = b[i]
+		switch rels[i] {
+		case LE:
+			t[i][slackCol] = 1
+			basis[i] = slackCol
+			slackCol++
+		case GE:
+			t[i][slackCol] = -1
+			slackCol++
+			t[i][artCol] = 1
+			basis[i] = artCol
+			artCols = append(artCols, artCol)
+			artCol++
+		case EQ:
+			t[i][artCol] = 1
+			basis[i] = artCol
+			artCols = append(artCols, artCol)
+			artCol++
+		}
+	}
+
+	iters := 0
+
+	// Phase 1: minimize the sum of artificials, i.e. maximize -Σ art.
+	if nArt > 0 {
+		obj := make([]float64, total+1)
+		for _, c := range artCols {
+			obj[c] = -1
+		}
+		// Price out basic artificials so reduced costs start consistent.
+		reduce(obj, t, basis)
+		it, unb := simplexLoop(obj, t, basis)
+		iters += it
+		if unb {
+			return nil, fmt.Errorf("lp: phase-1 unbounded (internal error)")
+		}
+		// The objective row carries the negated objective value, so a
+		// positive entry means Σ artificials > 0: no feasible point.
+		if obj[total] > eps {
+			return &Result{Status: Infeasible, NumIter: iters}, nil
+		}
+		// Drive any artificial still in the basis out (degenerate rows).
+		for i, bcol := range basis {
+			if !isArt(bcol, n+nSlack) {
+				continue
+			}
+			pivoted := false
+			for j := 0; j < n+nSlack; j++ {
+				if math.Abs(t[i][j]) > eps {
+					pivot(t, basis, obj, i, j)
+					pivoted = true
+					break
+				}
+			}
+			if !pivoted {
+				// Row is all zeros over real columns: redundant constraint.
+				// Leave the artificial basic at value 0; it never re-enters
+				// because phase 2 forbids artificial columns.
+				_ = i
+			}
+		}
+	}
+
+	// Phase 2: the real objective over columns [0, n+nSlack).
+	obj := make([]float64, total+1)
+	sign := 1.0
+	if !p.Maximize {
+		sign = -1
+	}
+	for j := 0; j < n; j++ {
+		obj[j] = sign * p.C[j]
+	}
+	// Forbid artificials from entering: give them strongly negative reduced
+	// cost by zeroing their columns from consideration (handled in loop).
+	reduce(obj, t, basis)
+	it, unbounded := simplexLoopRestricted(obj, t, basis, n+nSlack)
+	iters += it
+	if unbounded {
+		return &Result{Status: Unbounded, NumIter: iters}, nil
+	}
+
+	x := make([]float64, n)
+	for i, bcol := range basis {
+		if bcol < n {
+			x[bcol] = t[i][total]
+		}
+	}
+	// The objective row's RHS holds the negated value of sign*C·x.
+	objVal := -obj[total]
+	if !p.Maximize {
+		objVal = -objVal
+	}
+
+	// Duals: y_i = c_B B⁻¹ for original row order is recoverable from the
+	// reduced costs of slack columns; for EQ rows from artificial columns.
+	duals := make([]float64, m)
+	sc := n
+	ac := n + nSlack
+	for i := 0; i < m; i++ {
+		switch rels[i] {
+		case LE:
+			duals[i] = sign * -obj[sc]
+			sc++
+		case GE:
+			duals[i] = sign * obj[sc]
+			sc++
+			ac++
+		case EQ:
+			duals[i] = sign * -obj[ac]
+			ac++
+		}
+		if flipped[i] {
+			duals[i] = -duals[i]
+		}
+	}
+
+	return &Result{Status: Optimal, X: x, Obj: objVal, Duals: duals, NumIter: iters}, nil
+}
+
+func isArt(col, artStart int) bool { return col >= artStart }
+
+// reduce prices out the basic columns from the objective row so that every
+// basic variable has zero reduced cost.
+func reduce(obj []float64, t [][]float64, basis []int) {
+	for i, bcol := range basis {
+		if c := obj[bcol]; c != 0 {
+			for j := range obj {
+				obj[j] -= c * t[i][j]
+			}
+		}
+	}
+}
+
+// pivot performs a pivot on (row, col), updating tableau, basis, and
+// objective row.
+func pivot(t [][]float64, basis []int, obj []float64, row, col int) {
+	pr := t[row]
+	pv := pr[col]
+	for j := range pr {
+		pr[j] /= pv
+	}
+	for i := range t {
+		if i == row {
+			continue
+		}
+		if f := t[i][col]; math.Abs(f) > 0 {
+			for j := range t[i] {
+				t[i][j] -= f * pr[j]
+			}
+		}
+	}
+	if f := obj[col]; f != 0 {
+		for j := range obj {
+			obj[j] -= f * pr[j]
+		}
+	}
+	basis[row] = col
+}
+
+// simplexLoop runs primal simplex (maximization of the priced-out obj row)
+// with Bland's rule over all columns. Returns iteration count and whether
+// the problem is unbounded.
+func simplexLoop(obj []float64, t [][]float64, basis []int) (int, bool) {
+	return simplexLoopRestricted(obj, t, basis, len(obj)-1)
+}
+
+// simplexLoopRestricted is simplexLoop with entering columns restricted to
+// [0, colLimit).
+func simplexLoopRestricted(obj []float64, t [][]float64, basis []int, colLimit int) (int, bool) {
+	total := len(obj) - 1
+	iters := 0
+	for {
+		// Bland: smallest-index column with positive reduced cost.
+		enter := -1
+		for j := 0; j < colLimit && j < total; j++ {
+			if obj[j] > eps {
+				enter = j
+				break
+			}
+		}
+		if enter < 0 {
+			return iters, false
+		}
+		// Ratio test with Bland tie-break on basis index.
+		leave := -1
+		bestRatio := math.Inf(1)
+		for i := range t {
+			if t[i][enter] > eps {
+				r := t[i][total] / t[i][enter]
+				if r < bestRatio-eps || (math.Abs(r-bestRatio) <= eps && (leave < 0 || basis[i] < basis[leave])) {
+					bestRatio = r
+					leave = i
+				}
+			}
+		}
+		if leave < 0 {
+			return iters, true
+		}
+		pivot(t, basis, obj, leave, enter)
+		iters++
+		if iters > 100000 {
+			panic("lp: simplex exceeded iteration cap")
+		}
+	}
+}

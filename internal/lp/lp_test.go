@@ -1,0 +1,345 @@
+package lp
+
+import (
+	"math"
+	"testing"
+
+	"stochsched/internal/rng"
+)
+
+func solveOK(t *testing.T, p *Problem) *Result {
+	t.Helper()
+	res, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != Optimal {
+		t.Fatalf("status = %v, want optimal", res.Status)
+	}
+	return res
+}
+
+func TestSimpleMax(t *testing.T) {
+	// max 3x + 2y s.t. x+y <= 4, x+3y <= 6 → x=4, y=0, obj 12.
+	res := solveOK(t, &Problem{
+		C:        []float64{3, 2},
+		A:        [][]float64{{1, 1}, {1, 3}},
+		Rels:     []Rel{LE, LE},
+		B:        []float64{4, 6},
+		Maximize: true,
+	})
+	if math.Abs(res.Obj-12) > 1e-9 {
+		t.Fatalf("obj = %v, want 12", res.Obj)
+	}
+	if math.Abs(res.X[0]-4) > 1e-9 || math.Abs(res.X[1]) > 1e-9 {
+		t.Fatalf("x = %v, want [4 0]", res.X)
+	}
+}
+
+func TestInteriorOptimum(t *testing.T) {
+	// max x + y s.t. x + 2y <= 4, 4x + 2y <= 12 → x=8/3, y=2/3, obj 10/3.
+	res := solveOK(t, &Problem{
+		C:        []float64{1, 1},
+		A:        [][]float64{{1, 2}, {4, 2}},
+		Rels:     []Rel{LE, LE},
+		B:        []float64{4, 12},
+		Maximize: true,
+	})
+	if math.Abs(res.Obj-10.0/3) > 1e-9 {
+		t.Fatalf("obj = %v, want 10/3", res.Obj)
+	}
+}
+
+func TestMinimizationWithGE(t *testing.T) {
+	// min 2x + 3y s.t. x + y >= 10, x >= 2 → y=8? No: cost favours x.
+	// Optimum: y=0, x=10 → obj 20.
+	res := solveOK(t, &Problem{
+		C:        []float64{2, 3},
+		A:        [][]float64{{1, 1}, {1, 0}},
+		Rels:     []Rel{GE, GE},
+		B:        []float64{10, 2},
+		Maximize: false,
+	})
+	if math.Abs(res.Obj-20) > 1e-9 {
+		t.Fatalf("obj = %v, want 20", res.Obj)
+	}
+}
+
+func TestEquality(t *testing.T) {
+	// max x + 2y s.t. x + y = 3, x <= 2 → x in [0,2]; prefer y: x=0,y=3 → 6.
+	res := solveOK(t, &Problem{
+		C:        []float64{1, 2},
+		A:        [][]float64{{1, 1}, {1, 0}},
+		Rels:     []Rel{EQ, LE},
+		B:        []float64{3, 2},
+		Maximize: true,
+	})
+	if math.Abs(res.Obj-6) > 1e-9 {
+		t.Fatalf("obj = %v, want 6", res.Obj)
+	}
+	if math.Abs(res.X[0]+res.X[1]-3) > 1e-9 {
+		t.Fatalf("equality violated: %v", res.X)
+	}
+}
+
+func TestInfeasible(t *testing.T) {
+	res, err := Solve(&Problem{
+		C:        []float64{1},
+		A:        [][]float64{{1}, {1}},
+		Rels:     []Rel{LE, GE},
+		B:        []float64{1, 2},
+		Maximize: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != Infeasible {
+		t.Fatalf("status = %v, want infeasible", res.Status)
+	}
+}
+
+func TestUnbounded(t *testing.T) {
+	res, err := Solve(&Problem{
+		C:        []float64{1, 0},
+		A:        [][]float64{{0, 1}},
+		Rels:     []Rel{LE},
+		B:        []float64{5},
+		Maximize: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != Unbounded {
+		t.Fatalf("status = %v, want unbounded", res.Status)
+	}
+}
+
+func TestNegativeRHS(t *testing.T) {
+	// x <= -1 is infeasible for x >= 0... after normalization -x >= 1: no.
+	res, err := Solve(&Problem{
+		C:        []float64{1},
+		A:        [][]float64{{1}},
+		Rels:     []Rel{LE},
+		B:        []float64{-1},
+		Maximize: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != Infeasible {
+		t.Fatalf("status = %v, want infeasible", res.Status)
+	}
+	// -x <= -1 ⇔ x >= 1; min x → 1.
+	res2 := solveOK(t, &Problem{
+		C:        []float64{1},
+		A:        [][]float64{{-1}},
+		Rels:     []Rel{LE},
+		B:        []float64{-1},
+		Maximize: false,
+	})
+	if math.Abs(res2.Obj-1) > 1e-9 {
+		t.Fatalf("obj = %v, want 1", res2.Obj)
+	}
+}
+
+func TestDegenerateCycles(t *testing.T) {
+	// Beale's classic cycling example (terminates under Bland's rule).
+	res := solveOK(t, &Problem{
+		C:        []float64{0.75, -150, 0.02, -6},
+		A:        [][]float64{{0.25, -60, -0.04, 9}, {0.5, -90, -0.02, 3}, {0, 0, 1, 0}},
+		Rels:     []Rel{LE, LE, LE},
+		B:        []float64{0, 0, 1},
+		Maximize: true,
+	})
+	if math.Abs(res.Obj-0.05) > 1e-9 {
+		t.Fatalf("obj = %v, want 0.05", res.Obj)
+	}
+}
+
+// TestWeakDuality checks c·x == b·y at optimum on random feasible LPs
+// (strong duality holds at optimal bases).
+func TestStrongDualityRandom(t *testing.T) {
+	s := rng.New(17)
+	for trial := 0; trial < 100; trial++ {
+		n := 2 + s.Intn(4)
+		m := 2 + s.Intn(4)
+		p := &Problem{Maximize: true}
+		p.C = make([]float64, n)
+		for j := range p.C {
+			p.C[j] = s.Float64() * 5
+		}
+		p.A = make([][]float64, m)
+		p.B = make([]float64, m)
+		p.Rels = make([]Rel, m)
+		for i := 0; i < m; i++ {
+			row := make([]float64, n)
+			for j := range row {
+				row[j] = s.Float64() * 3 // nonnegative → bounded, feasible
+			}
+			p.A[i] = row
+			p.B[i] = 1 + s.Float64()*10
+			p.Rels[i] = LE
+		}
+		// Ensure boundedness: every variable in some constraint.
+		for j := 0; j < n; j++ {
+			p.A[j%m][j] += 1
+		}
+		res, err := Solve(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Status != Optimal {
+			t.Fatalf("trial %d: status %v", trial, res.Status)
+		}
+		// Strong duality: obj == Σ b_i y_i.
+		dualObj := 0.0
+		for i := range p.B {
+			dualObj += p.B[i] * res.Duals[i]
+		}
+		if math.Abs(dualObj-res.Obj) > 1e-6*(1+math.Abs(res.Obj)) {
+			t.Fatalf("trial %d: duality gap: primal %v dual %v", trial, res.Obj, dualObj)
+		}
+		// Feasibility of the returned point.
+		for i := range p.A {
+			lhs := 0.0
+			for j := range p.A[i] {
+				lhs += p.A[i][j] * res.X[j]
+			}
+			if lhs > p.B[i]+1e-7 {
+				t.Fatalf("trial %d: constraint %d violated: %v > %v", trial, i, lhs, p.B[i])
+			}
+		}
+	}
+}
+
+// Complementary slackness: at optimum, a positive dual implies a tight
+// constraint, and slack in a constraint implies zero dual.
+func TestComplementarySlackness(t *testing.T) {
+	s := rng.New(18)
+	for trial := 0; trial < 60; trial++ {
+		n := 2 + s.Intn(3)
+		m := 2 + s.Intn(3)
+		p := &Problem{Maximize: true}
+		p.C = make([]float64, n)
+		for j := range p.C {
+			p.C[j] = 0.5 + s.Float64()*4
+		}
+		p.A = make([][]float64, m)
+		p.B = make([]float64, m)
+		p.Rels = make([]Rel, m)
+		for i := 0; i < m; i++ {
+			row := make([]float64, n)
+			for j := range row {
+				row[j] = 0.2 + s.Float64()*2
+			}
+			p.A[i] = row
+			p.B[i] = 1 + s.Float64()*8
+			p.Rels[i] = LE
+		}
+		res, err := Solve(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Status != Optimal {
+			continue
+		}
+		for i := range p.A {
+			lhs := 0.0
+			for j := range p.A[i] {
+				lhs += p.A[i][j] * res.X[j]
+			}
+			slack := p.B[i] - lhs
+			if res.Duals[i] > 1e-7 && slack > 1e-6 {
+				t.Fatalf("trial %d: dual %v > 0 with slack %v in constraint %d", trial, res.Duals[i], slack, i)
+			}
+		}
+		// Dual feasibility for LE-max: y ≥ 0.
+		for i, y := range res.Duals {
+			if y < -1e-7 {
+				t.Fatalf("trial %d: negative dual %v for LE constraint %d", trial, y, i)
+			}
+		}
+	}
+}
+
+// Duals for GE and EQ constraints in minimization: b·y must equal the
+// optimal objective (strong duality in the simplest cases).
+func TestGEAndEQDuals(t *testing.T) {
+	// min 2x s.t. x ≥ 3 → obj 6, dual 2.
+	res, err := Solve(&Problem{
+		C: []float64{2}, A: [][]float64{{1}}, Rels: []Rel{GE}, B: []float64{3}, Maximize: false,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != Optimal || math.Abs(res.Obj-6) > 1e-9 {
+		t.Fatalf("obj = %v (%v)", res.Obj, res.Status)
+	}
+	if math.Abs(res.Duals[0]-2) > 1e-9 {
+		t.Fatalf("GE dual = %v, want 2", res.Duals[0])
+	}
+	// min 3x + y s.t. x + y = 4 → y=4, obj 4, dual 1.
+	res, err = Solve(&Problem{
+		C: []float64{3, 1}, A: [][]float64{{1, 1}}, Rels: []Rel{EQ}, B: []float64{4}, Maximize: false,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Obj-4) > 1e-9 {
+		t.Fatalf("obj = %v, want 4", res.Obj)
+	}
+	if math.Abs(res.Duals[0]*4-res.Obj) > 1e-9 {
+		t.Fatalf("EQ dual %v violates strong duality (obj %v)", res.Duals[0], res.Obj)
+	}
+}
+
+func TestDimensionValidation(t *testing.T) {
+	if _, err := Solve(&Problem{C: []float64{1}, A: [][]float64{{1, 2}}, Rels: []Rel{LE}, B: []float64{1}}); err == nil {
+		t.Error("ragged constraint accepted")
+	}
+	if _, err := Solve(&Problem{C: []float64{1}, A: [][]float64{{1}}, Rels: []Rel{LE}, B: []float64{1, 2}}); err == nil {
+		t.Error("mismatched B accepted")
+	}
+}
+
+func TestRedundantEquality(t *testing.T) {
+	// x + y = 2 stated twice; still solvable.
+	res := solveOK(t, &Problem{
+		C:        []float64{1, 0},
+		A:        [][]float64{{1, 1}, {1, 1}},
+		Rels:     []Rel{EQ, EQ},
+		B:        []float64{2, 2},
+		Maximize: true,
+	})
+	if math.Abs(res.Obj-2) > 1e-9 {
+		t.Fatalf("obj = %v, want 2", res.Obj)
+	}
+}
+
+func BenchmarkSolve20x20(b *testing.B) {
+	s := rng.New(3)
+	n, m := 20, 20
+	p := &Problem{Maximize: true}
+	p.C = make([]float64, n)
+	for j := range p.C {
+		p.C[j] = s.Float64()
+	}
+	p.A = make([][]float64, m)
+	p.B = make([]float64, m)
+	p.Rels = make([]Rel, m)
+	for i := 0; i < m; i++ {
+		row := make([]float64, n)
+		for j := range row {
+			row[j] = s.Float64()
+		}
+		p.A[i] = row
+		p.B[i] = 5 + s.Float64()
+		p.Rels[i] = LE
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Solve(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,163 @@
+package markov
+
+import (
+	"math"
+	"testing"
+
+	"stochsched/internal/linalg"
+	"stochsched/internal/rng"
+)
+
+// A two-action chain where action 1 pays more in every state: the optimal
+// gain is the stationary average of the better action's rewards.
+func TestRVIDominatingAction(t *testing.T) {
+	p := linalg.FromRows([][]float64{{0.7, 0.3}, {0.4, 0.6}})
+	r0 := []float64{0, 0}
+	r1 := []float64{1, 2}
+	gain, bias, pol, err := RelativeValueIteration(
+		[]*linalg.Matrix{p, p}, [][]float64{r0, r1}, nil, 1e-10, 100000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s, a := range pol {
+		if a != 1 {
+			t.Fatalf("policy[%d] = %d, want 1", s, a)
+		}
+	}
+	// π of P: q/(p+q) formula with p=0.3, q=0.4 → π = (4/7, 3/7).
+	want := 4.0/7*1 + 3.0/7*2
+	if math.Abs(gain-want) > 1e-6 {
+		t.Fatalf("gain = %v, want %v", gain, want)
+	}
+	if bias[0] != 0 {
+		t.Fatalf("bias not normalized: h(0) = %v", bias[0])
+	}
+}
+
+func TestRVIMatchesPolicyGain(t *testing.T) {
+	// The RVI-optimal gain must equal the gain of its greedy policy
+	// evaluated independently via the stationary distribution.
+	s := rng.New(50)
+	for trial := 0; trial < 20; trial++ {
+		n := 3
+		mk := func() *linalg.Matrix {
+			m := linalg.NewMatrix(n, n)
+			for i := 0; i < n; i++ {
+				sum := 0.0
+				row := make([]float64, n)
+				for j := range row {
+					row[j] = s.Float64Open()
+					sum += row[j]
+				}
+				for j := range row {
+					m.Set(i, j, row[j]/sum)
+				}
+			}
+			return m
+		}
+		transitions := []*linalg.Matrix{mk(), mk()}
+		rewards := [][]float64{make([]float64, n), make([]float64, n)}
+		for a := 0; a < 2; a++ {
+			for i := 0; i < n; i++ {
+				rewards[a][i] = s.Float64()
+			}
+		}
+		gain, _, pol, err := RelativeValueIteration(transitions, rewards, nil, 1e-11, 200000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		check, err := AverageGainOfPolicy(transitions, rewards, pol)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(gain-check) > 1e-6 {
+			t.Fatalf("trial %d: RVI gain %v, policy gain %v", trial, gain, check)
+		}
+		// No other deterministic policy of the 2^3 should beat it.
+		for mask := 0; mask < 8; mask++ {
+			alt := []int{mask & 1, (mask >> 1) & 1, (mask >> 2) & 1}
+			g, err := AverageGainOfPolicy(transitions, rewards, alt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if g > gain+1e-6 {
+				t.Fatalf("trial %d: policy %v gain %v beats RVI %v", trial, alt, g, gain)
+			}
+		}
+	}
+}
+
+func TestRVIPeriodicChainConverges(t *testing.T) {
+	// A deterministic 2-cycle is periodic; the damping transform must still
+	// converge. Rewards 0 and 2 alternate → gain 1.
+	p := linalg.FromRows([][]float64{{0, 1}, {1, 0}})
+	gain, _, _, err := RelativeValueIteration(
+		[]*linalg.Matrix{p}, [][]float64{{0, 2}}, nil, 1e-10, 200000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(gain-1) > 1e-6 {
+		t.Fatalf("gain = %v, want 1", gain)
+	}
+}
+
+func TestPolicyIterationMatchesValueIteration(t *testing.T) {
+	s := rng.New(51)
+	for trial := 0; trial < 20; trial++ {
+		n := 4
+		mk := func() *linalg.Matrix {
+			m := linalg.NewMatrix(n, n)
+			for i := 0; i < n; i++ {
+				sum := 0.0
+				row := make([]float64, n)
+				for j := range row {
+					row[j] = s.Float64Open()
+					sum += row[j]
+				}
+				for j := range row {
+					m.Set(i, j, row[j]/sum)
+				}
+			}
+			return m
+		}
+		transitions := []*linalg.Matrix{mk(), mk(), mk()}
+		rewards := make([][]float64, 3)
+		for a := range rewards {
+			rewards[a] = make([]float64, n)
+			for i := range rewards[a] {
+				rewards[a][i] = s.Float64()
+			}
+		}
+		beta := 0.9
+		vVI, _, err := ValueIteration(transitions, rewards, nil, beta, 1e-10, 1000000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		vPI, _, err := PolicyIteration(transitions, rewards, beta, 1000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range vVI {
+			if math.Abs(vVI[i]-vPI[i]) > 1e-6 {
+				t.Fatalf("trial %d state %d: VI %v vs PI %v", trial, i, vVI[i], vPI[i])
+			}
+		}
+	}
+}
+
+func TestAverageGainValidation(t *testing.T) {
+	p := linalg.FromRows([][]float64{{1}})
+	if _, err := AverageGainOfPolicy([]*linalg.Matrix{p}, [][]float64{{1}}, []int{5}); err == nil {
+		t.Error("out-of-range action accepted")
+	}
+	if _, err := AverageGainOfPolicy(nil, nil, nil); err == nil {
+		t.Error("empty MDP accepted")
+	}
+}
+
+func TestPolicyIterationValidation(t *testing.T) {
+	p := linalg.FromRows([][]float64{{1}})
+	if _, _, err := PolicyIteration([]*linalg.Matrix{p}, [][]float64{{1}}, 1.0, 10); err == nil {
+		t.Error("beta = 1 accepted")
+	}
+}

@@ -1,0 +1,280 @@
+// Package markov provides finite Markov-chain analysis: stationary
+// distributions, absorbing-chain quantities, discounted value evaluation, and
+// continuous-time uniformization.
+//
+// The bandit models (Gittins, Whittle) and the Klimov network all reduce to
+// computations on small finite chains; this package is their shared engine.
+package markov
+
+import (
+	"fmt"
+	"math"
+
+	"stochsched/internal/linalg"
+	"stochsched/internal/rng"
+)
+
+// Chain is a finite discrete-time Markov chain with transition matrix P.
+type Chain struct {
+	P *linalg.Matrix // row-stochastic, n×n
+}
+
+// NewChain validates that p is square and row-stochastic (each row
+// nonnegative summing to 1 within tolerance) and returns the chain.
+func NewChain(p *linalg.Matrix) (*Chain, error) {
+	if p.Rows != p.Cols {
+		return nil, fmt.Errorf("markov: transition matrix must be square, got %dx%d", p.Rows, p.Cols)
+	}
+	for i := 0; i < p.Rows; i++ {
+		sum := 0.0
+		for j := 0; j < p.Cols; j++ {
+			v := p.At(i, j)
+			if v < -1e-12 {
+				return nil, fmt.Errorf("markov: negative transition P[%d][%d] = %v", i, j, v)
+			}
+			sum += v
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			return nil, fmt.Errorf("markov: row %d sums to %v, want 1", i, sum)
+		}
+	}
+	return &Chain{P: p.Clone()}, nil
+}
+
+// N returns the number of states.
+func (c *Chain) N() int { return c.P.Rows }
+
+// Step samples the next state from state i.
+func (c *Chain) Step(i int, s *rng.Stream) int {
+	row := c.P.Data[i*c.P.Cols : (i+1)*c.P.Cols]
+	return s.Categorical(row)
+}
+
+// Stationary returns the stationary distribution π with π P = π, Σπ = 1,
+// computed by solving the linear system (replacing one balance equation with
+// the normalization). The chain must be irreducible for the result to be the
+// unique stationary law; reducible chains yield an error from the singular
+// solve or a distribution over one closed class.
+func (c *Chain) Stationary() ([]float64, error) {
+	n := c.N()
+	// Build (Pᵀ - I) with last row replaced by ones; rhs = e_n.
+	a := linalg.NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			a.Set(i, j, c.P.At(j, i))
+		}
+		a.Set(i, i, a.At(i, i)-1)
+	}
+	for j := 0; j < n; j++ {
+		a.Set(n-1, j, 1)
+	}
+	b := make([]float64, n)
+	b[n-1] = 1
+	pi, err := linalg.Solve(a, b)
+	if err != nil {
+		return nil, fmt.Errorf("markov: stationary solve failed: %w", err)
+	}
+	for i, v := range pi {
+		if v < -1e-9 {
+			return nil, fmt.Errorf("markov: stationary solution has negative mass π[%d] = %v (chain reducible?)", i, v)
+		}
+		if v < 0 {
+			pi[i] = 0
+		}
+	}
+	return pi, nil
+}
+
+// DiscountedValue returns v = r + β P v, i.e. v = (I − βP)⁻¹ r, the expected
+// total discounted reward from each state when reward r(i) is earned on each
+// visit to i. 0 < beta < 1 is required.
+func (c *Chain) DiscountedValue(r []float64, beta float64) ([]float64, error) {
+	n := c.N()
+	if len(r) != n {
+		return nil, fmt.Errorf("markov: reward vector length %d, want %d", len(r), n)
+	}
+	if beta <= 0 || beta >= 1 {
+		return nil, fmt.Errorf("markov: discount beta = %v outside (0,1)", beta)
+	}
+	a := linalg.Identity(n).Sub(c.P.Scale(beta))
+	v, err := linalg.Solve(a, r)
+	if err != nil {
+		return nil, fmt.Errorf("markov: discounted solve failed: %w", err)
+	}
+	return v, nil
+}
+
+// Absorbing analyzes a chain whose states are partitioned into transient
+// states and absorbing states (P[a][a] = 1). It is created by
+// NewAbsorbing.
+type Absorbing struct {
+	Transient []int // indices of transient states in the original chain
+	N         *linalg.Matrix
+	// N = (I − Q)⁻¹ is the fundamental matrix: N[i][j] is the expected
+	// number of visits to transient state j starting from transient state i.
+}
+
+// NewAbsorbing identifies absorbing states (rows with P[i][i] == 1) and
+// computes the fundamental matrix over the remaining transient states.
+func NewAbsorbing(c *Chain) (*Absorbing, error) {
+	n := c.N()
+	var transient []int
+	for i := 0; i < n; i++ {
+		if math.Abs(c.P.At(i, i)-1) > 1e-12 {
+			transient = append(transient, i)
+		}
+	}
+	if len(transient) == n {
+		return nil, fmt.Errorf("markov: chain has no absorbing states")
+	}
+	t := len(transient)
+	if t == 0 {
+		return &Absorbing{}, nil
+	}
+	q := linalg.NewMatrix(t, t)
+	for a, i := range transient {
+		for b, j := range transient {
+			q.Set(a, b, c.P.At(i, j))
+		}
+	}
+	fund, err := linalg.Inverse(linalg.Identity(t).Sub(q))
+	if err != nil {
+		return nil, fmt.Errorf("markov: fundamental matrix: %w", err)
+	}
+	return &Absorbing{Transient: transient, N: fund}, nil
+}
+
+// ExpectedStepsToAbsorption returns, for each transient state (in the order
+// of Transient), the expected number of steps before absorption.
+func (a *Absorbing) ExpectedStepsToAbsorption() []float64 {
+	t := len(a.Transient)
+	out := make([]float64, t)
+	for i := 0; i < t; i++ {
+		s := 0.0
+		for j := 0; j < t; j++ {
+			s += a.N.At(i, j)
+		}
+		out[i] = s
+	}
+	return out
+}
+
+// CTMC is a continuous-time Markov chain given by a generator matrix Q
+// (off-diagonal rates, rows summing to zero).
+type CTMC struct {
+	Q *linalg.Matrix
+}
+
+// NewCTMC validates the generator: nonnegative off-diagonals, rows summing
+// to ~0.
+func NewCTMC(q *linalg.Matrix) (*CTMC, error) {
+	if q.Rows != q.Cols {
+		return nil, fmt.Errorf("markov: generator must be square")
+	}
+	for i := 0; i < q.Rows; i++ {
+		sum := 0.0
+		for j := 0; j < q.Cols; j++ {
+			v := q.At(i, j)
+			if i != j && v < -1e-12 {
+				return nil, fmt.Errorf("markov: negative rate Q[%d][%d] = %v", i, j, v)
+			}
+			sum += v
+		}
+		if math.Abs(sum) > 1e-9 {
+			return nil, fmt.Errorf("markov: generator row %d sums to %v, want 0", i, sum)
+		}
+	}
+	return &CTMC{Q: q.Clone()}, nil
+}
+
+// Uniformize converts the CTMC into a DTMC via uniformization with rate
+// Λ ≥ max_i |Q[i][i]|: P = I + Q/Λ. It returns the DTMC and the rate used.
+func (c *CTMC) Uniformize() (*Chain, float64, error) {
+	lambda := 0.0
+	for i := 0; i < c.Q.Rows; i++ {
+		if v := -c.Q.At(i, i); v > lambda {
+			lambda = v
+		}
+	}
+	if lambda == 0 {
+		lambda = 1 // all-absorbing generator
+	}
+	p := linalg.Identity(c.Q.Rows).Add(c.Q.Scale(1 / lambda))
+	ch, err := NewChain(p)
+	if err != nil {
+		return nil, 0, err
+	}
+	return ch, lambda, nil
+}
+
+// Stationary returns the stationary distribution of the CTMC (πQ = 0,
+// Σπ = 1) via uniformization.
+func (c *CTMC) Stationary() ([]float64, error) {
+	ch, _, err := c.Uniformize()
+	if err != nil {
+		return nil, err
+	}
+	return ch.Stationary()
+}
+
+// ValueIteration computes the optimal value function of a finite
+// discounted MDP by value iteration. transitions[a] is the transition matrix
+// under action a, rewards[a][s] the immediate reward for taking action a in
+// state s. Actions unavailable in a state can be marked by setting
+// available[s][a] = false (nil available means all actions allowed
+// everywhere). Returns the value function and a greedy optimal policy.
+func ValueIteration(transitions []*linalg.Matrix, rewards [][]float64, available [][]bool, beta, tol float64, maxIter int) ([]float64, []int, error) {
+	if len(transitions) == 0 {
+		return nil, nil, fmt.Errorf("markov: no actions")
+	}
+	n := transitions[0].Rows
+	for a, tr := range transitions {
+		if tr.Rows != n || tr.Cols != n {
+			return nil, nil, fmt.Errorf("markov: action %d transition shape mismatch", a)
+		}
+		if len(rewards[a]) != n {
+			return nil, nil, fmt.Errorf("markov: action %d reward length mismatch", a)
+		}
+	}
+	if beta <= 0 || beta >= 1 {
+		return nil, nil, fmt.Errorf("markov: discount beta = %v outside (0,1)", beta)
+	}
+	v := make([]float64, n)
+	next := make([]float64, n)
+	policy := make([]int, n)
+	for iter := 0; iter < maxIter; iter++ {
+		delta := 0.0
+		for s := 0; s < n; s++ {
+			best := math.Inf(-1)
+			bestA := -1
+			for a := range transitions {
+				if available != nil && !available[s][a] {
+					continue
+				}
+				q := rewards[a][s]
+				row := transitions[a].Data[s*n : (s+1)*n]
+				for j, p := range row {
+					if p != 0 {
+						q += beta * p * v[j]
+					}
+				}
+				if q > best {
+					best, bestA = q, a
+				}
+			}
+			if bestA < 0 {
+				return nil, nil, fmt.Errorf("markov: state %d has no available action", s)
+			}
+			next[s] = best
+			policy[s] = bestA
+			if d := math.Abs(best - v[s]); d > delta {
+				delta = d
+			}
+		}
+		v, next = next, v
+		if delta < tol*(1-beta)/(2*beta) {
+			return v, policy, nil
+		}
+	}
+	return v, policy, fmt.Errorf("markov: value iteration did not converge in %d iterations", maxIter)
+}

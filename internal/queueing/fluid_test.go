@@ -1,0 +1,88 @@
+package queueing
+
+import (
+	"math"
+	"testing"
+
+	"stochsched/internal/dist"
+	"stochsched/internal/rng"
+)
+
+func TestFluidDrainCostKnown(t *testing.T) {
+	// Two classes: µ1 = 2 (mean 0.5), µ2 = 1; c = (1, 1); x0 = (2, 3).
+	// Order (0, 1): class 0 drains in 1: cost 1·2·1/2 = 1, class 1 holds
+	// 3·1 = 3; then class 1 drains in 3: cost 3·3/2 = 4.5. Total 8.5.
+	classes := []Class{
+		{Service: dist.Exponential{Rate: 2}, HoldCost: 1},
+		{Service: dist.Exponential{Rate: 1}, HoldCost: 1},
+	}
+	got, err := FluidDrainCost(classes, []float64{2, 3}, []int{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-8.5) > 1e-12 {
+		t.Fatalf("fluid cost %v, want 8.5", got)
+	}
+	// Reverse order: class 1 drains in 3 (cost 4.5) while class 0 holds
+	// 2·3 = 6; then class 0 drains in 1 (cost 1). Total 11.5.
+	got, err = FluidDrainCost(classes, []float64{2, 3}, []int{1, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-11.5) > 1e-12 {
+		t.Fatalf("fluid cost %v, want 11.5", got)
+	}
+}
+
+// Chen–Yao: with linear costs the fluid-optimal order is cµ (experiment E20).
+func TestBestFluidOrderIsCMu(t *testing.T) {
+	s := rng.New(1500)
+	for trial := 0; trial < 50; trial++ {
+		n := 2 + s.Intn(4)
+		classes := make([]Class, n)
+		x0 := make([]float64, n)
+		for j := range classes {
+			classes[j] = Class{
+				Service:  dist.Exponential{Rate: 0.5 + 3*s.Float64()},
+				HoldCost: 0.2 + 2*s.Float64(),
+			}
+			x0[j] = 0.5 + 5*s.Float64()
+		}
+		_, best, err := BestFluidOrder(classes, x0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := &MG1{Classes: classes}
+		cmuVal, err := FluidDrainCost(classes, x0, m.CMuOrder())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cmuVal > best+1e-9 {
+			t.Fatalf("trial %d: cµ fluid cost %v exceeds best %v", trial, cmuVal, best)
+		}
+	}
+}
+
+func TestFluidValidation(t *testing.T) {
+	classes := []Class{{Service: dist.Exponential{Rate: 1}, HoldCost: 1}}
+	if _, err := FluidDrainCost(classes, []float64{-1}, []int{0}); err == nil {
+		t.Error("negative buffer accepted")
+	}
+	if _, err := FluidDrainCost(classes, []float64{1, 2}, []int{0}); err == nil {
+		t.Error("dimension mismatch accepted")
+	}
+}
+
+func TestFluidEmptyBuffersFree(t *testing.T) {
+	classes := []Class{
+		{Service: dist.Exponential{Rate: 1}, HoldCost: 5},
+		{Service: dist.Exponential{Rate: 2}, HoldCost: 1},
+	}
+	got, err := FluidDrainCost(classes, []float64{0, 0}, []int{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 0 {
+		t.Fatalf("empty system cost %v, want 0", got)
+	}
+}

@@ -1,0 +1,168 @@
+package queueing
+
+import (
+	"fmt"
+
+	"stochsched/internal/des"
+	"stochsched/internal/dist"
+	"stochsched/internal/rng"
+	"stochsched/internal/stats"
+)
+
+// Multiclass M/M/m: m identical exponential servers shared by N classes
+// under a nonpreemptive priority rule. Glazebrook–Niño-Mora (2001) analyze
+// the cµ (Klimov) rule here via the achievable region: its suboptimality
+// gap closes in heavy traffic — experiment E16. The lower bound used is the
+// fast-single-server relaxation: one server of speed m can mimic any
+// m-server schedule's departure process, so the optimal M/M/1(speed m) cost
+// — attained by cµ via Cobham — bounds every M/M/m policy from below.
+
+// MMm is a multiclass M/M/m system.
+type MMm struct {
+	Classes []Class // Service laws must be dist.Exponential
+	Servers int
+}
+
+// Validate checks exponential services, server count and stability.
+func (m *MMm) Validate() error {
+	if m.Servers < 1 {
+		return fmt.Errorf("queueing: MMm needs servers >= 1")
+	}
+	if len(m.Classes) == 0 {
+		return fmt.Errorf("queueing: MMm needs classes")
+	}
+	rho := 0.0
+	for i, c := range m.Classes {
+		if _, ok := c.Service.(dist.Exponential); !ok {
+			return fmt.Errorf("queueing: MMm class %d must have exponential service", i)
+		}
+		rho += c.ArrivalRate * c.Service.Mean()
+	}
+	if rho >= float64(m.Servers) {
+		return fmt.Errorf("queueing: MMm load %v ≥ servers %d", rho, m.Servers)
+	}
+	return nil
+}
+
+// FastSingleServerBound returns the exact holding-cost rate of the speed-m
+// single-server relaxation under the cµ rule — a lower bound on the optimal
+// multiclass M/M/m cost.
+func (m *MMm) FastSingleServerBound() (float64, error) {
+	if err := m.Validate(); err != nil {
+		return 0, err
+	}
+	fast := &MG1{Classes: make([]Class, len(m.Classes))}
+	for i, c := range m.Classes {
+		rate := c.Service.(dist.Exponential).Rate * float64(m.Servers)
+		fast.Classes[i] = Class{
+			Name:        c.Name,
+			ArrivalRate: c.ArrivalRate,
+			Service:     dist.Exponential{Rate: rate},
+			HoldCost:    c.HoldCost,
+		}
+	}
+	_, l, err := fast.ExactPriority(fast.CMuOrder())
+	if err != nil {
+		return 0, err
+	}
+	return fast.HoldingCostRate(l), nil
+}
+
+// Simulate runs the M/M/m under a static nonpreemptive priority order
+// (highest first).
+func (m *MMm) Simulate(order []int, horizon, burnin float64, s *rng.Stream) (*SimResult, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	if horizon <= burnin || burnin < 0 {
+		return nil, fmt.Errorf("queueing: need 0 <= burnin < horizon")
+	}
+	n := len(m.Classes)
+	if len(order) != n {
+		return nil, fmt.Errorf("queueing: order length %d, want %d", len(order), n)
+	}
+	rank := make([]int, n)
+	for r, cls := range order {
+		rank[cls] = r
+	}
+	sim := des.New()
+	arrStreams := make([]*rng.Stream, n)
+	svcStreams := make([]*rng.Stream, n)
+	for j := 0; j < n; j++ {
+		arrStreams[j] = s.Split()
+		svcStreams[j] = s.Split()
+	}
+
+	var waiting []job
+	freeServers := m.Servers
+	count := make([]int, n)
+	lTrack := make([]stats.TimeWeighted, n)
+	served := make([]int64, n)
+
+	observe := func(j int) {
+		if sim.Now() >= burnin {
+			lTrack[j].Observe(sim.Now(), float64(count[j]))
+		}
+	}
+
+	var dispatch func()
+	dispatch = func() {
+		for freeServers > 0 && len(waiting) > 0 {
+			best, bestRank := -1, int(^uint(0)>>1)
+			for i, jb := range waiting {
+				if rank[jb.class] < bestRank {
+					best, bestRank = i, rank[jb.class]
+				}
+			}
+			jb := waiting[best]
+			waiting = append(waiting[:best], waiting[best+1:]...)
+			freeServers--
+			dur := m.Classes[jb.class].Service.Sample(svcStreams[jb.class])
+			sim.Schedule(dur, func() {
+				freeServers++
+				count[jb.class]--
+				observe(jb.class)
+				if sim.Now() >= burnin {
+					served[jb.class]++
+				}
+				dispatch()
+			})
+		}
+	}
+
+	var arrive func(j int)
+	arrive = func(j int) {
+		count[j]++
+		observe(j)
+		waiting = append(waiting, job{class: j, arrival: sim.Now()})
+		dispatch()
+		sim.Schedule(arrStreams[j].Exp(m.Classes[j].ArrivalRate), func() { arrive(j) })
+	}
+	for j := 0; j < n; j++ {
+		if m.Classes[j].ArrivalRate > 0 {
+			j := j
+			sim.Schedule(arrStreams[j].Exp(m.Classes[j].ArrivalRate), func() { arrive(j) })
+		}
+	}
+	sim.At(burnin, func() {
+		for j := 0; j < n; j++ {
+			lTrack[j].Observe(burnin, float64(count[j]))
+		}
+	})
+	sim.RunUntil(horizon)
+
+	res := &SimResult{L: make([]float64, n), Wq: make([]float64, n), Served: served}
+	cost := 0.0
+	for j := 0; j < n; j++ {
+		res.L[j] = lTrack[j].Average(horizon)
+		cost += m.Classes[j].HoldCost * res.L[j]
+	}
+	res.CostRate = cost
+	return res, nil
+}
+
+// CMuOrder returns the cµ priority order for the M/M/m classes.
+func (m *MMm) CMuOrder() []int {
+	mm := &MG1{Classes: m.Classes}
+	return mm.CMuOrder()
+}

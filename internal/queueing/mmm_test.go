@@ -1,0 +1,117 @@
+package queueing
+
+import (
+	"math"
+	"testing"
+
+	"stochsched/internal/dist"
+	"stochsched/internal/rng"
+)
+
+func mmmSystem(scale float64) *MMm {
+	// 3 servers, 2 classes; scale sweeps the load toward heavy traffic.
+	return &MMm{
+		Servers: 3,
+		Classes: []Class{
+			{Name: "hi", ArrivalRate: 1.2 * scale, Service: dist.Exponential{Rate: 1.5}, HoldCost: 3},
+			{Name: "lo", ArrivalRate: 1.0 * scale, Service: dist.Exponential{Rate: 1.0}, HoldCost: 1},
+		},
+	}
+}
+
+func TestMMmValidation(t *testing.T) {
+	m := mmmSystem(1)
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := &MMm{Servers: 1, Classes: []Class{{ArrivalRate: 1, Service: dist.Uniform{Lo: 0, Hi: 1}, HoldCost: 1}}}
+	if err := bad.Validate(); err == nil {
+		t.Error("non-exponential accepted")
+	}
+	over := mmmSystem(2)
+	if err := over.Validate(); err == nil {
+		t.Error("overloaded system accepted")
+	}
+}
+
+func TestFastSingleServerBoundHolds(t *testing.T) {
+	m := mmmSystem(1)
+	bound, err := m.FastSingleServerBound()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := rng.New(1300)
+	var cost float64
+	const reps = 6
+	for i := 0; i < reps; i++ {
+		res, err := m.Simulate(m.CMuOrder(), 20000, 2000, s.Split())
+		if err != nil {
+			t.Fatal(err)
+		}
+		cost += res.CostRate
+	}
+	cost /= reps
+	if cost < bound-0.05 {
+		t.Fatalf("simulated cµ cost %v below fast-server bound %v", cost, bound)
+	}
+}
+
+// Glazebrook–Niño-Mora shape: the relative gap between the cµ rule on m
+// servers and the fast-single-server bound shrinks as traffic intensifies.
+func TestHeavyTrafficGapShrinks(t *testing.T) {
+	s := rng.New(1301)
+	gap := func(scale float64) float64 {
+		m := mmmSystem(scale)
+		bound, err := m.FastSingleServerBound()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var cost float64
+		const reps = 6
+		for i := 0; i < reps; i++ {
+			res, err := m.Simulate(m.CMuOrder(), 30000, 3000, s.Split())
+			if err != nil {
+				t.Fatal(err)
+			}
+			cost += res.CostRate
+		}
+		cost /= reps
+		return (cost - bound) / cost
+	}
+	light := gap(0.55) // ρ/m ≈ 0.37
+	heavy := gap(1.32) // ρ/m ≈ 0.88
+	if heavy > light {
+		t.Fatalf("relative gap grew with load: light %v, heavy %v", light, heavy)
+	}
+}
+
+func TestMMmOneServerMatchesCobham(t *testing.T) {
+	m := &MMm{
+		Servers: 1,
+		Classes: []Class{
+			{ArrivalRate: 0.3, Service: dist.Exponential{Rate: 2}, HoldCost: 4},
+			{ArrivalRate: 0.2, Service: dist.Exponential{Rate: 1}, HoldCost: 1},
+		},
+	}
+	mg1 := &MG1{Classes: m.Classes}
+	order := m.CMuOrder()
+	_, lE, err := mg1.ExactPriority(order)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact := mg1.HoldingCostRate(lE)
+	s := rng.New(1302)
+	var cost float64
+	const reps = 8
+	for i := 0; i < reps; i++ {
+		res, err := m.Simulate(order, 30000, 3000, s.Split())
+		if err != nil {
+			t.Fatal(err)
+		}
+		cost += res.CostRate
+	}
+	cost /= reps
+	if math.Abs(cost-exact) > 0.1*exact {
+		t.Fatalf("M/M/1-as-MMm cost %v, Cobham exact %v", cost, exact)
+	}
+}

@@ -1,0 +1,192 @@
+package queueing
+
+import (
+	"math"
+	"testing"
+
+	"stochsched/internal/dist"
+	"stochsched/internal/rng"
+	"stochsched/internal/stats"
+)
+
+func luKumarTest() *Network {
+	// λ = 1; m1 = m3 = 0.01; m2 = m4 = 0.6: station loads 0.61 < 1 each,
+	// but m2 + m4 = 1.2 > 1/λ — the classical instability condition for the
+	// bad priority rule.
+	return LuKumar(1, 0.01, 0.6, 0.01, 0.6)
+}
+
+func TestStationLoads(t *testing.T) {
+	nw := luKumarTest()
+	loads := nw.StationLoads()
+	if len(loads) != 2 {
+		t.Fatalf("loads = %v", loads)
+	}
+	for st, l := range loads {
+		if l >= 1 {
+			t.Fatalf("station %d nominally overloaded: %v", st, l)
+		}
+		if l < 0.5 {
+			t.Fatalf("station %d load %v unexpectedly small", st, l)
+		}
+	}
+}
+
+// The Lu–Kumar phenomenon: nominally stable loads, yet the bad priority
+// rule's total job count grows without bound while the stabilizing order
+// stays bounded — experiment E19.
+func TestLuKumarInstability(t *testing.T) {
+	nw := luKumarTest()
+	s := rng.New(1200)
+	const horizon = 4000.0
+	bad, err := nw.Simulate(LuKumarBadPolicy(), horizon, 0, 100, s.Split())
+	if err != nil {
+		t.Fatal(err)
+	}
+	good, err := nw.Simulate(LuKumarFCFSPolicy(), horizon, 0, 100, s.Split())
+	if err != nil {
+		t.Fatal(err)
+	}
+	badFinal := bad.Trajectory[len(bad.Trajectory)-1]
+	goodFinal := good.Trajectory[len(good.Trajectory)-1]
+	if badFinal < 10*goodFinal+50 {
+		t.Fatalf("no blow-up: bad policy final count %v, stable policy %v", badFinal, goodFinal)
+	}
+	// The bad trajectory should grow roughly linearly: compare halves.
+	mid := bad.Trajectory[len(bad.Trajectory)/2]
+	if badFinal < 1.5*mid {
+		t.Fatalf("bad-policy trajectory not growing: mid %v, final %v", mid, badFinal)
+	}
+}
+
+func TestNetworkStablePolicyBounded(t *testing.T) {
+	nw := luKumarTest()
+	s := rng.New(1201)
+	res, err := nw.Simulate(LuKumarFCFSPolicy(), 8000, 1000, 0, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0.0
+	for _, l := range res.L {
+		total += l
+	}
+	if total > 50 {
+		t.Fatalf("stable policy mean population %v unexpectedly large", total)
+	}
+}
+
+// A two-station tandem of exponential servers fed by a Poisson stream is a
+// Jackson network: by Burke's theorem each station behaves as an
+// independent M/M/1 with L = ρ/(1−ρ). This is a strong end-to-end test of
+// the network simulator.
+func TestTandemProductForm(t *testing.T) {
+	lambda, mu1, mu2 := 0.5, 1.0, 0.8
+	nw := &Network{
+		Stations: 2,
+		Classes: []NetClass{
+			{Name: "s1", Station: 0, ArrivalRate: lambda, Service: dist.Exponential{Rate: mu1}, Next: 1, HoldCost: 1},
+			{Name: "s2", Station: 1, Service: dist.Exponential{Rate: mu2}, Next: -1, HoldCost: 1},
+		},
+	}
+	s := rng.New(1202)
+	var l0, l1 stats.Running
+	const reps = 6
+	for i := 0; i < reps; i++ {
+		res, err := nw.Simulate(&NetworkPolicy{StationOrder: [][]int{{0}, {1}}}, 40000, 4000, 0, s.Split())
+		if err != nil {
+			t.Fatal(err)
+		}
+		l0.Add(res.L[0])
+		l1.Add(res.L[1])
+	}
+	rho1, rho2 := lambda/mu1, lambda/mu2
+	want1 := rho1 / (1 - rho1)
+	want2 := rho2 / (1 - rho2)
+	if math.Abs(l0.Mean()-want1) > 5*l0.CI95()+0.05 {
+		t.Fatalf("station 1 L = %v (±%v), product form %v", l0.Mean(), l0.CI95(), want1)
+	}
+	if math.Abs(l1.Mean()-want2) > 5*l1.CI95()+0.05 {
+		t.Fatalf("station 2 L = %v (±%v), product form %v", l1.Mean(), l1.CI95(), want2)
+	}
+}
+
+// Probabilistic routing: a single-station class that feeds back to itself
+// through a second class with probability p has effective rates solving the
+// traffic equations; the network simulator and EffectiveRates must agree
+// with hand computation.
+func TestProbabilisticRoutingTrafficEquations(t *testing.T) {
+	// Class 0 external λ=0.3; after service, 40% become class 1, 60% leave.
+	// Class 1 always leaves. λ0 = 0.3, λ1 = 0.12.
+	nw := &Network{
+		Stations: 1,
+		Classes: []NetClass{
+			{Name: "a", Station: 0, ArrivalRate: 0.3, Service: dist.Exponential{Rate: 2},
+				Routes: []Route{{To: 1, Prob: 0.4}}, HoldCost: 1},
+			{Name: "b", Station: 0, Service: dist.Exponential{Rate: 1.5}, Next: -1, HoldCost: 1},
+		},
+	}
+	lam, err := nw.EffectiveRates()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(lam[0]-0.3) > 1e-10 || math.Abs(lam[1]-0.12) > 1e-10 {
+		t.Fatalf("effective rates %v, want [0.3 0.12]", lam)
+	}
+	// Throughput check by simulation: class-1 completions ≈ 0.12 per unit.
+	s := rng.New(1203)
+	res, err := nw.Simulate(&NetworkPolicy{StationOrder: [][]int{{0, 1}}}, 30000, 3000, 0, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.L[1] <= 0 {
+		t.Fatalf("class 1 never populated: %v", res.L)
+	}
+	loads := nw.StationLoads()
+	want := 0.3/2 + 0.12/1.5
+	if math.Abs(loads[0]-want) > 1e-10 {
+		t.Fatalf("station load %v, want %v", loads[0], want)
+	}
+}
+
+func TestRoutesValidation(t *testing.T) {
+	nw := &Network{
+		Stations: 1,
+		Classes: []NetClass{
+			{Station: 0, ArrivalRate: 1, Service: dist.Exponential{Rate: 3},
+				Routes: []Route{{To: 0, Prob: 0.7}, {To: 0, Prob: 0.5}}},
+		},
+	}
+	if err := nw.Validate(); err == nil {
+		t.Error("routing probabilities > 1 accepted")
+	}
+	nw.Classes[0].Routes = []Route{{To: 5, Prob: 0.5}}
+	if err := nw.Validate(); err == nil {
+		t.Error("out-of-range route accepted")
+	}
+	nw.Classes[0].Routes = []Route{{To: 0, Prob: -0.1}}
+	if err := nw.Validate(); err == nil {
+		t.Error("negative probability accepted")
+	}
+}
+
+func TestNetworkValidation(t *testing.T) {
+	nw := &Network{Stations: 1, Classes: []NetClass{
+		{Station: 0, ArrivalRate: 1, Service: dist.Exponential{Rate: 2}, Next: 5},
+	}}
+	if err := nw.Validate(); err == nil {
+		t.Error("invalid routing accepted")
+	}
+	nw2 := &Network{Stations: 1, Classes: []NetClass{
+		{Station: 3, ArrivalRate: 1, Service: dist.Exponential{Rate: 2}, Next: -1},
+	}}
+	if err := nw2.Validate(); err == nil {
+		t.Error("invalid station accepted")
+	}
+	nw3 := luKumarTest()
+	if _, err := nw3.Simulate(&NetworkPolicy{StationOrder: [][]int{{0}}}, 100, 0, 0, rng.New(1)); err == nil {
+		t.Error("incomplete policy accepted")
+	}
+	if _, err := nw3.Simulate(&NetworkPolicy{StationOrder: [][]int{{1, 0}, {2, 3}}}, 100, 0, 0, rng.New(1)); err == nil {
+		t.Error("foreign class in station order accepted")
+	}
+}

@@ -1,0 +1,106 @@
+package queueing
+
+import (
+	"testing"
+
+	"stochsched/internal/dist"
+	"stochsched/internal/rng"
+)
+
+func pollingSystem(regime PollingRegime, setup float64) *Polling {
+	return &Polling{
+		Queues: []Class{
+			{Name: "q1", ArrivalRate: 0.25, Service: dist.Exponential{Rate: 1.2}, HoldCost: 1},
+			{Name: "q2", ArrivalRate: 0.25, Service: dist.Exponential{Rate: 1.2}, HoldCost: 1},
+		},
+		Switch: dist.Deterministic{Value: setup},
+		Regime: regime,
+	}
+}
+
+func TestPollingValidation(t *testing.T) {
+	p := pollingSystem(Exhaustive, 0.1)
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	p.Switch = dist.Deterministic{Value: 0}
+	if err := p.Validate(); err == nil {
+		t.Error("zero switchover accepted")
+	}
+	one := &Polling{Queues: p.Queues[:1], Switch: dist.Deterministic{Value: 0.1}}
+	if err := one.Validate(); err == nil {
+		t.Error("single queue accepted")
+	}
+	over := pollingSystem(Gated, 0.1)
+	over.Queues[0].ArrivalRate = 5
+	if err := over.Validate(); err == nil {
+		t.Error("overloaded polling accepted")
+	}
+}
+
+func TestPollingRunsAndServes(t *testing.T) {
+	s := rng.New(1400)
+	for _, regime := range []PollingRegime{Exhaustive, Gated, Limited1} {
+		p := pollingSystem(regime, 0.2)
+		res, err := p.Simulate(8000, 800, s.Split())
+		if err != nil {
+			t.Fatalf("%v: %v", regime, err)
+		}
+		for j, n := range res.Served {
+			if n == 0 {
+				t.Fatalf("%v: queue %d served no jobs", regime, j)
+			}
+		}
+		for j, l := range res.L {
+			if l <= 0 || l > 100 {
+				t.Fatalf("%v: queue %d mean count %v implausible", regime, j, l)
+			}
+		}
+	}
+}
+
+// With large switchover times, exhaustive service dominates 1-limited: the
+// 1-limited regime pays a setup per job (Levy–Sidi 1990 regime comparison).
+func TestExhaustiveBeatsLimitedUnderHighSetup(t *testing.T) {
+	s := rng.New(1401)
+	const setup = 1.0
+	var exh, lim float64
+	const reps = 5
+	for i := 0; i < reps; i++ {
+		e, err := pollingSystem(Exhaustive, setup).Simulate(12000, 1200, s.Split())
+		if err != nil {
+			t.Fatal(err)
+		}
+		exh += e.CostRate
+		l, err := pollingSystem(Limited1, setup).Simulate(12000, 1200, s.Split())
+		if err != nil {
+			t.Fatal(err)
+		}
+		lim += l.CostRate
+	}
+	if exh >= lim {
+		t.Fatalf("exhaustive cost %v not below 1-limited %v at setup %v", exh/reps, lim/reps, setup)
+	}
+}
+
+// Gated lies between exhaustive and 1-limited in this symmetric system.
+func TestGatedBetween(t *testing.T) {
+	s := rng.New(1402)
+	const setup = 1.0
+	avg := func(r PollingRegime) float64 {
+		var sum float64
+		const reps = 5
+		for i := 0; i < reps; i++ {
+			res, err := pollingSystem(r, setup).Simulate(12000, 1200, s.Split())
+			if err != nil {
+				t.Fatal(err)
+			}
+			sum += res.CostRate
+		}
+		return sum / reps
+	}
+	e, g, l := avg(Exhaustive), avg(Gated), avg(Limited1)
+	if !(e <= g+0.15 && g <= l+0.15) {
+		t.Fatalf("expected exhaustive ≤ gated ≤ 1-limited, got %v / %v / %v", e, g, l)
+	}
+}

@@ -1,0 +1,305 @@
+package queueing
+
+import (
+	"fmt"
+	"math"
+
+	"stochsched/internal/des"
+	"stochsched/internal/dist"
+	"stochsched/internal/rng"
+	"stochsched/internal/stats"
+)
+
+// job is one customer in the system.
+type job struct {
+	class   int
+	arrival float64
+}
+
+// Discipline selects which waiting job to serve next at a service-start
+// epoch. waiting holds jobs in arrival order; the discipline returns an
+// index into it. A discipline must return a valid index when waiting is
+// nonempty.
+type Discipline interface {
+	Next(waiting []job) int
+	Name() string
+}
+
+// FIFO serves in arrival order.
+type FIFO struct{}
+
+// Next implements Discipline.
+func (FIFO) Next([]job) int { return 0 }
+
+// Name implements Discipline.
+func (FIFO) Name() string { return "FIFO" }
+
+// StaticPriority serves the oldest job of the highest-priority nonempty
+// class. Order lists class indices, highest priority first.
+type StaticPriority struct{ Order []int }
+
+// Next implements Discipline.
+func (p StaticPriority) Next(waiting []job) int {
+	rank := make(map[int]int, len(p.Order))
+	for r, cls := range p.Order {
+		rank[cls] = r
+	}
+	best, bestRank := -1, math.MaxInt32
+	for i, jb := range waiting {
+		if r := rank[jb.class]; r < bestRank {
+			best, bestRank = i, r
+		}
+	}
+	return best
+}
+
+// Name implements Discipline.
+func (p StaticPriority) Name() string { return fmt.Sprintf("priority%v", p.Order) }
+
+// RandomMix randomizes, at every service-start epoch, among disciplines
+// with the given weights — tracing interior points of the performance
+// polytope (experiment E18).
+type RandomMix struct {
+	Disciplines []Discipline
+	Weights     []float64
+	Stream      *rng.Stream
+}
+
+// Next implements Discipline.
+func (r RandomMix) Next(waiting []job) int {
+	return r.Disciplines[r.Stream.Categorical(r.Weights)].Next(waiting)
+}
+
+// Name implements Discipline.
+func (r RandomMix) Name() string { return "random-mix" }
+
+// SimResult carries steady-state estimates from one replication.
+type SimResult struct {
+	L        []float64 // time-average number in system, per class
+	Wq       []float64 // mean delay before service, per class
+	CostRate float64   // Σ_j c_j L_j
+	Served   []int64   // completed jobs per class
+}
+
+// Simulate runs the multiclass M/G/1 under the given nonpreemptive
+// discipline on [0, horizon], collecting statistics on [burnin, horizon].
+func (m *MG1) Simulate(d Discipline, horizon, burnin float64, s *rng.Stream) (*SimResult, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	if horizon <= burnin || burnin < 0 {
+		return nil, fmt.Errorf("queueing: need 0 <= burnin < horizon")
+	}
+	n := len(m.Classes)
+	sim := des.New()
+	arrStreams := make([]*rng.Stream, n)
+	svcStreams := make([]*rng.Stream, n)
+	for j := 0; j < n; j++ {
+		arrStreams[j] = s.Split()
+		svcStreams[j] = s.Split()
+	}
+
+	var waiting []job
+	inService := false
+	count := make([]int, n) // jobs in system per class
+	lTrack := make([]stats.TimeWeighted, n)
+	wqSum := make([]float64, n)
+	wqN := make([]int64, n)
+	served := make([]int64, n)
+
+	observe := func(j int) {
+		if sim.Now() >= burnin {
+			lTrack[j].Observe(sim.Now(), float64(count[j]))
+		}
+	}
+
+	var startService func()
+	startService = func() {
+		if inService || len(waiting) == 0 {
+			return
+		}
+		idx := d.Next(waiting)
+		jb := waiting[idx]
+		waiting = append(waiting[:idx], waiting[idx+1:]...)
+		inService = true
+		if sim.Now() >= burnin {
+			wqSum[jb.class] += sim.Now() - jb.arrival
+			wqN[jb.class]++
+		}
+		dur := m.Classes[jb.class].Service.Sample(svcStreams[jb.class])
+		sim.Schedule(dur, func() {
+			inService = false
+			count[jb.class]--
+			observe(jb.class)
+			if sim.Now() >= burnin {
+				served[jb.class]++
+			}
+			startService()
+		})
+	}
+
+	var arrive func(j int)
+	arrive = func(j int) {
+		count[j]++
+		observe(j)
+		waiting = append(waiting, job{class: j, arrival: sim.Now()})
+		startService()
+		sim.Schedule(arrStreams[j].Exp(m.Classes[j].ArrivalRate), func() { arrive(j) })
+	}
+	for j := 0; j < n; j++ {
+		if m.Classes[j].ArrivalRate > 0 {
+			j := j
+			sim.Schedule(arrStreams[j].Exp(m.Classes[j].ArrivalRate), func() { arrive(j) })
+		}
+	}
+	// Snapshot the state at burnin so time averages start correctly.
+	sim.At(burnin, func() {
+		for j := 0; j < n; j++ {
+			lTrack[j].Observe(burnin, float64(count[j]))
+		}
+	})
+	sim.RunUntil(horizon)
+
+	res := &SimResult{L: make([]float64, n), Wq: make([]float64, n), Served: served}
+	for j := 0; j < n; j++ {
+		res.L[j] = lTrack[j].Average(horizon)
+		if wqN[j] > 0 {
+			res.Wq[j] = wqSum[j] / float64(wqN[j])
+		}
+	}
+	res.CostRate = m.HoldingCostRate(res.L)
+	return res, nil
+}
+
+// Replicate runs reps independent replications and returns per-class L and
+// Wq means with the cost-rate statistics.
+type ReplicatedResult struct {
+	L        []stats.Running
+	Wq       []stats.Running
+	CostRate stats.Running
+}
+
+// Replicate aggregates independent replications of Simulate.
+func (m *MG1) Replicate(d Discipline, horizon, burnin float64, reps int, s *rng.Stream) (*ReplicatedResult, error) {
+	n := len(m.Classes)
+	out := &ReplicatedResult{L: make([]stats.Running, n), Wq: make([]stats.Running, n)}
+	for r := 0; r < reps; r++ {
+		res, err := m.Simulate(d, horizon, burnin, s.Split())
+		if err != nil {
+			return nil, err
+		}
+		for j := 0; j < n; j++ {
+			out.L[j].Add(res.L[j])
+			out.Wq[j].Add(res.Wq[j])
+		}
+		out.CostRate.Add(res.CostRate)
+	}
+	return out, nil
+}
+
+// SimulatePreemptive runs a preemptive-resume static priority M/M/1
+// (exponential services required: preempted work is resampled, which is
+// distribution-preserving only under memorylessness). An arriving job of
+// strictly higher priority interrupts the job in service.
+func (m *MG1) SimulatePreemptive(order []int, horizon, burnin float64, s *rng.Stream) (*SimResult, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	for j, c := range m.Classes {
+		if _, ok := c.Service.(dist.Exponential); !ok {
+			return nil, fmt.Errorf("queueing: preemptive simulator requires exponential services (class %d is %v)", j, c.Service)
+		}
+	}
+	if horizon <= burnin || burnin < 0 {
+		return nil, fmt.Errorf("queueing: need 0 <= burnin < horizon")
+	}
+	n := len(m.Classes)
+	rank := make([]int, n)
+	for r, cls := range order {
+		rank[cls] = r
+	}
+	sim := des.New()
+	arrStreams := make([]*rng.Stream, n)
+	svcStreams := make([]*rng.Stream, n)
+	for j := 0; j < n; j++ {
+		arrStreams[j] = s.Split()
+		svcStreams[j] = s.Split()
+	}
+
+	var waiting []job
+	var current *job
+	var completion *des.Handle
+	count := make([]int, n)
+	lTrack := make([]stats.TimeWeighted, n)
+	served := make([]int64, n)
+
+	observe := func(j int) {
+		if sim.Now() >= burnin {
+			lTrack[j].Observe(sim.Now(), float64(count[j]))
+		}
+	}
+
+	var dispatch func()
+	dispatch = func() {
+		if current != nil || len(waiting) == 0 {
+			return
+		}
+		// Highest-priority waiting job (oldest within class).
+		best, bestRank := -1, math.MaxInt32
+		for i, jb := range waiting {
+			if rank[jb.class] < bestRank {
+				best, bestRank = i, rank[jb.class]
+			}
+		}
+		jb := waiting[best]
+		waiting = append(waiting[:best], waiting[best+1:]...)
+		current = &jb
+		dur := m.Classes[jb.class].Service.Sample(svcStreams[jb.class])
+		completion = sim.Schedule(dur, func() {
+			count[jb.class]--
+			observe(jb.class)
+			if sim.Now() >= burnin {
+				served[jb.class]++
+			}
+			current = nil
+			completion = nil
+			dispatch()
+		})
+	}
+
+	var arrive func(j int)
+	arrive = func(j int) {
+		count[j]++
+		observe(j)
+		waiting = append(waiting, job{class: j, arrival: sim.Now()})
+		if current != nil && rank[j] < rank[current.class] {
+			// Preempt: return the job in service to the queue (memoryless
+			// services make resampling on resumption exact).
+			completion.Cancel()
+			waiting = append(waiting, *current)
+			current = nil
+			completion = nil
+		}
+		dispatch()
+		sim.Schedule(arrStreams[j].Exp(m.Classes[j].ArrivalRate), func() { arrive(j) })
+	}
+	for j := 0; j < n; j++ {
+		if m.Classes[j].ArrivalRate > 0 {
+			j := j
+			sim.Schedule(arrStreams[j].Exp(m.Classes[j].ArrivalRate), func() { arrive(j) })
+		}
+	}
+	sim.At(burnin, func() {
+		for j := 0; j < n; j++ {
+			lTrack[j].Observe(burnin, float64(count[j]))
+		}
+	})
+	sim.RunUntil(horizon)
+
+	res := &SimResult{L: make([]float64, n), Wq: make([]float64, n), Served: served}
+	for j := 0; j < n; j++ {
+		res.L[j] = lTrack[j].Average(horizon)
+	}
+	res.CostRate = m.HoldingCostRate(res.L)
+	return res, nil
+}

@@ -1,0 +1,110 @@
+package restless
+
+import (
+	"fmt"
+	"math"
+
+	"stochsched/internal/linalg"
+	"stochsched/internal/markov"
+)
+
+// Average-criterion Whittle indices — the formulation of Whittle's original
+// paper (1988). The subsidy problem becomes a two-action average-reward
+// MDP, solved by relative value iteration; the activation advantage is read
+// from the bias vector, and the index is again the critical subsidy.
+
+// SolveSubsidyAverage solves the time-average single-project MDP with
+// passive subsidy lambda and returns the optimal gain and the activation
+// advantage computed from the bias h:
+//
+//	adv(i) = [R₁(i) + P₁(i)·h] − [R₀(i) + λ + P₀(i)·h].
+func SolveSubsidyAverage(p *Project, lambda float64) (gain float64, adv []float64, err error) {
+	if err := p.Validate(); err != nil {
+		return 0, nil, err
+	}
+	n := p.N()
+	transitions := []*linalg.Matrix{p.P[Passive], p.P[Active]}
+	rewards := [][]float64{make([]float64, n), make([]float64, n)}
+	for i := 0; i < n; i++ {
+		rewards[0][i] = p.R[Passive][i] + lambda
+		rewards[1][i] = p.R[Active][i]
+	}
+	g, h, _, err := markov.RelativeValueIteration(transitions, rewards, nil, 1e-10, 500000)
+	if err != nil {
+		return 0, nil, fmt.Errorf("restless: average subsidy solve: %w", err)
+	}
+	adv = make([]float64, n)
+	for i := 0; i < n; i++ {
+		qa := p.R[Active][i]
+		row := p.P[Active].Data[i*n : (i+1)*n]
+		for k, pk := range row {
+			qa += pk * h[k]
+		}
+		qp := p.R[Passive][i] + lambda
+		row = p.P[Passive].Data[i*n : (i+1)*n]
+		for k, pk := range row {
+			qp += pk * h[k]
+		}
+		adv[i] = qa - qp
+	}
+	return g, adv, nil
+}
+
+// WhittleIndexAverage computes the time-average Whittle index of every
+// state by bisection on the activation advantage, mirroring WhittleIndex
+// but under the average criterion.
+func WhittleIndexAverage(p *Project) ([]float64, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	maxR, minR := math.Inf(-1), math.Inf(1)
+	for a := 0; a < 2; a++ {
+		for _, r := range p.R[a] {
+			maxR = math.Max(maxR, r)
+			minR = math.Min(minR, r)
+		}
+	}
+	span := 2 * (maxR - minR + 1)
+	n := p.N()
+	idx := make([]float64, n)
+	for i := 0; i < n; i++ {
+		// Unlike the discounted case, the average index is not bounded by
+		// the reward span (many passive periods can amortize one activation),
+		// so the bracket grows geometrically until it straddles the root.
+		a, b := -span, span
+		for iter := 0; iter < 40; iter++ {
+			_, adv, err := SolveSubsidyAverage(p, b)
+			if err != nil {
+				return nil, err
+			}
+			if adv[i] <= 0 {
+				break
+			}
+			b *= 2
+		}
+		for iter := 0; iter < 40; iter++ {
+			_, adv, err := SolveSubsidyAverage(p, a)
+			if err != nil {
+				return nil, err
+			}
+			if adv[i] > 0 {
+				break
+			}
+			a *= 2
+		}
+		for iter := 0; iter < 60 && b-a > 1e-8*(1+math.Abs(a)); iter++ {
+			mid := (a + b) / 2
+			_, adv, err := SolveSubsidyAverage(p, mid)
+			if err != nil {
+				return nil, err
+			}
+			if adv[i] > 0 {
+				a = mid
+			} else {
+				b = mid
+			}
+		}
+		idx[i] = (a + b) / 2
+	}
+	return idx, nil
+}

@@ -1,0 +1,91 @@
+package restless
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"stochsched/internal/rng"
+)
+
+func TestAverageWhittleMonotoneOnRepair(t *testing.T) {
+	p := testRepairProject(t)
+	idx, err := WhittleIndexAverage(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sort.Float64sAreSorted(idx) {
+		t.Fatalf("average Whittle indices not monotone: %v", idx)
+	}
+}
+
+// The average-criterion index ordering should match the discounted ordering
+// at β close to 1 (vanishing-discount connection).
+func TestAverageMatchesVanishingDiscountOrdering(t *testing.T) {
+	p := testRepairProject(t)
+	avg, err := WhittleIndexAverage(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	disc, err := WhittleIndex(p, 0.99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rank := func(v []float64) []int {
+		o := make([]int, len(v))
+		for i := range o {
+			o[i] = i
+		}
+		sort.SliceStable(o, func(a, b int) bool { return v[o[a]] < v[o[b]] })
+		return o
+	}
+	ra, rd := rank(avg), rank(disc)
+	for i := range ra {
+		if ra[i] != rd[i] {
+			t.Fatalf("orderings differ: average %v vs discounted %v (indices %v / %v)", ra, rd, avg, disc)
+		}
+	}
+	// And the values themselves should be close (β→1 limit).
+	for i := range avg {
+		if math.Abs(avg[i]-disc[i]) > 0.25*(1+math.Abs(avg[i])) {
+			t.Fatalf("state %d: average index %v far from discounted %v", i, avg[i], disc[i])
+		}
+	}
+}
+
+func TestAverageSubsidyGainMonotone(t *testing.T) {
+	// The optimal gain is nondecreasing in the subsidy (more passive pay
+	// can only help).
+	p := testRepairProject(t)
+	prev := math.Inf(-1)
+	for _, lam := range []float64{-3, -1, 0, 1, 3} {
+		g, _, err := SolveSubsidyAverage(p, lam)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if g < prev-1e-8 {
+			t.Fatalf("gain decreased with subsidy: %v → %v at λ=%v", prev, g, lam)
+		}
+		prev = g
+	}
+}
+
+func TestAverageDegenerateEqualActions(t *testing.T) {
+	s := rng.New(901)
+	base := RandomProject(3, s)
+	dp := &Project{}
+	dp.P[Passive] = base.P[Active].Clone()
+	dp.P[Active] = base.P[Active].Clone()
+	rr := append([]float64(nil), base.R[Active]...)
+	dp.R[Passive] = rr
+	dp.R[Active] = append([]float64(nil), rr...)
+	idx, err := WhittleIndexAverage(dp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range idx {
+		if math.Abs(v) > 1e-5 {
+			t.Fatalf("degenerate project state %d has average index %v, want 0", i, v)
+		}
+	}
+}

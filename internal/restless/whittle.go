@@ -1,0 +1,161 @@
+package restless
+
+import (
+	"fmt"
+	"math"
+)
+
+// The subsidy formulation (Whittle 1988): give reward λ for each passive
+// epoch and solve the single-project two-action MDP. A project is indexable
+// if the set of states where passivity is optimal grows monotonically from ∅
+// to everything as λ sweeps −∞ → +∞; the Whittle index of state i is the
+// critical subsidy at which i becomes passive. Whittle's heuristic activates
+// the m projects of largest current index; Weber–Weiss (1990) proved it
+// asymptotically optimal under an ergodicity condition as N → ∞ with m/N
+// fixed.
+
+// SolveSubsidy solves the discounted single-project MDP with passive
+// subsidy lambda by value iteration and returns the optimal value function
+// and the activation advantage
+//
+//	adv(i) = [R₁(i) + β P₁(i)·V] − [R₀(i) + λ + β P₀(i)·V],
+//
+// positive where being active is strictly optimal.
+func SolveSubsidy(p *Project, lambda, beta float64) (v, adv []float64, err error) {
+	if err := p.Validate(); err != nil {
+		return nil, nil, err
+	}
+	if beta <= 0 || beta >= 1 {
+		return nil, nil, fmt.Errorf("restless: discount %v outside (0,1)", beta)
+	}
+	n := p.N()
+	v = make([]float64, n)
+	next := make([]float64, n)
+	for iter := 0; iter < 200000; iter++ {
+		delta := 0.0
+		for i := 0; i < n; i++ {
+			qa := p.R[Active][i]
+			row := p.P[Active].Data[i*n : (i+1)*n]
+			for k, pk := range row {
+				qa += beta * pk * v[k]
+			}
+			qp := p.R[Passive][i] + lambda
+			row = p.P[Passive].Data[i*n : (i+1)*n]
+			for k, pk := range row {
+				qp += beta * pk * v[k]
+			}
+			val := qa
+			if qp > val {
+				val = qp
+			}
+			next[i] = val
+			if d := math.Abs(val - v[i]); d > delta {
+				delta = d
+			}
+		}
+		v, next = next, v
+		if delta < 1e-13 {
+			break
+		}
+	}
+	adv = make([]float64, n)
+	for i := 0; i < n; i++ {
+		qa := p.R[Active][i]
+		row := p.P[Active].Data[i*n : (i+1)*n]
+		for k, pk := range row {
+			qa += beta * pk * v[k]
+		}
+		qp := p.R[Passive][i] + lambda
+		row = p.P[Passive].Data[i*n : (i+1)*n]
+		for k, pk := range row {
+			qp += beta * pk * v[k]
+		}
+		adv[i] = qa - qp
+	}
+	return v, adv, nil
+}
+
+// IndexabilityReport is the result of an indexability scan.
+type IndexabilityReport struct {
+	Indexable bool
+	// Violations lists (state, λ₁, λ₂) with λ₁ < λ₂ where the state was
+	// passive at λ₁ but active again at λ₂ — a non-monotone passive set.
+	Violations []string
+}
+
+// CheckIndexability sweeps subsidies over [lo, hi] in `steps` increments and
+// verifies the passive set grows monotonically.
+func CheckIndexability(p *Project, beta, lo, hi float64, steps int) (*IndexabilityReport, error) {
+	if steps < 2 {
+		return nil, fmt.Errorf("restless: need at least 2 steps")
+	}
+	n := p.N()
+	passiveSince := make([]float64, n)
+	wasPassive := make([]bool, n)
+	for i := range passiveSince {
+		passiveSince[i] = math.NaN()
+	}
+	rep := &IndexabilityReport{Indexable: true}
+	for k := 0; k <= steps; k++ {
+		lambda := lo + (hi-lo)*float64(k)/float64(steps)
+		_, adv, err := SolveSubsidy(p, lambda, beta)
+		if err != nil {
+			return nil, err
+		}
+		for i := 0; i < n; i++ {
+			passive := adv[i] <= 0
+			if wasPassive[i] && !passive {
+				rep.Indexable = false
+				rep.Violations = append(rep.Violations,
+					fmt.Sprintf("state %d passive at λ=%.4g but active at λ=%.4g", i, passiveSince[i], lambda))
+			}
+			if passive && !wasPassive[i] {
+				passiveSince[i] = lambda
+			}
+			wasPassive[i] = passive
+		}
+	}
+	return rep, nil
+}
+
+// WhittleIndex computes the Whittle index of every state by bisection on
+// the activation advantage within [lo, hi]. For an indexable project adv(i)
+// is nonincreasing in λ, so the root is unique. States still active at hi
+// get +Inf... callers should pass lo/hi generously wide (e.g. ±(maxR−minR)
+// /(1−β) is always safe); the function widens automatically if needed.
+func WhittleIndex(p *Project, beta float64) ([]float64, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	// A safe bracket: the subsidy that matters never exceeds the extreme
+	// one-step reward differences scaled by the discounted horizon.
+	maxR, minR := math.Inf(-1), math.Inf(1)
+	for a := 0; a < 2; a++ {
+		for _, r := range p.R[a] {
+			maxR = math.Max(maxR, r)
+			minR = math.Min(minR, r)
+		}
+	}
+	span := (maxR - minR + 1) / (1 - beta)
+	lo, hi := -span, span
+
+	n := p.N()
+	idx := make([]float64, n)
+	for i := 0; i < n; i++ {
+		a, b := lo, hi
+		for iter := 0; iter < 80 && b-a > 1e-10*(1+math.Abs(a)); iter++ {
+			mid := (a + b) / 2
+			_, adv, err := SolveSubsidy(p, mid, beta)
+			if err != nil {
+				return nil, err
+			}
+			if adv[i] > 0 {
+				a = mid // still active: index is above mid
+			} else {
+				b = mid
+			}
+		}
+		idx[i] = (a + b) / 2
+	}
+	return idx, nil
+}

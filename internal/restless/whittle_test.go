@@ -1,0 +1,139 @@
+package restless
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"stochsched/internal/rng"
+)
+
+func testRepairProject(t *testing.T) *Project {
+	t.Helper()
+	// 4-state machine: revenue decays 1, 0.8, 0.4, 0; repair costs 0.5.
+	p, err := MachineRepair(4, 0.3, 0.5, []float64{1, 0.8, 0.4, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestMachineRepairConstruction(t *testing.T) {
+	p := testRepairProject(t)
+	if p.N() != 4 {
+		t.Fatalf("states = %d", p.N())
+	}
+	if p.P[Active].At(3, 0) != 1 {
+		t.Fatal("repair must reset to state 0")
+	}
+	if p.P[Passive].At(1, 2) != 0.3 {
+		t.Fatal("passive decay wrong")
+	}
+	if _, err := MachineRepair(1, 0.3, 0, []float64{1}); err == nil {
+		t.Error("n=1 accepted")
+	}
+	if _, err := MachineRepair(3, 1.5, 0, []float64{1, 1, 1}); err == nil {
+		t.Error("decay > 1 accepted")
+	}
+}
+
+func TestMachineRepairIndexable(t *testing.T) {
+	p := testRepairProject(t)
+	rep, err := CheckIndexability(p, 0.9, -30, 30, 120)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Indexable {
+		t.Fatalf("machine-repair not indexable: %v", rep.Violations)
+	}
+}
+
+func TestWhittleIndexMonotoneInDeterioration(t *testing.T) {
+	// Worse machine states should be (weakly) more attractive to repair:
+	// the Whittle index increases with deterioration.
+	p := testRepairProject(t)
+	idx, err := WhittleIndex(p, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sort.Float64sAreSorted(idx) {
+		t.Fatalf("Whittle indices not monotone in state: %v", idx)
+	}
+	if idx[0] >= idx[3] {
+		t.Fatalf("expected strict spread between best and worst state: %v", idx)
+	}
+}
+
+// At λ equal to the Whittle index of state i, the activation advantage at i
+// must be ≈ 0 (the indifference definition).
+func TestWhittleIndifference(t *testing.T) {
+	p := testRepairProject(t)
+	beta := 0.9
+	idx, err := WhittleIndex(p, beta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, lam := range idx {
+		_, adv, err := SolveSubsidy(p, lam, beta)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(adv[i]) > 1e-5 {
+			t.Fatalf("state %d: advantage %v at its own index %v, want ≈0", i, adv[i], lam)
+		}
+	}
+}
+
+// Advantage must be monotonically nonincreasing in the subsidy on an
+// indexable instance.
+func TestAdvantageMonotoneInSubsidy(t *testing.T) {
+	p := testRepairProject(t)
+	prev := make([]float64, p.N())
+	for i := range prev {
+		prev[i] = math.Inf(1)
+	}
+	for _, lam := range []float64{-5, -2, 0, 1, 2, 5, 10} {
+		_, adv, err := SolveSubsidy(p, lam, 0.9)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range adv {
+			if adv[i] > prev[i]+1e-8 {
+				t.Fatalf("state %d: advantage increased with subsidy (%v → %v at λ=%v)", i, prev[i], adv[i], lam)
+			}
+			prev[i] = adv[i]
+		}
+	}
+}
+
+// A restless project whose two actions are identical must have advantage
+// exactly −λ and Whittle index 0 everywhere.
+func TestDegenerateEqualActions(t *testing.T) {
+	s := rng.New(900)
+	base := RandomProject(4, s)
+	dp := &Project{}
+	dp.P[Passive] = base.P[Active].Clone()
+	dp.P[Active] = base.P[Active].Clone()
+	rr := append([]float64(nil), base.R[Active]...)
+	dp.R[Passive] = rr
+	dp.R[Active] = append([]float64(nil), rr...)
+	idx, err := WhittleIndex(dp, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range idx {
+		if math.Abs(v) > 1e-6 {
+			t.Fatalf("degenerate project state %d has index %v, want 0", i, v)
+		}
+	}
+}
+
+func TestValidation(t *testing.T) {
+	p := testRepairProject(t)
+	if _, _, err := SolveSubsidy(p, 0, 1.0); err == nil {
+		t.Error("beta = 1 accepted")
+	}
+	if _, err := CheckIndexability(p, 0.9, 0, 1, 1); err == nil {
+		t.Error("steps < 2 accepted")
+	}
+}

@@ -1,0 +1,211 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"stochsched/internal/rng"
+)
+
+func TestRunningKnown(t *testing.T) {
+	var r Running
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		r.Add(x)
+	}
+	if r.N() != 8 {
+		t.Fatalf("n = %d", r.N())
+	}
+	if math.Abs(r.Mean()-5) > 1e-12 {
+		t.Fatalf("mean = %v, want 5", r.Mean())
+	}
+	// Sample variance (n-1): Σ(x-5)² = 32 → 32/7.
+	if math.Abs(r.Var()-32.0/7) > 1e-12 {
+		t.Fatalf("var = %v, want %v", r.Var(), 32.0/7)
+	}
+	if r.Min() != 2 || r.Max() != 9 {
+		t.Fatalf("min/max = %v/%v", r.Min(), r.Max())
+	}
+}
+
+func TestRunningMatchesBatch(t *testing.T) {
+	s := rng.New(44)
+	err := quick.Check(func(nRaw uint8) bool {
+		n := int(nRaw%50) + 2
+		xs := make([]float64, n)
+		var r Running
+		for i := range xs {
+			xs[i] = s.Norm()*3 + 1
+			r.Add(xs[i])
+		}
+		mean := 0.0
+		for _, x := range xs {
+			mean += x
+		}
+		mean /= float64(n)
+		varr := 0.0
+		for _, x := range xs {
+			varr += (x - mean) * (x - mean)
+		}
+		varr /= float64(n - 1)
+		return math.Abs(r.Mean()-mean) < 1e-9 && math.Abs(r.Var()-varr) < 1e-9
+	}, &quick.Config{MaxCount: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMergeEqualsCombined(t *testing.T) {
+	s := rng.New(45)
+	var a, b, all Running
+	for i := 0; i < 100; i++ {
+		x := s.Float64() * 10
+		a.Add(x)
+		all.Add(x)
+	}
+	for i := 0; i < 57; i++ {
+		x := s.Norm()
+		b.Add(x)
+		all.Add(x)
+	}
+	a.Merge(&b)
+	if a.N() != all.N() {
+		t.Fatalf("merged n = %d, want %d", a.N(), all.N())
+	}
+	if math.Abs(a.Mean()-all.Mean()) > 1e-9 || math.Abs(a.Var()-all.Var()) > 1e-9 {
+		t.Fatalf("merged mean/var = %v/%v, want %v/%v", a.Mean(), a.Var(), all.Mean(), all.Var())
+	}
+	if a.Min() != all.Min() || a.Max() != all.Max() {
+		t.Fatal("merged min/max wrong")
+	}
+}
+
+func TestMergeEmptyCases(t *testing.T) {
+	var a, b Running
+	a.Add(1)
+	a.Merge(&b) // no-op
+	if a.N() != 1 {
+		t.Fatal("merge with empty changed n")
+	}
+	var c Running
+	c.Merge(&a)
+	if c.N() != 1 || c.Mean() != 1 {
+		t.Fatal("merge into empty failed")
+	}
+}
+
+func TestCI95Coverage(t *testing.T) {
+	// The CI over replications of a known-mean process should cover the
+	// truth about 95% of the time.
+	s := rng.New(46)
+	covered := 0
+	const trials = 400
+	for trial := 0; trial < trials; trial++ {
+		var r Running
+		for i := 0; i < 50; i++ {
+			r.Add(s.Norm())
+		}
+		if math.Abs(r.Mean()) <= r.CI95() {
+			covered++
+		}
+	}
+	frac := float64(covered) / trials
+	if frac < 0.90 || frac > 0.99 {
+		t.Fatalf("CI coverage = %v, want ≈0.95", frac)
+	}
+}
+
+func TestTimeWeighted(t *testing.T) {
+	var tw TimeWeighted
+	tw.Observe(0, 0) // value 0 on [0,1)
+	tw.Observe(1, 2) // value 2 on [1,3)
+	tw.Observe(3, 1) // value 1 on [3,4]
+	got := tw.Average(4)
+	want := (0*1 + 2*2 + 1*1) / 4.0
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("time average = %v, want %v", got, want)
+	}
+}
+
+func TestTimeWeightedMonotonicPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on decreasing time")
+		}
+	}()
+	var tw TimeWeighted
+	tw.Observe(1, 1)
+	tw.Observe(0, 2)
+}
+
+func TestBatchMeans(t *testing.T) {
+	b := NewBatchMeans(10)
+	s := rng.New(47)
+	for i := 0; i < 1000; i++ {
+		b.Add(5 + s.Norm())
+	}
+	if b.Batches() != 100 {
+		t.Fatalf("batches = %d, want 100", b.Batches())
+	}
+	if math.Abs(b.Mean()-5) > 0.2 {
+		t.Fatalf("batch mean = %v, want ≈5", b.Mean())
+	}
+	if b.CI95() <= 0 {
+		t.Fatal("CI must be positive")
+	}
+}
+
+func TestP2QuantileNormal(t *testing.T) {
+	s := rng.New(48)
+	for _, p := range []float64{0.5, 0.9, 0.99} {
+		q := NewP2Quantile(p)
+		for i := 0; i < 200000; i++ {
+			q.Add(s.Norm())
+		}
+		// Exact standard normal quantiles.
+		want := map[float64]float64{0.5: 0, 0.9: 1.2816, 0.99: 2.3263}[p]
+		if math.Abs(q.Value()-want) > 0.05 {
+			t.Errorf("p=%v: estimate %v, want %v", p, q.Value(), want)
+		}
+	}
+}
+
+func TestP2QuantileSmallSamples(t *testing.T) {
+	q := NewP2Quantile(0.5)
+	q.Add(3)
+	q.Add(1)
+	q.Add(2)
+	v := q.Value()
+	if v < 1 || v > 3 {
+		t.Fatalf("small-sample median = %v", v)
+	}
+}
+
+func TestP2AgainstExactUniform(t *testing.T) {
+	s := rng.New(49)
+	q := NewP2Quantile(0.75)
+	var xs []float64
+	for i := 0; i < 50000; i++ {
+		x := s.Float64()
+		q.Add(x)
+		xs = append(xs, x)
+	}
+	sort.Float64s(xs)
+	exact := xs[int(0.75*float64(len(xs)))]
+	if math.Abs(q.Value()-exact) > 0.01 {
+		t.Fatalf("P2 = %v, exact = %v", q.Value(), exact)
+	}
+}
+
+func TestRelGap(t *testing.T) {
+	if RelGap(11, 10) != 0.1 {
+		t.Fatal("RelGap wrong")
+	}
+	if RelGap(9, -10) != 1.9 {
+		t.Fatalf("RelGap sign handling wrong: %v", RelGap(9, -10))
+	}
+	if RelGap(5, 0) != 0 {
+		t.Fatal("RelGap zero reference")
+	}
+}
