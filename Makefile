@@ -1,0 +1,38 @@
+GO ?= go
+
+.PHONY: build test race bench fmt fmt-check vet ci
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Race-detector pass over the concurrency-bearing packages (the engine and
+# everything that fans replications out over it).
+race:
+	$(GO) test -race ./internal/engine/... ./internal/experiments/... \
+		./internal/queueing/... ./internal/batch/... \
+		./internal/bandit/... ./internal/restless/...
+
+# Engine replication benchmark at parallelism 1/4/max, rendered as
+# machine-readable BENCH_engine.json for the performance trajectory.
+bench:
+	$(GO) test -run '^$$' -bench BenchmarkEngineReplications -benchmem . > bench_engine.out
+	@cat bench_engine.out
+	$(GO) run ./cmd/bench2json < bench_engine.out > BENCH_engine.json
+	@rm -f bench_engine.out
+	@echo wrote BENCH_engine.json
+
+fmt:
+	gofmt -w .
+
+fmt-check:
+	@diff=$$(gofmt -l .); if [ -n "$$diff" ]; then \
+		echo "gofmt needed on:"; echo "$$diff"; exit 1; fi
+
+vet:
+	$(GO) vet ./...
+
+# The CI entry point: identical to what .github/workflows/ci.yml runs.
+ci: build vet fmt-check test race

@@ -5,9 +5,15 @@ package stochsched
 // exercises the entire reproduction suite and reports its cost.
 
 import (
+	"context"
+	"fmt"
+	"runtime"
 	"testing"
 
+	"stochsched/internal/batch"
+	"stochsched/internal/engine"
 	"stochsched/internal/experiments"
+	"stochsched/internal/rng"
 )
 
 func benchExperiment(b *testing.B, id string) {
@@ -25,6 +31,34 @@ func benchExperiment(b *testing.B, id string) {
 		if len(tab.Rows) == 0 {
 			b.Fatalf("%s produced no rows", id)
 		}
+	}
+}
+
+// BenchmarkEngineReplications measures the engine's replication fan-out on
+// a representative Monte Carlo workload (a 40-job WSEPT list simulation,
+// 2000 replications per op) at fixed parallelism levels. `make bench`
+// renders its output as BENCH_engine.json for the performance trajectory.
+func BenchmarkEngineReplications(b *testing.B) {
+	in := batch.RandomInstance(40, 4, rng.New(5))
+	o := batch.WSEPT(in.Jobs)
+	levels := []int{1, 4}
+	if max := runtime.GOMAXPROCS(0); max != 1 && max != 4 {
+		levels = append(levels, max)
+	}
+	for _, par := range levels {
+		b.Run(fmt.Sprintf("parallel=%d", par), func(b *testing.B) {
+			pool := engine.NewPool(par)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				est, err := batch.EstimateParallel(context.Background(), pool, in, o, 2000, rng.New(uint64(i)+1))
+				if err != nil {
+					b.Fatal(err)
+				}
+				if est.Flowtime.N() != 2000 {
+					b.Fatalf("saw %d replications, want 2000", est.Flowtime.N())
+				}
+			}
+		})
 	}
 }
 

@@ -1,0 +1,81 @@
+// Command bench2json converts `go test -bench` output on stdin into a JSON
+// array on stdout, one object per benchmark line:
+//
+//	go test -run '^$' -bench BenchmarkEngineReplications -benchmem . | bench2json
+//
+// Each object carries the benchmark name, GOMAXPROCS suffix, iteration
+// count, ns/op, and (when -benchmem is on) B/op and allocs/op. `make bench`
+// uses it to emit BENCH_engine.json, the machine-readable record of the
+// engine's performance trajectory across PRs.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Entry is one benchmark measurement.
+type Entry struct {
+	Name        string  `json:"name"`
+	Procs       int     `json:"procs"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  *int64  `json:"bytes_per_op,omitempty"`
+	AllocsPerOp *int64  `json:"allocs_per_op,omitempty"`
+}
+
+func main() {
+	entries := []Entry{}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 4 || fields[3] != "ns/op" {
+			continue
+		}
+		e := Entry{Name: fields[0], Procs: 1}
+		if i := strings.LastIndex(fields[0], "-"); i >= 0 {
+			if p, err := strconv.Atoi(fields[0][i+1:]); err == nil {
+				e.Name, e.Procs = fields[0][:i], p
+			}
+		}
+		var err error
+		if e.Iterations, err = strconv.ParseInt(fields[1], 10, 64); err != nil {
+			continue
+		}
+		if e.NsPerOp, err = strconv.ParseFloat(fields[2], 64); err != nil {
+			continue
+		}
+		for i := 4; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseInt(fields[i], 10, 64)
+			if err != nil {
+				continue
+			}
+			switch fields[i+1] {
+			case "B/op":
+				e.BytesPerOp = &v
+			case "allocs/op":
+				e.AllocsPerOp = &v
+			}
+		}
+		entries = append(entries, e)
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "bench2json:", err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(entries); err != nil {
+		fmt.Fprintln(os.Stderr, "bench2json:", err)
+		os.Exit(1)
+	}
+}

@@ -1,22 +1,31 @@
 // Command stochsched runs the reproduction suite: it lists the experiments
 // derived from the survey's catalogue of classical results and executes any
-// subset, printing the tables EXPERIMENTS.md records.
+// subset, printing each experiment's result table.
+//
+// Experiments — and the Monte Carlo replications inside each one — fan out
+// over a shared worker pool sized by -parallel; tables are printed in
+// experiment order and are byte-identical for a given seed at any
+// parallelism level.
 //
 // Usage:
 //
 //	stochsched -list
 //	stochsched -run E09 -seed 1
-//	stochsched -run all -quick
+//	stochsched -run all -quick -parallel 8
+//	stochsched -run all -timeout 2m
 //	stochsched -catalog
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 
 	"stochsched/internal/core"
+	"stochsched/internal/engine"
 	"stochsched/internal/experiments"
 )
 
@@ -26,6 +35,8 @@ func main() {
 	run := flag.String("run", "", "experiment ID to run (e.g. E09), comma-separated list, or 'all'")
 	seed := flag.Uint64("seed", 1, "random seed")
 	quick := flag.Bool("quick", false, "reduced replication counts")
+	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "worker pool size shared across experiments and replications (results do not depend on it)")
+	timeout := flag.Duration("timeout", 0, "abort the run after this duration (0 = no limit)")
 	flag.Parse()
 
 	switch {
@@ -39,26 +50,29 @@ func main() {
 			fmt.Printf("%-24s optimal: %s; experiments %v\n", "", r.Optimality, r.Experiments)
 		}
 	case *run != "":
-		ids := strings.Split(*run, ",")
-		if *run == "all" {
-			ids = nil
-			for _, e := range experiments.All() {
-				ids = append(ids, e.ID)
+		ctx := context.Background()
+		if *timeout > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, *timeout)
+			defer cancel()
+		}
+		var ids []string
+		if *run != "all" {
+			for _, id := range strings.Split(*run, ",") {
+				ids = append(ids, strings.TrimSpace(id))
 			}
 		}
-		cfg := experiments.Config{Seed: *seed, Quick: *quick}
-		for _, id := range ids {
-			e, err := experiments.Get(strings.TrimSpace(id))
-			if err != nil {
-				fmt.Fprintln(os.Stderr, err)
-				os.Exit(1)
-			}
-			tab, err := e.Run(cfg)
-			if err != nil {
-				fmt.Fprintf(os.Stderr, "%s: %v\n", e.ID, err)
-				os.Exit(1)
-			}
+		cfg := experiments.Config{
+			Seed:  *seed,
+			Quick: *quick,
+			Ctx:   ctx,
+			Pool:  engine.NewPool(*parallel),
+		}
+		if err := experiments.RunAll(cfg, ids, func(tab *experiments.Table) {
 			fmt.Println(tab.String())
+		}); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
 		}
 	default:
 		flag.Usage()

@@ -26,10 +26,19 @@
 //     iteration (internal/markov), a two-phase simplex LP solver
 //     (internal/lp), streaming statistics (internal/stats), and a
 //     discrete-event simulation kernel (internal/des).
+//   - Execution (internal/engine): the shared concurrent replication
+//     runner. Monte Carlo replications fan out over a worker pool with
+//     per-replication RNG substreams and a strictly ordered streaming
+//     reduce, so every simulator and the experiment suite produce
+//     byte-identical results for a given seed at any parallelism level,
+//     with context-based cancellation and timeouts throughout.
 //
 // The reproduction suite (internal/experiments, runnable via
-// cmd/stochsched) contains 28 experiments, one per classical result the
-// survey cites; BenchmarkE* in this package regenerate each experiment's
-// table. See DESIGN.md for the experiment index and EXPERIMENTS.md for
-// recorded outputs.
+// cmd/stochsched with -parallel and -timeout) contains 28 experiments, one
+// per classical result the survey cites; BenchmarkE* in this package
+// regenerate each experiment's table and BenchmarkEngineReplications
+// tracks the engine's replication throughput. Run `stochsched -list` for
+// the experiment index and `stochsched -catalog` for the index-rule
+// catalogue; README.md covers the build, CI, and parallel-execution
+// workflow.
 package stochsched

@@ -5,10 +5,12 @@
 package main
 
 import (
+	"context"
 	"fmt"
 
 	"stochsched/internal/batch"
 	"stochsched/internal/dist"
+	"stochsched/internal/engine"
 	"stochsched/internal/rng"
 )
 
@@ -24,7 +26,10 @@ func main() {
 	fmt.Println("Talwar order (µ1−µ2 decreasing):", talwar)
 
 	const reps = 20000
-	est := batch.EstimateFlowShop(jobs, talwar, reps, s.Split())
+	est, err := batch.EstimateFlowShop(context.Background(), engine.NewPool(0), jobs, talwar, reps, s.Split())
+	if err != nil {
+		panic(err)
+	}
 	fmt.Printf("Talwar E[makespan], infinite buffer: %v\n", est)
 
 	bestOrder, bestVal := batch.BestFlowShopOrderCRN(jobs, 5000, s.Split())

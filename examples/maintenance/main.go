@@ -6,8 +6,10 @@
 package main
 
 import (
+	"context"
 	"fmt"
 
+	"stochsched/internal/engine"
 	"stochsched/internal/restless"
 	"stochsched/internal/rng"
 )
@@ -35,6 +37,8 @@ func main() {
 	}
 
 	s := rng.New(11)
+	ctx := context.Background()
+	pool := engine.NewPool(0) // all cores; results are identical at any parallelism
 	const n, m = 20, 5
 	fleet := &restless.Fleet{Type: machine, N: n, M: m}
 	bound, err := restless.FleetUpperBound(machine, n, m)
@@ -44,20 +48,20 @@ func main() {
 
 	fmt.Printf("\nfleet of %d machines, crew capacity %d per day\n", n, m)
 	fmt.Printf("%-18s %s\n", "policy", "avg daily profit")
-	w, err := fleet.EstimateStaticPriority(widx, 8000, 1000, 8, s.Split())
+	w, err := fleet.EstimateStaticPriority(ctx, pool, widx, 8000, 1000, 8, s.Split())
 	if err != nil {
 		panic(err)
 	}
 	fmt.Printf("%-18s %.4f ± %.2g\n", "Whittle index", w.Mean(), w.CI95())
-	my, err := fleet.EstimateStaticPriority(restless.MyopicScore(machine), 8000, 1000, 8, s.Split())
+	my, err := fleet.EstimateStaticPriority(ctx, pool, restless.MyopicScore(machine), 8000, 1000, 8, s.Split())
 	if err != nil {
 		panic(err)
 	}
 	fmt.Printf("%-18s %.4f ± %.2g\n", "myopic", my.Mean(), my.CI95())
-	rnd, err := fleet.SimulateRandomPolicy(8000, 1000, s.Split())
+	rnd, err := fleet.EstimateRandomPolicy(ctx, pool, 8000, 1000, 8, s.Split())
 	if err != nil {
 		panic(err)
 	}
-	fmt.Printf("%-18s %.4f\n", "random crew", rnd)
+	fmt.Printf("%-18s %.4f ± %.2g\n", "random crew", rnd.Mean(), rnd.CI95())
 	fmt.Printf("%-18s %.4f (not attainable: average-activation relaxation)\n", "LP upper bound", bound)
 }

@@ -6,9 +6,11 @@
 package main
 
 import (
+	"context"
 	"fmt"
 
 	"stochsched/internal/dist"
+	"stochsched/internal/engine"
 	"stochsched/internal/queueing"
 	"stochsched/internal/rng"
 )
@@ -37,6 +39,8 @@ func main() {
 	}
 
 	s := rng.New(7)
+	ctx := context.Background()
+	pool := engine.NewPool(0) // all cores; results are identical at any parallelism
 	fmt.Printf("\n%-22s %-14s %-14s\n", "policy", "cost (exact)", "cost (sim)")
 	show := func(name string, order []int, d queueing.Discipline) {
 		var exact float64
@@ -50,7 +54,7 @@ func main() {
 			_, l := ws.ExactFIFO()
 			exact = ws.HoldingCostRate(l)
 		}
-		rep, err := ws.Replicate(d, 30000, 3000, 5, s.Split())
+		rep, err := ws.Replicate(ctx, pool, d, 30000, 3000, 5, s.Split())
 		if err != nil {
 			panic(err)
 		}

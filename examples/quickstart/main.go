@@ -4,10 +4,12 @@
 package main
 
 import (
+	"context"
 	"fmt"
 
 	"stochsched/internal/batch"
 	"stochsched/internal/dist"
+	"stochsched/internal/engine"
 	"stochsched/internal/rng"
 )
 
@@ -31,7 +33,10 @@ func main() {
 	fmt.Printf("\nexpected weighted flowtime (exact): %.4f\n", exact)
 
 	s := rng.New(1)
-	est := batch.EstimateSingleMachine(jobs, order, 20000, s)
+	est, err := batch.EstimateSingleMachine(context.Background(), engine.NewPool(0), jobs, order, 20000, s)
+	if err != nil {
+		panic(err)
+	}
 	fmt.Printf("simulated over 20000 runs:          %v\n", est)
 
 	_, best := batch.BestOrderExhaustive(jobs)

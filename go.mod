@@ -1,0 +1,3 @@
+module stochsched
+
+go 1.22

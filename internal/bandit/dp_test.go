@@ -4,6 +4,8 @@ import (
 	"math"
 	"testing"
 
+	"context"
+	"stochsched/internal/engine"
 	"stochsched/internal/rng"
 )
 
@@ -93,7 +95,10 @@ func TestSimulationMatchesPolicyValue(t *testing.T) {
 		t.Fatal(err)
 	}
 	start := make([]int, len(b.Projects))
-	est := EstimateDiscounted(b, pol, start, 4000, s.Split())
+	est, err := EstimateDiscounted(context.Background(), engine.NewPool(0), b, pol, start, 4000, s.Split())
+	if err != nil {
+		t.Fatal(err)
+	}
 	if math.Abs(est.Mean()-exact[0]) > 4*est.CI95() {
 		t.Fatalf("simulated %v (±%v), exact %v", est.Mean(), est.CI95(), exact[0])
 	}

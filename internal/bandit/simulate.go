@@ -1,8 +1,10 @@
 package bandit
 
 import (
+	"context"
 	"math"
 
+	"stochsched/internal/engine"
 	"stochsched/internal/rng"
 	"stochsched/internal/stats"
 )
@@ -38,11 +40,13 @@ func SimulateDiscounted(b *Bandit, pol Policy, start []int, tol float64, s *rng.
 }
 
 // EstimateDiscounted aggregates independent replications of
-// SimulateDiscounted.
-func EstimateDiscounted(b *Bandit, pol Policy, start []int, reps int, s *rng.Stream) *stats.Running {
-	var r stats.Running
-	for i := 0; i < reps; i++ {
-		r.Add(SimulateDiscounted(b, pol, start, 1e-9, s.Split()))
-	}
-	return &r
+// SimulateDiscounted on the pool. Replications run concurrently (the
+// policy must be safe for concurrent read-only use, which every index
+// policy is), and the aggregate is byte-identical for a given seed at any
+// parallelism level.
+func EstimateDiscounted(ctx context.Context, p *engine.Pool, b *Bandit, pol Policy, start []int, reps int, s *rng.Stream) (*stats.Running, error) {
+	return engine.Replicate(ctx, p, reps, s,
+		func(_ context.Context, _ int, sub *rng.Stream) (float64, error) {
+			return SimulateDiscounted(b, pol, start, 1e-9, sub), nil
+		})
 }

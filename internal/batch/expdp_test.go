@@ -128,7 +128,7 @@ func TestPolicyValueMatchesSimulation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	est := EstimateParallel(in, o, 40000, s)
+	est := mustEstimateParallel(t, in, o, 40000, s)
 	if math.Abs(est.Flowtime.Mean()-exact) > 4*est.Flowtime.CI95() {
 		t.Fatalf("simulated flowtime %v (±%v), exact %v", est.Flowtime.Mean(), est.Flowtime.CI95(), exact)
 	}

@@ -1,9 +1,11 @@
 package batch
 
 import (
+	"context"
 	"sort"
 
 	"stochsched/internal/dist"
+	"stochsched/internal/engine"
 	"stochsched/internal/rng"
 	"stochsched/internal/stats"
 )
@@ -103,14 +105,15 @@ func TalwarOrder(jobs []FlowShopJob) Order {
 	return o
 }
 
-// EstimateFlowShop estimates E[makespan] of order o over reps replications.
-func EstimateFlowShop(jobs []FlowShopJob, o Order, reps int, s *rng.Stream) *stats.Running {
-	var r stats.Running
-	for i := 0; i < reps; i++ {
-		p := SampleFlowShop(jobs, s.Split())
-		r.Add(FlowShopMakespan(p, o))
-	}
-	return &r
+// EstimateFlowShop estimates E[makespan] of order o over reps replications
+// on the pool, byte-identical for a given seed at any parallelism level.
+// The only possible error is cancellation of ctx.
+func EstimateFlowShop(ctx context.Context, pool *engine.Pool, jobs []FlowShopJob, o Order, reps int, s *rng.Stream) (*stats.Running, error) {
+	return engine.Replicate(ctx, pool, reps, s,
+		func(_ context.Context, _ int, sub *rng.Stream) (float64, error) {
+			p := SampleFlowShop(jobs, sub)
+			return FlowShopMakespan(p, o), nil
+		})
 }
 
 // BestFlowShopOrderCRN estimates the best permutation for expected makespan

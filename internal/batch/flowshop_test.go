@@ -1,10 +1,12 @@
 package batch
 
 import (
+	"context"
 	"math"
 	"testing"
 
 	"stochsched/internal/dist"
+	"stochsched/internal/engine"
 	"stochsched/internal/rng"
 )
 
@@ -93,10 +95,16 @@ func TestEstimateFlowShopConsistent(t *testing.T) {
 	s := rng.New(501)
 	jobs := expFSJobs([]float64{1, 2}, []float64{2, 1})
 	o := Order{0, 1}
-	a := EstimateFlowShop(jobs, o, 20000, rng.New(7))
-	b := EstimateFlowShop(jobs, o, 20000, rng.New(7))
+	a, err := EstimateFlowShop(context.Background(), engine.NewPool(0), jobs, o, 20000, rng.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := EstimateFlowShop(context.Background(), engine.NewPool(1), jobs, o, 20000, rng.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
 	if a.Mean() != b.Mean() {
-		t.Fatal("estimator not deterministic under equal seeds")
+		t.Fatal("estimator not deterministic under equal seeds and parallelism levels")
 	}
 	_ = s
 }

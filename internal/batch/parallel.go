@@ -2,10 +2,12 @@ package batch
 
 import (
 	"container/heap"
+	"context"
 	"fmt"
 	"math"
 
 	"stochsched/internal/dist"
+	"stochsched/internal/engine"
 	"stochsched/internal/rng"
 	"stochsched/internal/stats"
 )
@@ -66,16 +68,25 @@ type ParallelEstimate struct {
 }
 
 // EstimateParallel runs reps independent replications of order o on the
-// instance and returns aggregate statistics for all three objectives.
-func EstimateParallel(in *Instance, o Order, reps int, s *rng.Stream) *ParallelEstimate {
+// instance over the pool and returns aggregate statistics for all three
+// objectives, byte-identical for a given seed at any parallelism level.
+// The only possible error is cancellation of ctx.
+func EstimateParallel(ctx context.Context, p *engine.Pool, in *Instance, o Order, reps int, s *rng.Stream) (*ParallelEstimate, error) {
 	var est ParallelEstimate
-	for i := 0; i < reps; i++ {
-		r := SimulateParallel(in, o, s.Split())
-		est.Flowtime.Add(r.Flowtime)
-		est.WeightedFlowtime.Add(r.WeightedFlowtime)
-		est.Makespan.Add(r.Makespan)
+	err := engine.ReplicateReduce(ctx, p, reps, s,
+		func(_ context.Context, _ int, sub *rng.Stream) (ParallelResult, error) {
+			return SimulateParallel(in, o, sub), nil
+		},
+		func(_ int, r ParallelResult) error {
+			est.Flowtime.Add(r.Flowtime)
+			est.WeightedFlowtime.Add(r.WeightedFlowtime)
+			est.Makespan.Add(r.Makespan)
+			return nil
+		})
+	if err != nil {
+		return nil, err
 	}
-	return &est
+	return &est, nil
 }
 
 // supportOf extracts the finite support of a distribution, when it has one.
@@ -205,11 +216,10 @@ func smithRealized(w, p float64) float64 {
 // Smith order. Weiss (1992) shows the WSEPT list policy's gap above the
 // optimum is O(1) in the number of jobs, so the relative gap measured
 // against this bound vanishes as n grows — the turnpike experiment E07.
-func EstimateEEILowerBound(in *Instance, reps int, s *rng.Stream) *stats.Running {
-	var r stats.Running
-	for i := 0; i < reps; i++ {
-		p := in.SampleProcessingTimes(s.Split())
-		r.Add(eeiRealized(in.Jobs, p, in.Machines))
-	}
-	return &r
+func EstimateEEILowerBound(ctx context.Context, pool *engine.Pool, in *Instance, reps int, s *rng.Stream) (*stats.Running, error) {
+	return engine.Replicate(ctx, pool, reps, s,
+		func(_ context.Context, _ int, sub *rng.Stream) (float64, error) {
+			p := in.SampleProcessingTimes(sub)
+			return eeiRealized(in.Jobs, p, in.Machines), nil
+		})
 }

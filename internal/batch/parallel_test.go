@@ -4,7 +4,9 @@ import (
 	"math"
 	"testing"
 
+	"context"
 	"stochsched/internal/dist"
+	"stochsched/internal/engine"
 	"stochsched/internal/rng"
 )
 
@@ -47,8 +49,8 @@ func TestMoreMachinesNeverHurt(t *testing.T) {
 		o := SEPT(in.Jobs)
 		in2 := &Instance{Jobs: in.Jobs, Machines: 2}
 		in4 := &Instance{Jobs: in.Jobs, Machines: 4}
-		e2 := EstimateParallel(in2, o, 4000, s.Split())
-		e4 := EstimateParallel(in4, o, 4000, s.Split())
+		e2 := mustEstimateParallel(t, in2, o, 4000, s.Split())
+		e4 := mustEstimateParallel(t, in4, o, 4000, s.Split())
 		if e4.Makespan.Mean() > e2.Makespan.Mean()+3*(e4.Makespan.CI95()+e2.Makespan.CI95()) {
 			t.Fatalf("trial %d: 4 machines worse than 2 for makespan: %v vs %v",
 				trial, e4.Makespan.Mean(), e2.Makespan.Mean())
@@ -61,8 +63,11 @@ func TestEEILowerBoundHolds(t *testing.T) {
 	for trial := 0; trial < 20; trial++ {
 		n := 4 + s.Intn(20)
 		in := RandomInstance(n, 3, s.Split())
-		lb := EstimateEEILowerBound(in, 3000, s.Split())
-		est := EstimateParallel(in, WSEPT(in.Jobs), 3000, s.Split())
+		lb, err := EstimateEEILowerBound(context.Background(), engine.NewPool(0), in, 3000, s.Split())
+		if err != nil {
+			t.Fatal(err)
+		}
+		est := mustEstimateParallel(t, in, WSEPT(in.Jobs), 3000, s.Split())
 		if est.WeightedFlowtime.Mean() < lb.Mean()-4*(est.WeightedFlowtime.CI95()+lb.CI95()) {
 			t.Fatalf("trial %d: WSEPT %v below lower bound %v", trial, est.WeightedFlowtime.Mean(), lb.Mean())
 		}
@@ -145,11 +150,22 @@ func TestExactDiscreteMatchesSimulation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	est := EstimateParallel(in, o, 60000, s)
+	est := mustEstimateParallel(t, in, o, 60000, s)
 	if math.Abs(est.Flowtime.Mean()-exact.Flowtime) > 4*est.Flowtime.CI95() {
 		t.Fatalf("flowtime sim %v (±%v) vs exact %v", est.Flowtime.Mean(), est.Flowtime.CI95(), exact.Flowtime)
 	}
 	if math.Abs(est.Makespan.Mean()-exact.Makespan) > 4*est.Makespan.CI95() {
 		t.Fatalf("makespan sim %v (±%v) vs exact %v", est.Makespan.Mean(), est.Makespan.CI95(), exact.Makespan)
 	}
+}
+
+// mustEstimateParallel runs EstimateParallel on a default pool, failing the
+// test on (impossible, absent cancellation) error.
+func mustEstimateParallel(t *testing.T, in *Instance, o Order, reps int, s *rng.Stream) *ParallelEstimate {
+	t.Helper()
+	est, err := EstimateParallel(context.Background(), engine.NewPool(0), in, o, reps, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return est
 }

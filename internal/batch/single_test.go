@@ -1,11 +1,13 @@
 package batch
 
 import (
+	"context"
 	"math"
 	"testing"
 	"testing/quick"
 
 	"stochsched/internal/dist"
+	"stochsched/internal/engine"
 	"stochsched/internal/rng"
 )
 
@@ -45,7 +47,10 @@ func TestSimulationMatchesExact(t *testing.T) {
 	s := rng.New(101)
 	in := RandomInstance(6, 1, s.Split())
 	o := WSEPT(in.Jobs)
-	est := EstimateSingleMachine(in.Jobs, o, 20000, s.Split())
+	est, err := EstimateSingleMachine(context.Background(), engine.NewPool(0), in.Jobs, o, 20000, s.Split())
+	if err != nil {
+		t.Fatal(err)
+	}
 	exact := ExactWeightedFlowtime(in.Jobs, o)
 	if math.Abs(est.Mean()-exact) > 4*est.CI95() {
 		t.Fatalf("simulated %v (±%v), exact %v", est.Mean(), est.CI95(), exact)

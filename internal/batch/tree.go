@@ -1,9 +1,11 @@
 package batch
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
+	"stochsched/internal/engine"
 	"stochsched/internal/rng"
 	"stochsched/internal/stats"
 )
@@ -104,11 +106,15 @@ func RandomInTree(n int, s *rng.Stream) *InTree {
 }
 
 // TreeSelector picks which available jobs to serve; it returns at most max
-// of the supplied available jobs.
-type TreeSelector func(t *InTree, available []int, max int) []int
+// of the supplied available jobs. Randomized selectors must draw only from
+// the supplied stream (the replication's own substream), so replications
+// stay independent and seed-stable under parallel execution; deterministic
+// selectors ignore it and may be called with a nil stream (as the exact DP
+// evaluators do).
+type TreeSelector func(t *InTree, available []int, max int, s *rng.Stream) []int
 
 // HLF is the Highest-Level-First selector.
-func HLF(t *InTree, available []int, max int) []int {
+func HLF(t *InTree, available []int, max int, _ *rng.Stream) []int {
 	picked := append([]int(nil), available...)
 	sort.SliceStable(picked, func(a, b int) bool {
 		return t.Level(picked[a]) > t.Level(picked[b])
@@ -120,7 +126,7 @@ func HLF(t *InTree, available []int, max int) []int {
 }
 
 // LLF is Lowest-Level-First, the adversarial contrast to HLF.
-func LLF(t *InTree, available []int, max int) []int {
+func LLF(t *InTree, available []int, max int, _ *rng.Stream) []int {
 	picked := append([]int(nil), available...)
 	sort.SliceStable(picked, func(a, b int) bool {
 		return t.Level(picked[a]) < t.Level(picked[b])
@@ -131,17 +137,15 @@ func LLF(t *InTree, available []int, max int) []int {
 	return picked
 }
 
-// RandomSelector returns a selector that picks uniformly at random among
-// available jobs, using the supplied stream.
-func RandomSelector(s *rng.Stream) TreeSelector {
-	return func(t *InTree, available []int, max int) []int {
-		picked := append([]int(nil), available...)
-		s.Shuffle(len(picked), func(i, j int) { picked[i], picked[j] = picked[j], picked[i] })
-		if len(picked) > max {
-			picked = picked[:max]
-		}
-		return picked
+// RandomSelector picks uniformly at random among available jobs, drawing
+// from the replication's stream.
+func RandomSelector(_ *InTree, available []int, max int, s *rng.Stream) []int {
+	picked := append([]int(nil), available...)
+	s.Shuffle(len(picked), func(i, j int) { picked[i], picked[j] = picked[j], picked[i] })
+	if len(picked) > max {
+		picked = picked[:max]
 	}
+	return picked
 }
 
 // SimulateTreeMakespan runs one replication of the selector policy on m
@@ -155,7 +159,7 @@ func SimulateTreeMakespan(t *InTree, m int, rate float64, sel TreeSelector, s *r
 	clock := 0.0
 	for remaining > 0 {
 		avail := t.availableBool(done)
-		serve := sel(t, avail, m)
+		serve := sel(t, avail, m, s)
 		k := len(serve)
 		if k == 0 {
 			panic("batch: no available jobs with incomplete batch (invalid tree)")
@@ -170,13 +174,14 @@ func SimulateTreeMakespan(t *InTree, m int, rate float64, sel TreeSelector, s *r
 	return clock
 }
 
-// EstimateTreeMakespan aggregates replications of SimulateTreeMakespan.
-func EstimateTreeMakespan(t *InTree, m int, rate float64, sel TreeSelector, reps int, s *rng.Stream) *stats.Running {
-	var r stats.Running
-	for i := 0; i < reps; i++ {
-		r.Add(SimulateTreeMakespan(t, m, rate, sel, s.Split()))
-	}
-	return &r
+// EstimateTreeMakespan aggregates replications of SimulateTreeMakespan on
+// the pool, byte-identical for a given seed at any parallelism level. The
+// only possible error is cancellation of ctx.
+func EstimateTreeMakespan(ctx context.Context, p *engine.Pool, t *InTree, m int, rate float64, sel TreeSelector, reps int, s *rng.Stream) (*stats.Running, error) {
+	return engine.Replicate(ctx, p, reps, s,
+		func(_ context.Context, _ int, sub *rng.Stream) (float64, error) {
+			return SimulateTreeMakespan(t, m, rate, sel, sub), nil
+		})
 }
 
 // TreeOptimalDP computes the exact minimal expected makespan for identical
@@ -224,7 +229,10 @@ func TreeOptimalDP(t *InTree, m int, rate float64) (float64, error) {
 }
 
 // TreePolicyDP evaluates a deterministic selector exactly under the same
-// Markov dynamics as TreeOptimalDP.
+// Markov dynamics as TreeOptimalDP. The selector is invoked with a nil
+// stream: only deterministic selectors (HLF, LLF, …) are supported, and a
+// randomized selector such as RandomSelector will panic — its exact "value"
+// is not well defined under the memoized DP in the first place.
 func TreePolicyDP(t *InTree, m int, rate float64, sel TreeSelector) (float64, error) {
 	n := t.N()
 	if n > maxDPJobs {
@@ -242,7 +250,7 @@ func TreePolicyDP(t *InTree, m int, rate float64, sel TreeSelector) (float64, er
 			return memo[completed]
 		}
 		avail := t.available(completed)
-		serve := sel(t, avail, m)
+		serve := sel(t, avail, m, nil)
 		k := float64(len(serve))
 		cost := 1 / (k * rate)
 		for _, j := range serve {

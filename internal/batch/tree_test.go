@@ -4,6 +4,8 @@ import (
 	"math"
 	"testing"
 
+	"context"
+	"stochsched/internal/engine"
 	"stochsched/internal/rng"
 )
 
@@ -145,7 +147,10 @@ func TestSimulationMatchesPolicyDP(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	est := EstimateTreeMakespan(tree, 2, 1.5, HLF, 30000, s.Split())
+	est, err := EstimateTreeMakespan(context.Background(), engine.NewPool(0), tree, 2, 1.5, HLF, 30000, s.Split())
+	if err != nil {
+		t.Fatal(err)
+	}
 	if math.Abs(est.Mean()-exact) > 4*est.CI95() {
 		t.Fatalf("simulated %v (±%v), exact %v", est.Mean(), est.CI95(), exact)
 	}

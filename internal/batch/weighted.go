@@ -1,10 +1,12 @@
 package batch
 
 import (
+	"context"
 	"fmt"
 	"math/bits"
 	"sort"
 
+	"stochsched/internal/engine"
 	"stochsched/internal/rng"
 )
 
@@ -168,14 +170,23 @@ func SimulateUniformList(in *UniformInstance, o Order, s *rng.Stream) ParallelRe
 	return res
 }
 
-// EstimateUniformList aggregates replications of SimulateUniformList.
-func EstimateUniformList(in *UniformInstance, o Order, reps int, s *rng.Stream) *ParallelEstimate {
+// EstimateUniformList aggregates replications of SimulateUniformList on
+// the pool, byte-identical for a given seed at any parallelism level. The
+// only possible error is cancellation of ctx.
+func EstimateUniformList(ctx context.Context, p *engine.Pool, in *UniformInstance, o Order, reps int, s *rng.Stream) (*ParallelEstimate, error) {
 	var est ParallelEstimate
-	for i := 0; i < reps; i++ {
-		r := SimulateUniformList(in, o, s.Split())
-		est.Flowtime.Add(r.Flowtime)
-		est.WeightedFlowtime.Add(r.WeightedFlowtime)
-		est.Makespan.Add(r.Makespan)
+	err := engine.ReplicateReduce(ctx, p, reps, s,
+		func(_ context.Context, _ int, sub *rng.Stream) (ParallelResult, error) {
+			return SimulateUniformList(in, o, sub), nil
+		},
+		func(_ int, r ParallelResult) error {
+			est.Flowtime.Add(r.Flowtime)
+			est.WeightedFlowtime.Add(r.WeightedFlowtime)
+			est.Makespan.Add(r.Makespan)
+			return nil
+		})
+	if err != nil {
+		return nil, err
 	}
-	return &est
+	return &est, nil
 }

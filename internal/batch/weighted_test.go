@@ -1,10 +1,12 @@
 package batch
 
 import (
+	"context"
 	"math"
 	"testing"
 
 	"stochsched/internal/dist"
+	"stochsched/internal/engine"
 	"stochsched/internal/rng"
 )
 
@@ -97,7 +99,7 @@ func TestWeightedSimulationMatchesDP(t *testing.T) {
 		t.Fatal(err)
 	}
 	in := &Instance{Jobs: jobs, Machines: 2}
-	est := EstimateParallel(in, o, 40000, s)
+	est := mustEstimateParallel(t, in, o, 40000, s)
 	if math.Abs(est.WeightedFlowtime.Mean()-exact) > 4*est.WeightedFlowtime.CI95() {
 		t.Fatalf("simulated %v (±%v), exact %v", est.WeightedFlowtime.Mean(), est.WeightedFlowtime.CI95(), exact)
 	}
@@ -125,8 +127,11 @@ func TestUniformListMatchesIdenticalWhenSpeedsEqual(t *testing.T) {
 	o := SEPT(jobs)
 	uni := &UniformInstance{Jobs: jobs, Speeds: []float64{1, 1}}
 	ident := &Instance{Jobs: jobs, Machines: 2}
-	a := EstimateUniformList(uni, o, 20000, rng.New(77))
-	b := EstimateParallel(ident, o, 20000, rng.New(77))
+	a, err := EstimateUniformList(context.Background(), engine.NewPool(0), uni, o, 20000, rng.New(77))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := mustEstimateParallel(t, ident, o, 20000, rng.New(77))
 	if math.Abs(a.Flowtime.Mean()-b.Flowtime.Mean()) > 3*(a.Flowtime.CI95()+b.Flowtime.CI95()) {
 		t.Fatalf("unit-speed uniform %v vs identical %v", a.Flowtime.Mean(), b.Flowtime.Mean())
 	}
@@ -138,8 +143,14 @@ func TestFasterMachinesHelp(t *testing.T) {
 	o := SEPT(jobs)
 	slow := &UniformInstance{Jobs: jobs, Speeds: []float64{1, 0.5}}
 	fast := &UniformInstance{Jobs: jobs, Speeds: []float64{1.5, 1}}
-	a := EstimateUniformList(slow, o, 8000, s.Split())
-	b := EstimateUniformList(fast, o, 8000, s.Split())
+	a, err := EstimateUniformList(context.Background(), engine.NewPool(0), slow, o, 8000, s.Split())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := EstimateUniformList(context.Background(), engine.NewPool(0), fast, o, 8000, s.Split())
+	if err != nil {
+		t.Fatal(err)
+	}
 	if b.Makespan.Mean() >= a.Makespan.Mean() {
 		t.Fatalf("faster speeds did not reduce makespan: %v vs %v", b.Makespan.Mean(), a.Makespan.Mean())
 	}

@@ -1,0 +1,57 @@
+package dist
+
+import "math"
+
+// MonotoneHazard classifies the hazard-rate regime of a law with a
+// closed-form CDF by evaluating h(t) = f(t)/(1−F(t)) on the grid
+// step, 2·step, …, upTo (finite differences) and checking monotonicity:
+//
+//	"IHR"          increasing hazard rate (new-better-than-used regime)
+//	"DHR"          decreasing hazard rate
+//	"constant"     memoryless (exponential)
+//	"non-monotone" hazard changes direction inside the window
+//	"unknown"      the law exposes no CDF
+//
+// SEPT/LEPT optimality on parallel machines hinges on which regime the
+// processing-time law sits in (Weber 1982) — experiment E05 sweeps it.
+func MonotoneHazard(d Distribution, upTo, step float64) string {
+	c, ok := d.(cdfer)
+	if !ok || upTo <= 0 || step <= 0 {
+		return "unknown"
+	}
+	// Relative tolerance: treat hazard moves below 0.1% as flat.
+	const tol = 1e-3
+	prev := math.NaN()
+	increased, decreased := false, false
+	for t := step; t <= upTo; t += step {
+		surv := 1 - c.CDF(t)
+		if surv <= 1e-8 {
+			// Past effectively the whole mass; deeper in the tail the
+			// finite differences are dominated by floating-point noise.
+			break
+		}
+		h := (c.CDF(t+step) - c.CDF(t)) / (step * surv)
+		if !math.IsNaN(prev) {
+			scale := math.Max(math.Abs(prev), math.Abs(h))
+			if scale > 0 {
+				switch diff := (h - prev) / scale; {
+				case diff > tol:
+					increased = true
+				case diff < -tol:
+					decreased = true
+				}
+			}
+		}
+		prev = h
+	}
+	switch {
+	case increased && decreased:
+		return "non-monotone"
+	case increased:
+		return "IHR"
+	case decreased:
+		return "DHR"
+	default:
+		return "constant"
+	}
+}

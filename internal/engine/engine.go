@@ -1,0 +1,273 @@
+// Package engine is the shared concurrent execution layer for the
+// repository's Monte Carlo workloads: it fans independent replications out
+// over a worker pool and folds their results back together in a
+// deterministic order, so every simulation produces byte-identical
+// aggregates for a given seed regardless of the parallelism level.
+//
+// The three ingredients:
+//
+//   - Pool: a capacity-bounded set of execution slots shared across all
+//     concurrent work (across experiments and within each experiment's
+//     replication loop). Each Reduce call uses one dispatching goroutine
+//     that hands tasks to pool slots when available and executes them
+//     itself otherwise (while the caller blocks folding results), so a
+//     saturated pool degrades to sequential execution on the dispatcher
+//     and nested use of one pool self-throttles without deadlocking.
+//   - Streams: per-replication RNG substreams split from a parent stream in
+//     replication order before any work is dispatched, so the randomness a
+//     replication consumes is a function of (seed, replication index) only.
+//   - Reduce/Map/Replicate: fan-out with a streaming, strictly in-order
+//     fold. Results are consumed in replication order no matter when the
+//     workers finish, which keeps floating-point accumulation order — and
+//     therefore every reported digit — independent of scheduling.
+//
+// Cancellation is context-based: cancel the context (or let a timeout
+// fire) and in-flight replications are abandoned at the next dispatch
+// point, with the context error reported.
+package engine
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync"
+
+	"stochsched/internal/rng"
+	"stochsched/internal/stats"
+)
+
+// Pool bounds the number of worker goroutines the engine runs tasks on in
+// addition to each Reduce call's own dispatching goroutine (whose caller
+// blocks folding results in the meantime). A nil *Pool is valid and runs
+// everything on the dispatcher (fully sequential), which is the
+// deterministic baseline the parallel paths are verified against.
+type Pool struct {
+	slots chan struct{}
+	size  int
+}
+
+// NewPool returns a pool targeting n concurrently executing tasks. n ≤ 0
+// selects GOMAXPROCS. The submitting goroutine itself counts as one
+// executor, so NewPool(1) yields strictly sequential execution.
+func NewPool(n int) *Pool {
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	return &Pool{slots: make(chan struct{}, n-1), size: n}
+}
+
+// Size returns the target parallelism (1 for a nil pool).
+func (p *Pool) Size() int {
+	if p == nil {
+		return 1
+	}
+	return p.size
+}
+
+// tryAcquire claims a worker slot without blocking.
+func (p *Pool) tryAcquire() bool {
+	if p == nil {
+		return false
+	}
+	select {
+	case p.slots <- struct{}{}:
+		return true
+	default:
+		return false
+	}
+}
+
+func (p *Pool) release() { <-p.slots }
+
+// Streams splits n independent substreams off src in index order. The i-th
+// stream depends only on src's state and i, never on execution order, so
+// handing streams[i] to replication i keeps parallel runs seed-stable.
+func Streams(src *rng.Stream, n int) []*rng.Stream {
+	out := make([]*rng.Stream, n)
+	for i := range out {
+		out[i] = src.Split()
+	}
+	return out
+}
+
+// item carries one task's result to the in-order collector.
+type item[T any] struct {
+	i   int
+	v   T
+	err error
+}
+
+// Reduce runs fn(ctx, i) for i in [0, n) on the pool and feeds the results
+// to reduce strictly in index order, streaming them as soon as each next
+// index is available. After an error, no further reduce calls are made and
+// outstanding work is cancelled. The returned error prefers real failures
+// over cancellation echoes and, among the real failures observed, the one
+// with the lowest index; when a run aborts because its own context was
+// cancelled from outside, the context's error is returned. (Which tasks
+// run far enough to fail can depend on scheduling, so with multiple
+// independently failing tasks the surviving error is the earliest
+// *observed*, not necessarily the earliest possible.)
+func Reduce[T any](ctx context.Context, p *Pool, n int, fn func(ctx context.Context, i int) (T, error), reduce func(i int, v T) error) error {
+	return reduceCore(ctx, p, n,
+		func(i int) func(ctx context.Context) (T, error) {
+			return func(ctx context.Context) (T, error) { return fn(ctx, i) }
+		},
+		reduce)
+}
+
+// reduceCore is the shared fan-out/fold machinery. bind(i) is called on the
+// dispatching goroutine in strictly ascending index order immediately
+// before task i starts, so any order-sensitive per-task setup (such as
+// splitting an RNG substream) is a function of the index alone, never of
+// scheduling.
+func reduceCore[T any](ctx context.Context, p *Pool, n int, bind func(i int) func(ctx context.Context) (T, error), reduce func(i int, v T) error) error {
+	if n <= 0 {
+		return ctx.Err()
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	results := make(chan item[T], n)
+	run := func(i int, task func(ctx context.Context) (T, error)) {
+		if err := ctx.Err(); err != nil {
+			results <- item[T]{i: i, err: err}
+			return
+		}
+		v, err := task(ctx)
+		results <- item[T]{i: i, v: v, err: err}
+	}
+	go func() {
+		var wg sync.WaitGroup
+		for i := 0; i < n; i++ {
+			task := bind(i)
+			if p.tryAcquire() {
+				wg.Add(1)
+				go func(i int) {
+					defer wg.Done()
+					defer p.release()
+					run(i, task)
+				}(i)
+			} else {
+				run(i, task)
+			}
+		}
+		wg.Wait()
+	}()
+
+	// Fold results in index order, holding early finishers until their turn.
+	pending := make(map[int]item[T])
+	next := 0
+	var firstErr error
+	firstErrIdx := n
+	for received := 0; received < n; received++ {
+		it := <-results
+		if it.err != nil {
+			// Prefer the earliest real failure; context errors only matter
+			// if nothing else failed (they are scheduling-dependent echoes
+			// of the cancellation itself).
+			if preferErr(it, firstErr, firstErrIdx) {
+				firstErr, firstErrIdx = it.err, it.i
+			}
+			cancel()
+			continue
+		}
+		pending[it.i] = it
+		for {
+			cur, ok := pending[next]
+			if !ok {
+				break
+			}
+			delete(pending, next)
+			if firstErr == nil {
+				if err := reduce(cur.i, cur.v); err != nil {
+					firstErr, firstErrIdx = err, cur.i
+					cancel()
+				}
+			}
+			next++
+		}
+	}
+	if firstErr != nil {
+		// If every failure was a cancellation echo, the run was aborted from
+		// outside: report the context's own error (deterministic) rather
+		// than whichever task's echo happened to arrive first.
+		if isContextErr(firstErr) && ctx.Err() != nil {
+			return ctx.Err()
+		}
+		return firstErr
+	}
+	// Every task completed and was reduced; a cancellation that lands on
+	// this boundary changed nothing, so the run is a success.
+	return nil
+}
+
+// preferErr reports whether the error in it should replace the current
+// (firstErr, firstErrIdx) champion.
+func preferErr[T any](it item[T], firstErr error, firstErrIdx int) bool {
+	if firstErr == nil {
+		return true
+	}
+	itCtx := isContextErr(it.err)
+	curCtx := isContextErr(firstErr)
+	if curCtx != itCtx {
+		return curCtx // real errors beat context echoes
+	}
+	return it.i < firstErrIdx
+}
+
+// isContextErr reports whether err is (or wraps) a cancellation or
+// deadline error — the scheduling-dependent echoes of an abort rather than
+// its cause.
+func isContextErr(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
+// Map runs fn(ctx, i) for i in [0, n) on the pool and returns the results
+// indexed by i.
+func Map[T any](ctx context.Context, p *Pool, n int, fn func(ctx context.Context, i int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	err := Reduce(ctx, p, n, fn, func(i int, v T) error {
+		out[i] = v
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Replicate fans reps scalar replications out over the pool. Replication i
+// draws its randomness from the i-th substream of src and the observations
+// are folded into the Running accumulator in replication order, so the
+// returned aggregate is byte-identical at every parallelism level.
+func Replicate(ctx context.Context, p *Pool, reps int, src *rng.Stream, fn func(ctx context.Context, rep int, s *rng.Stream) (float64, error)) (*stats.Running, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	var r stats.Running
+	err := reduceCore(ctx, p, reps,
+		func(i int) func(ctx context.Context) (float64, error) {
+			sub := src.Split() // ascending index order: substream i is fixed by (src, i)
+			return func(ctx context.Context) (float64, error) { return fn(ctx, i, sub) }
+		},
+		func(_ int, v float64) error { r.Add(v); return nil })
+	if err != nil {
+		return nil, err
+	}
+	return &r, nil
+}
+
+// ReplicateReduce is Replicate for replications with structured results:
+// each replication gets its own substream, and reduce consumes the results
+// strictly in replication order.
+func ReplicateReduce[T any](ctx context.Context, p *Pool, reps int, src *rng.Stream, fn func(ctx context.Context, rep int, s *rng.Stream) (T, error), reduce func(rep int, v T) error) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	return reduceCore(ctx, p, reps,
+		func(i int) func(ctx context.Context) (T, error) {
+			sub := src.Split() // ascending index order: substream i is fixed by (src, i)
+			return func(ctx context.Context) (T, error) { return fn(ctx, i, sub) }
+		},
+		reduce)
+}

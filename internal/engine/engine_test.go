@@ -1,0 +1,234 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"testing"
+	"time"
+
+	"stochsched/internal/rng"
+	"stochsched/internal/stats"
+)
+
+// simWork is a stand-in replication: consume a few variates, return a
+// nonlinear function of them so accumulation-order differences would show.
+func simWork(_ context.Context, _ int, s *rng.Stream) (float64, error) {
+	total := 0.0
+	for k := 0; k < 50; k++ {
+		total += math.Log1p(s.Exp(1.3)) * s.Float64()
+	}
+	return total, nil
+}
+
+func runningBits(r *stats.Running) [2]uint64 {
+	return [2]uint64{math.Float64bits(r.Mean()), math.Float64bits(r.Var())}
+}
+
+func TestReplicateDeterministicAcrossParallelism(t *testing.T) {
+	const reps = 500
+	var want [2]uint64
+	for i, par := range []int{1, 2, 8} {
+		r, err := Replicate(context.Background(), NewPool(par), reps, rng.New(42), simWork)
+		if err != nil {
+			t.Fatalf("parallel %d: %v", par, err)
+		}
+		if r.N() != reps {
+			t.Fatalf("parallel %d: N = %d, want %d", par, r.N(), reps)
+		}
+		got := runningBits(r)
+		if i == 0 {
+			want = got
+		} else if got != want {
+			t.Errorf("parallel %d: aggregate bits %v differ from sequential %v", par, got, want)
+		}
+	}
+}
+
+func TestReplicateMatchesNilPool(t *testing.T) {
+	a, err := Replicate(context.Background(), nil, 200, rng.New(7), simWork)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Replicate(context.Background(), NewPool(0), 200, rng.New(7), simWork)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if runningBits(a) != runningBits(b) {
+		t.Errorf("nil pool and GOMAXPROCS pool disagree: %v vs %v", runningBits(a), runningBits(b))
+	}
+}
+
+func TestStreamsDeterministic(t *testing.T) {
+	a := Streams(rng.New(5), 4)
+	b := Streams(rng.New(5), 4)
+	for i := range a {
+		if a[i].Uint64() != b[i].Uint64() {
+			t.Fatalf("stream %d diverges between identical splits", i)
+		}
+	}
+	if a[0] == a[1] {
+		t.Fatal("Streams returned aliased streams")
+	}
+}
+
+func TestMapOrderAndValues(t *testing.T) {
+	out, err := Map(context.Background(), NewPool(4), 64, func(_ context.Context, i int) (int, error) {
+		return i * i, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range out {
+		if v != i*i {
+			t.Fatalf("out[%d] = %d, want %d", i, v, i*i)
+		}
+	}
+}
+
+func TestReduceStrictOrder(t *testing.T) {
+	var seen []int
+	err := Reduce(context.Background(), NewPool(8), 100,
+		func(_ context.Context, i int) (int, error) { return i, nil },
+		func(i int, v int) error {
+			if i != v {
+				return fmt.Errorf("index %d carried value %d", i, v)
+			}
+			seen = append(seen, i)
+			return nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range seen {
+		if i != v {
+			t.Fatalf("reduce order violated at position %d: got index %d", i, v)
+		}
+	}
+	if len(seen) != 100 {
+		t.Fatalf("reduced %d items, want 100", len(seen))
+	}
+}
+
+func TestReduceErrorPropagation(t *testing.T) {
+	boom := errors.New("boom")
+	err := Reduce(context.Background(), NewPool(4), 200,
+		func(_ context.Context, i int) (int, error) {
+			if i == 17 {
+				return 0, boom
+			}
+			return i, nil
+		},
+		func(int, int) error { return nil })
+	if !errors.Is(err, boom) {
+		t.Fatalf("got %v, want %v", err, boom)
+	}
+}
+
+func TestReduceErrorStopsReduce(t *testing.T) {
+	boom := errors.New("boom")
+	last := -1
+	err := Reduce(context.Background(), nil, 50,
+		func(_ context.Context, i int) (int, error) { return i, nil },
+		func(i int, _ int) error {
+			if i == 10 {
+				return boom
+			}
+			last = i
+			return nil
+		})
+	if !errors.Is(err, boom) {
+		t.Fatalf("got %v, want %v", err, boom)
+	}
+	if last != 9 {
+		t.Fatalf("reduce continued past the failing index: last = %d", last)
+	}
+}
+
+func TestCancellationMidRun(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	started := make(chan struct{}, 1)
+	done := make(chan error, 1)
+	go func() {
+		_, err := Replicate(ctx, NewPool(4), 1000, rng.New(1),
+			func(ctx context.Context, rep int, s *rng.Stream) (float64, error) {
+				select {
+				case started <- struct{}{}:
+				default:
+				}
+				select {
+				case <-ctx.Done():
+					return 0, ctx.Err()
+				case <-time.After(5 * time.Millisecond):
+					return s.Float64(), nil
+				}
+			})
+		done <- err
+	}()
+	<-started
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("got %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Replicate did not return after cancellation")
+	}
+}
+
+func TestTimeout(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	_, err := Replicate(ctx, NewPool(2), 100000, rng.New(1),
+		func(ctx context.Context, rep int, s *rng.Stream) (float64, error) {
+			time.Sleep(time.Millisecond)
+			return s.Float64(), nil
+		})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("got %v, want context.DeadlineExceeded", err)
+	}
+}
+
+func TestNestedPoolSharedAcrossLevels(t *testing.T) {
+	// One pool drives an outer fan-out whose tasks each run an inner
+	// replication loop on the same pool. Saturated slots fall back to
+	// inline execution, so this must complete and stay deterministic.
+	p := NewPool(4)
+	run := func() [2]uint64 {
+		outer, err := Map(context.Background(), p, 6, func(ctx context.Context, i int) (*stats.Running, error) {
+			return Replicate(ctx, p, 100, rng.New(uint64(i)+1), simWork)
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var total stats.Running
+		for _, r := range outer {
+			total.Merge(r)
+		}
+		return runningBits(&total)
+	}
+	if a, b := run(), run(); a != b {
+		t.Errorf("nested runs disagree: %v vs %v", a, b)
+	}
+}
+
+func TestPoolSize(t *testing.T) {
+	if got := (*Pool)(nil).Size(); got != 1 {
+		t.Errorf("nil pool size = %d, want 1", got)
+	}
+	if got := NewPool(7).Size(); got != 7 {
+		t.Errorf("pool size = %d, want 7", got)
+	}
+	if NewPool(0).Size() < 1 {
+		t.Error("default pool size must be >= 1")
+	}
+}
+
+func TestReduceZeroItems(t *testing.T) {
+	if err := Reduce(context.Background(), nil, 0, func(context.Context, int) (int, error) { return 0, nil },
+		func(int, int) error { t.Fatal("reduce called"); return nil }); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -150,20 +150,20 @@ func runE11(cfg Config) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		w, err := fleet.EstimateStaticPriority(widx, horizon, horizon/5, reps, s.Split())
+		w, err := fleet.EstimateStaticPriority(cfg.Context(), cfg.Pool, widx, horizon, horizon/5, reps, s.Split())
 		if err != nil {
 			return nil, err
 		}
-		my, err := fleet.EstimateStaticPriority(restless.MyopicScore(p), horizon, horizon/5, reps, s.Split())
+		my, err := fleet.EstimateStaticPriority(cfg.Context(), cfg.Pool, restless.MyopicScore(p), horizon, horizon/5, reps, s.Split())
 		if err != nil {
 			return nil, err
 		}
-		rnd, err := fleet.SimulateRandomPolicy(horizon, horizon/5, s.Split())
+		rnd, err := fleet.EstimateRandomPolicy(cfg.Context(), cfg.Pool, horizon, horizon/5, reps, s.Split())
 		if err != nil {
 			return nil, err
 		}
 		nf := float64(n)
-		t.AddRow(fmt.Sprint(n), f(bound/nf), f(w.Mean()/nf), f(my.Mean()/nf), f(rnd/nf))
+		t.AddRow(fmt.Sprint(n), f(bound/nf), f(w.Mean()/nf), f(my.Mean()/nf), f(rnd.Mean()/nf))
 	}
 	t.Notes = "both index policies (Whittle, myopic) operate near the unattainable relaxation bound on this instance; the random crew lags far behind"
 	return t, nil
@@ -198,7 +198,7 @@ func runE12(cfg Config) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		w, err := fleet.EstimateStaticPriority(widx, horizon, horizon/5, reps, s.Split())
+		w, err := fleet.EstimateStaticPriority(cfg.Context(), cfg.Pool, widx, horizon, horizon/5, reps, s.Split())
 		if err != nil {
 			return nil, err
 		}
@@ -237,15 +237,15 @@ func runE13(cfg Config) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		w, err := fleet.EstimateStaticPriority(widx, horizon, horizon/5, reps, s.Split())
+		w, err := fleet.EstimateStaticPriority(cfg.Context(), cfg.Pool, widx, horizon, horizon/5, reps, s.Split())
 		if err != nil {
 			return nil, err
 		}
-		pd, err := fleet.EstimateStaticPriority(sol.PDIndex, horizon, horizon/5, reps, s.Split())
+		pd, err := fleet.EstimateStaticPriority(cfg.Context(), cfg.Pool, sol.PDIndex, horizon, horizon/5, reps, s.Split())
 		if err != nil {
 			return nil, err
 		}
-		my, err := fleet.EstimateStaticPriority(restless.MyopicScore(p), horizon, horizon/5, reps, s.Split())
+		my, err := fleet.EstimateStaticPriority(cfg.Context(), cfg.Pool, restless.MyopicScore(p), horizon, horizon/5, reps, s.Split())
 		if err != nil {
 			return nil, err
 		}

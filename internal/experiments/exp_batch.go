@@ -1,11 +1,13 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 
 	"stochsched/internal/batch"
 	"stochsched/internal/dist"
+	"stochsched/internal/engine"
 	"stochsched/internal/rng"
 	"stochsched/internal/stats"
 )
@@ -68,13 +70,21 @@ func runE02(cfg Config) (*Table, error) {
 		reps = 4000
 	}
 	var sev, wsept stats.Running
-	for i := 0; i < reps; i++ {
-		v, err := batch.SimulateSevcik(jobs, s.Split())
-		if err != nil {
-			return nil, err
-		}
-		sev.Add(v)
-		wsept.Add(batch.SimulateNonpreemptiveWSEPTDiscrete(jobs, s.Split()))
+	err := engine.ReplicateReduce(cfg.Context(), cfg.Pool, reps, s,
+		func(_ context.Context, _ int, sub *rng.Stream) ([2]float64, error) {
+			v, err := batch.SimulateSevcik(jobs, sub.Split())
+			if err != nil {
+				return [2]float64{}, err
+			}
+			return [2]float64{v, batch.SimulateNonpreemptiveWSEPTDiscrete(jobs, sub.Split())}, nil
+		},
+		func(_ int, pair [2]float64) error {
+			sev.Add(pair[0])
+			wsept.Add(pair[1])
+			return nil
+		})
+	if err != nil {
+		return nil, err
 	}
 	t := &Table{
 		ID: "E02", Title: "Preemptive Sevcik index vs nonpreemptive WSEPT (two-point jobs)",
@@ -164,8 +174,14 @@ func runE05(cfg Config) (*Table, error) {
 			jobs[i] = batch.Job{ID: i, Weight: 1, Dist: dist.Weibull{K: shape, Lambda: scale}}
 		}
 		in := &batch.Instance{Jobs: jobs, Machines: 3}
-		se := batch.EstimateParallel(in, batch.SEPT(jobs), reps, s.Split())
-		le := batch.EstimateParallel(in, batch.LEPT(jobs), reps, s.Split())
+		se, err := batch.EstimateParallel(cfg.Context(), cfg.Pool, in, batch.SEPT(jobs), reps, s.Split())
+		if err != nil {
+			return nil, err
+		}
+		le, err := batch.EstimateParallel(cfg.Context(), cfg.Pool, in, batch.LEPT(jobs), reps, s.Split())
+		if err != nil {
+			return nil, err
+		}
 		hazard := dist.MonotoneHazard(jobs[0].Dist, 10, 0.01)
 		flowWinner := "SEPT"
 		if le.Flowtime.Mean() < se.Flowtime.Mean() {
@@ -294,9 +310,18 @@ func runE08(cfg Config) (*Table, error) {
 		if r < 200 {
 			r = 200
 		}
-		hlf := batch.EstimateTreeMakespan(tree, 3, 1, batch.HLF, r, s.Split())
-		llf := batch.EstimateTreeMakespan(tree, 3, 1, batch.LLF, r, s.Split())
-		rnd := batch.EstimateTreeMakespan(tree, 3, 1, batch.RandomSelector(s.Split()), r, s.Split())
+		hlf, err := batch.EstimateTreeMakespan(cfg.Context(), cfg.Pool, tree, 3, 1, batch.HLF, r, s.Split())
+		if err != nil {
+			return nil, err
+		}
+		llf, err := batch.EstimateTreeMakespan(cfg.Context(), cfg.Pool, tree, 3, 1, batch.LLF, r, s.Split())
+		if err != nil {
+			return nil, err
+		}
+		rnd, err := batch.EstimateTreeMakespan(cfg.Context(), cfg.Pool, tree, 3, 1, batch.RandomSelector, r, s.Split())
+		if err != nil {
+			return nil, err
+		}
 		optStr, gapStr := "–", "–"
 		if n <= 14 {
 			opt, err := batch.TreeOptimalDP(tree, 3, 1)

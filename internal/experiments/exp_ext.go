@@ -1,10 +1,12 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"stochsched/internal/batch"
 	"stochsched/internal/dist"
+	"stochsched/internal/engine"
 	"stochsched/internal/queueing"
 	"stochsched/internal/restless"
 	"stochsched/internal/rng"
@@ -44,13 +46,16 @@ func runE23(cfg Config) (*Table, error) {
 			return nil, err
 		}
 		pr := m.HoldingCostRate(lP)
-		var sim stats.Running
-		for i := 0; i < reps; i++ {
-			res, err := m.SimulatePreemptive(order, horizon, horizon/10, s.Split())
-			if err != nil {
-				return nil, err
-			}
-			sim.Add(res.CostRate)
+		sim, err := engine.Replicate(cfg.Context(), cfg.Pool, reps, s.Split(),
+			func(_ context.Context, _ int, sub *rng.Stream) (float64, error) {
+				res, err := m.SimulatePreemptive(order, horizon, horizon/10, sub)
+				if err != nil {
+					return 0, err
+				}
+				return res.CostRate, nil
+			})
+		if err != nil {
+			return nil, err
 		}
 		t.AddRow(f2(rho), f(np), f(pr), ci(sim.Mean(), sim.CI95()), pct((np-pr)/np))
 	}
@@ -231,14 +236,24 @@ func runE28(cfg Config) (*Table, error) {
 			}
 		}
 		talwar := batch.TalwarOrder(jobs)
-		tEst := batch.EstimateFlowShop(jobs, talwar, reps, s.Split())
+		tEst, err := batch.EstimateFlowShop(cfg.Context(), cfg.Pool, jobs, talwar, reps, s.Split())
+		if err != nil {
+			return nil, err
+		}
 		_, best := batch.BestFlowShopOrderCRN(jobs, crnReps, s.Split())
 		var nb, bl float64
-		blockStream := s.Split()
-		for i := 0; i < reps; i++ {
-			p := batch.SampleFlowShop(jobs, blockStream.Split())
-			nb += batch.FlowShopMakespan(p, talwar)
-			bl += batch.FlowShopBlockingMakespan(p, talwar)
+		err = engine.ReplicateReduce(cfg.Context(), cfg.Pool, reps, s.Split(),
+			func(_ context.Context, _ int, sub *rng.Stream) ([2]float64, error) {
+				p := batch.SampleFlowShop(jobs, sub)
+				return [2]float64{batch.FlowShopMakespan(p, talwar), batch.FlowShopBlockingMakespan(p, talwar)}, nil
+			},
+			func(_ int, mk [2]float64) error {
+				nb += mk[0]
+				bl += mk[1]
+				return nil
+			})
+		if err != nil {
+			return nil, err
 		}
 		t.AddRow(fmt.Sprintf("#%d", trial+1), f(tEst.Mean()), f(best),
 			pct(stats.RelGap(tEst.Mean(), best)), pct((bl-nb)/nb))
@@ -273,13 +288,21 @@ func runE27(cfg Config) (*Table, error) {
 		return nil, err
 	}
 	var l0, l1 stats.Running
-	for i := 0; i < reps; i++ {
-		res, err := m.Simulate(queueing.StaticPriority{Order: order}, horizon, horizon/10, s.Split())
-		if err != nil {
-			return nil, err
-		}
-		l0.Add(res.L[0])
-		l1.Add(res.L[1])
+	err = engine.ReplicateReduce(cfg.Context(), cfg.Pool, reps, s.Split(),
+		func(_ context.Context, _ int, sub *rng.Stream) ([2]float64, error) {
+			res, err := m.Simulate(queueing.StaticPriority{Order: order}, horizon, horizon/10, sub)
+			if err != nil {
+				return [2]float64{}, err
+			}
+			return [2]float64{res.L[0], res.L[1]}, nil
+		},
+		func(_ int, l [2]float64) error {
+			l0.Add(l[0])
+			l1.Add(l[1])
+			return nil
+		})
+	if err != nil {
+		return nil, err
 	}
 	t := &Table{
 		ID: "E27", Title: "Phase-type services in the multiclass M/G/1 under cµ priority",

@@ -1,10 +1,12 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 
 	"stochsched/internal/dist"
+	"stochsched/internal/engine"
 	"stochsched/internal/linalg"
 	"stochsched/internal/queueing"
 	"stochsched/internal/rng"
@@ -60,7 +62,7 @@ func runE14(cfg Config) (*Table, error) {
 		revExact := m.HoldingCostRate(lR)
 		_, lF := m.ExactFIFO()
 		fifoExact := m.HoldingCostRate(lF)
-		rep, err := m.Replicate(queueing.StaticPriority{Order: order}, horizon, horizon/10, reps, s.Split())
+		rep, err := m.Replicate(cfg.Context(), cfg.Pool, queueing.StaticPriority{Order: order}, horizon, horizon/10, reps, s.Split())
 		if err != nil {
 			return nil, err
 		}
@@ -101,7 +103,7 @@ func runE15(cfg Config) (*Table, error) {
 	}
 	orders := [][]int{{0, 1, 2}, {0, 2, 1}, {1, 0, 2}, {1, 2, 0}, {2, 0, 1}, {2, 1, 0}}
 	for _, o := range orders {
-		est, err := k.ReplicateKlimov(o, horizon, horizon/10, reps, s.Split())
+		est, err := k.ReplicateKlimov(cfg.Context(), cfg.Pool, o, horizon, horizon/10, reps, s.Split())
 		if err != nil {
 			return nil, err
 		}
@@ -140,13 +142,16 @@ func runE16(cfg Config) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		var cost stats.Running
-		for i := 0; i < reps; i++ {
-			res, err := m.Simulate(m.CMuOrder(), horizon, horizon/10, s.Split())
-			if err != nil {
-				return nil, err
-			}
-			cost.Add(res.CostRate)
+		cost, err := engine.Replicate(cfg.Context(), cfg.Pool, reps, s.Split(),
+			func(_ context.Context, _ int, sub *rng.Stream) (float64, error) {
+				res, err := m.Simulate(m.CMuOrder(), horizon, horizon/10, sub)
+				if err != nil {
+					return 0, err
+				}
+				return res.CostRate, nil
+			})
+		if err != nil {
+			return nil, err
 		}
 		load := (1.2*scale/1.5 + 1.0*scale) / 3
 		t.AddRow(f2(load), ci(cost.Mean(), cost.CI95()), f(bound), pct((cost.Mean()-bound)/cost.Mean()))
@@ -183,7 +188,7 @@ func runE17(cfg Config) (*Table, error) {
 		},
 	}
 	for _, d := range disciplines {
-		rep, err := m.Replicate(d, horizon, horizon/10, reps, s.Split())
+		rep, err := m.Replicate(cfg.Context(), cfg.Pool, d, horizon, horizon/10, reps, s.Split())
 		if err != nil {
 			return nil, err
 		}
@@ -229,7 +234,7 @@ func runE18(cfg Config) (*Table, error) {
 			Weights:     []float64{w, 1 - w},
 			Stream:      s.Split(),
 		}
-		rep, err := m.Replicate(mix, horizon, horizon/10, reps, s.Split())
+		rep, err := m.Replicate(cfg.Context(), cfg.Pool, mix, horizon, horizon/10, reps, s.Split())
 		if err != nil {
 			return nil, err
 		}
@@ -342,19 +347,28 @@ func runE21(cfg Config) (*Table, error) {
 		Columns: []string{"policy", "E[∫ e^{−rt} c·n(t) dt]", "95% CI"},
 	}
 	var kl, rv, diff stats.Running
-	for i := 0; i < reps; i++ {
-		seed := s.Uint64()
-		a, err := k.SimulateDiscounted(order, 0.02, horizon, rng.New(seed))
-		if err != nil {
-			return nil, err
-		}
-		b, err := k.SimulateDiscounted(rev, 0.02, horizon, rng.New(seed))
-		if err != nil {
-			return nil, err
-		}
-		kl.Add(a)
-		rv.Add(b)
-		diff.Add(b - a)
+	err = engine.ReplicateReduce(cfg.Context(), cfg.Pool, reps, s.Split(),
+		func(_ context.Context, _ int, sub *rng.Stream) ([2]float64, error) {
+			// Paired seeds: both policies see identical arrival/service draws.
+			seed := sub.Uint64()
+			a, err := k.SimulateDiscounted(order, 0.02, horizon, rng.New(seed))
+			if err != nil {
+				return [2]float64{}, err
+			}
+			b, err := k.SimulateDiscounted(rev, 0.02, horizon, rng.New(seed))
+			if err != nil {
+				return [2]float64{}, err
+			}
+			return [2]float64{a, b}, nil
+		},
+		func(_ int, ab [2]float64) error {
+			kl.Add(ab[0])
+			rv.Add(ab[1])
+			diff.Add(ab[1] - ab[0])
+			return nil
+		})
+	if err != nil {
+		return nil, err
 	}
 	t.AddRow("Klimov/cµ order", f(kl.Mean()), f(kl.CI95()))
 	t.AddRow("reverse order", f(rv.Mean()), f(rv.CI95()))
@@ -386,13 +400,16 @@ func runE22(cfg Config) (*Table, error) {
 				Switch: dist.Deterministic{Value: setup},
 				Regime: regime,
 			}
-			var cost stats.Running
-			for i := 0; i < reps; i++ {
-				res, err := p.Simulate(horizon, horizon/10, s.Split())
-				if err != nil {
-					return nil, err
-				}
-				cost.Add(res.CostRate)
+			cost, err := engine.Replicate(cfg.Context(), cfg.Pool, reps, s.Split(),
+				func(_ context.Context, _ int, sub *rng.Stream) (float64, error) {
+					res, err := p.Simulate(horizon, horizon/10, sub)
+					if err != nil {
+						return 0, err
+					}
+					return res.CostRate, nil
+				})
+			if err != nil {
+				return nil, err
 			}
 			row = append(row, f(cost.Mean()))
 		}

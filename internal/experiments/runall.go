@@ -1,0 +1,45 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+
+	"stochsched/internal/engine"
+)
+
+// RunAll executes the experiments with the given IDs (all experiments when
+// ids is nil) concurrently on cfg.Pool and calls emit with each finished
+// table strictly in the requested order, streaming each one as soon as its
+// turn is complete. Every experiment seeds its own generator from cfg.Seed
+// and replications inside each experiment share the same pool, so the
+// emitted tables are byte-identical for a given seed at any parallelism
+// level. The first failure (in requested order) cancels the remaining work
+// and is returned, tagged with its experiment ID.
+func RunAll(cfg Config, ids []string, emit func(*Table)) error {
+	exps := make([]Experiment, 0, len(ids))
+	if ids == nil {
+		exps = All()
+	} else {
+		for _, id := range ids {
+			e, err := Get(id)
+			if err != nil {
+				return err
+			}
+			exps = append(exps, e)
+		}
+	}
+	return engine.Reduce(cfg.Context(), cfg.Pool, len(exps),
+		func(ctx context.Context, i int) (*Table, error) {
+			sub := cfg
+			sub.Ctx = ctx
+			tab, err := exps[i].Run(sub)
+			if err != nil {
+				return nil, fmt.Errorf("%s: %w", exps[i].ID, err)
+			}
+			return tab, nil
+		},
+		func(_ int, tab *Table) error {
+			emit(tab)
+			return nil
+		})
+}

@@ -1,0 +1,68 @@
+package experiments
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"stochsched/internal/engine"
+)
+
+// renderAll runs the given experiments at the given parallelism and returns
+// the concatenated rendered tables.
+func renderAll(t *testing.T, ids []string, parallel int) string {
+	t.Helper()
+	var sb strings.Builder
+	cfg := Config{Seed: 7, Quick: true, Pool: engine.NewPool(parallel)}
+	if err := RunAll(cfg, ids, func(tab *Table) {
+		sb.WriteString(tab.String())
+		sb.WriteByte('\n')
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return sb.String()
+}
+
+// The headline acceptance property: the full suite's rendered output is
+// byte-identical for a given seed at every parallelism level.
+func TestRunAllByteIdenticalAcrossParallelism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-suite determinism check skipped in -short mode")
+	}
+	want := renderAll(t, nil, 1)
+	for _, par := range []int{4, 16} {
+		if got := renderAll(t, nil, par); got != want {
+			t.Fatalf("parallel %d output differs from sequential output", par)
+		}
+	}
+}
+
+func TestRunAllSubsetOrderAndErrors(t *testing.T) {
+	var ids []string
+	cfg := Config{Seed: 3, Quick: true, Pool: engine.NewPool(8)}
+	err := RunAll(cfg, []string{"E04", "E01", "E06"}, func(tab *Table) {
+		ids = append(ids, tab.ID)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := strings.Join(ids, ","), "E04,E01,E06"; got != want {
+		t.Fatalf("emission order %q, want requested order %q", got, want)
+	}
+	if err := RunAll(cfg, []string{"E99"}, func(*Table) {}); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestRunAllCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	cfg := Config{Seed: 3, Quick: true, Ctx: ctx, Pool: engine.NewPool(4)}
+	emitted := 0
+	if err := RunAll(cfg, []string{"E01", "E02"}, func(*Table) { emitted++ }); err == nil {
+		t.Fatal("cancelled RunAll reported no error")
+	}
+	if emitted != 0 {
+		t.Fatalf("cancelled RunAll emitted %d tables", emitted)
+	}
+}

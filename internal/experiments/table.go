@@ -1,13 +1,16 @@
 // Package experiments defines the reproduction suite: one experiment per
 // classical result catalogued by the survey, each emitting a table whose
 // shape (orderings, crossovers, vanishing gaps) reproduces the cited
-// theorem or heuristic study. See DESIGN.md for the experiment index and
-// EXPERIMENTS.md for recorded outputs.
+// theorem or heuristic study. Run `stochsched -list` for the experiment
+// index; RunAll executes any subset concurrently with seed-stable output.
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
+
+	"stochsched/internal/engine"
 )
 
 // Config controls an experiment run.
@@ -17,6 +20,20 @@ type Config struct {
 	// tests and benchmarks; the table shape is preserved, only confidence
 	// intervals widen.
 	Quick bool
+	// Ctx cancels or bounds the run; nil means context.Background().
+	Ctx context.Context
+	// Pool is the shared execution pool for Monte Carlo replications (and,
+	// via RunAll, across experiments); nil runs everything sequentially.
+	// Results are byte-identical for a given seed at any parallelism.
+	Pool *engine.Pool
+}
+
+// Context returns the run's context, defaulting to context.Background().
+func (c Config) Context() context.Context {
+	if c.Ctx != nil {
+		return c.Ctx
+	}
+	return context.Background()
 }
 
 // Table is an experiment's output: the rows the paper's corresponding

@@ -1,11 +1,13 @@
 package queueing
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
 
 	"stochsched/internal/des"
+	"stochsched/internal/engine"
 	"stochsched/internal/linalg"
 	"stochsched/internal/rng"
 	"stochsched/internal/stats"
@@ -394,17 +396,18 @@ func (k *KlimovNetwork) SimulateDiscounted(order []int, discountRate, horizon fl
 	return total, nil
 }
 
-// ReplicateKlimov aggregates replications of Simulate under one order.
-func (k *KlimovNetwork) ReplicateKlimov(order []int, horizon, burnin float64, reps int, s *rng.Stream) (*stats.Running, error) {
-	var r stats.Running
-	for i := 0; i < reps; i++ {
-		res, err := k.Simulate(order, horizon, burnin, s.Split())
-		if err != nil {
-			return nil, err
-		}
-		r.Add(res.CostRate)
-	}
-	return &r, nil
+// ReplicateKlimov aggregates replications of Simulate under one order on
+// the pool; the aggregate is byte-identical for a given seed at any
+// parallelism level.
+func (k *KlimovNetwork) ReplicateKlimov(ctx context.Context, p *engine.Pool, order []int, horizon, burnin float64, reps int, s *rng.Stream) (*stats.Running, error) {
+	return engine.Replicate(ctx, p, reps, s,
+		func(_ context.Context, _ int, sub *rng.Stream) (float64, error) {
+			res, err := k.Simulate(order, horizon, burnin, sub)
+			if err != nil {
+				return 0, err
+			}
+			return res.CostRate, nil
+		})
 }
 
 // NoFeedback builds a KlimovNetwork with zero feedback from an MG1 model,

@@ -1,10 +1,12 @@
 package queueing
 
 import (
+	"context"
 	"math"
 	"testing"
 
 	"stochsched/internal/dist"
+	"stochsched/internal/engine"
 	"stochsched/internal/linalg"
 	"stochsched/internal/rng"
 	"stochsched/internal/stats"
@@ -115,14 +117,14 @@ func TestKlimovOrderBeatsAlternatives(t *testing.T) {
 		t.Fatal(err)
 	}
 	const horizon, burnin, reps = 30000, 3000, 6
-	kEst, err := k.ReplicateKlimov(korder, horizon, burnin, reps, s.Split())
+	kEst, err := k.ReplicateKlimov(context.Background(), engine.NewPool(0), korder, horizon, burnin, reps, s.Split())
 	if err != nil {
 		t.Fatal(err)
 	}
 	orders := [][]int{{0, 1, 2}, {0, 2, 1}, {1, 0, 2}, {1, 2, 0}, {2, 0, 1}, {2, 1, 0}}
 	worst := 0.0
 	for _, o := range orders {
-		est, err := k.ReplicateKlimov(o, horizon, burnin, reps, s.Split())
+		est, err := k.ReplicateKlimov(context.Background(), engine.NewPool(0), o, horizon, burnin, reps, s.Split())
 		if err != nil {
 			t.Fatal(err)
 		}

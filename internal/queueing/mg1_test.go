@@ -4,7 +4,9 @@ import (
 	"math"
 	"testing"
 
+	"context"
 	"stochsched/internal/dist"
+	"stochsched/internal/engine"
 	"stochsched/internal/rng"
 	"stochsched/internal/stats"
 )
@@ -117,7 +119,7 @@ func TestKleinrockConservationExact(t *testing.T) {
 func TestSimulationMatchesExactFIFO(t *testing.T) {
 	m := twoClassMM1()
 	s := rng.New(1001)
-	rep, err := m.Replicate(FIFO{}, 30000, 3000, 8, s)
+	rep, err := m.Replicate(context.Background(), engine.NewPool(0), FIFO{}, 30000, 3000, 8, s)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -133,7 +135,7 @@ func TestSimulationMatchesExactPriority(t *testing.T) {
 	m := twoClassMM1()
 	s := rng.New(1002)
 	order := m.CMuOrder()
-	rep, err := m.Replicate(StaticPriority{Order: order}, 30000, 3000, 8, s)
+	rep, err := m.Replicate(context.Background(), engine.NewPool(0), StaticPriority{Order: order}, 30000, 3000, 8, s)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -163,7 +165,7 @@ func TestSimulationMatchesExactMG1General(t *testing.T) {
 		{ArrivalRate: 0.2, Service: he, HoldCost: 1},
 	}}
 	s := rng.New(1003)
-	rep, err := m.Replicate(StaticPriority{Order: []int{0, 1}}, 40000, 4000, 8, s)
+	rep, err := m.Replicate(context.Background(), engine.NewPool(0), StaticPriority{Order: []int{0, 1}}, 40000, 4000, 8, s)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -280,7 +282,7 @@ func TestRandomMixInterpolates(t *testing.T) {
 		Weights:     []float64{0.5, 0.5},
 		Stream:      s.Split(),
 	}
-	rep, err := m.Replicate(mix, 30000, 3000, 8, s.Split())
+	rep, err := m.Replicate(context.Background(), engine.NewPool(0), mix, 30000, 3000, 8, s.Split())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,11 +1,13 @@
 package queueing
 
 import (
+	"context"
 	"fmt"
 	"math"
 
 	"stochsched/internal/des"
 	"stochsched/internal/dist"
+	"stochsched/internal/engine"
 	"stochsched/internal/rng"
 	"stochsched/internal/stats"
 )
@@ -62,7 +64,11 @@ func (p StaticPriority) Name() string { return fmt.Sprintf("priority%v", p.Order
 type RandomMix struct {
 	Disciplines []Discipline
 	Weights     []float64
-	Stream      *rng.Stream
+	// Stream supplies the mixing draws for direct Simulate calls.
+	// Replicate ignores it: each replication is rebound to its own
+	// substream via WithStream, so replications neither race on a shared
+	// stream nor depend on scheduling order.
+	Stream *rng.Stream
 }
 
 // Next implements Discipline.
@@ -72,6 +78,31 @@ func (r RandomMix) Next(waiting []job) int {
 
 // Name implements Discipline.
 func (r RandomMix) Name() string { return "random-mix" }
+
+// WithStream implements StreamDiscipline: replications each get an
+// independent copy drawing from their own substream. Nested disciplines
+// that carry streams of their own are rebound recursively, so no stream is
+// shared across replications anywhere in the discipline tree.
+func (r RandomMix) WithStream(s *rng.Stream) Discipline {
+	inner := make([]Discipline, len(r.Disciplines))
+	for i, d := range r.Disciplines {
+		if sd, ok := d.(StreamDiscipline); ok {
+			inner[i] = sd.WithStream(s.Split())
+		} else {
+			inner[i] = d
+		}
+	}
+	return RandomMix{Disciplines: inner, Weights: r.Weights, Stream: s}
+}
+
+// StreamDiscipline is implemented by disciplines that consume randomness.
+// Replicate rebinds such disciplines to a per-replication substream so
+// concurrent replications neither race on a shared stream nor depend on
+// scheduling order for their draws.
+type StreamDiscipline interface {
+	Discipline
+	WithStream(s *rng.Stream) Discipline
+}
 
 // SimResult carries steady-state estimates from one replication.
 type SimResult struct {
@@ -179,20 +210,32 @@ type ReplicatedResult struct {
 	CostRate stats.Running
 }
 
-// Replicate aggregates independent replications of Simulate.
-func (m *MG1) Replicate(d Discipline, horizon, burnin float64, reps int, s *rng.Stream) (*ReplicatedResult, error) {
+// Replicate aggregates independent replications of Simulate on the pool.
+// Each replication draws from its own substream (including the discipline,
+// when it consumes randomness — see StreamDiscipline), and the per-class
+// statistics are folded in replication order, so the result is
+// byte-identical for a given seed at any parallelism level.
+func (m *MG1) Replicate(ctx context.Context, p *engine.Pool, d Discipline, horizon, burnin float64, reps int, s *rng.Stream) (*ReplicatedResult, error) {
 	n := len(m.Classes)
 	out := &ReplicatedResult{L: make([]stats.Running, n), Wq: make([]stats.Running, n)}
-	for r := 0; r < reps; r++ {
-		res, err := m.Simulate(d, horizon, burnin, s.Split())
-		if err != nil {
-			return nil, err
-		}
-		for j := 0; j < n; j++ {
-			out.L[j].Add(res.L[j])
-			out.Wq[j].Add(res.Wq[j])
-		}
-		out.CostRate.Add(res.CostRate)
+	err := engine.ReplicateReduce(ctx, p, reps, s,
+		func(_ context.Context, _ int, sub *rng.Stream) (*SimResult, error) {
+			rep := d
+			if sd, ok := d.(StreamDiscipline); ok {
+				rep = sd.WithStream(sub.Split())
+			}
+			return m.Simulate(rep, horizon, burnin, sub)
+		},
+		func(_ int, res *SimResult) error {
+			for j := 0; j < n; j++ {
+				out.L[j].Add(res.L[j])
+				out.Wq[j].Add(res.Wq[j])
+			}
+			out.CostRate.Add(res.CostRate)
+			return nil
+		})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }

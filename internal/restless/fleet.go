@@ -1,9 +1,11 @@
 package restless
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
+	"stochsched/internal/engine"
 	"stochsched/internal/rng"
 	"stochsched/internal/stats"
 )
@@ -114,15 +116,21 @@ func MyopicScore(p *Project) []float64 {
 	return out
 }
 
-// EstimateStaticPriority aggregates replications of SimulateStaticPriority.
-func (f *Fleet) EstimateStaticPriority(score []float64, horizon, burnin, reps int, s *rng.Stream) (*stats.Running, error) {
-	var r stats.Running
-	for i := 0; i < reps; i++ {
-		v, err := f.SimulateStaticPriority(score, horizon, burnin, s.Split())
-		if err != nil {
-			return nil, err
-		}
-		r.Add(v)
-	}
-	return &r, nil
+// EstimateStaticPriority aggregates replications of SimulateStaticPriority
+// on the pool; the aggregate is byte-identical for a given seed at any
+// parallelism level.
+func (f *Fleet) EstimateStaticPriority(ctx context.Context, p *engine.Pool, score []float64, horizon, burnin, reps int, s *rng.Stream) (*stats.Running, error) {
+	return engine.Replicate(ctx, p, reps, s,
+		func(_ context.Context, _ int, sub *rng.Stream) (float64, error) {
+			return f.SimulateStaticPriority(score, horizon, burnin, sub)
+		})
+}
+
+// EstimateRandomPolicy aggregates replications of SimulateRandomPolicy on
+// the pool — the unprioritized baseline at fleet scale.
+func (f *Fleet) EstimateRandomPolicy(ctx context.Context, p *engine.Pool, horizon, burnin, reps int, s *rng.Stream) (*stats.Running, error) {
+	return engine.Replicate(ctx, p, reps, s,
+		func(_ context.Context, _ int, sub *rng.Stream) (float64, error) {
+			return f.SimulateRandomPolicy(horizon, burnin, sub)
+		})
 }

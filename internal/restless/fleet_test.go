@@ -4,6 +4,8 @@ import (
 	"math"
 	"testing"
 
+	"context"
+	"stochsched/internal/engine"
 	"stochsched/internal/rng"
 )
 
@@ -63,7 +65,7 @@ func TestLPBoundDominatesSimulation(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, score := range [][]float64{widx, MyopicScore(p)} {
-		est, err := fleet.EstimateStaticPriority(score, 4000, 500, 10, s.Split())
+		est, err := fleet.EstimateStaticPriority(context.Background(), engine.NewPool(0), score, 4000, 500, 10, s.Split())
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -89,7 +91,7 @@ func TestWhittleBeatsRandom(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	wEst, err := fleet.EstimateStaticPriority(widx, 6000, 1000, 10, s.Split())
+	wEst, err := fleet.EstimateStaticPriority(context.Background(), engine.NewPool(0), widx, 6000, 1000, 10, s.Split())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -124,7 +126,7 @@ func TestAsymptoticGapShrinks(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		est, err := fleet.EstimateStaticPriority(widx, 8000, 1000, 6, s.Split())
+		est, err := fleet.EstimateStaticPriority(context.Background(), engine.NewPool(0), widx, 8000, 1000, 6, s.Split())
 		if err != nil {
 			t.Fatal(err)
 		}
