@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race bench fmt fmt-check vet ci
+.PHONY: build test race bench bench-service smoke fmt fmt-check vet ci
 
 build:
 	$(GO) build ./...
@@ -13,7 +13,8 @@ test:
 race:
 	$(GO) test -race ./internal/engine/... ./internal/experiments/... \
 		./internal/queueing/... ./internal/batch/... \
-		./internal/bandit/... ./internal/restless/...
+		./internal/bandit/... ./internal/restless/... \
+		./internal/service/...
 
 # Engine replication benchmark at parallelism 1/4/max, rendered as
 # machine-readable BENCH_engine.json for the performance trajectory.
@@ -23,6 +24,22 @@ bench:
 	$(GO) run ./cmd/bench2json < bench_engine.out > BENCH_engine.json
 	@rm -f bench_engine.out
 	@echo wrote BENCH_engine.json
+
+# Policy-service index-cache benchmark (cold compute vs warm sharded-cache
+# hit on /v1/gittins), rendered as BENCH_service.json. The warm path must be
+# at least 10x faster than the cold path.
+bench-service:
+	$(GO) test -run '^$$' -bench BenchmarkServiceIndexCache -benchmem . > bench_service.out
+	@cat bench_service.out
+	$(GO) run ./cmd/bench2json < bench_service.out > BENCH_service.json
+	@rm -f bench_service.out
+	@echo wrote BENCH_service.json
+
+# End-to-end smoke of the stochschedd HTTP server: build, start, curl every
+# endpoint against golden bodies, verify cache hits and cross-parallelism
+# determinism. Same script CI's service-smoke job runs.
+smoke:
+	./scripts/service_smoke.sh
 
 fmt:
 	gofmt -w .
@@ -35,4 +52,4 @@ vet:
 	$(GO) vet ./...
 
 # The CI entry point: identical to what .github/workflows/ci.yml runs.
-ci: build vet fmt-check test race
+ci: build vet fmt-check test race smoke

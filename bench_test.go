@@ -7,13 +7,17 @@ package stochsched
 import (
 	"context"
 	"fmt"
+	"net/http"
+	"net/http/httptest"
 	"runtime"
+	"strings"
 	"testing"
 
 	"stochsched/internal/batch"
 	"stochsched/internal/engine"
 	"stochsched/internal/experiments"
 	"stochsched/internal/rng"
+	"stochsched/internal/service"
 )
 
 func benchExperiment(b *testing.B, id string) {
@@ -60,6 +64,75 @@ func BenchmarkEngineReplications(b *testing.B) {
 			}
 		})
 	}
+}
+
+// serviceGittinsBody builds a /v1/gittins request body for a deterministic
+// n-state project; delta perturbs the first reward so each distinct value
+// yields a distinct spec hash (a guaranteed cache miss).
+func serviceGittinsBody(n int, delta float64) string {
+	s := rng.New(42)
+	var sb strings.Builder
+	sb.WriteString(`{"beta":0.9,"transitions":[`)
+	for i := 0; i < n; i++ {
+		row := make([]float64, n)
+		sum := 0.0
+		for j := range row {
+			row[j] = s.Float64Open()
+			sum += row[j]
+		}
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteByte('[')
+		for j := range row {
+			if j > 0 {
+				sb.WriteByte(',')
+			}
+			fmt.Fprintf(&sb, "%.12g", row[j]/sum)
+		}
+		sb.WriteByte(']')
+	}
+	sb.WriteString(`],"rewards":[`)
+	for i := 0; i < n; i++ {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		r := s.Float64()
+		if i == 0 {
+			r += delta
+		}
+		fmt.Fprintf(&sb, "%.12g", r)
+	}
+	sb.WriteString(`]}`)
+	return sb.String()
+}
+
+// BenchmarkServiceIndexCache measures the policy service's Gittins endpoint
+// on a 30-state project along its two paths: "cold" defeats the cache with
+// a fresh spec every iteration (full index computation), "warm" repeats one
+// spec (sharded-cache lookup serving memoized bytes). The acceptance bar
+// for the serving layer is warm ≥ 10× faster than cold; `make bench-service`
+// renders the measurements as BENCH_service.json.
+func BenchmarkServiceIndexCache(b *testing.B) {
+	run := func(b *testing.B, body func(i int) string) {
+		h := service.New(service.Config{}).Handler()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			req := httptest.NewRequest(http.MethodPost, "/v1/gittins", strings.NewReader(body(i)))
+			w := httptest.NewRecorder()
+			h.ServeHTTP(w, req)
+			if w.Code != http.StatusOK {
+				b.Fatalf("code %d: %s", w.Code, w.Body)
+			}
+		}
+	}
+	b.Run("cold", func(b *testing.B) {
+		run(b, func(i int) string { return serviceGittinsBody(30, float64(i+1)) })
+	})
+	b.Run("warm", func(b *testing.B) {
+		warm := serviceGittinsBody(30, 0)
+		run(b, func(int) string { return warm })
+	})
 }
 
 func BenchmarkE01_WSEPTSingleMachine(b *testing.B)     { benchExperiment(b, "E01") }

@@ -7,12 +7,17 @@
 //	  "rewards": [1, 0.3]
 //	}
 //
-// It prints one line per state with the index computed independently by the
-// restart-in-state and largest-index-first algorithms.
+// The spec is the canonical internal/spec.Bandit shape — the same one
+// POST /v1/gittins of the policy service accepts — and is strictly
+// validated (discount in (0,1), square row-stochastic matrix, matching
+// rewards) before any computation. It prints one line per state with the
+// index computed independently by the restart-in-state and
+// largest-index-first algorithms.
 package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -20,47 +25,54 @@ import (
 	"os"
 
 	"stochsched/internal/bandit"
-	"stochsched/internal/linalg"
+	"stochsched/internal/spec"
 )
 
-type spec struct {
-	Beta        float64     `json:"beta"`
-	Transitions [][]float64 `json:"transitions"`
-	Rewards     []float64   `json:"rewards"`
+func main() {
+	if err := run(os.Args[1:], os.Stdin, os.Stdout); err != nil {
+		log.Fatal(err)
+	}
 }
 
-func main() {
-	file := flag.String("file", "", "JSON file (default: stdin)")
-	flag.Parse()
+func run(args []string, stdin io.Reader, stdout io.Writer) error {
+	fs := flag.NewFlagSet("gittins", flag.ContinueOnError)
+	file := fs.String("file", "", "JSON file (default: stdin)")
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil // usage already printed; a clean exit, not a failure
+		}
+		return err
+	}
 
 	var data []byte
 	var err error
 	if *file != "" {
 		data, err = os.ReadFile(*file)
 	} else {
-		data, err = io.ReadAll(os.Stdin)
+		data, err = io.ReadAll(stdin)
 	}
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	var sp spec
+	var sp spec.Bandit
 	if err := json.Unmarshal(data, &sp); err != nil {
-		log.Fatalf("parsing spec: %v", err)
+		return fmt.Errorf("parsing spec: %w", err)
 	}
-	if len(sp.Transitions) == 0 {
-		log.Fatal("spec needs a transitions matrix")
+	p, err := sp.ToProject()
+	if err != nil {
+		return err
 	}
-	p := &bandit.Project{P: linalg.FromRows(sp.Transitions), R: sp.Rewards}
 	restart, err := bandit.GittinsRestart(p, sp.Beta)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	largest, err := bandit.GittinsLargestIndex(p, sp.Beta)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Printf("state  reward   gittins(restart)  gittins(largest-index)\n")
+	fmt.Fprintf(stdout, "state  reward   gittins(restart)  gittins(largest-index)\n")
 	for i := range restart {
-		fmt.Printf("%5d  %7.4f  %16.6f  %21.6f\n", i, sp.Rewards[i], restart[i], largest[i])
+		fmt.Fprintf(stdout, "%5d  %7.4f  %16.6f  %21.6f\n", i, sp.Rewards[i], restart[i], largest[i])
 	}
+	return nil
 }

@@ -1,0 +1,106 @@
+package main
+
+import (
+	"bytes"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// For an absorbing two-state project the Gittins index of each state is its
+// own reward (the project pays that reward forever), so both algorithms must
+// print the rewards back — an exact, hand-checkable fixture.
+const absorbing = `{
+  "beta": 0.9,
+  "transitions": [[1, 0], [0, 1]],
+  "rewards": [0.7, 0.2]
+}`
+
+// parseIndices pulls the (restart, largest-index) columns out of the output.
+func parseIndices(t *testing.T, out string) (restart, largest []float64) {
+	t.Helper()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("want header + 2 state lines, got %d lines:\n%s", len(lines), out)
+	}
+	for _, line := range lines[1:] {
+		f := strings.Fields(line)
+		if len(f) != 4 {
+			t.Fatalf("malformed line %q", line)
+		}
+		r, err := strconv.ParseFloat(f[2], 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		l, err := strconv.ParseFloat(f[3], 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		restart = append(restart, r)
+		largest = append(largest, l)
+	}
+	return restart, largest
+}
+
+func checkIndices(t *testing.T, out string) {
+	t.Helper()
+	restart, largest := parseIndices(t, out)
+	want := []float64{0.7, 0.2}
+	for i, w := range want {
+		if math.Abs(restart[i]-w) > 1e-5 {
+			t.Errorf("restart[%d] = %v, want %v", i, restart[i], w)
+		}
+		if math.Abs(largest[i]-w) > 1e-5 {
+			t.Errorf("largest[%d] = %v, want %v", i, largest[i], w)
+		}
+	}
+}
+
+func TestRunStdin(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(nil, strings.NewReader(absorbing), &out); err != nil {
+		t.Fatal(err)
+	}
+	checkIndices(t, out.String())
+}
+
+func TestRunFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "spec.json")
+	if err := os.WriteFile(path, []byte(absorbing), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := run([]string{"-file", path}, strings.NewReader(""), &out); err != nil {
+		t.Fatal(err)
+	}
+	checkIndices(t, out.String())
+}
+
+func TestRunRejectsBadSpecs(t *testing.T) {
+	bad := []string{
+		`not json`,
+		`{"beta": 1.5, "transitions": [[1]], "rewards": [1]}`,
+		`{"beta": 0.9, "transitions": [[0.5, 0.4], [0, 1]], "rewards": [1, 0]}`,
+		`{"beta": 0.9, "transitions": [[1, 0], [0, 1]], "rewards": [1]}`,
+		`{"beta": 0.9}`,
+	}
+	for _, in := range bad {
+		var out bytes.Buffer
+		if err := run(nil, strings.NewReader(in), &out); err == nil {
+			t.Errorf("spec %q accepted", in)
+		}
+	}
+	if err := run([]string{"-file", filepath.Join(t.TempDir(), "missing.json")}, strings.NewReader(""), io.Discard); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestRunHelpIsClean(t *testing.T) {
+	if err := run([]string{"-h"}, strings.NewReader(""), io.Discard); err != nil {
+		t.Fatalf("-h returned %v, want nil", err)
+	}
+}

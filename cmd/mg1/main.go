@@ -12,28 +12,26 @@ import (
 	"flag"
 	"fmt"
 	"log"
-	"strings"
 
-	"stochsched/internal/dist"
 	"stochsched/internal/queueing"
 	"stochsched/internal/rng"
+	"stochsched/internal/spec"
 )
 
-type classList []queueing.Class
+// classList accumulates -class flags as canonical spec classes, so the CLI
+// shares its validation with the policy service: negative or zero
+// rates/means, negative costs, and malformed specs are rejected at parse
+// time instead of producing a nonsensical simulation.
+type classList []spec.Class
 
 func (c *classList) String() string { return fmt.Sprint(*c) }
 
 func (c *classList) Set(v string) error {
-	var rate, mean, cost float64
-	if _, err := fmt.Sscanf(strings.ReplaceAll(v, ":", " "), "%g %g %g", &rate, &mean, &cost); err != nil {
-		return fmt.Errorf("class %q: want rate:serviceMean:holdCost", v)
+	cl, err := spec.ParseClass(v)
+	if err != nil {
+		return err
 	}
-	*c = append(*c, queueing.Class{
-		Name:        fmt.Sprintf("c%d", len(*c)+1),
-		ArrivalRate: rate,
-		Service:     dist.Exponential{Rate: 1 / mean},
-		HoldCost:    cost,
-	})
+	*c = append(*c, cl)
 	return nil
 }
 
@@ -47,13 +45,14 @@ func main() {
 
 	if len(classes) == 0 {
 		classes = classList{
-			{Name: "c1", ArrivalRate: 0.3, Service: dist.Exponential{Rate: 2}, HoldCost: 4},
-			{Name: "c2", ArrivalRate: 0.2, Service: dist.Exponential{Rate: 1}, HoldCost: 1},
+			{Name: "c1", Rate: 0.3, ServiceMean: 0.5, HoldCost: 4},
+			{Name: "c2", Rate: 0.2, ServiceMean: 1, HoldCost: 1},
 		}
 		fmt.Println("(no -class flags: using the built-in 2-class demo system)")
 	}
-	m := &queueing.MG1{Classes: classes}
-	if err := m.Validate(); err != nil {
+	sys := spec.MG1{Classes: classes}
+	m, err := sys.ToMG1()
+	if err != nil {
 		log.Fatal(err)
 	}
 

@@ -14,16 +14,33 @@ func TestClassListSet(t *testing.T) {
 		t.Fatalf("classes = %d", len(cl))
 	}
 	c := cl[0]
-	if c.ArrivalRate != 0.3 || c.HoldCost != 4 {
+	if c.Rate != 0.3 || c.HoldCost != 4 {
 		t.Fatalf("parsed %+v", c)
 	}
-	if math.Abs(c.Service.Mean()-0.5) > 1e-12 {
-		t.Fatalf("service mean %v, want 0.5", c.Service.Mean())
+	if math.Abs(c.ServiceMean-0.5) > 1e-12 {
+		t.Fatalf("service mean %v, want 0.5", c.ServiceMean)
 	}
-	if err := cl.Set("bogus"); err == nil {
-		t.Fatal("malformed spec accepted")
+
+	// The strict spec parser rejects what the old Sscanf-based parser let
+	// through: negative/zero rates and means, negative costs, extra fields,
+	// and trailing garbage.
+	bad := []string{
+		"bogus",
+		"1:2",
+		"1:2:3:4",
+		"-0.3:0.5:4",
+		"0:0.5:4",
+		"0.3:-0.5:4",
+		"0.3:0:4",
+		"0.3:0.5:-4",
+		"0.3:0.5:4x",
 	}
-	if err := cl.Set("1:2"); err == nil {
-		t.Fatal("short spec accepted")
+	for _, v := range bad {
+		if err := cl.Set(v); err == nil {
+			t.Errorf("malformed class %q accepted", v)
+		}
+	}
+	if len(cl) != 1 {
+		t.Fatalf("rejected specs were appended: %d classes", len(cl))
 	}
 }

@@ -1,0 +1,78 @@
+// Command stochschedd serves the repository's scheduling-policy solvers
+// over HTTP/JSON: Gittins indices, Whittle indices, cµ/Klimov/WSEPT
+// priority orders, and engine-backed Monte Carlo evaluation, behind a
+// sharded memoization cache and a bounded admission queue.
+//
+//	stochschedd -addr :8080 -parallel 8
+//
+//	POST /v1/gittins    bandit spec            → Gittins indices (two algorithms)
+//	POST /v1/whittle    restless spec          → Whittle indices (+ indexability)
+//	POST /v1/priority   mg1 or batch spec      → cµ/Klimov/WSEPT order + indices
+//	POST /v1/simulate   spec + seed + reps     → replication estimates
+//	GET  /v1/stats                             → per-endpoint counters
+//	GET  /healthz                              → liveness
+//
+// Responses are memoized by canonical spec hash; /v1/simulate responses are
+// byte-identical for a given (spec, seed) at any -parallel level. See the
+// README's API reference for request shapes.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"stochsched/internal/service"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	parallel := flag.Int("parallel", 0, "default simulation worker-pool size (0 = GOMAXPROCS)")
+	shards := flag.Int("cache-shards", 16, "cache shard count")
+	perShard := flag.Int("cache-entries", 256, "cached responses per shard (-1 = unbounded)")
+	inflight := flag.Int("max-inflight", 64, "max concurrently executing computations")
+	queue := flag.Int("max-queue", 256, "max computations waiting for a slot before shedding 429s (-1 = shed immediately)")
+	flag.Parse()
+
+	srv := service.New(service.Config{
+		Parallel:             *parallel,
+		CacheShards:          *shards,
+		CacheEntriesPerShard: *perShard,
+		MaxInflight:          *inflight,
+		MaxQueue:             *queue,
+	})
+	hs := &http.Server{
+		Addr:    *addr,
+		Handler: srv.Handler(),
+		// Full-request read deadline: request bodies are small specs, so a
+		// client needing longer than this is trickling, not transferring.
+		ReadTimeout:       30 * time.Second,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		<-sig
+		log.Print("stochschedd: shutting down")
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := hs.Shutdown(ctx); err != nil {
+			log.Printf("stochschedd: shutdown: %v", err)
+		}
+	}()
+
+	log.Printf("stochschedd: listening on %s", *addr)
+	if err := hs.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Fatal(err)
+	}
+	<-done
+}

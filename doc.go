@@ -32,13 +32,28 @@
 //     reduce, so every simulator and the experiment suite produce
 //     byte-identical results for a given seed at any parallelism level,
 //     with context-based cancellation and timeouts throughout.
+//   - Specs (internal/spec): canonical, serializable problem descriptions
+//     (bandit, restless, multiclass M/G/1 with optional Klimov feedback,
+//     batch) with strict validation, conversion into the solver models,
+//     and a deterministic SHA-256 content hash. The gittins and mg1 CLIs
+//     and the policy service all parse into these types.
+//   - Serving (internal/service, cmd/stochschedd): an HTTP/JSON policy
+//     server exposing the solvers — POST /v1/gittins, /v1/whittle,
+//     /v1/priority, /v1/simulate — behind a sharded memoization cache
+//     keyed by spec hash with singleflight deduplication of concurrent
+//     identical requests, a bounded admission queue that sheds overload
+//     with 429s, and per-endpoint hit-rate/latency counters at /v1/stats.
+//     Simulation responses are byte-identical for a given (spec, seed) at
+//     any parallelism level, which also lets the cache key ignore the
+//     parallelism knob.
 //
 // The reproduction suite (internal/experiments, runnable via
 // cmd/stochsched with -parallel and -timeout) contains 28 experiments, one
 // per classical result the survey cites; BenchmarkE* in this package
-// regenerate each experiment's table and BenchmarkEngineReplications
-// tracks the engine's replication throughput. Run `stochsched -list` for
-// the experiment index and `stochsched -catalog` for the index-rule
-// catalogue; README.md covers the build, CI, and parallel-execution
-// workflow.
+// regenerate each experiment's table, BenchmarkEngineReplications tracks
+// the engine's replication throughput, and BenchmarkServiceIndexCache
+// tracks the policy service's cold-compute vs warm-cache latency. Run
+// `stochsched -list` for the experiment index and `stochsched -catalog`
+// for the index-rule catalogue; README.md covers the build, CI, the
+// parallel-execution workflow, and the service's curl-able API reference.
 package stochsched

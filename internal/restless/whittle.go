@@ -118,17 +118,12 @@ func CheckIndexability(p *Project, beta, lo, hi float64, steps int) (*Indexabili
 	return rep, nil
 }
 
-// WhittleIndex computes the Whittle index of every state by bisection on
-// the activation advantage within [lo, hi]. For an indexable project adv(i)
-// is nonincreasing in λ, so the root is unique. States still active at hi
-// get +Inf... callers should pass lo/hi generously wide (e.g. ±(maxR−minR)
-// /(1−β) is always safe); the function widens automatically if needed.
-func WhittleIndex(p *Project, beta float64) ([]float64, error) {
-	if err := p.Validate(); err != nil {
-		return nil, err
-	}
-	// A safe bracket: the subsidy that matters never exceeds the extreme
-	// one-step reward differences scaled by the discounted horizon.
+// SubsidyBracket returns a subsidy range [lo, hi] guaranteed to contain
+// every Whittle index of the project: the subsidy that matters never
+// exceeds the extreme one-step reward differences scaled by the discounted
+// horizon. WhittleIndex bisects within it; pass the same bracket to
+// CheckIndexability so the sweep covers the range the indices came from.
+func SubsidyBracket(p *Project, beta float64) (lo, hi float64) {
 	maxR, minR := math.Inf(-1), math.Inf(1)
 	for a := 0; a < 2; a++ {
 		for _, r := range p.R[a] {
@@ -137,7 +132,17 @@ func WhittleIndex(p *Project, beta float64) ([]float64, error) {
 		}
 	}
 	span := (maxR - minR + 1) / (1 - beta)
-	lo, hi := -span, span
+	return -span, span
+}
+
+// WhittleIndex computes the Whittle index of every state by bisection on
+// the activation advantage within SubsidyBracket. For an indexable project
+// adv(i) is nonincreasing in λ, so the root is unique.
+func WhittleIndex(p *Project, beta float64) ([]float64, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	lo, hi := SubsidyBracket(p, beta)
 
 	n := p.N()
 	idx := make([]float64, n)

@@ -1,0 +1,66 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+)
+
+// ErrShed is returned by Admission.Acquire when the waiting queue is full;
+// the server maps it to HTTP 429.
+var ErrShed = errors.New("service: admission queue full")
+
+// Admission bounds both the number of requests executing concurrently and
+// the number allowed to wait for a slot. Beyond that the server sheds load
+// with an immediate error instead of queueing unboundedly — goroutine count
+// and queueing delay stay bounded no matter the offered load.
+type Admission struct {
+	slots   chan struct{}
+	waiting atomic.Int64
+	maxWait int64
+}
+
+// NewAdmission returns an admission gate running at most inflight requests
+// with at most queue more waiting. Values < 1 are rounded up to 1 (inflight)
+// and 0 (queue).
+func NewAdmission(inflight, queue int) *Admission {
+	if inflight < 1 {
+		inflight = 1
+	}
+	if queue < 0 {
+		queue = 0
+	}
+	return &Admission{slots: make(chan struct{}, inflight), maxWait: int64(queue)}
+}
+
+// Acquire claims an execution slot, waiting in the bounded queue if none is
+// free. It returns ErrShed immediately when the queue is full, or the
+// context's error if it is done first. A nil error must be paired with
+// exactly one Release.
+func (a *Admission) Acquire(ctx context.Context) error {
+	select {
+	case a.slots <- struct{}{}:
+		return nil
+	default:
+	}
+	if a.waiting.Add(1) > a.maxWait {
+		a.waiting.Add(-1)
+		return ErrShed
+	}
+	defer a.waiting.Add(-1)
+	select {
+	case a.slots <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Release frees a slot claimed by a successful Acquire.
+func (a *Admission) Release() { <-a.slots }
+
+// Waiting returns the current queue depth (for stats).
+func (a *Admission) Waiting() int64 { return a.waiting.Load() }
+
+// InFlight returns the number of requests currently executing.
+func (a *Admission) InFlight() int { return len(a.slots) }

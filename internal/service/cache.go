@@ -1,0 +1,149 @@
+package service
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Outcome classifies how a cache lookup was served.
+type Outcome int
+
+const (
+	// Miss: this request computed the value.
+	Miss Outcome = iota
+	// Hit: the value was already cached.
+	Hit
+	// Dedup: an identical request was in flight; this one waited for its
+	// result instead of recomputing (singleflight).
+	Dedup
+)
+
+// Cache is a sharded in-memory memoization cache keyed by spec hash. Each
+// shard holds its own lock and map, so concurrent requests for different
+// keys rarely contend. Lookups of a key whose computation is in flight wait
+// for that computation instead of duplicating it, and every waiter receives
+// the same byte slice — which is what keeps identical concurrent requests
+// byte-identical and the compute cost per distinct spec at exactly one.
+//
+// Eviction is per shard and deliberately simple: when a shard exceeds its
+// entry budget, an arbitrary completed entry is dropped. The workload is
+// memoization of pure functions, so eviction only costs a recompute.
+type Cache struct {
+	shards []cacheShard
+	// perShard is the completed-entry budget of each shard (0 = unbounded).
+	perShard int
+}
+
+type cacheShard struct {
+	mu sync.Mutex
+	m  map[string]*cacheEntry
+}
+
+type cacheEntry struct {
+	done chan struct{} // closed once body/err are set
+	body []byte
+	err  error
+}
+
+// NewCache returns a cache with the given shard count (rounded up to 1) and
+// per-shard completed-entry budget (0 = unbounded).
+func NewCache(shards, entriesPerShard int) *Cache {
+	if shards < 1 {
+		shards = 1
+	}
+	c := &Cache{shards: make([]cacheShard, shards), perShard: entriesPerShard}
+	for i := range c.shards {
+		c.shards[i].m = make(map[string]*cacheEntry)
+	}
+	return c
+}
+
+// shard maps a key to its shard with FNV-1a.
+func (c *Cache) shard(key string) *cacheShard {
+	var x uint64 = 14695981039346656037
+	for i := 0; i < len(key); i++ {
+		x ^= uint64(key[i])
+		x *= 1099511628211
+	}
+	return &c.shards[x%uint64(len(c.shards))]
+}
+
+// Do returns the cached body for key, computing it with compute on a miss.
+// Concurrent calls with the same key are deduplicated: exactly one runs
+// compute, the rest wait and share its result. A failed computation is not
+// cached (waiters observe the error; later calls retry).
+func (c *Cache) Do(key string, compute func() ([]byte, error)) ([]byte, Outcome, error) {
+	sh := c.shard(key)
+	sh.mu.Lock()
+	if e, ok := sh.m[key]; ok {
+		sh.mu.Unlock()
+		select {
+		case <-e.done:
+			return e.body, Hit, e.err
+		default:
+		}
+		<-e.done
+		return e.body, Dedup, e.err
+	}
+	e := &cacheEntry{done: make(chan struct{})}
+	sh.m[key] = e
+	sh.mu.Unlock()
+
+	run(sh, key, e, compute)
+	if e.err != nil {
+		return nil, Miss, e.err
+	}
+	if c.perShard > 0 {
+		sh.evictOver(c.perShard)
+	}
+	return e.body, Miss, nil
+}
+
+// run executes compute and publishes its result on e. The entry is always
+// completed (done closed) and failed entries always unpublished, even when
+// compute panics — otherwise the panicked key would block every future
+// request for it forever. The panic surfaces as an error to the leader and
+// all waiters.
+func run(sh *cacheShard, key string, e *cacheEntry, compute func() ([]byte, error)) {
+	defer func() {
+		if r := recover(); r != nil {
+			e.body, e.err = nil, fmt.Errorf("service: compute panicked: %v", r)
+		}
+		close(e.done)
+		if e.err != nil {
+			sh.mu.Lock()
+			delete(sh.m, key)
+			sh.mu.Unlock()
+		}
+	}()
+	e.body, e.err = compute()
+}
+
+// evictOver drops arbitrary completed entries until the shard is within
+// budget. In-flight entries are never dropped (their waiters hold them).
+func (sh *cacheShard) evictOver(budget int) {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	for k, e := range sh.m {
+		if len(sh.m) <= budget {
+			break
+		}
+		select {
+		case <-e.done:
+			delete(sh.m, k)
+		default:
+		}
+	}
+}
+
+// Len returns the total number of entries (including in-flight ones).
+func (c *Cache) Len() int {
+	total := 0
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		total += len(sh.m)
+		sh.mu.Unlock()
+	}
+	return total
+}

@@ -1,0 +1,43 @@
+package service
+
+import (
+	"bytes"
+	"net/http"
+	"os"
+	"path/filepath"
+	"runtime"
+	"testing"
+)
+
+// TestGoldenBodies pins every endpoint's response to the checked-in golden
+// used by the CI smoke job (scripts/service_smoke.sh), so a drift in
+// encoding or solver output fails `go test` before it fails CI. Regenerate
+// with REGEN=1 scripts/service_smoke.sh.
+func TestGoldenBodies(t *testing.T) {
+	if runtime.GOARCH != "amd64" {
+		// Go may contract floating-point expressions (FMA) on other
+		// architectures, shifting last-ulp digits; the goldens are
+		// byte-exact amd64 output, matching CI's runners.
+		t.Skipf("goldens are amd64-exact; running on %s", runtime.GOARCH)
+	}
+	h := New(Config{}).Handler()
+	for _, ep := range []string{"gittins", "whittle", "priority", "simulate"} {
+		req, err := os.ReadFile(filepath.Join("testdata", ep+"_req.json"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		golden, err := os.ReadFile(filepath.Join("testdata", ep+"_golden.json"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		w := post(t, h, "/v1/"+ep, string(req))
+		if w.Code != http.StatusOK {
+			t.Errorf("/v1/%s: code %d: %s", ep, w.Code, w.Body)
+			continue
+		}
+		if !bytes.Equal(w.Body.Bytes(), golden) {
+			t.Errorf("/v1/%s drifted from testdata/%s_golden.json:\ngot  %s\nwant %s",
+				ep, ep, w.Body.Bytes(), golden)
+		}
+	}
+}

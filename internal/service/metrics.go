@@ -1,0 +1,61 @@
+package service
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// EndpointMetrics holds the per-endpoint counters exposed at /v1/stats.
+// All fields are updated atomically by the request path.
+type EndpointMetrics struct {
+	requests  atomic.Int64
+	hits      atomic.Int64
+	misses    atomic.Int64
+	dedups    atomic.Int64
+	shed      atomic.Int64
+	errors    atomic.Int64
+	latencyNs atomic.Int64
+}
+
+func (m *EndpointMetrics) observe(out Outcome) {
+	switch out {
+	case Hit:
+		m.hits.Add(1)
+	case Miss:
+		m.misses.Add(1)
+	case Dedup:
+		m.dedups.Add(1)
+	}
+}
+
+// EndpointSnapshot is the JSON form of one endpoint's counters.
+type EndpointSnapshot struct {
+	Requests     int64   `json:"requests"`
+	CacheHits    int64   `json:"cache_hits"`
+	CacheMisses  int64   `json:"cache_misses"`
+	Deduplicated int64   `json:"deduplicated"`
+	Shed         int64   `json:"shed"`
+	Errors       int64   `json:"errors"`
+	HitRate      float64 `json:"hit_rate"`
+	AvgLatencyMs float64 `json:"avg_latency_ms"`
+}
+
+func (m *EndpointMetrics) snapshot() EndpointSnapshot {
+	s := EndpointSnapshot{
+		Requests:     m.requests.Load(),
+		CacheHits:    m.hits.Load(),
+		CacheMisses:  m.misses.Load(),
+		Deduplicated: m.dedups.Load(),
+		Shed:         m.shed.Load(),
+		Errors:       m.errors.Load(),
+	}
+	// Hit rate counts dedup joins as hits: they were served without a
+	// recompute, which is what the rate is meant to measure.
+	if looked := s.CacheHits + s.CacheMisses + s.Deduplicated; looked > 0 {
+		s.HitRate = float64(s.CacheHits+s.Deduplicated) / float64(looked)
+	}
+	if s.Requests > 0 {
+		s.AvgLatencyMs = float64(m.latencyNs.Load()) / float64(s.Requests) / float64(time.Millisecond)
+	}
+	return s
+}

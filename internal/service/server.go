@@ -1,0 +1,715 @@
+// Package service exposes the repository's solvers as an HTTP/JSON policy
+// service: Gittins and Whittle index computation, cµ/Klimov/WSEPT priority
+// orders, and engine-backed Monte Carlo evaluation, behind a sharded
+// memoization cache with singleflight deduplication, a bounded admission
+// queue that sheds overload with 429s, and per-endpoint counters at
+// /v1/stats.
+//
+// Responses are cached as encoded bytes keyed by the canonical spec hash
+// (see internal/spec), so repeated identical queries are byte-identical and
+// cost one map lookup. Simulation responses are additionally byte-identical
+// across parallelism levels for a fixed (spec, seed): the engine guarantees
+// replication-order aggregation, the cache key excludes the parallelism
+// knob, and encoding happens once per distinct spec.
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"stochsched/internal/bandit"
+	"stochsched/internal/batch"
+	"stochsched/internal/engine"
+	"stochsched/internal/queueing"
+	"stochsched/internal/restless"
+	"stochsched/internal/rng"
+	"stochsched/internal/spec"
+)
+
+// Config tunes the server. Zero values select the documented defaults.
+type Config struct {
+	// Parallel is the worker-pool size used by /v1/simulate when the
+	// request does not pin one. Default: GOMAXPROCS (engine.NewPool(0)).
+	Parallel int
+	// CacheShards is the number of cache shards. Default 16.
+	CacheShards int
+	// CacheEntriesPerShard bounds each shard (0 keeps the default 256;
+	// negative means unbounded).
+	CacheEntriesPerShard int
+	// MaxInflight bounds concurrently executing computations. Default 64.
+	MaxInflight int
+	// MaxQueue bounds computations waiting for an execution slot; beyond
+	// it the server sheds with 429 (0 keeps the default 256; negative
+	// means no queue — shed as soon as every slot is busy).
+	MaxQueue int
+	// MaxBodyBytes bounds request bodies. Default 1 MiB.
+	MaxBodyBytes int64
+	// MaxReplications bounds the replication count a single /v1/simulate
+	// request may ask for. Default 100000.
+	MaxReplications int
+	// MaxSimWork bounds the total simulated work one /v1/simulate request
+	// may ask for: replications × horizon for queueing models,
+	// replications × 1/(1−β) (the discounted episode scale) for bandits.
+	// Requests beyond it are rejected with 400 instead of monopolizing
+	// execution slots. Default 1e8.
+	MaxSimWork float64
+	// ComputeTimeout bounds a single response computation server-side
+	// (client disconnects do not cancel a computation, because concurrent
+	// identical requests may be waiting on it). Default 2 minutes.
+	ComputeTimeout time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.CacheShards == 0 {
+		c.CacheShards = 16
+	}
+	if c.CacheEntriesPerShard == 0 {
+		c.CacheEntriesPerShard = 256
+	} else if c.CacheEntriesPerShard < 0 {
+		c.CacheEntriesPerShard = 0
+	}
+	if c.MaxInflight == 0 {
+		c.MaxInflight = 64
+	}
+	if c.MaxQueue == 0 {
+		c.MaxQueue = 256
+	} else if c.MaxQueue < 0 {
+		c.MaxQueue = 0
+	}
+	if c.MaxBodyBytes == 0 {
+		c.MaxBodyBytes = 1 << 20
+	}
+	if c.MaxReplications == 0 {
+		c.MaxReplications = 100000
+	}
+	if c.MaxSimWork == 0 {
+		c.MaxSimWork = 1e8
+	}
+	if c.ComputeTimeout == 0 {
+		c.ComputeTimeout = 2 * time.Minute
+	}
+	return c
+}
+
+// Server is the policy service. Construct with New; it is safe for
+// concurrent use.
+type Server struct {
+	cfg   Config
+	pool  *engine.Pool
+	cache *Cache
+	admit *Admission
+	eps   map[string]*EndpointMetrics
+}
+
+// New returns a server with the given configuration.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:   cfg,
+		pool:  engine.NewPool(cfg.Parallel),
+		cache: NewCache(cfg.CacheShards, cfg.CacheEntriesPerShard),
+		admit: NewAdmission(cfg.MaxInflight, cfg.MaxQueue),
+		eps:   make(map[string]*EndpointMetrics),
+	}
+	for _, name := range []string{"gittins", "whittle", "priority", "simulate"} {
+		s.eps[name] = &EndpointMetrics{}
+	}
+	return s
+}
+
+// Handler returns the HTTP handler serving the v1 API.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/gittins", s.solverEndpoint("gittins", s.computeGittins))
+	mux.HandleFunc("/v1/whittle", s.solverEndpoint("whittle", s.computeWhittle))
+	mux.HandleFunc("/v1/priority", s.solverEndpoint("priority", s.computePriority))
+	mux.HandleFunc("/v1/simulate", s.solverEndpoint("simulate", s.computeSimulate))
+	mux.HandleFunc("/v1/stats", s.handleStats)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		io.WriteString(w, "ok\n")
+	})
+	return mux
+}
+
+// badRequest marks an error as the client's fault (HTTP 400).
+type badRequest struct{ err error }
+
+func (e badRequest) Error() string { return e.err.Error() }
+func (e badRequest) Unwrap() error { return e.err }
+
+// parsed is the outcome of decoding one request: a cache key and the
+// computation producing the encoded response body.
+type parsed struct {
+	key     string
+	compute func() ([]byte, error)
+}
+
+// solverEndpoint wraps a solver endpoint with the shared machinery:
+// method/body checks, admission control, memoization, and metrics.
+func (s *Server) solverEndpoint(name string, parse func(body []byte) (parsed, error)) http.HandlerFunc {
+	m := s.eps[name]
+	return func(w http.ResponseWriter, r *http.Request) {
+		begin := time.Now()
+		m.requests.Add(1)
+		defer func() { m.latencyNs.Add(int64(time.Since(begin))) }()
+
+		if r.Method != http.MethodPost {
+			m.errors.Add(1)
+			writeError(w, http.StatusMethodNotAllowed, fmt.Sprintf("%s: POST only", r.URL.Path))
+			return
+		}
+		// Read and parse before admission: a slow client trickling its body
+		// is network I/O, not compute, and must not pin an execution slot.
+		body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+		if err != nil {
+			m.errors.Add(1)
+			writeError(w, http.StatusBadRequest, fmt.Sprintf("reading body: %v", err))
+			return
+		}
+		p, err := parse(body)
+		if err != nil {
+			m.errors.Add(1)
+			writeError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		// Admission wraps only the computation: cache hits are map lookups
+		// and singleflight waiters are parked channel reads, so neither
+		// consumes an execution slot — one slow popular spec cannot starve
+		// cheap traffic on other keys.
+		resp, outcome, err := s.cache.Do(p.key, func() ([]byte, error) {
+			if err := s.admit.Acquire(r.Context()); err != nil {
+				return nil, err
+			}
+			defer s.admit.Release()
+			return p.compute()
+		})
+		if err != nil {
+			var br badRequest
+			switch {
+			case errors.Is(err, ErrShed):
+				m.shed.Add(1)
+				writeError(w, http.StatusTooManyRequests, "server overloaded: admission queue full")
+			case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+				m.errors.Add(1)
+				writeError(w, http.StatusServiceUnavailable, err.Error())
+			case errors.As(err, &br):
+				m.errors.Add(1)
+				writeError(w, http.StatusBadRequest, err.Error())
+			default:
+				m.errors.Add(1)
+				writeError(w, http.StatusInternalServerError, err.Error())
+			}
+			return
+		}
+		m.observe(outcome)
+		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set("X-Cache", outcomeHeader(outcome))
+		w.Write(resp)
+	}
+}
+
+func outcomeHeader(o Outcome) string {
+	switch o {
+	case Hit:
+		return "hit"
+	case Dedup:
+		return "dedup"
+	default:
+		return "miss"
+	}
+}
+
+func writeError(w http.ResponseWriter, code int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(struct {
+		Error string `json:"error"`
+	}{msg})
+}
+
+// decodeStrict unmarshals body into v, rejecting unknown fields and
+// trailing garbage.
+func decodeStrict(body []byte, v any) error {
+	dec := json.NewDecoder(bytes.NewReader(body))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return badRequest{fmt.Errorf("parsing request: %w", err)}
+	}
+	if dec.More() {
+		return badRequest{fmt.Errorf("parsing request: trailing data after JSON value")}
+	}
+	return nil
+}
+
+// marshal encodes a response body. Spec and response types contain no maps,
+// so the encoding is canonical — the property the byte-identity guarantees
+// rest on.
+func marshal(v any) ([]byte, error) {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+// ---------------------------------------------------------------------------
+// /v1/gittins
+
+// GittinsResponse is the body of a /v1/gittins response.
+type GittinsResponse struct {
+	SpecHash string    `json:"spec_hash"`
+	States   int       `json:"states"`
+	Beta     float64   `json:"beta"`
+	Restart  []float64 `json:"gittins_restart"`
+	Largest  []float64 `json:"gittins_largest_index"`
+}
+
+func (s *Server) computeGittins(body []byte) (parsed, error) {
+	var req spec.Bandit
+	if err := decodeStrict(body, &req); err != nil {
+		return parsed{}, err
+	}
+	// Validation happens inside compute (ToProject): hits skip it entirely,
+	// and invalid specs never enter the cache because errors are not cached.
+	hash := spec.Hash(&req)
+	return parsed{key: "gittins:" + hash, compute: func() ([]byte, error) {
+		p, err := req.ToProject()
+		if err != nil {
+			return nil, badRequest{err}
+		}
+		restart, err := bandit.GittinsRestart(p, req.Beta)
+		if err != nil {
+			return nil, err
+		}
+		largest, err := bandit.GittinsLargestIndex(p, req.Beta)
+		if err != nil {
+			return nil, err
+		}
+		return marshal(GittinsResponse{
+			SpecHash: hash,
+			States:   p.N(),
+			Beta:     req.Beta,
+			Restart:  restart,
+			Largest:  largest,
+		})
+	}}, nil
+}
+
+// ---------------------------------------------------------------------------
+// /v1/whittle
+
+// WhittleRequest is the body of a /v1/whittle request.
+type WhittleRequest struct {
+	spec.Restless
+	// CheckIndexability additionally sweeps the subsidy range and reports
+	// whether the passive set grows monotonically (more expensive).
+	CheckIndexability bool `json:"check_indexability,omitempty"`
+}
+
+// WhittleResponse is the body of a /v1/whittle response.
+type WhittleResponse struct {
+	SpecHash  string    `json:"spec_hash"`
+	States    int       `json:"states"`
+	Beta      float64   `json:"beta"`
+	Whittle   []float64 `json:"whittle"`
+	Indexable *bool     `json:"indexable,omitempty"`
+}
+
+func (s *Server) computeWhittle(body []byte) (parsed, error) {
+	var req WhittleRequest
+	if err := decodeStrict(body, &req); err != nil {
+		return parsed{}, err
+	}
+	hash := spec.Hash(&req)
+	return parsed{key: "whittle:" + hash, compute: func() ([]byte, error) {
+		p, err := req.ToProject()
+		if err != nil {
+			return nil, badRequest{err}
+		}
+		idx, err := restless.WhittleIndex(p, req.Beta)
+		if err != nil {
+			return nil, err
+		}
+		resp := WhittleResponse{SpecHash: hash, States: p.N(), Beta: req.Beta, Whittle: idx}
+		if req.CheckIndexability {
+			lo, hi := restless.SubsidyBracket(p, req.Beta)
+			rep, err := restless.CheckIndexability(p, req.Beta, lo, hi, 50)
+			if err != nil {
+				return nil, err
+			}
+			resp.Indexable = &rep.Indexable
+		}
+		return marshal(resp)
+	}}, nil
+}
+
+// ---------------------------------------------------------------------------
+// /v1/priority
+
+// PriorityRequest is the body of a /v1/priority request. Kind selects the
+// model family: "mg1" (cµ order; Klimov order when the spec has feedback)
+// or "batch" (WSEPT/SEPT/LEPT orders).
+type PriorityRequest struct {
+	Kind  string      `json:"kind"`
+	MG1   *spec.MG1   `json:"mg1,omitempty"`
+	Batch *spec.Batch `json:"batch,omitempty"`
+}
+
+// PriorityResponse is the body of a /v1/priority response. Order lists
+// class/job indices highest priority first; Indices holds the per-class
+// priority indices (cµ values, Klimov indices, or Smith ratios).
+type PriorityResponse struct {
+	SpecHash string    `json:"spec_hash"`
+	Rule     string    `json:"rule"`
+	Order    []int     `json:"order"`
+	Indices  []float64 `json:"indices"`
+
+	// Feedback-free mg1 only: exact Cobham delays, numbers in system, and
+	// holding-cost rate under Order.
+	Wq       []float64 `json:"wq,omitempty"`
+	L        []float64 `json:"l,omitempty"`
+	CostRate *float64  `json:"cost_rate,omitempty"`
+
+	// Batch only: the companion orders and, on a single machine, the exact
+	// expected weighted flowtime of the WSEPT order.
+	SEPT                  []int    `json:"sept,omitempty"`
+	LEPT                  []int    `json:"lept,omitempty"`
+	ExactWeightedFlowtime *float64 `json:"exact_weighted_flowtime,omitempty"`
+}
+
+func (s *Server) computePriority(body []byte) (parsed, error) {
+	var req PriorityRequest
+	if err := decodeStrict(body, &req); err != nil {
+		return parsed{}, err
+	}
+	switch req.Kind {
+	case "mg1":
+		if req.MG1 == nil || req.Batch != nil {
+			return parsed{}, badRequest{fmt.Errorf("kind mg1 needs exactly the mg1 field")}
+		}
+	case "batch":
+		if req.Batch == nil || req.MG1 != nil {
+			return parsed{}, badRequest{fmt.Errorf("kind batch needs exactly the batch field")}
+		}
+	default:
+		return parsed{}, badRequest{fmt.Errorf("unknown priority kind %q (want mg1 or batch)", req.Kind)}
+	}
+	hash := spec.Hash(&req)
+	return parsed{key: "priority:" + hash, compute: func() ([]byte, error) {
+		resp, err := priorityResponse(&req, hash)
+		if err != nil {
+			return nil, err
+		}
+		return marshal(resp)
+	}}, nil
+}
+
+func priorityResponse(req *PriorityRequest, hash string) (*PriorityResponse, error) {
+	if req.Kind == "batch" {
+		in, err := req.Batch.ToInstance()
+		if err != nil {
+			return nil, badRequest{err}
+		}
+		wsept := batch.WSEPT(in.Jobs)
+		ratios := make([]float64, len(in.Jobs))
+		for i, j := range in.Jobs {
+			ratios[i] = j.SmithRatio()
+		}
+		resp := &PriorityResponse{
+			SpecHash: hash,
+			Rule:     "wsept",
+			Order:    wsept,
+			Indices:  ratios,
+			SEPT:     batch.SEPT(in.Jobs),
+			LEPT:     batch.LEPT(in.Jobs),
+		}
+		if in.Machines == 1 {
+			v := batch.ExactWeightedFlowtime(in.Jobs, wsept)
+			resp.ExactWeightedFlowtime = &v
+		}
+		return resp, nil
+	}
+	if req.MG1.HasFeedback() {
+		k, err := req.MG1.ToKlimov()
+		if err != nil {
+			return nil, badRequest{err}
+		}
+		indices, order, err := k.KlimovIndices()
+		if err != nil {
+			return nil, err
+		}
+		return &PriorityResponse{SpecHash: hash, Rule: "klimov", Order: order, Indices: indices}, nil
+	}
+	m, err := req.MG1.ToMG1()
+	if err != nil {
+		return nil, badRequest{err}
+	}
+	order := m.CMuOrder()
+	indices := make([]float64, len(m.Classes))
+	for i, c := range m.Classes {
+		indices[i] = c.HoldCost / c.Service.Mean()
+	}
+	wq, l, err := m.ExactPriority(order)
+	if err != nil {
+		return nil, err
+	}
+	cost := m.HoldingCostRate(l)
+	return &PriorityResponse{
+		SpecHash: hash,
+		Rule:     "cmu",
+		Order:    order,
+		Indices:  indices,
+		Wq:       wq,
+		L:        l,
+		CostRate: &cost,
+	}, nil
+}
+
+// ---------------------------------------------------------------------------
+// /v1/simulate
+
+// SimulateRequest is the body of a /v1/simulate request. Kind selects the
+// model: "mg1" simulates the multiclass queue under a discipline, "bandit"
+// evaluates the Gittins index policy on a multi-project bandit. Parallel
+// sets the worker-pool size for this request (0 = server default); it is
+// excluded from the cache key because the response is byte-identical at
+// every parallelism level for a fixed (spec, seed).
+type SimulateRequest struct {
+	Kind         string     `json:"kind"`
+	MG1          *MG1Sim    `json:"mg1,omitempty"`
+	Bandit       *BanditSim `json:"bandit,omitempty"`
+	Seed         uint64     `json:"seed"`
+	Replications int        `json:"replications"`
+	Parallel     int        `json:"parallel,omitempty"`
+}
+
+// MG1Sim parameterizes an M/G/1 simulation: the system spec, the discipline
+// ("cmu", "fifo", or "klimov" for feedback systems), and the horizon.
+type MG1Sim struct {
+	Spec    spec.MG1 `json:"spec"`
+	Policy  string   `json:"policy"`
+	Horizon float64  `json:"horizon"`
+	Burnin  float64  `json:"burnin"`
+}
+
+// BanditSim parameterizes a bandit simulation: the system spec and the
+// component start states.
+type BanditSim struct {
+	Spec  spec.BanditSystem `json:"spec"`
+	Start []int             `json:"start"`
+}
+
+// SimulateResponse is the body of a /v1/simulate response.
+type SimulateResponse struct {
+	SpecHash     string           `json:"spec_hash"`
+	Seed         uint64           `json:"seed"`
+	Replications int64            `json:"replications"`
+	MG1          *MG1SimResult    `json:"mg1,omitempty"`
+	Bandit       *BanditSimResult `json:"bandit,omitempty"`
+}
+
+// MG1SimResult carries replication means for the queueing simulation. For
+// feedback (Klimov) systems only the cost rate is estimated.
+type MG1SimResult struct {
+	Policy       string    `json:"policy"`
+	Order        []int     `json:"order,omitempty"`
+	L            []float64 `json:"l,omitempty"`
+	Wq           []float64 `json:"wq,omitempty"`
+	CostRateMean float64   `json:"cost_rate_mean"`
+	CostRateCI95 float64   `json:"cost_rate_ci95"`
+}
+
+// BanditSimResult carries the discounted-reward estimate under the Gittins
+// index policy.
+type BanditSimResult struct {
+	RewardMean float64 `json:"reward_mean"`
+	RewardCI95 float64 `json:"reward_ci95"`
+}
+
+func (s *Server) computeSimulate(body []byte) (parsed, error) {
+	var req SimulateRequest
+	if err := decodeStrict(body, &req); err != nil {
+		return parsed{}, err
+	}
+	if req.Replications < 1 || req.Replications > s.cfg.MaxReplications {
+		return parsed{}, badRequest{fmt.Errorf("replications %d outside [1, %d]", req.Replications, s.cfg.MaxReplications)}
+	}
+	if req.Parallel < 0 || req.Parallel > 1024 {
+		return parsed{}, badRequest{fmt.Errorf("parallel %d outside [0, 1024]", req.Parallel)}
+	}
+	switch req.Kind {
+	case "mg1":
+		if req.MG1 == nil || req.Bandit != nil {
+			return parsed{}, badRequest{fmt.Errorf("kind mg1 needs exactly the mg1 field")}
+		}
+		if req.MG1.Burnin < 0 || req.MG1.Horizon <= req.MG1.Burnin {
+			return parsed{}, badRequest{fmt.Errorf("need 0 <= burnin < horizon, got burnin=%v horizon=%v", req.MG1.Burnin, req.MG1.Horizon)}
+		}
+		if work := req.MG1.Horizon * float64(req.Replications); !(work <= s.cfg.MaxSimWork) {
+			return parsed{}, badRequest{fmt.Errorf("horizon × replications = %g exceeds the work budget %g", work, s.cfg.MaxSimWork)}
+		}
+	case "bandit":
+		if req.Bandit == nil || req.MG1 != nil {
+			return parsed{}, badRequest{fmt.Errorf("kind bandit needs exactly the bandit field")}
+		}
+		if len(req.Bandit.Start) != len(req.Bandit.Spec.Projects) {
+			return parsed{}, badRequest{fmt.Errorf("start has %d states for %d projects", len(req.Bandit.Start), len(req.Bandit.Spec.Projects))}
+		}
+		for i, st := range req.Bandit.Start {
+			if st < 0 || st >= len(req.Bandit.Spec.Projects[i].Rewards) {
+				return parsed{}, badRequest{fmt.Errorf("start state %d of project %d out of range", st, i)}
+			}
+		}
+		// Episode length scales with the discounted horizon 1/(1−β).
+		if beta := req.Bandit.Spec.Beta; beta > 0 && beta < 1 {
+			if work := float64(req.Replications) / (1 - beta); !(work <= s.cfg.MaxSimWork) {
+				return parsed{}, badRequest{fmt.Errorf("replications/(1-beta) = %g exceeds the work budget %g", work, s.cfg.MaxSimWork)}
+			}
+		}
+	default:
+		return parsed{}, badRequest{fmt.Errorf("unknown simulate kind %q (want mg1 or bandit)", req.Kind)}
+	}
+
+	// The cache key deliberately omits Parallel: the engine makes the
+	// response a function of (spec, seed, replications) only, so requests
+	// differing only in parallelism share one cached body.
+	keyed := req
+	keyed.Parallel = 0
+	hash := spec.Hash(&keyed)
+
+	pool := s.pool
+	if req.Parallel > 0 {
+		pool = engine.NewPool(req.Parallel)
+	}
+	return parsed{key: "simulate:" + hash, compute: func() ([]byte, error) {
+		resp, err := s.simulateResponse(&req, hash, pool)
+		if err != nil {
+			return nil, err
+		}
+		return marshal(resp)
+	}}, nil
+}
+
+func (s *Server) simulateResponse(req *SimulateRequest, hash string, pool *engine.Pool) (*SimulateResponse, error) {
+	// Server-side timeout, not the request's context: singleflight waiters
+	// may be sharing this computation after the initiating client leaves.
+	ctx, cancel := context.WithTimeout(context.Background(), s.cfg.ComputeTimeout)
+	defer cancel()
+	resp := &SimulateResponse{SpecHash: hash, Seed: req.Seed, Replications: int64(req.Replications)}
+	if req.Kind == "bandit" {
+		b, err := req.Bandit.Spec.ToBandit()
+		if err != nil {
+			return nil, badRequest{err}
+		}
+		indices := make([][]float64, len(b.Projects))
+		for i, p := range b.Projects {
+			if indices[i], err = bandit.GittinsRestart(p, b.Beta); err != nil {
+				return nil, err
+			}
+		}
+		est, err := bandit.EstimateDiscounted(ctx, pool, b, bandit.IndexPolicy(indices), req.Bandit.Start, req.Replications, rng.New(req.Seed))
+		if err != nil {
+			return nil, err
+		}
+		resp.Bandit = &BanditSimResult{RewardMean: est.Mean(), RewardCI95: est.CI95()}
+		return resp, nil
+	}
+
+	sim := req.MG1
+	if sim.Spec.HasFeedback() {
+		if sim.Policy != "klimov" {
+			return nil, badRequest{fmt.Errorf("feedback systems support policy \"klimov\", got %q", sim.Policy)}
+		}
+		k, err := sim.Spec.ToKlimov()
+		if err != nil {
+			return nil, badRequest{err}
+		}
+		_, order, err := k.KlimovIndices()
+		if err != nil {
+			return nil, err
+		}
+		est, err := k.ReplicateKlimov(ctx, pool, order, sim.Horizon, sim.Burnin, req.Replications, rng.New(req.Seed))
+		if err != nil {
+			return nil, err
+		}
+		resp.MG1 = &MG1SimResult{
+			Policy:       "klimov",
+			Order:        order,
+			CostRateMean: est.Mean(),
+			CostRateCI95: est.CI95(),
+		}
+		return resp, nil
+	}
+
+	m, err := sim.Spec.ToMG1()
+	if err != nil {
+		return nil, badRequest{err}
+	}
+	var d queueing.Discipline
+	var order []int
+	switch sim.Policy {
+	case "cmu":
+		order = m.CMuOrder()
+		d = queueing.StaticPriority{Order: order}
+	case "fifo":
+		d = queueing.FIFO{}
+	default:
+		return nil, badRequest{fmt.Errorf("unknown mg1 policy %q (want cmu or fifo)", sim.Policy)}
+	}
+	rep, err := m.Replicate(ctx, pool, d, sim.Horizon, sim.Burnin, req.Replications, rng.New(req.Seed))
+	if err != nil {
+		return nil, err
+	}
+	n := len(m.Classes)
+	res := &MG1SimResult{
+		Policy:       sim.Policy,
+		Order:        order,
+		L:            make([]float64, n),
+		Wq:           make([]float64, n),
+		CostRateMean: rep.CostRate.Mean(),
+		CostRateCI95: rep.CostRate.CI95(),
+	}
+	for j := 0; j < n; j++ {
+		res.L[j] = rep.L[j].Mean()
+		res.Wq[j] = rep.Wq[j].Mean()
+	}
+	resp.MG1 = res
+	return resp, nil
+}
+
+// ---------------------------------------------------------------------------
+// /v1/stats
+
+// StatsResponse is the body of a /v1/stats response.
+type StatsResponse struct {
+	Endpoints    map[string]EndpointSnapshot `json:"endpoints"`
+	CacheEntries int                         `json:"cache_entries"`
+	InFlight     int                         `json:"in_flight"`
+	Waiting      int64                       `json:"waiting"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "/v1/stats: GET only")
+		return
+	}
+	resp := StatsResponse{
+		Endpoints:    make(map[string]EndpointSnapshot, len(s.eps)),
+		CacheEntries: s.cache.Len(),
+		InFlight:     s.admit.InFlight(),
+		Waiting:      s.admit.Waiting(),
+	}
+	for name, m := range s.eps {
+		resp.Endpoints[name] = m.snapshot()
+	}
+	w.Header().Set("Content-Type", "application/json")
+	b, _ := json.MarshalIndent(resp, "", "  ")
+	w.Write(append(b, '\n'))
+}

@@ -1,0 +1,24 @@
+package spec
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+)
+
+// Hash returns the canonical content hash of a spec (or any value whose JSON
+// encoding is deterministic — structs and slices, no maps): the hex SHA-256
+// of its compact JSON form. Two specs hash equal iff they are semantically
+// identical requests, which makes the hash usable as a memoization key and
+// as a stable identifier in responses and logs.
+func Hash(v any) string {
+	b, err := json.Marshal(v)
+	if err != nil {
+		// Spec types are plain data; marshaling can only fail on hand-built
+		// values containing NaN/Inf, which validation rejects first.
+		panic(fmt.Sprintf("spec: unhashable value: %v", err))
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:])
+}

@@ -1,0 +1,32 @@
+package spec
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ParseClass parses the command-line class shorthand "rate:serviceMean:holdCost"
+// (exponential service) into a validated Class. Unlike the lenient Sscanf
+// parsing it replaces, it rejects trailing garbage, missing or extra fields,
+// and nonpositive rates/means and negative costs.
+func ParseClass(v string) (Class, error) {
+	parts := strings.Split(v, ":")
+	if len(parts) != 3 {
+		return Class{}, fmt.Errorf("spec: class %q: want rate:serviceMean:holdCost", v)
+	}
+	fields := [3]float64{}
+	names := [3]string{"rate", "serviceMean", "holdCost"}
+	for i, p := range parts {
+		f, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil {
+			return Class{}, fmt.Errorf("spec: class %q: bad %s %q", v, names[i], p)
+		}
+		fields[i] = f
+	}
+	c := Class{Rate: fields[0], ServiceMean: fields[1], HoldCost: fields[2]}
+	if err := c.Validate(); err != nil {
+		return Class{}, fmt.Errorf("class %q: %w", v, err)
+	}
+	return c, nil
+}

@@ -1,0 +1,437 @@
+// Package spec defines the canonical, serializable problem descriptions
+// shared by the command-line tools and the policy service: bandit projects,
+// restless projects, multiclass M/G/1 systems (with optional Klimov
+// feedback), and batch instances.
+//
+// Every spec type offers strict validation (rejecting negative rates,
+// nonpositive means, malformed matrices, and out-of-range discounts before
+// any solver runs), a conversion into the corresponding solver model, and a
+// deterministic content hash (see Hash) that the service uses as its
+// memoization key. Specs contain no maps, so their JSON encoding — and
+// therefore their hash — is canonical.
+package spec
+
+import (
+	"fmt"
+	"math"
+
+	"stochsched/internal/bandit"
+	"stochsched/internal/batch"
+	"stochsched/internal/dist"
+	"stochsched/internal/linalg"
+	"stochsched/internal/queueing"
+	"stochsched/internal/restless"
+)
+
+// ---------------------------------------------------------------------------
+// Distributions
+
+// Dist describes a nonnegative service/processing-time law. Kind selects the
+// family; the other fields parameterize it:
+//
+//	{"kind": "exp", "rate": 2}        exponential, rate 2 (or "mean": 0.5)
+//	{"kind": "det", "value": 1.5}     point mass
+//	{"kind": "uniform", "lo": 0, "hi": 2}
+//	{"kind": "erlang", "k": 3, "rate": 2}
+type Dist struct {
+	Kind  string  `json:"kind"`
+	Rate  float64 `json:"rate,omitempty"`
+	Mean  float64 `json:"mean,omitempty"`
+	Value float64 `json:"value,omitempty"`
+	Lo    float64 `json:"lo,omitempty"`
+	Hi    float64 `json:"hi,omitempty"`
+	K     int     `json:"k,omitempty"`
+}
+
+// Validate checks the parameters of the selected family.
+func (d *Dist) Validate() error {
+	switch d.Kind {
+	case "exp":
+		if (d.Rate > 0) == (d.Mean > 0) {
+			return fmt.Errorf("spec: exp law needs exactly one of rate, mean positive (rate=%v mean=%v)", d.Rate, d.Mean)
+		}
+		if !finite(d.Rate) || !finite(d.Mean) || d.Rate < 0 || d.Mean < 0 {
+			return fmt.Errorf("spec: exp law has negative or non-finite parameter")
+		}
+	case "det":
+		if !(d.Value > 0) || !finite(d.Value) {
+			return fmt.Errorf("spec: det law needs a positive value, got %v", d.Value)
+		}
+	case "uniform":
+		if !finite(d.Lo) || !finite(d.Hi) || d.Lo < 0 || d.Hi <= d.Lo {
+			return fmt.Errorf("spec: uniform law needs 0 <= lo < hi, got [%v, %v]", d.Lo, d.Hi)
+		}
+	case "erlang":
+		if d.K < 1 || !(d.Rate > 0) || !finite(d.Rate) {
+			return fmt.Errorf("spec: erlang law needs k >= 1 and positive rate, got k=%d rate=%v", d.K, d.Rate)
+		}
+	default:
+		return fmt.Errorf("spec: unknown distribution kind %q (want exp, det, uniform, or erlang)", d.Kind)
+	}
+	return nil
+}
+
+// Dist returns the dist.Distribution the spec describes.
+func (d *Dist) Dist() (dist.Distribution, error) {
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	switch d.Kind {
+	case "exp":
+		rate := d.Rate
+		if rate == 0 {
+			rate = 1 / d.Mean
+		}
+		return dist.Exponential{Rate: rate}, nil
+	case "det":
+		return dist.Deterministic{Value: d.Value}, nil
+	case "uniform":
+		return dist.Uniform{Lo: d.Lo, Hi: d.Hi}, nil
+	case "erlang":
+		return dist.Erlang{K: d.K, Rate: d.Rate}, nil
+	}
+	panic("unreachable")
+}
+
+// ---------------------------------------------------------------------------
+// Bandit
+
+// Bandit is a single discounted bandit project: the JSON shape consumed by
+// cmd/gittins and POST /v1/gittins.
+type Bandit struct {
+	Beta        float64     `json:"beta"`
+	Transitions [][]float64 `json:"transitions"`
+	Rewards     []float64   `json:"rewards"`
+}
+
+// Validate checks the discount, matrix shape, and row-stochasticity.
+func (b *Bandit) Validate() error {
+	if !(b.Beta > 0 && b.Beta < 1) {
+		return fmt.Errorf("spec: discount beta %v outside (0,1)", b.Beta)
+	}
+	if err := checkMatrix(b.Transitions, b.Rewards); err != nil {
+		return err
+	}
+	p := &bandit.Project{P: linalg.FromRows(b.Transitions), R: b.Rewards}
+	return p.Validate()
+}
+
+// ToProject converts the spec into a validated solver model.
+func (b *Bandit) ToProject() (*bandit.Project, error) {
+	if err := b.Validate(); err != nil {
+		return nil, err
+	}
+	return &bandit.Project{P: linalg.FromRows(b.Transitions), R: b.Rewards}, nil
+}
+
+// BanditSystem is a multi-project bandit for simulation: POST /v1/simulate
+// with kind "bandit" evaluates the Gittins index policy on it.
+type BanditSystem struct {
+	Beta     float64 `json:"beta"`
+	Projects []Arm   `json:"projects"`
+}
+
+// Arm is one project of a BanditSystem.
+type Arm struct {
+	Transitions [][]float64 `json:"transitions"`
+	Rewards     []float64   `json:"rewards"`
+}
+
+// Validate checks the discount and every arm.
+func (b *BanditSystem) Validate() error {
+	if !(b.Beta > 0 && b.Beta < 1) {
+		return fmt.Errorf("spec: discount beta %v outside (0,1)", b.Beta)
+	}
+	if len(b.Projects) == 0 {
+		return fmt.Errorf("spec: bandit system has no projects")
+	}
+	for i, a := range b.Projects {
+		if err := checkMatrix(a.Transitions, a.Rewards); err != nil {
+			return fmt.Errorf("project %d: %w", i, err)
+		}
+	}
+	_, err := b.ToBandit()
+	return err
+}
+
+// ToBandit converts the spec into a validated solver model.
+func (b *BanditSystem) ToBandit() (*bandit.Bandit, error) {
+	out := &bandit.Bandit{Beta: b.Beta}
+	for i, a := range b.Projects {
+		if err := checkMatrix(a.Transitions, a.Rewards); err != nil {
+			return nil, fmt.Errorf("project %d: %w", i, err)
+		}
+		out.Projects = append(out.Projects, &bandit.Project{P: linalg.FromRows(a.Transitions), R: a.Rewards})
+	}
+	if err := out.Validate(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// ---------------------------------------------------------------------------
+// Restless
+
+// Action holds the dynamics of one action of a restless project.
+type Action struct {
+	Transitions [][]float64 `json:"transitions"`
+	Rewards     []float64   `json:"rewards"`
+}
+
+// Restless is a two-action restless project: the JSON shape consumed by
+// POST /v1/whittle.
+type Restless struct {
+	Beta    float64 `json:"beta"`
+	Passive Action  `json:"passive"`
+	Active  Action  `json:"active"`
+}
+
+// Validate checks the discount and both actions' dynamics.
+func (r *Restless) Validate() error {
+	_, err := r.ToProject()
+	return err
+}
+
+// ToProject converts the spec into a validated solver model.
+func (r *Restless) ToProject() (*restless.Project, error) {
+	if !(r.Beta > 0 && r.Beta < 1) {
+		return nil, fmt.Errorf("spec: discount beta %v outside (0,1)", r.Beta)
+	}
+	if err := checkMatrix(r.Passive.Transitions, r.Passive.Rewards); err != nil {
+		return nil, fmt.Errorf("passive: %w", err)
+	}
+	if err := checkMatrix(r.Active.Transitions, r.Active.Rewards); err != nil {
+		return nil, fmt.Errorf("active: %w", err)
+	}
+	if len(r.Passive.Transitions) != len(r.Active.Transitions) {
+		return nil, fmt.Errorf("spec: passive has %d states, active %d", len(r.Passive.Transitions), len(r.Active.Transitions))
+	}
+	p := &restless.Project{
+		P: [2]*linalg.Matrix{linalg.FromRows(r.Passive.Transitions), linalg.FromRows(r.Active.Transitions)},
+		R: [2][]float64{r.Passive.Rewards, r.Active.Rewards},
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// ---------------------------------------------------------------------------
+// Multiclass M/G/1 (with optional Klimov feedback)
+
+// Class describes one customer class. Exactly one of ServiceMean (shorthand
+// for an exponential law with that mean) and Service must be set.
+type Class struct {
+	Name        string  `json:"name,omitempty"`
+	Rate        float64 `json:"rate"`
+	ServiceMean float64 `json:"service_mean,omitempty"`
+	Service     *Dist   `json:"service,omitempty"`
+	HoldCost    float64 `json:"hold_cost"`
+}
+
+// Validate rejects nonpositive rates and means, negative costs, and
+// non-finite values.
+func (c *Class) Validate() error {
+	if !(c.Rate > 0) || !finite(c.Rate) {
+		return fmt.Errorf("spec: class needs a positive arrival rate, got %v", c.Rate)
+	}
+	if c.HoldCost < 0 || !finite(c.HoldCost) {
+		return fmt.Errorf("spec: class needs a nonnegative holding cost, got %v", c.HoldCost)
+	}
+	if (c.ServiceMean != 0) == (c.Service != nil) {
+		return fmt.Errorf("spec: class needs exactly one of service_mean, service")
+	}
+	if c.Service != nil {
+		return c.Service.Validate()
+	}
+	if !(c.ServiceMean > 0) || !finite(c.ServiceMean) {
+		return fmt.Errorf("spec: class needs a positive service mean, got %v", c.ServiceMean)
+	}
+	return nil
+}
+
+// toClass converts into the queueing model's class, defaulting the name.
+func (c *Class) toClass(i int) (queueing.Class, error) {
+	if err := c.Validate(); err != nil {
+		return queueing.Class{}, fmt.Errorf("class %d: %w", i, err)
+	}
+	name := c.Name
+	if name == "" {
+		name = fmt.Sprintf("c%d", i+1)
+	}
+	var law dist.Distribution
+	if c.Service != nil {
+		var err error
+		if law, err = c.Service.Dist(); err != nil {
+			return queueing.Class{}, fmt.Errorf("class %d: %w", i, err)
+		}
+	} else {
+		law = dist.Exponential{Rate: 1 / c.ServiceMean}
+	}
+	return queueing.Class{Name: name, ArrivalRate: c.Rate, Service: law, HoldCost: c.HoldCost}, nil
+}
+
+// MG1 is a multiclass M/G/1 system; a nonempty Feedback matrix turns it into
+// a Klimov network (row i gives the probabilities a completed class-i job
+// re-enters as class j; the row deficit is the exit probability).
+type MG1 struct {
+	Classes  []Class     `json:"classes"`
+	Feedback [][]float64 `json:"feedback,omitempty"`
+}
+
+// HasFeedback reports whether the spec describes a Klimov network.
+func (m *MG1) HasFeedback() bool { return len(m.Feedback) > 0 }
+
+// Validate checks every class, the feedback shape, and stability.
+func (m *MG1) Validate() error {
+	if m.HasFeedback() {
+		_, err := m.ToKlimov()
+		return err
+	}
+	_, err := m.ToMG1()
+	return err
+}
+
+// ToMG1 converts a feedback-free spec into a validated queueing model.
+func (m *MG1) ToMG1() (*queueing.MG1, error) {
+	if m.HasFeedback() {
+		return nil, fmt.Errorf("spec: system has feedback; use ToKlimov")
+	}
+	cs, err := m.classes()
+	if err != nil {
+		return nil, err
+	}
+	out := &queueing.MG1{Classes: cs}
+	if err := out.Validate(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// ToKlimov converts the spec into a validated Klimov network (a zero
+// feedback matrix is supplied when absent).
+func (m *MG1) ToKlimov() (*queueing.KlimovNetwork, error) {
+	cs, err := m.classes()
+	if err != nil {
+		return nil, err
+	}
+	n := len(cs)
+	fb := linalg.NewMatrix(n, n)
+	if m.HasFeedback() {
+		if len(m.Feedback) != n {
+			return nil, fmt.Errorf("spec: feedback has %d rows, want %d", len(m.Feedback), n)
+		}
+		for i, row := range m.Feedback {
+			if len(row) != n {
+				return nil, fmt.Errorf("spec: feedback row %d has %d entries, want %d", i, len(row), n)
+			}
+			for j, v := range row {
+				if v < 0 || !finite(v) {
+					return nil, fmt.Errorf("spec: feedback[%d][%d] = %v is negative or non-finite", i, j, v)
+				}
+				fb.Set(i, j, v)
+			}
+		}
+	}
+	out := &queueing.KlimovNetwork{Classes: cs, Feedback: fb}
+	if err := out.Validate(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+func (m *MG1) classes() ([]queueing.Class, error) {
+	if len(m.Classes) == 0 {
+		return nil, fmt.Errorf("spec: system has no classes")
+	}
+	cs := make([]queueing.Class, len(m.Classes))
+	for i := range m.Classes {
+		c, err := m.Classes[i].toClass(i)
+		if err != nil {
+			return nil, err
+		}
+		cs[i] = c
+	}
+	return cs, nil
+}
+
+// ---------------------------------------------------------------------------
+// Batch
+
+// JobSpec is one stochastic job of a batch instance.
+type JobSpec struct {
+	Weight float64 `json:"weight"`
+	Dist   Dist    `json:"dist"`
+}
+
+// Batch is a batch-scheduling instance: jobs on Machines identical machines
+// (default 1).
+type Batch struct {
+	Jobs     []JobSpec `json:"jobs"`
+	Machines int       `json:"machines,omitempty"`
+}
+
+// Validate checks every job and the machine count.
+func (b *Batch) Validate() error {
+	_, err := b.ToInstance()
+	return err
+}
+
+// ToInstance converts the spec into a validated solver instance.
+func (b *Batch) ToInstance() (*batch.Instance, error) {
+	if len(b.Jobs) == 0 {
+		return nil, fmt.Errorf("spec: batch has no jobs")
+	}
+	machines := b.Machines
+	if machines == 0 {
+		machines = 1
+	}
+	in := &batch.Instance{Machines: machines}
+	for i, j := range b.Jobs {
+		if j.Weight < 0 || !finite(j.Weight) {
+			return nil, fmt.Errorf("spec: job %d needs a nonnegative weight, got %v", i, j.Weight)
+		}
+		law, err := j.Dist.Dist()
+		if err != nil {
+			return nil, fmt.Errorf("job %d: %w", i, err)
+		}
+		in.Jobs = append(in.Jobs, batch.Job{ID: i, Weight: j.Weight, Dist: law})
+	}
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	return in, nil
+}
+
+// ---------------------------------------------------------------------------
+// Shared checks
+
+// checkMatrix validates the shape and finiteness of a transition matrix and
+// its reward vector (stochasticity is checked by the model's own Validate).
+func checkMatrix(rows [][]float64, rewards []float64) error {
+	n := len(rows)
+	if n == 0 {
+		return fmt.Errorf("spec: empty transition matrix")
+	}
+	for i, row := range rows {
+		if len(row) != n {
+			return fmt.Errorf("spec: transition row %d has %d entries, want %d", i, len(row), n)
+		}
+		for j, v := range row {
+			if !finite(v) {
+				return fmt.Errorf("spec: transition[%d][%d] is not finite", i, j)
+			}
+		}
+	}
+	if len(rewards) != n {
+		return fmt.Errorf("spec: %d rewards for %d states", len(rewards), n)
+	}
+	for i, r := range rewards {
+		if !finite(r) {
+			return fmt.Errorf("spec: reward %d is not finite", i)
+		}
+	}
+	return nil
+}
+
+func finite(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }

@@ -1,0 +1,233 @@
+package spec
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func validBandit() Bandit {
+	return Bandit{
+		Beta:        0.9,
+		Transitions: [][]float64{{0.5, 0.5}, {0.2, 0.8}},
+		Rewards:     []float64{1, 0.3},
+	}
+}
+
+func TestBanditValidate(t *testing.T) {
+	b := validBandit()
+	if err := b.Validate(); err != nil {
+		t.Fatalf("valid spec rejected: %v", err)
+	}
+	cases := []struct {
+		name string
+		mut  func(*Bandit)
+	}{
+		{"beta=0", func(b *Bandit) { b.Beta = 0 }},
+		{"beta=1", func(b *Bandit) { b.Beta = 1 }},
+		{"beta NaN", func(b *Bandit) { b.Beta = math.NaN() }},
+		{"ragged matrix", func(b *Bandit) { b.Transitions[0] = []float64{1} }},
+		{"non-stochastic", func(b *Bandit) { b.Transitions[0] = []float64{0.5, 0.4} }},
+		{"negative prob", func(b *Bandit) { b.Transitions[0] = []float64{1.5, -0.5} }},
+		{"reward length", func(b *Bandit) { b.Rewards = []float64{1} }},
+		{"reward inf", func(b *Bandit) { b.Rewards[0] = math.Inf(1) }},
+		{"empty", func(b *Bandit) { b.Transitions = nil }},
+	}
+	for _, c := range cases {
+		bad := validBandit()
+		c.mut(&bad)
+		if err := bad.Validate(); err == nil {
+			t.Errorf("%s: accepted", c.name)
+		}
+	}
+}
+
+func TestMG1Validate(t *testing.T) {
+	m := MG1{Classes: []Class{
+		{Rate: 0.3, ServiceMean: 0.5, HoldCost: 4},
+		{Rate: 0.2, ServiceMean: 1, HoldCost: 1},
+	}}
+	q, err := m.ToMG1()
+	if err != nil {
+		t.Fatalf("valid spec rejected: %v", err)
+	}
+	if got := q.Classes[0].Name; got != "c1" {
+		t.Errorf("default name = %q, want c1", got)
+	}
+	if q.Load() >= 1 {
+		t.Errorf("load %v", q.Load())
+	}
+
+	bad := []MG1{
+		{},
+		{Classes: []Class{{Rate: -1, ServiceMean: 1, HoldCost: 1}}},
+		{Classes: []Class{{Rate: 0, ServiceMean: 1, HoldCost: 1}}},
+		{Classes: []Class{{Rate: 0.1, ServiceMean: -2, HoldCost: 1}}},
+		{Classes: []Class{{Rate: 0.1, ServiceMean: 1, HoldCost: -1}}},
+		{Classes: []Class{{Rate: 0.1, HoldCost: 1}}},                                          // no service law
+		{Classes: []Class{{Rate: 0.1, ServiceMean: 1, Service: &Dist{Kind: "exp", Rate: 1}}}}, // both
+		{Classes: []Class{{Rate: 2, ServiceMean: 1, HoldCost: 1}}},                            // unstable
+	}
+	for i, b := range bad {
+		if err := b.Validate(); err == nil {
+			t.Errorf("bad spec %d accepted", i)
+		}
+	}
+
+	// Feedback: a valid Klimov network and a bad row.
+	fb := MG1{
+		Classes: []Class{
+			{Rate: 0.2, ServiceMean: 0.5, HoldCost: 2},
+			{Rate: 0.1, ServiceMean: 0.5, HoldCost: 1},
+		},
+		Feedback: [][]float64{{0, 0.3}, {0, 0}},
+	}
+	if !fb.HasFeedback() {
+		t.Fatal("HasFeedback = false")
+	}
+	if _, err := fb.ToKlimov(); err != nil {
+		t.Fatalf("valid klimov rejected: %v", err)
+	}
+	if _, err := fb.ToMG1(); err == nil {
+		t.Fatal("ToMG1 accepted a feedback system")
+	}
+	fb.Feedback[0][1] = -0.3
+	if _, err := fb.ToKlimov(); err == nil {
+		t.Fatal("negative feedback accepted")
+	}
+}
+
+func TestDistValidate(t *testing.T) {
+	good := []Dist{
+		{Kind: "exp", Rate: 2},
+		{Kind: "exp", Mean: 0.5},
+		{Kind: "det", Value: 1.5},
+		{Kind: "uniform", Lo: 0, Hi: 2},
+		{Kind: "erlang", K: 3, Rate: 2},
+	}
+	for i, d := range good {
+		law, err := d.Dist()
+		if err != nil {
+			t.Errorf("good dist %d rejected: %v", i, err)
+			continue
+		}
+		if law.Mean() <= 0 {
+			t.Errorf("dist %d mean %v", i, law.Mean())
+		}
+	}
+	// The two exp forms must agree.
+	a, _ := (&Dist{Kind: "exp", Rate: 2}).Dist()
+	b, _ := (&Dist{Kind: "exp", Mean: 0.5}).Dist()
+	if a.Mean() != b.Mean() {
+		t.Errorf("exp rate/mean disagree: %v vs %v", a.Mean(), b.Mean())
+	}
+
+	bad := []Dist{
+		{Kind: "gaussian"},
+		{Kind: "exp"},
+		{Kind: "exp", Rate: 2, Mean: 0.5},
+		{Kind: "exp", Rate: -2},
+		{Kind: "det", Value: 0},
+		{Kind: "uniform", Lo: 2, Hi: 1},
+		{Kind: "uniform", Lo: -1, Hi: 1},
+		{Kind: "erlang", K: 0, Rate: 1},
+	}
+	for i, d := range bad {
+		if err := d.Validate(); err == nil {
+			t.Errorf("bad dist %d accepted", i)
+		}
+	}
+}
+
+func TestBatchValidate(t *testing.T) {
+	b := Batch{Jobs: []JobSpec{
+		{Weight: 2, Dist: Dist{Kind: "exp", Rate: 1}},
+		{Weight: 1, Dist: Dist{Kind: "det", Value: 0.5}},
+	}}
+	in, err := b.ToInstance()
+	if err != nil {
+		t.Fatalf("valid batch rejected: %v", err)
+	}
+	if in.Machines != 1 {
+		t.Errorf("default machines = %d, want 1", in.Machines)
+	}
+	bad := []Batch{
+		{},
+		{Jobs: []JobSpec{{Weight: -1, Dist: Dist{Kind: "exp", Rate: 1}}}},
+		{Jobs: []JobSpec{{Weight: 1, Dist: Dist{Kind: "exp"}}}},
+		{Jobs: []JobSpec{{Weight: 1, Dist: Dist{Kind: "exp", Rate: 1}}}, Machines: -2},
+	}
+	for i, b := range bad {
+		if err := b.Validate(); err == nil {
+			t.Errorf("bad batch %d accepted", i)
+		}
+	}
+}
+
+func TestRestlessValidate(t *testing.T) {
+	r := Restless{
+		Beta: 0.9,
+		Passive: Action{
+			Transitions: [][]float64{{0.9, 0.1}, {0, 1}},
+			Rewards:     []float64{1, 0.2},
+		},
+		Active: Action{
+			Transitions: [][]float64{{1, 0}, {1, 0}},
+			Rewards:     []float64{-0.5, -0.5},
+		},
+	}
+	if _, err := r.ToProject(); err != nil {
+		t.Fatalf("valid restless rejected: %v", err)
+	}
+	r.Active.Transitions = [][]float64{{1}}
+	if _, err := r.ToProject(); err == nil {
+		t.Fatal("mismatched action dimensions accepted")
+	}
+}
+
+func TestHashStableAndDiscriminating(t *testing.T) {
+	a := validBandit()
+	b := validBandit()
+	if Hash(&a) != Hash(&b) {
+		t.Fatal("identical specs hash differently")
+	}
+	b.Rewards[0] = 2
+	if Hash(&a) == Hash(&b) {
+		t.Fatal("different specs collide")
+	}
+	if len(Hash(&a)) != 64 {
+		t.Fatalf("hash length %d, want 64", len(Hash(&a)))
+	}
+}
+
+func TestParseClass(t *testing.T) {
+	c, err := ParseClass("0.3:0.5:4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Rate != 0.3 || c.ServiceMean != 0.5 || c.HoldCost != 4 {
+		t.Fatalf("parsed %+v", c)
+	}
+	bad := []string{
+		"", "bogus", "1:2", "1:2:3:4",
+		"-1:2:3",  // negative rate
+		"0:2:3",   // zero rate
+		"1:-2:3",  // negative mean
+		"1:0:3",   // zero mean
+		"1:2:-3",  // negative cost
+		"1:2:3x",  // trailing garbage
+		"1:two:3", // non-numeric
+		"1:2:",    // empty field
+	}
+	for _, v := range bad {
+		if _, err := ParseClass(v); err == nil {
+			t.Errorf("ParseClass(%q) accepted", v)
+		}
+	}
+	for _, v := range bad {
+		if _, err := ParseClass(v); err != nil && !strings.Contains(err.Error(), v) && v != "" {
+			// Errors should echo the offending spec for CLI usability.
+			t.Errorf("ParseClass(%q) error %q does not mention input", v, err)
+		}
+	}
+}

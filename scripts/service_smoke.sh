@@ -1,0 +1,100 @@
+#!/bin/sh
+# service_smoke.sh — end-to-end smoke test of the stochschedd policy server.
+#
+# Builds the daemon, starts it, curls every v1 endpoint, and checks:
+#   * each endpoint answers HTTP 200 with the checked-in golden body
+#     (goldens live in internal/service/testdata/*_golden.json);
+#   * a repeated request is served from the cache (X-Cache: hit);
+#   * /v1/simulate is byte-identical when the server is restarted at a
+#     different -parallel level — the serving layer preserves the engine's
+#     determinism guarantee end to end.
+#
+# Goldens are floating-point exact and generated on amd64; regenerate with
+#   REGEN=1 scripts/service_smoke.sh
+set -eu
+
+cd "$(dirname "$0")/.."
+TESTDATA=internal/service/testdata
+ADDR=127.0.0.1:18423
+BASE="http://$ADDR"
+TMP="$(mktemp -d)"
+DAEMON_PID=""
+
+cleanup() {
+    [ -n "$DAEMON_PID" ] && kill "$DAEMON_PID" 2>/dev/null || true
+    rm -rf "$TMP"
+}
+trap cleanup EXIT INT TERM
+
+go build -o "$TMP/stochschedd" ./cmd/stochschedd
+
+start_daemon() { # $1 = -parallel level
+    "$TMP/stochschedd" -addr "$ADDR" -parallel "$1" &
+    DAEMON_PID=$!
+    for _ in $(seq 1 100); do
+        if curl -fsS "$BASE/healthz" >/dev/null 2>&1; then return 0; fi
+        sleep 0.05
+    done
+    echo "FAIL: daemon did not become healthy" >&2
+    exit 1
+}
+
+stop_daemon() {
+    kill "$DAEMON_PID" 2>/dev/null || true
+    wait "$DAEMON_PID" 2>/dev/null || true
+    DAEMON_PID=""
+}
+
+check_endpoint() { # $1 = endpoint name
+    req="$TESTDATA/${1}_req.json"
+    golden="$TESTDATA/${1}_golden.json"
+    out="$TMP/${1}_resp.json"
+    curl -fsS -X POST --data-binary "@$req" "$BASE/v1/$1" -o "$out"
+    if [ "${REGEN:-}" = "1" ]; then
+        cp "$out" "$golden"
+        echo "regenerated $golden"
+        return 0
+    fi
+    if ! cmp -s "$out" "$golden"; then
+        echo "FAIL: /v1/$1 response differs from $golden:" >&2
+        diff "$golden" "$out" >&2 || true
+        exit 1
+    fi
+    echo "ok /v1/$1"
+}
+
+start_daemon 1
+for ep in gittins whittle priority simulate; do
+    check_endpoint "$ep"
+done
+
+# A repeated request must be a cache hit.
+hdr="$(curl -fsS -D - -o /dev/null -X POST --data-binary "@$TESTDATA/gittins_req.json" "$BASE/v1/gittins")"
+echo "$hdr" | grep -qi '^x-cache: hit' || {
+    echo "FAIL: repeated /v1/gittins was not a cache hit:" >&2
+    echo "$hdr" >&2
+    exit 1
+}
+echo "ok cache hit"
+
+# Stats must report the traffic.
+curl -fsS "$BASE/v1/stats" | grep -q '"requests"' || {
+    echo "FAIL: /v1/stats missing counters" >&2
+    exit 1
+}
+echo "ok /v1/stats"
+stop_daemon
+
+# Determinism across parallelism: a fresh daemon at -parallel 8 must return
+# the exact same simulate body (its cache is empty, so this recomputes).
+start_daemon 8
+curl -fsS -X POST --data-binary "@$TESTDATA/simulate_req.json" "$BASE/v1/simulate" -o "$TMP/simulate_p8.json"
+if ! cmp -s "$TMP/simulate_p8.json" "$TESTDATA/simulate_golden.json"; then
+    echo "FAIL: /v1/simulate differs between -parallel 1 and -parallel 8:" >&2
+    diff "$TESTDATA/simulate_golden.json" "$TMP/simulate_p8.json" >&2 || true
+    exit 1
+fi
+echo "ok simulate determinism across -parallel 1/8"
+stop_daemon
+
+echo "service smoke: all checks passed"
