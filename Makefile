@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race bench bench-service smoke fmt fmt-check vet ci
+.PHONY: build test race bench bench-service smoke docs-check fmt fmt-check vet ci
 
 build:
 	$(GO) build ./...
@@ -14,7 +14,7 @@ race:
 	$(GO) test -race ./internal/engine/... ./internal/experiments/... \
 		./internal/queueing/... ./internal/batch/... \
 		./internal/bandit/... ./internal/restless/... \
-		./internal/service/...
+		./internal/service/... ./internal/sweep/...
 
 # Engine replication benchmark at parallelism 1/4/max, rendered as
 # machine-readable BENCH_engine.json for the performance trajectory.
@@ -36,10 +36,16 @@ bench-service:
 	@echo wrote BENCH_service.json
 
 # End-to-end smoke of the stochschedd HTTP server: build, start, curl every
-# endpoint against golden bodies, verify cache hits and cross-parallelism
-# determinism. Same script CI's service-smoke job runs.
+# endpoint against golden bodies, verify cache hits, sweep submit/poll/
+# stream against golden rows, and cross-parallelism determinism of both
+# simulate bodies and sweep NDJSON. Same script CI's service-smoke job runs.
 smoke:
 	./scripts/service_smoke.sh
+
+# Lint the documentation tree: every relative link in README.md, docs/, and
+# examples/*/README.md must resolve to a file in the checkout.
+docs-check:
+	./scripts/docs_check.sh
 
 fmt:
 	gofmt -w .
@@ -52,4 +58,4 @@ vet:
 	$(GO) vet ./...
 
 # The CI entry point: identical to what .github/workflows/ci.yml runs.
-ci: build vet fmt-check test race smoke
+ci: build vet fmt-check test race smoke docs-check

@@ -14,6 +14,14 @@
 //	stochsched -run all -quick -parallel 8
 //	stochsched -run all -timeout 2m
 //	stochsched -catalog
+//
+// The sweep subcommand drives the parameter-sweep subsystem
+// (internal/sweep) in-process — same request JSON, same deterministic
+// results as the daemon's POST /v1/sweep — and renders the
+// policy-comparison table:
+//
+//	stochsched sweep -f request.json
+//	stochsched sweep -f request.json -ndjson   # raw result rows
 package main
 
 import (
@@ -30,6 +38,9 @@ import (
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "sweep" {
+		os.Exit(runSweep(os.Args[2:]))
+	}
 	list := flag.Bool("list", false, "list all experiments and exit")
 	catalog := flag.Bool("catalog", false, "print the index-rule catalog and exit")
 	run := flag.String("run", "", "experiment ID to run (e.g. E09), comma-separated list, or 'all'")

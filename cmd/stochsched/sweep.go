@@ -1,0 +1,137 @@
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"text/tabwriter"
+
+	"stochsched/internal/engine"
+	"stochsched/internal/service"
+	"stochsched/internal/sweep"
+)
+
+// runSweep implements the `stochsched sweep` subcommand: it reads a sweep
+// request (the exact JSON POST /v1/sweep accepts), executes it in-process
+// against the same service backend the daemon uses — so cells share one
+// in-memory cache across grid points — and renders the policy-comparison
+// table. With -ndjson it emits the raw result rows instead, byte-identical
+// to what GET /v1/sweep/{id}/results would stream.
+func runSweep(args []string) int {
+	fs := flag.NewFlagSet("sweep", flag.ExitOnError)
+	file := fs.String("f", "-", "sweep request file (JSON; \"-\" = stdin)")
+	parallel := fs.Int("parallel", 0, "worker pool size for the cells (overrides the request; 0 = request value or GOMAXPROCS)")
+	timeout := fs.Duration("timeout", 0, "abort the sweep after this duration (0 = no limit)")
+	ndjson := fs.Bool("ndjson", false, "emit raw NDJSON result rows instead of the table")
+	fs.Usage = func() {
+		fmt.Fprintf(fs.Output(), `usage: stochsched sweep [-f request.json] [-parallel N] [-timeout D] [-ndjson]
+
+Expands a base /v1/simulate request over a parameter grid, evaluates every
+policy at every grid point, and prints the comparison table (per-policy
+cost/reward with 95%% CI half-widths and regret against the best policy).
+The request file is the same JSON POST /v1/sweep accepts; see docs/api.md.
+`)
+		fs.PrintDefaults()
+	}
+	fs.Parse(args)
+
+	var in io.Reader = os.Stdin
+	if *file != "-" {
+		f, err := os.Open(*file)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		defer f.Close()
+		in = f
+	}
+	raw, err := io.ReadAll(in)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	// DecodeRequest is the same strict parse POST /v1/sweep applies.
+	req, err := sweep.DecodeRequest(raw)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	if *parallel > 0 {
+		req.Parallel = *parallel
+	}
+
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
+	// The in-process backend: the same cache/admission machinery as the
+	// daemon, so repeated cells within the sweep cost one computation.
+	be := service.New(service.Config{Parallel: req.Parallel})
+	plan, err := sweep.Expand(req, be, 0)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+
+	var rows []sweep.Row
+	err = sweep.Execute(ctx, be, plan, engine.NewPool(req.Parallel), nil,
+		func(row sweep.Row, line []byte) error {
+			if *ndjson {
+				_, err := os.Stdout.Write(line)
+				return err
+			}
+			rows = append(rows, row)
+			return nil
+		})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	if !*ndjson {
+		printSweepTable(os.Stdout, plan, rows)
+	}
+	return 0
+}
+
+// printSweepTable renders the comparison: one line per grid point, one
+// mean ± CI column per policy, then the winner and the runner-up regret.
+func printSweepTable(w io.Writer, plan *sweep.Plan, rows []sweep.Row) {
+	if len(rows) == 0 {
+		fmt.Fprintln(w, "no rows")
+		return
+	}
+	fmt.Fprintf(w, "sweep %s…  %d points × %d policies, metric %s\n\n",
+		plan.Hash[:12], plan.Points, len(rows[0].Policies), rows[0].Metric)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	header := []string{"point"}
+	for _, p := range rows[0].Params {
+		header = append(header, p.Path)
+	}
+	for _, pr := range rows[0].Policies {
+		header = append(header, pr.Policy)
+	}
+	header = append(header, "best", "max_regret")
+	fmt.Fprintln(tw, strings.Join(header, "\t"))
+	for _, row := range rows {
+		cols := []string{fmt.Sprintf("%d", row.Point)}
+		for _, p := range row.Params {
+			cols = append(cols, fmt.Sprintf("%.4g", p.Value))
+		}
+		maxRegret := 0.0
+		for _, pr := range row.Policies {
+			cols = append(cols, fmt.Sprintf("%.5g ± %.2g", pr.Mean, pr.CI95))
+			if pr.Regret > maxRegret {
+				maxRegret = pr.Regret
+			}
+		}
+		cols = append(cols, row.Best, fmt.Sprintf("%.4g", maxRegret))
+		fmt.Fprintln(tw, strings.Join(cols, "\t"))
+	}
+	tw.Flush()
+}

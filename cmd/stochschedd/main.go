@@ -5,16 +5,20 @@
 //
 //	stochschedd -addr :8080 -parallel 8
 //
-//	POST /v1/gittins    bandit spec            → Gittins indices (two algorithms)
-//	POST /v1/whittle    restless spec          → Whittle indices (+ indexability)
-//	POST /v1/priority   mg1 or batch spec      → cµ/Klimov/WSEPT order + indices
-//	POST /v1/simulate   spec + seed + reps     → replication estimates
-//	GET  /v1/stats                             → per-endpoint counters
-//	GET  /healthz                              → liveness
+//	POST   /v1/gittins            bandit spec            → Gittins indices (two algorithms)
+//	POST   /v1/whittle            restless spec          → Whittle indices (+ indexability)
+//	POST   /v1/priority           mg1 or batch spec      → cµ/Klimov/WSEPT order + indices
+//	POST   /v1/simulate           spec + seed + reps     → replication estimates
+//	POST   /v1/sweep              base + grid + policies → async job id (202)
+//	GET    /v1/sweep/{id}         job status + progress
+//	GET    /v1/sweep/{id}/results NDJSON comparison rows, grid order
+//	DELETE /v1/sweep/{id}         cancel
+//	GET    /v1/stats              per-endpoint counters + cache/sweep gauges
+//	GET    /healthz               liveness
 //
-// Responses are memoized by canonical spec hash; /v1/simulate responses are
-// byte-identical for a given (spec, seed) at any -parallel level. See the
-// README's API reference for request shapes.
+// Responses are memoized by canonical spec hash; /v1/simulate responses and
+// sweep result rows are byte-identical for a given (spec, seed) at any
+// parallelism. See docs/api.md for the full reference.
 package main
 
 import (
@@ -38,6 +42,8 @@ func main() {
 	perShard := flag.Int("cache-entries", 256, "cached responses per shard (-1 = unbounded)")
 	inflight := flag.Int("max-inflight", 64, "max concurrently executing computations")
 	queue := flag.Int("max-queue", 256, "max computations waiting for a slot before shedding 429s (-1 = shed immediately)")
+	sweepJobs := flag.Int("sweep-max-jobs", 32, "max stored sweep jobs (oldest finished evicted beyond this)")
+	sweepCells := flag.Int("sweep-max-cells", 4096, "max grid points × policies per sweep")
 	flag.Parse()
 
 	srv := service.New(service.Config{
@@ -46,6 +52,8 @@ func main() {
 		CacheEntriesPerShard: *perShard,
 		MaxInflight:          *inflight,
 		MaxQueue:             *queue,
+		SweepMaxJobs:         *sweepJobs,
+		SweepMaxCells:        *sweepCells,
 	})
 	hs := &http.Server{
 		Addr:    *addr,

@@ -46,6 +46,17 @@
 //     Simulation responses are byte-identical for a given (spec, seed) at
 //     any parallelism level, which also lets the cache key ignore the
 //     parallelism knob.
+//   - Sweeps (internal/sweep): the asynchronous experiment platform on
+//     top of the service — a base /v1/simulate request, a declarative
+//     parameter grid (spec.Grid), and a policy list expand into a
+//     deterministic DAG of simulation cells executed through the
+//     service's cache, folded into per-point policy-comparison rows
+//     (mean, CI half-width, regret vs the best policy) and streamed as
+//     NDJSON in grid order. Exposed as POST /v1/sweep with status,
+//     streaming-results, and cancel routes, plus the in-process
+//     `stochsched sweep` subcommand; jobs live in a bounded store with
+//     oldest-finished eviction. Sweep result streams inherit the
+//     engine's guarantee: byte-identical at any parallelism.
 //
 // The reproduction suite (internal/experiments, runnable via
 // cmd/stochsched with -parallel and -timeout) contains 28 experiments, one
@@ -54,6 +65,10 @@
 // the engine's replication throughput, and BenchmarkServiceIndexCache
 // tracks the policy service's cold-compute vs warm-cache latency. Run
 // `stochsched -list` for the experiment index and `stochsched -catalog`
-// for the index-rule catalogue; README.md covers the build, CI, the
-// parallel-execution workflow, and the service's curl-able API reference.
+// for the index-rule catalogue.
+//
+// Documentation lives in docs/: architecture.md (the layer diagram and
+// what each layer owns), api.md (the full HTTP reference for every /v1/*
+// endpoint), and determinism.md (why results are byte-identical across
+// parallelism and what would break it); README.md is the quickstart.
 package stochsched

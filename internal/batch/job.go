@@ -7,6 +7,13 @@
 // their optimality on small instances: closed-form expected weighted
 // flowtime for static orders, exhaustive order enumeration, and
 // exponential-case Markov dynamic programming over job subsets.
+//
+// Simulation estimators (EstimateSingleMachine, EstimateParallel, the flow
+// shop and in-tree makespans) replicate on internal/engine, so their
+// estimates are byte-identical at any parallelism for a given seed. The
+// policy service exposes the WSEPT/SEPT/LEPT orders as POST /v1/priority
+// with kind "batch"; specs enter through internal/spec.Batch (see
+// docs/api.md).
 package batch
 
 import (

@@ -108,11 +108,23 @@ type item[T any] struct {
 // independently failing tasks the surviving error is the earliest
 // *observed*, not necessarily the earliest possible.)
 func Reduce[T any](ctx context.Context, p *Pool, n int, fn func(ctx context.Context, i int) (T, error), reduce func(i int, v T) error) error {
+	return ReduceProgress(ctx, p, n, fn, reduce, nil)
+}
+
+// ReduceProgress is Reduce with a completion callback: after each task's
+// result arrives at the collector, progress(done, n) is invoked with the
+// number of tasks finished so far (in arrival order, which is
+// scheduling-dependent — unlike reduce calls, which remain strictly in index
+// order). progress runs on the collector goroutine, so it must be cheap and
+// must not call back into the same Reduce; a nil progress is ignored. Long
+// fan-outs (such as a parameter sweep) use it to expose live job counters
+// without perturbing the deterministic fold.
+func ReduceProgress[T any](ctx context.Context, p *Pool, n int, fn func(ctx context.Context, i int) (T, error), reduce func(i int, v T) error, progress func(done, total int)) error {
 	return reduceCore(ctx, p, n,
 		func(i int) func(ctx context.Context) (T, error) {
 			return func(ctx context.Context) (T, error) { return fn(ctx, i) }
 		},
-		reduce)
+		reduce, progress)
 }
 
 // reduceCore is the shared fan-out/fold machinery. bind(i) is called on the
@@ -120,7 +132,7 @@ func Reduce[T any](ctx context.Context, p *Pool, n int, fn func(ctx context.Cont
 // before task i starts, so any order-sensitive per-task setup (such as
 // splitting an RNG substream) is a function of the index alone, never of
 // scheduling.
-func reduceCore[T any](ctx context.Context, p *Pool, n int, bind func(i int) func(ctx context.Context) (T, error), reduce func(i int, v T) error) error {
+func reduceCore[T any](ctx context.Context, p *Pool, n int, bind func(i int) func(ctx context.Context) (T, error), reduce func(i int, v T) error, progress func(done, total int)) error {
 	if n <= 0 {
 		return ctx.Err()
 	}
@@ -161,6 +173,9 @@ func reduceCore[T any](ctx context.Context, p *Pool, n int, bind func(i int) fun
 	firstErrIdx := n
 	for received := 0; received < n; received++ {
 		it := <-results
+		if progress != nil {
+			progress(received+1, n)
+		}
 		if it.err != nil {
 			// Prefer the earliest real failure; context errors only matter
 			// if nothing else failed (they are scheduling-dependent echoes
@@ -250,7 +265,7 @@ func Replicate(ctx context.Context, p *Pool, reps int, src *rng.Stream, fn func(
 			sub := src.Split() // ascending index order: substream i is fixed by (src, i)
 			return func(ctx context.Context) (float64, error) { return fn(ctx, i, sub) }
 		},
-		func(_ int, v float64) error { r.Add(v); return nil })
+		func(_ int, v float64) error { r.Add(v); return nil }, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -269,5 +284,5 @@ func ReplicateReduce[T any](ctx context.Context, p *Pool, reps int, src *rng.Str
 			sub := src.Split() // ascending index order: substream i is fixed by (src, i)
 			return func(ctx context.Context) (T, error) { return fn(ctx, i, sub) }
 		},
-		reduce)
+		reduce, nil)
 }

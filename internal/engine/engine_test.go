@@ -232,3 +232,30 @@ func TestReduceZeroItems(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestReduceProgress(t *testing.T) {
+	const n = 50
+	var seen []int
+	err := ReduceProgress(context.Background(), NewPool(8), n,
+		func(_ context.Context, i int) (int, error) { return i, nil },
+		func(int, int) error { return nil },
+		func(done, total int) {
+			if total != n {
+				t.Errorf("total = %d, want %d", total, n)
+			}
+			seen = append(seen, done)
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The callback runs on the collector goroutine: done counts ascend 1..n
+	// regardless of task completion order.
+	if len(seen) != n {
+		t.Fatalf("progress called %d times, want %d", len(seen), n)
+	}
+	for i, d := range seen {
+		if d != i+1 {
+			t.Fatalf("progress sequence %v not 1..%d", seen[:i+1], n)
+		}
+	}
+}

@@ -3,6 +3,13 @@
 // shape (orderings, crossovers, vanishing gaps) reproduces the cited
 // theorem or heuristic study. Run `stochsched -list` for the experiment
 // index; RunAll executes any subset concurrently with seed-stable output.
+//
+// Experiments — and the replications inside each — share one
+// internal/engine pool, and finished tables stream in experiment order,
+// so suite output is byte-identical at any parallelism for a given seed
+// (docs/determinism.md). For sweeping a single model over a parameter
+// grid instead of running the fixed catalogue, see internal/sweep and
+// the `stochsched sweep` subcommand.
 package experiments
 
 import (

@@ -11,6 +11,14 @@
 // 1990); a multi-station network simulator exhibiting Lu–Kumar-style
 // instability (Bramson 1994 context); and a single-station fluid model
 // (Chen–Yao 1993).
+//
+// All replication loops (MG1.Replicate, ReplicateKlimov, and the M/M/m and
+// polling experiment helpers) run on internal/engine with per-replication
+// RNG substreams, so estimates are byte-identical at any parallelism for a
+// given seed. The policy service exposes the cµ/Klimov orders as
+// POST /v1/priority and the simulators as POST /v1/simulate — which the
+// sweep subsystem (internal/sweep) fans out over whole parameter grids;
+// specs enter through internal/spec.MG1 (see docs/api.md).
 package queueing
 
 import (

@@ -9,6 +9,11 @@
 // a first-order primal–dual index heuristic in the spirit of
 // Bertsimas–Niño-Mora (2000), and a fleet simulator used for the
 // Weber–Weiss (1990) asymptotic-optimality experiment.
+//
+// Fleet replications fan out over internal/engine, so estimates are
+// byte-identical at any parallelism for a given seed. The policy service
+// exposes WhittleIndex and CheckIndexability as POST /v1/whittle (see
+// docs/api.md); specs enter through internal/spec.Restless.
 package restless
 
 import (

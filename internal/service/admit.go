@@ -15,9 +15,15 @@ var ErrShed = errors.New("service: admission queue full")
 // with an immediate error instead of queueing unboundedly — goroutine count
 // and queueing delay stay bounded no matter the offered load.
 type Admission struct {
-	slots   chan struct{}
-	waiting atomic.Int64
-	maxWait int64
+	slots chan struct{}
+	// waiting counts interactive requests queued by Acquire; it is what
+	// the maxWait shed bound is enforced against. waitingBg counts
+	// background (AcquireBlocking) waiters separately, so a large sweep
+	// parked for slots is visible in stats without eating the interactive
+	// queue budget.
+	waiting   atomic.Int64
+	waitingBg atomic.Int64
+	maxWait   int64
 }
 
 // NewAdmission returns an admission gate running at most inflight requests
@@ -56,11 +62,34 @@ func (a *Admission) Acquire(ctx context.Context) error {
 	}
 }
 
+// AcquireBlocking claims an execution slot, waiting as long as it takes
+// (or until ctx is done) without ever shedding. The bounded queue exists
+// to keep interactive latency honest for clients that can retry; sweep
+// cells are background work already admitted at submission, bounded by
+// their job's parallelism, and shedding one would fail the whole job —
+// they wait instead. The inflight bound still applies.
+func (a *Admission) AcquireBlocking(ctx context.Context) error {
+	select {
+	case a.slots <- struct{}{}:
+		return nil
+	default:
+	}
+	a.waitingBg.Add(1)
+	defer a.waitingBg.Add(-1)
+	select {
+	case a.slots <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
 // Release frees a slot claimed by a successful Acquire.
 func (a *Admission) Release() { <-a.slots }
 
-// Waiting returns the current queue depth (for stats).
-func (a *Admission) Waiting() int64 { return a.waiting.Load() }
+// Waiting returns the current queue depth — interactive and background
+// waiters together (for stats).
+func (a *Admission) Waiting() int64 { return a.waiting.Load() + a.waitingBg.Load() }
 
 // InFlight returns the number of requests currently executing.
 func (a *Admission) InFlight() int { return len(a.slots) }

@@ -35,8 +35,9 @@ type Cache struct {
 }
 
 type cacheShard struct {
-	mu sync.Mutex
-	m  map[string]*cacheEntry
+	mu        sync.Mutex
+	m         map[string]*cacheEntry
+	evictions int64
 }
 
 type cacheEntry struct {
@@ -131,6 +132,7 @@ func (sh *cacheShard) evictOver(budget int) {
 		select {
 		case <-e.done:
 			delete(sh.m, k)
+			sh.evictions++
 		default:
 		}
 	}
@@ -146,4 +148,30 @@ func (c *Cache) Len() int {
 		sh.mu.Unlock()
 	}
 	return total
+}
+
+// CacheStats is a point-in-time view of the cache for /v1/stats: total and
+// per-shard entry counts (including in-flight entries) and the cumulative
+// number of evictions. Watching entries plateau while evictions climb is
+// how an over-budget working set shows up; watching entries grow with zero
+// evictions across a warm sweep is how per-point cache reuse shows up.
+type CacheStats struct {
+	Entries      int   `json:"entries"`
+	Evictions    int64 `json:"evictions"`
+	ShardEntries []int `json:"shard_entries"`
+}
+
+// Stats gathers per-shard counters. Shards are locked one at a time, so the
+// view is per-shard consistent, not globally atomic.
+func (c *Cache) Stats() CacheStats {
+	st := CacheStats{ShardEntries: make([]int, len(c.shards))}
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		st.ShardEntries[i] = len(sh.m)
+		st.Entries += len(sh.m)
+		st.Evictions += sh.evictions
+		sh.mu.Unlock()
+	}
+	return st
 }

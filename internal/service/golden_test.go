@@ -41,3 +41,37 @@ func TestGoldenBodies(t *testing.T) {
 		}
 	}
 }
+
+// TestSweepGoldenRows pins the first and last NDJSON rows of the smoke
+// sweep to the same goldens scripts/service_smoke.sh checks, so a drift in
+// sweep row encoding or simulation output fails `go test` before CI.
+func TestSweepGoldenRows(t *testing.T) {
+	if runtime.GOARCH != "amd64" {
+		t.Skipf("goldens are amd64-exact; running on %s", runtime.GOARCH)
+	}
+	req, err := os.ReadFile(filepath.Join("testdata", "sweep_req.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := New(Config{}).Handler()
+	st := submitSweep(t, h, string(req))
+	if final := waitSweep(t, h, st.ID); final.State != "done" {
+		t.Fatalf("sweep ended %q: %+v", final.State, final)
+	}
+	lines := bytes.Split(bytes.TrimRight(sweepResults(t, h, st.ID), "\n"), []byte("\n"))
+	first := append(append([]byte(nil), lines[0]...), '\n')
+	last := append(append([]byte(nil), lines[len(lines)-1]...), '\n')
+	for _, part := range []struct {
+		name string
+		got  []byte
+	}{{"first", first}, {"last", last}} {
+		golden, err := os.ReadFile(filepath.Join("testdata", "sweep_"+part.name+"_golden.json"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(part.got, golden) {
+			t.Errorf("sweep %s row drifted from testdata/sweep_%s_golden.json:\ngot  %s\nwant %s",
+				part.name, part.name, part.got, golden)
+		}
+	}
+}

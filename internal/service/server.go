@@ -30,6 +30,7 @@ import (
 	"stochsched/internal/restless"
 	"stochsched/internal/rng"
 	"stochsched/internal/spec"
+	"stochsched/internal/sweep"
 )
 
 // Config tunes the server. Zero values select the documented defaults.
@@ -63,6 +64,12 @@ type Config struct {
 	// (client disconnects do not cancel a computation, because concurrent
 	// identical requests may be waiting on it). Default 2 minutes.
 	ComputeTimeout time.Duration
+	// SweepMaxJobs bounds the async sweep job store; beyond it the oldest
+	// finished job is evicted, and if every job is running new submissions
+	// are shed with 429. Default 32.
+	SweepMaxJobs int
+	// SweepMaxCells bounds one sweep's grid points × policies. Default 4096.
+	SweepMaxCells int
 }
 
 func (c Config) withDefaults() Config {
@@ -100,11 +107,12 @@ func (c Config) withDefaults() Config {
 // Server is the policy service. Construct with New; it is safe for
 // concurrent use.
 type Server struct {
-	cfg   Config
-	pool  *engine.Pool
-	cache *Cache
-	admit *Admission
-	eps   map[string]*EndpointMetrics
+	cfg    Config
+	pool   *engine.Pool
+	cache  *Cache
+	admit  *Admission
+	sweeps *sweep.Manager
+	eps    map[string]*EndpointMetrics
 }
 
 // New returns a server with the given configuration.
@@ -117,9 +125,16 @@ func New(cfg Config) *Server {
 		admit: NewAdmission(cfg.MaxInflight, cfg.MaxQueue),
 		eps:   make(map[string]*EndpointMetrics),
 	}
-	for _, name := range []string{"gittins", "whittle", "priority", "simulate"} {
+	// sweep and sweep_cells are pseudo-endpoints: submissions of /v1/sweep
+	// and the individual simulate cells sweeps execute through the cache.
+	for _, name := range []string{"gittins", "whittle", "priority", "simulate", "sweep", "sweep_cells"} {
 		s.eps[name] = &EndpointMetrics{}
 	}
+	s.sweeps = sweep.NewManager(s, sweep.Config{
+		MaxJobs:  cfg.SweepMaxJobs,
+		MaxCells: cfg.SweepMaxCells,
+		Parallel: cfg.Parallel,
+	})
 	return s
 }
 
@@ -130,6 +145,10 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/v1/whittle", s.solverEndpoint("whittle", s.computeWhittle))
 	mux.HandleFunc("/v1/priority", s.solverEndpoint("priority", s.computePriority))
 	mux.HandleFunc("/v1/simulate", s.solverEndpoint("simulate", s.computeSimulate))
+	mux.HandleFunc("POST /v1/sweep", s.handleSweepSubmit)
+	mux.HandleFunc("GET /v1/sweep/{id}", s.handleSweepStatus)
+	mux.HandleFunc("DELETE /v1/sweep/{id}", s.handleSweepCancel)
+	mux.HandleFunc("GET /v1/sweep/{id}/results", s.handleSweepResults)
 	mux.HandleFunc("/v1/stats", s.handleStats)
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
@@ -533,54 +552,66 @@ type BanditSimResult struct {
 	RewardCI95 float64 `json:"reward_ci95"`
 }
 
-func (s *Server) computeSimulate(body []byte) (parsed, error) {
+// parseSimulate decodes a /v1/simulate body and enforces the request-level
+// invariants (shape, replication cap, work budget). Spec-level validation
+// is deferred to the computation (hits skip it); ValidateSimulate in
+// sweep.go performs both for sweep submissions.
+func (s *Server) parseSimulate(body []byte) (*SimulateRequest, error) {
 	var req SimulateRequest
 	if err := decodeStrict(body, &req); err != nil {
-		return parsed{}, err
+		return nil, err
 	}
 	if req.Replications < 1 || req.Replications > s.cfg.MaxReplications {
-		return parsed{}, badRequest{fmt.Errorf("replications %d outside [1, %d]", req.Replications, s.cfg.MaxReplications)}
+		return nil, badRequest{fmt.Errorf("replications %d outside [1, %d]", req.Replications, s.cfg.MaxReplications)}
 	}
 	if req.Parallel < 0 || req.Parallel > 1024 {
-		return parsed{}, badRequest{fmt.Errorf("parallel %d outside [0, 1024]", req.Parallel)}
+		return nil, badRequest{fmt.Errorf("parallel %d outside [0, 1024]", req.Parallel)}
 	}
 	switch req.Kind {
 	case "mg1":
 		if req.MG1 == nil || req.Bandit != nil {
-			return parsed{}, badRequest{fmt.Errorf("kind mg1 needs exactly the mg1 field")}
+			return nil, badRequest{fmt.Errorf("kind mg1 needs exactly the mg1 field")}
 		}
 		if req.MG1.Burnin < 0 || req.MG1.Horizon <= req.MG1.Burnin {
-			return parsed{}, badRequest{fmt.Errorf("need 0 <= burnin < horizon, got burnin=%v horizon=%v", req.MG1.Burnin, req.MG1.Horizon)}
+			return nil, badRequest{fmt.Errorf("need 0 <= burnin < horizon, got burnin=%v horizon=%v", req.MG1.Burnin, req.MG1.Horizon)}
 		}
 		if work := req.MG1.Horizon * float64(req.Replications); !(work <= s.cfg.MaxSimWork) {
-			return parsed{}, badRequest{fmt.Errorf("horizon × replications = %g exceeds the work budget %g", work, s.cfg.MaxSimWork)}
+			return nil, badRequest{fmt.Errorf("horizon × replications = %g exceeds the work budget %g", work, s.cfg.MaxSimWork)}
 		}
 	case "bandit":
 		if req.Bandit == nil || req.MG1 != nil {
-			return parsed{}, badRequest{fmt.Errorf("kind bandit needs exactly the bandit field")}
+			return nil, badRequest{fmt.Errorf("kind bandit needs exactly the bandit field")}
 		}
 		if len(req.Bandit.Start) != len(req.Bandit.Spec.Projects) {
-			return parsed{}, badRequest{fmt.Errorf("start has %d states for %d projects", len(req.Bandit.Start), len(req.Bandit.Spec.Projects))}
+			return nil, badRequest{fmt.Errorf("start has %d states for %d projects", len(req.Bandit.Start), len(req.Bandit.Spec.Projects))}
 		}
 		for i, st := range req.Bandit.Start {
 			if st < 0 || st >= len(req.Bandit.Spec.Projects[i].Rewards) {
-				return parsed{}, badRequest{fmt.Errorf("start state %d of project %d out of range", st, i)}
+				return nil, badRequest{fmt.Errorf("start state %d of project %d out of range", st, i)}
 			}
 		}
 		// Episode length scales with the discounted horizon 1/(1−β).
 		if beta := req.Bandit.Spec.Beta; beta > 0 && beta < 1 {
 			if work := float64(req.Replications) / (1 - beta); !(work <= s.cfg.MaxSimWork) {
-				return parsed{}, badRequest{fmt.Errorf("replications/(1-beta) = %g exceeds the work budget %g", work, s.cfg.MaxSimWork)}
+				return nil, badRequest{fmt.Errorf("replications/(1-beta) = %g exceeds the work budget %g", work, s.cfg.MaxSimWork)}
 			}
 		}
 	default:
-		return parsed{}, badRequest{fmt.Errorf("unknown simulate kind %q (want mg1 or bandit)", req.Kind)}
+		return nil, badRequest{fmt.Errorf("unknown simulate kind %q (want mg1 or bandit)", req.Kind)}
+	}
+	return &req, nil
+}
+
+func (s *Server) computeSimulate(body []byte) (parsed, error) {
+	req, err := s.parseSimulate(body)
+	if err != nil {
+		return parsed{}, err
 	}
 
 	// The cache key deliberately omits Parallel: the engine makes the
 	// response a function of (spec, seed, replications) only, so requests
 	// differing only in parallelism share one cached body.
-	keyed := req
+	keyed := *req
 	keyed.Parallel = 0
 	hash := spec.Hash(&keyed)
 
@@ -589,12 +620,28 @@ func (s *Server) computeSimulate(body []byte) (parsed, error) {
 		pool = engine.NewPool(req.Parallel)
 	}
 	return parsed{key: "simulate:" + hash, compute: func() ([]byte, error) {
-		resp, err := s.simulateResponse(&req, hash, pool)
+		resp, err := s.simulateResponse(req, hash, pool)
 		if err != nil {
 			return nil, err
 		}
 		return marshal(resp)
 	}}, nil
+}
+
+// checkMG1Policy is the single source of truth for which simulate policies
+// a spec supports; submit-time validation (ValidateSimulate) and execution
+// (simulateResponse) must never disagree.
+func checkMG1Policy(m *spec.MG1, policy string) error {
+	if m.HasFeedback() {
+		if policy != "klimov" {
+			return badRequest{fmt.Errorf("feedback systems support policy \"klimov\", got %q", policy)}
+		}
+		return nil
+	}
+	if policy != "cmu" && policy != "fifo" {
+		return badRequest{fmt.Errorf("unknown mg1 policy %q (want cmu or fifo)", policy)}
+	}
+	return nil
 }
 
 func (s *Server) simulateResponse(req *SimulateRequest, hash string, pool *engine.Pool) (*SimulateResponse, error) {
@@ -623,10 +670,10 @@ func (s *Server) simulateResponse(req *SimulateRequest, hash string, pool *engin
 	}
 
 	sim := req.MG1
+	if err := checkMG1Policy(&sim.Spec, sim.Policy); err != nil {
+		return nil, err
+	}
 	if sim.Spec.HasFeedback() {
-		if sim.Policy != "klimov" {
-			return nil, badRequest{fmt.Errorf("feedback systems support policy \"klimov\", got %q", sim.Policy)}
-		}
 		k, err := sim.Spec.ToKlimov()
 		if err != nil {
 			return nil, badRequest{err}
@@ -652,16 +699,14 @@ func (s *Server) simulateResponse(req *SimulateRequest, hash string, pool *engin
 	if err != nil {
 		return nil, badRequest{err}
 	}
+	// checkMG1Policy above admits exactly cmu and fifo here.
 	var d queueing.Discipline
 	var order []int
-	switch sim.Policy {
-	case "cmu":
+	if sim.Policy == "cmu" {
 		order = m.CMuOrder()
 		d = queueing.StaticPriority{Order: order}
-	case "fifo":
+	} else {
 		d = queueing.FIFO{}
-	default:
-		return nil, badRequest{fmt.Errorf("unknown mg1 policy %q (want cmu or fifo)", sim.Policy)}
 	}
 	rep, err := m.Replicate(ctx, pool, d, sim.Horizon, sim.Burnin, req.Replications, rng.New(req.Seed))
 	if err != nil {
@@ -687,9 +732,12 @@ func (s *Server) simulateResponse(req *SimulateRequest, hash string, pool *engin
 // ---------------------------------------------------------------------------
 // /v1/stats
 
-// StatsResponse is the body of a /v1/stats response.
+// StatsResponse is the body of a /v1/stats response. CacheEntries repeats
+// Cache.Entries for compatibility with pre-sweep clients.
 type StatsResponse struct {
 	Endpoints    map[string]EndpointSnapshot `json:"endpoints"`
+	Cache        CacheStats                  `json:"cache"`
+	Sweeps       sweep.ManagerStats          `json:"sweeps"`
 	CacheEntries int                         `json:"cache_entries"`
 	InFlight     int                         `json:"in_flight"`
 	Waiting      int64                       `json:"waiting"`
@@ -700,9 +748,12 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusMethodNotAllowed, "/v1/stats: GET only")
 		return
 	}
+	cache := s.cache.Stats()
 	resp := StatsResponse{
 		Endpoints:    make(map[string]EndpointSnapshot, len(s.eps)),
-		CacheEntries: s.cache.Len(),
+		Cache:        cache,
+		Sweeps:       s.sweeps.Stats(),
+		CacheEntries: cache.Entries,
 		InFlight:     s.admit.InFlight(),
 		Waiting:      s.admit.Waiting(),
 	}

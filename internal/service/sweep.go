@@ -1,0 +1,184 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"stochsched/internal/sweep"
+)
+
+// This file is the serving layer of the sweep subsystem: the sweep.Backend
+// implementation (so sweep cells share the /v1/simulate cache, singleflight,
+// and admission queue with interactive traffic) and the four HTTP routes —
+//
+//	POST   /v1/sweep              submit → 202 + job status
+//	GET    /v1/sweep/{id}         status + progress counters
+//	GET    /v1/sweep/{id}/results NDJSON rows, streamed in grid order
+//	DELETE /v1/sweep/{id}         cancel
+//
+// See docs/api.md for the request/response schemas.
+
+// ValidateSimulate implements sweep.Backend: it fully validates a
+// /v1/simulate body — request shape, work budget, spec, and policy — without
+// executing it, so malformed sweep cells are rejected at submission.
+func (s *Server) ValidateSimulate(body []byte) error {
+	req, err := s.parseSimulate(body)
+	if err != nil {
+		return err
+	}
+	switch req.Kind {
+	case "mg1":
+		if err := req.MG1.Spec.Validate(); err != nil {
+			return badRequest{err}
+		}
+		if err := checkMG1Policy(&req.MG1.Spec, req.MG1.Policy); err != nil {
+			return err
+		}
+	case "bandit":
+		if err := req.Bandit.Spec.Validate(); err != nil {
+			return badRequest{err}
+		}
+	}
+	return nil
+}
+
+// Simulate implements sweep.Backend: one sweep cell is exactly one
+// /v1/simulate computation, keyed by the same canonical hash and served
+// through the same sharded cache and admission queue as HTTP traffic — a
+// cell another sweep (or a curl) already computed is a map lookup. Traffic
+// is observed on the sweep_cells pseudo-endpoint in /v1/stats, which is
+// where warm-sweep cache reuse becomes visible.
+func (s *Server) Simulate(ctx context.Context, body []byte) ([]byte, error) {
+	m := s.eps["sweep_cells"]
+	begin := time.Now()
+	m.requests.Add(1)
+	defer func() { m.latencyNs.Add(int64(time.Since(begin))) }()
+
+	p, err := s.computeSimulate(body)
+	if err != nil {
+		m.errors.Add(1)
+		return nil, err
+	}
+	// AcquireBlocking, not Acquire: a shed cell would fail the whole job,
+	// and background cells (bounded by the sweep's parallelism) can afford
+	// to wait for a slot where an interactive client cannot.
+	resp, outcome, err := s.cache.Do(p.key, func() ([]byte, error) {
+		if err := s.admit.AcquireBlocking(ctx); err != nil {
+			return nil, err
+		}
+		defer s.admit.Release()
+		return p.compute()
+	})
+	if err != nil {
+		m.errors.Add(1)
+		return nil, err
+	}
+	m.observe(outcome)
+	return resp, nil
+}
+
+// handleSweepSubmit serves POST /v1/sweep.
+func (s *Server) handleSweepSubmit(w http.ResponseWriter, r *http.Request) {
+	m := s.eps["sweep"]
+	begin := time.Now()
+	m.requests.Add(1)
+	defer func() { m.latencyNs.Add(int64(time.Since(begin))) }()
+
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+	if err != nil {
+		m.errors.Add(1)
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("reading body: %v", err))
+		return
+	}
+	req, err := sweep.DecodeRequest(body)
+	if err != nil {
+		m.errors.Add(1)
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	job, err := s.sweeps.Submit(req)
+	if err != nil {
+		switch {
+		case errors.Is(err, sweep.ErrStoreFull):
+			m.shed.Add(1)
+			writeError(w, http.StatusTooManyRequests, err.Error())
+		default:
+			// Expansion and validation failures are the client's: bad grid,
+			// bad base body, over-budget cell count.
+			m.errors.Add(1)
+			writeError(w, http.StatusBadRequest, err.Error())
+		}
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Location", "/v1/sweep/"+job.ID)
+	w.WriteHeader(http.StatusAccepted)
+	writeJSON(w, job.Snapshot())
+}
+
+// handleSweepStatus serves GET /v1/sweep/{id}.
+func (s *Server) handleSweepStatus(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.sweeps.Get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown sweep job")
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	writeJSON(w, job.Snapshot())
+}
+
+// handleSweepCancel serves DELETE /v1/sweep/{id}. Cancellation is
+// asynchronous: the response reports the state at cancel time and the job
+// settles to "cancelled" once in-flight cells drain (poll the status
+// endpoint to observe it).
+func (s *Server) handleSweepCancel(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.sweeps.Cancel(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown sweep job")
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	writeJSON(w, job.Snapshot())
+}
+
+// handleSweepResults serves GET /v1/sweep/{id}/results: the comparison rows
+// as NDJSON, streamed in grid order as they complete. For a finished job
+// the bytes are the full result set; for a running job the response blocks
+// on each next row (long-poll streaming); for a failed or cancelled job the
+// stream ends at the last completed row — check the status endpoint for the
+// terminal state. Row bytes are byte-identical across sweep and simulate
+// parallelism (docs/determinism.md).
+func (s *Server) handleSweepResults(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.sweeps.Get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown sweep job")
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	fl, _ := w.(http.Flusher)
+	for i := 0; ; i++ {
+		line, more, err := job.NextRow(r.Context(), i)
+		if err != nil || !more {
+			return // client gone, or stream complete
+		}
+		if _, err := w.Write(line); err != nil {
+			return
+		}
+		if fl != nil {
+			fl.Flush()
+		}
+	}
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	b, err := marshal(v)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	w.Write(b)
+}

@@ -2,6 +2,13 @@
 // results: running moments (Welford), confidence intervals over independent
 // replications, batch means for steady-state time averages, P² quantile
 // estimation, and time-weighted averages for queue-length processes.
+//
+// Every estimator is order-sensitive in its last floating-point digits,
+// which is why the engine folds observations into them in replication
+// order (see docs/determinism.md): the CI half-widths reported by
+// /v1/simulate responses and sweep comparison rows are Running.CI95 over
+// replication streams fed in index order. Merge supports combining
+// per-replication accumulators without losing that stability.
 package stats
 
 import (

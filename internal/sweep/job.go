@@ -1,0 +1,324 @@
+package sweep
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"stochsched/internal/engine"
+)
+
+// ErrStoreFull is returned by Submit when the job store is at capacity and
+// every stored job is still running (nothing is evictable). The HTTP layer
+// maps it to 429.
+var ErrStoreFull = errors.New("sweep: job store full of running jobs")
+
+// ErrTooLarge is returned by Expand (and therefore Submit) when a sweep
+// declares more cells than allowed. The HTTP layer maps it to 400.
+var ErrTooLarge = errors.New("sweep: grid expands beyond the cell budget")
+
+// State is a job's lifecycle stage.
+type State string
+
+const (
+	StateRunning   State = "running"
+	StateDone      State = "done"
+	StateFailed    State = "failed"
+	StateCancelled State = "cancelled"
+)
+
+// terminal reports whether no further rows will be produced.
+func (s State) terminal() bool { return s != StateRunning }
+
+// Config tunes a Manager. Zero values select the documented defaults.
+type Config struct {
+	// MaxJobs bounds the job store. When a submission would exceed it the
+	// oldest finished job is evicted; if every job is running the
+	// submission is rejected with ErrStoreFull. Default 32.
+	MaxJobs int
+	// MaxCells bounds points × policies per sweep. Default 4096.
+	MaxCells int
+	// Parallel is the default worker-pool size for jobs whose request does
+	// not pin one. Default: GOMAXPROCS (engine.NewPool(0)).
+	Parallel int
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxJobs == 0 {
+		c.MaxJobs = 32
+	}
+	if c.MaxCells == 0 {
+		c.MaxCells = 4096
+	}
+	return c
+}
+
+// Manager owns the asynchronous sweep jobs: submission, lookup, streaming,
+// cancellation, and bounded-store eviction. Safe for concurrent use.
+type Manager struct {
+	cfg Config
+	be  Backend
+
+	mu    sync.Mutex
+	jobs  map[string]*Job
+	order []string // insertion order, for oldest-first eviction
+	seq   int64
+
+	evictions atomic.Int64
+}
+
+// NewManager returns a manager executing cells through be.
+func NewManager(be Backend, cfg Config) *Manager {
+	return &Manager{cfg: cfg.withDefaults(), be: be, jobs: make(map[string]*Job)}
+}
+
+// Submit expands and validates req, stores a new running job, and starts
+// executing it. The call returns as soon as the job is scheduled; rows
+// stream in through the job's reader methods.
+func (m *Manager) Submit(req *Request) (*Job, error) {
+	plan, err := Expand(req, m.be, m.cfg.MaxCells)
+	if err != nil {
+		return nil, err
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	job := &Job{
+		Hash:     plan.Hash,
+		Points:   plan.Points,
+		Policies: plan.Policies,
+		Cells:    plan.Cells(),
+		state:    StateRunning,
+		updated:  make(chan struct{}),
+		cancel:   cancel,
+	}
+
+	m.mu.Lock()
+	if len(m.jobs) >= m.cfg.MaxJobs && !m.evictOldestTerminalLocked() {
+		m.mu.Unlock()
+		cancel()
+		return nil, ErrStoreFull
+	}
+	m.seq++
+	job.ID = fmt.Sprintf("swp-%d-%s", m.seq, plan.Hash[:8])
+	m.jobs[job.ID] = job
+	m.order = append(m.order, job.ID)
+	m.mu.Unlock()
+
+	parallel := req.Parallel
+	if parallel == 0 {
+		parallel = m.cfg.Parallel
+	}
+	go m.run(ctx, job, plan, parallel)
+	return job, nil
+}
+
+// run executes the plan and settles the job's terminal state.
+func (m *Manager) run(ctx context.Context, job *Job, plan *Plan, parallel int) {
+	defer job.cancel() // release the context once settled
+	err := Execute(ctx, m.be, plan, engine.NewPool(parallel), job.observeProgress,
+		func(_ Row, line []byte) error { return job.appendRow(line) })
+	job.finish(err)
+}
+
+// evictOldestTerminalLocked drops the oldest finished job, reporting
+// whether one existed. Running jobs are never evicted.
+func (m *Manager) evictOldestTerminalLocked() bool {
+	for i, id := range m.order {
+		j := m.jobs[id]
+		j.mu.Lock()
+		done := j.state.terminal()
+		j.mu.Unlock()
+		if done {
+			delete(m.jobs, id)
+			m.order = append(m.order[:i], m.order[i+1:]...)
+			m.evictions.Add(1)
+			return true
+		}
+	}
+	return false
+}
+
+// Get returns the job with the given id.
+func (m *Manager) Get(id string) (*Job, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	return j, ok
+}
+
+// Cancel requests cancellation of the job with the given id. Finished jobs
+// are unaffected; the job settles to StateCancelled once in-flight cells
+// drain.
+func (m *Manager) Cancel(id string) (*Job, bool) {
+	j, ok := m.Get(id)
+	if ok {
+		j.cancel()
+	}
+	return j, ok
+}
+
+// Stats summarizes the store for /v1/stats.
+type ManagerStats struct {
+	Jobs      int   `json:"jobs"`
+	Running   int   `json:"running"`
+	Evictions int64 `json:"evictions"`
+}
+
+// Stats returns current store counters.
+func (m *Manager) Stats() ManagerStats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	st := ManagerStats{Jobs: len(m.jobs), Evictions: m.evictions.Load()}
+	for _, j := range m.jobs {
+		j.mu.Lock()
+		if !j.state.terminal() {
+			st.Running++
+		}
+		j.mu.Unlock()
+	}
+	return st
+}
+
+// ---------------------------------------------------------------------------
+// Job
+
+// Job is one asynchronous sweep. All mutable state is guarded by mu;
+// readers block on updated, which is closed-and-replaced on every change
+// (broadcast).
+type Job struct {
+	ID       string
+	Hash     string
+	Points   int
+	Policies []string
+	Cells    int
+
+	cancel context.CancelFunc
+
+	mu        sync.Mutex
+	updated   chan struct{}
+	rows      [][]byte // encoded NDJSON lines, grid order
+	cellsDone int
+	state     State
+	errMsg    string
+}
+
+// Status is the JSON body of GET /v1/sweep/{id}. CellsDone counts cells
+// whose execution has settled in arrival order — computed, failed, or
+// (after cancellation) abandoned — so it reaches CellsTotal even for a
+// cancelled job; RowsReady is the count of completed result rows.
+type Status struct {
+	ID         string   `json:"id"`
+	SweepHash  string   `json:"sweep_hash"`
+	State      State    `json:"state"`
+	Points     int      `json:"points"`
+	Policies   []string `json:"policies"`
+	CellsTotal int      `json:"cells_total"`
+	CellsDone  int      `json:"cells_done"`
+	RowsReady  int      `json:"rows_ready"`
+	Error      string   `json:"error,omitempty"`
+}
+
+// Snapshot returns the job's current status.
+func (j *Job) Snapshot() Status {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	policies := make([]string, len(j.Policies))
+	for i, p := range j.Policies {
+		policies[i] = label(p)
+	}
+	return Status{
+		ID:         j.ID,
+		SweepHash:  j.Hash,
+		State:      j.state,
+		Points:     j.Points,
+		Policies:   policies,
+		CellsTotal: j.Cells,
+		CellsDone:  j.cellsDone,
+		RowsReady:  len(j.rows),
+		Error:      j.errMsg,
+	}
+}
+
+// broadcastLocked wakes every blocked reader. Callers hold mu.
+func (j *Job) broadcastLocked() {
+	close(j.updated)
+	j.updated = make(chan struct{})
+}
+
+func (j *Job) observeProgress(done, _ int) {
+	j.mu.Lock()
+	j.cellsDone = done
+	j.broadcastLocked()
+	j.mu.Unlock()
+}
+
+func (j *Job) appendRow(line []byte) error {
+	j.mu.Lock()
+	j.rows = append(j.rows, line)
+	j.broadcastLocked()
+	j.mu.Unlock()
+	return nil
+}
+
+// finish settles the terminal state from Execute's return value.
+func (j *Job) finish(err error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	switch {
+	case err == nil:
+		j.state = StateDone
+	case errors.Is(err, context.Canceled):
+		j.state = StateCancelled
+		j.errMsg = "cancelled"
+	default:
+		j.state = StateFailed
+		j.errMsg = err.Error()
+	}
+	j.broadcastLocked()
+}
+
+// NextRow blocks until row i is available and returns its NDJSON line. ok
+// is false when the job reached a terminal state without producing row i —
+// the stream is over (State in the returned status says why).
+func (j *Job) NextRow(ctx context.Context, i int) (line []byte, ok bool, err error) {
+	for {
+		j.mu.Lock()
+		if i < len(j.rows) {
+			line := j.rows[i]
+			j.mu.Unlock()
+			return line, true, nil
+		}
+		if j.state.terminal() {
+			j.mu.Unlock()
+			return nil, false, nil
+		}
+		ch := j.updated
+		j.mu.Unlock()
+		select {
+		case <-ctx.Done():
+			return nil, false, ctx.Err()
+		case <-ch:
+		}
+	}
+}
+
+// Wait blocks until the job reaches a terminal state (or ctx is done) and
+// returns its final status.
+func (j *Job) Wait(ctx context.Context) (Status, error) {
+	for {
+		j.mu.Lock()
+		if j.state.terminal() {
+			j.mu.Unlock()
+			return j.Snapshot(), nil
+		}
+		ch := j.updated
+		j.mu.Unlock()
+		select {
+		case <-ctx.Done():
+			return j.Snapshot(), ctx.Err()
+		case <-ch:
+		}
+	}
+}

@@ -1,0 +1,375 @@
+// Package sweep turns the single-request policy service into an experiment
+// platform: it expands a base /v1/simulate request plus a declarative
+// parameter grid and a list of policies into a deterministic DAG of
+// simulation cells, executes the cells on an internal/engine worker pool
+// with per-cell memoization through the serving layer's cache, and folds
+// the results back into per-point policy-comparison rows (mean, CI
+// half-width, regret against the best policy) emitted in grid order.
+//
+// The subsystem has two halves:
+//
+//   - Execution (this file): Expand turns a Request into a Plan — the
+//     ordered list of fully-substituted request bodies — and Execute runs a
+//     plan, streaming one comparison Row per grid point. Rows are reduced
+//     strictly in grid order by engine.ReduceProgress, so the NDJSON
+//     encoding of the results is byte-identical at every parallelism level
+//     for a fixed (base, grid, policies): the same guarantee the engine
+//     gives each individual simulation, lifted to the whole sweep (see
+//     docs/determinism.md).
+//   - Jobs (job.go): Manager owns a bounded store of asynchronous sweep
+//     jobs with progress counters, streaming readers, cancellation, and
+//     oldest-terminal eviction. The HTTP layer (internal/service) exposes it
+//     as POST /v1/sweep, GET /v1/sweep/{id}[/results], DELETE /v1/sweep/{id};
+//     cmd/stochsched's sweep subcommand drives Execute in-process.
+//
+// The package deliberately does not import internal/service: it consumes a
+// small Backend interface (validate one cell, execute one cell), which the
+// service implements on top of its sharded cache and admission queue — so
+// every cell a sweep shares with earlier traffic, or with another point of
+// the same sweep, is a cache hit rather than a recompute.
+package sweep
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+
+	"stochsched/internal/engine"
+	"stochsched/internal/spec"
+)
+
+// Backend executes individual sweep cells. internal/service implements it
+// over the sharded response cache (hits are shared with HTTP traffic);
+// tests implement it directly.
+type Backend interface {
+	// ValidateSimulate reports whether body is a well-formed, fully valid
+	// /v1/simulate request, without executing it.
+	ValidateSimulate(body []byte) error
+	// Simulate executes (or serves from cache) a /v1/simulate request body
+	// and returns the encoded response.
+	Simulate(ctx context.Context, body []byte) ([]byte, error)
+}
+
+// Request is a sweep submission: the body of POST /v1/sweep.
+type Request struct {
+	// Base is a complete /v1/simulate request body; grid axes and policies
+	// override paths inside it.
+	Base json.RawMessage `json:"base"`
+	// Grid declares the parameter overrides; the empty grid has one point.
+	Grid spec.Grid `json:"grid"`
+	// Policies lists the values substituted at mg1.policy, one simulation
+	// per policy per grid point. Empty means "evaluate base as-is" (the
+	// single-policy sweep — still useful for response-surface studies).
+	Policies []string `json:"policies,omitempty"`
+	// Parallel sets the worker-pool size cells fan out over (0 = the
+	// manager default). Like the simulate knob it never changes results,
+	// only throughput, and it is excluded from the sweep hash.
+	Parallel int `json:"parallel,omitempty"`
+}
+
+// DecodeRequest parses data as a Request with the strictness the API
+// promises: unknown fields and trailing data are errors. The HTTP handler
+// and the CLI both decode through here, so they can never disagree about
+// what a well-formed sweep request is.
+func DecodeRequest(data []byte) (*Request, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var req Request
+	if err := dec.Decode(&req); err != nil {
+		return nil, fmt.Errorf("sweep: parsing request: %w", err)
+	}
+	if dec.More() {
+		return nil, fmt.Errorf("sweep: parsing request: trailing data after JSON value")
+	}
+	return &req, nil
+}
+
+// identity is the hashed portion of a Request: everything that determines
+// the results, nothing that only determines the execution schedule.
+type identity struct {
+	Base     json.RawMessage `json:"base"`
+	Grid     spec.Grid       `json:"grid"`
+	Policies []string        `json:"policies,omitempty"`
+}
+
+// Plan is an expanded sweep: one body per cell, in deterministic order —
+// point-major, policies innermost (cell index = point × len(policies) +
+// policy index).
+type Plan struct {
+	Hash     string // canonical sweep hash (base compacted, parallel excluded)
+	Points   int
+	Policies []string // effective policy list: the request's, or [""] for "base as-is"
+	grid     spec.Grid
+	cells    [][]byte
+}
+
+// Cells returns the total number of simulation cells in the plan.
+func (p *Plan) Cells() int { return len(p.cells) }
+
+// Cell returns the fully-substituted /v1/simulate body of cell i.
+func (p *Plan) Cell(i int) []byte { return p.cells[i] }
+
+// policyPath is where Policies values are substituted in the base body.
+const policyPath = "mg1.policy"
+
+// DefaultMaxCells is the cell budget Expand applies when the caller
+// passes maxCells <= 0.
+const DefaultMaxCells = 4096
+
+// Expand validates the request shape and materializes every cell body,
+// rejecting grids whose points × policies exceed maxCells (<= 0 selects
+// DefaultMaxCells) BEFORE any cell is built — a declared-size check, so a
+// tiny request body cannot make the server materialize a huge product.
+// The backend then validates each cell eagerly, so a grid point that
+// produces an invalid spec (an unstable queue, a malformed policy) is
+// rejected at submission instead of failing the job halfway through.
+func Expand(req *Request, be Backend, maxCells int) (*Plan, error) {
+	if maxCells <= 0 {
+		maxCells = DefaultMaxCells
+	}
+	if len(req.Base) == 0 {
+		return nil, fmt.Errorf("sweep: request needs a base simulate body")
+	}
+	if err := req.Grid.Validate(); err != nil {
+		return nil, err
+	}
+	if req.Parallel < 0 || req.Parallel > 1024 {
+		return nil, fmt.Errorf("sweep: parallel %d outside [0, 1024]", req.Parallel)
+	}
+	for i, pol := range req.Policies {
+		if pol == "" {
+			return nil, fmt.Errorf("sweep: policy %d is empty", i)
+		}
+		for j := 0; j < i; j++ {
+			if req.Policies[j] == pol {
+				return nil, fmt.Errorf("sweep: policy %q repeated", pol)
+			}
+		}
+	}
+
+	var compact bytes.Buffer
+	if err := json.Compact(&compact, req.Base); err != nil {
+		return nil, fmt.Errorf("sweep: base is not valid JSON: %w", err)
+	}
+	base := compact.Bytes()
+
+	policies := req.Policies
+	if len(policies) == 0 {
+		policies = []string{""}
+	}
+	// Grid.Size saturates instead of overflowing, and the integer
+	// comparison points > maxCells/per is exact for positive ints, so the
+	// budget holds for any declarable grid.
+	if points := req.Grid.Size(); points > maxCells/len(policies) {
+		return nil, fmt.Errorf("%w: %d points × %d policies > %d cells",
+			ErrTooLarge, points, len(policies), maxCells)
+	}
+	plan := &Plan{
+		Hash:     spec.Hash(&identity{Base: base, Grid: req.Grid, Policies: req.Policies}),
+		Points:   req.Grid.Size(),
+		Policies: policies,
+		grid:     req.Grid,
+	}
+	plan.cells = make([][]byte, 0, plan.Points*len(policies))
+	for pt := 0; pt < plan.Points; pt++ {
+		pointBody, err := req.Grid.Apply(base, req.Grid.Point(pt))
+		if err != nil {
+			return nil, err
+		}
+		for _, pol := range policies {
+			body := pointBody
+			if pol != "" {
+				if body, err = spec.SetString(pointBody, policyPath, pol); err != nil {
+					return nil, err
+				}
+			}
+			if err := be.ValidateSimulate(body); err != nil {
+				return nil, fmt.Errorf("sweep: point %d policy %q: %w", pt, label(pol), err)
+			}
+			plan.cells = append(plan.cells, body)
+		}
+	}
+	return plan, nil
+}
+
+func label(policy string) string {
+	if policy == "" {
+		return "base"
+	}
+	return policy
+}
+
+// ---------------------------------------------------------------------------
+// Rows
+
+// Param is one grid coordinate of a row: the axis path and the value this
+// point takes on it.
+type Param struct {
+	Path  string  `json:"path"`
+	Value float64 `json:"value"`
+}
+
+// PolicyResult is one policy's performance at one grid point.
+type PolicyResult struct {
+	Policy   string  `json:"policy"`
+	SpecHash string  `json:"spec_hash"`
+	Mean     float64 `json:"mean"`
+	CI95     float64 `json:"ci95"`
+	// Regret is the gap to the best policy at this point, oriented so 0 is
+	// best and larger is worse for both metric senses (cost: mean − min;
+	// reward: max − mean).
+	Regret float64 `json:"regret"`
+}
+
+// Row is one grid point's policy comparison: the NDJSON record streamed by
+// GET /v1/sweep/{id}/results, in grid order.
+type Row struct {
+	Point    int            `json:"point"`
+	Params   []Param        `json:"params,omitempty"`
+	Metric   string         `json:"metric"` // "cost_rate" (lower wins) or "reward" (higher wins)
+	Best     string         `json:"best"`   // winning policy (first in request order on ties)
+	Policies []PolicyResult `json:"policies"`
+}
+
+// cellOutcome is the decoded slice of a /v1/simulate response a row needs.
+type cellOutcome struct {
+	policy   string
+	specHash string
+	metric   string
+	mean     float64
+	ci95     float64
+}
+
+// simBody mirrors the stable fields of service.SimulateResponse. sweep
+// decodes loosely instead of importing the type to keep the dependency
+// arrow pointing service → sweep.
+type simBody struct {
+	SpecHash string `json:"spec_hash"`
+	MG1      *struct {
+		Policy       string  `json:"policy"`
+		CostRateMean float64 `json:"cost_rate_mean"`
+		CostRateCI95 float64 `json:"cost_rate_ci95"`
+	} `json:"mg1"`
+	Bandit *struct {
+		RewardMean float64 `json:"reward_mean"`
+		RewardCI95 float64 `json:"reward_ci95"`
+	} `json:"bandit"`
+}
+
+func decodeCell(policy string, resp []byte) (cellOutcome, error) {
+	var b simBody
+	if err := json.Unmarshal(resp, &b); err != nil {
+		return cellOutcome{}, fmt.Errorf("sweep: decoding simulate response: %w", err)
+	}
+	switch {
+	case b.MG1 != nil:
+		if policy == "" {
+			policy = b.MG1.Policy
+		}
+		return cellOutcome{policy: policy, specHash: b.SpecHash, metric: "cost_rate",
+			mean: b.MG1.CostRateMean, ci95: b.MG1.CostRateCI95}, nil
+	case b.Bandit != nil:
+		if policy == "" {
+			policy = "gittins"
+		}
+		return cellOutcome{policy: policy, specHash: b.SpecHash, metric: "reward",
+			mean: b.Bandit.RewardMean, ci95: b.Bandit.RewardCI95}, nil
+	}
+	return cellOutcome{}, fmt.Errorf("sweep: simulate response carries neither mg1 nor bandit result")
+}
+
+// buildRow folds one grid point's cell outcomes (in policy order) into a
+// comparison row. Pure float arithmetic on values that are themselves
+// parallelism-invariant, so the row is too.
+func buildRow(plan *Plan, point int, cells []cellOutcome) Row {
+	row := Row{
+		Point:    point,
+		Metric:   cells[0].metric,
+		Policies: make([]PolicyResult, len(cells)),
+	}
+	if n := len(plan.grid.Axes); n > 0 {
+		vals := plan.grid.Point(point)
+		row.Params = make([]Param, n)
+		for k, a := range plan.grid.Axes {
+			row.Params[k] = Param{Path: a.Path, Value: vals[k]}
+		}
+	}
+	best := 0
+	for i := 1; i < len(cells); i++ {
+		better := cells[i].mean < cells[best].mean
+		if row.Metric == "reward" {
+			better = cells[i].mean > cells[best].mean
+		}
+		if better {
+			best = i
+		}
+	}
+	row.Best = cells[best].policy
+	for i, c := range cells {
+		regret := c.mean - cells[best].mean
+		if row.Metric == "reward" {
+			regret = cells[best].mean - c.mean
+		}
+		row.Policies[i] = PolicyResult{
+			Policy:   c.policy,
+			SpecHash: c.specHash,
+			Mean:     c.mean,
+			CI95:     c.ci95,
+			Regret:   regret,
+		}
+	}
+	return row
+}
+
+// Execute runs every cell of plan on pool via the backend and emits each
+// completed row in grid order, together with its encoded NDJSON line
+// (json.Marshal output plus a trailing newline — the exact bytes the
+// results endpoint streams). progress, if non-nil, observes completed-cell
+// counts in arrival order (see engine.ReduceProgress); emit errors abort
+// the run. Cancellation arrives through ctx.
+func Execute(ctx context.Context, be Backend, plan *Plan, pool *engine.Pool, progress func(done, total int), emit func(Row, []byte) error) error {
+	perPoint := len(plan.Policies)
+	buf := make([]cellOutcome, 0, perPoint)
+	return engine.ReduceProgress(ctx, pool, plan.Cells(),
+		func(ctx context.Context, i int) (cellOutcome, error) {
+			resp, err := be.Simulate(ctx, plan.Cell(i))
+			// A Canceled error while our own ctx is alive means the cell
+			// singleflight-joined a shared computation whose initiating
+			// caller disconnected — the backend unpublishes failed entries,
+			// so a retry recomputes (or joins a healthy flight). Bounded:
+			// inheriting a stranger's cancellation twice in a row is noise,
+			// three times is a real problem.
+			for retries := 0; err != nil && ctx.Err() == nil && errors.Is(err, context.Canceled) && retries < 2; retries++ {
+				resp, err = be.Simulate(ctx, plan.Cell(i))
+			}
+			if err != nil {
+				if ctx.Err() != nil {
+					return cellOutcome{}, err // this sweep was cancelled
+				}
+				// A backend failure — including a server-side compute
+				// timeout, which arrives as context.DeadlineExceeded from a
+				// context that is not ours — is a real error. Rewrap with %v
+				// (not %w) so the engine cannot mistake it for an echo of
+				// sweep cancellation, and the job settles "failed" with the
+				// cell named instead of a spurious "cancelled".
+				return cellOutcome{}, fmt.Errorf("sweep: cell %d: %v", i, err)
+			}
+			return decodeCell(plan.Policies[i%perPoint], resp)
+		},
+		func(i int, c cellOutcome) error {
+			buf = append(buf, c)
+			if len(buf) < perPoint {
+				return nil
+			}
+			row := buildRow(plan, i/perPoint, buf)
+			buf = buf[:0]
+			line, err := json.Marshal(row)
+			if err != nil {
+				return err
+			}
+			return emit(row, append(line, '\n'))
+		},
+		progress)
+}

@@ -1,0 +1,42 @@
+#!/bin/sh
+# docs_check.sh — lint the documentation tree for broken relative links.
+#
+# Scans README.md, docs/*.md, and every examples/*/README.md for markdown
+# inline links `](target)` and fails if a relative target does not exist in
+# the checkout. External links (http/https/mailto), pure anchors (#…), and
+# links that deliberately escape the checkout (GitHub web-UI paths such as
+# the ../../actions badge link) are out of scope.
+#
+# Run directly or via `make docs-check`; CI runs it on every push.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+fail=0
+files="README.md $(find docs examples -name '*.md' | sort)"
+for f in $files; do
+    dir=$(dirname "$f")
+    links=$(grep -o ']([^)]*)' "$f" | sed 's/^](//; s/)$//') || continue
+    for link in $links; do
+        case "$link" in
+            http://*|https://*|mailto:*|'#'*) continue ;;
+        esac
+        target=${link%%#*}
+        [ -n "$target" ] || continue
+        path="$dir/$target"
+        norm=$(realpath -m --relative-to=. "$path" 2>/dev/null || printf '%s' "$path")
+        case "$norm" in
+            ../*) continue ;; # escapes the checkout: a web path, not a file
+        esac
+        if [ ! -e "$path" ]; then
+            echo "broken link in $f: $link" >&2
+            fail=1
+        fi
+    done
+done
+
+if [ "$fail" -ne 0 ]; then
+    echo "docs check: FAILED" >&2
+    exit 1
+fi
+echo "docs check: all relative links resolve"

@@ -7,7 +7,11 @@
 #   * a repeated request is served from the cache (X-Cache: hit);
 #   * /v1/simulate is byte-identical when the server is restarted at a
 #     different -parallel level — the serving layer preserves the engine's
-#     determinism guarantee end to end.
+#     determinism guarantee end to end;
+#   * a sweep round-trips: submit POST /v1/sweep, poll GET /v1/sweep/{id}
+#     to "done", stream GET /v1/sweep/{id}/results, pin the first and last
+#     NDJSON rows to goldens, and require the whole stream byte-identical
+#     when the daemon is restarted at a different -parallel level.
 #
 # Goldens are floating-point exact and generated on amd64; regenerate with
 #   REGEN=1 scripts/service_smoke.sh
@@ -77,12 +81,62 @@ echo "$hdr" | grep -qi '^x-cache: hit' || {
 }
 echo "ok cache hit"
 
-# Stats must report the traffic.
-curl -fsS "$BASE/v1/stats" | grep -q '"requests"' || {
-    echo "FAIL: /v1/stats missing counters" >&2
+# Stats must report the traffic, including the cache observability gauges.
+stats="$(curl -fsS "$BASE/v1/stats")"
+for field in '"requests"' '"shard_entries"' '"evictions"' '"sweeps"'; do
+    echo "$stats" | grep -q "$field" || {
+        echo "FAIL: /v1/stats missing $field" >&2
+        exit 1
+    }
+done
+echo "ok /v1/stats"
+
+# Sweep round trip: submit, poll to done, stream NDJSON results.
+run_sweep() { # $1 = output file for the NDJSON stream
+    accept="$(curl -fsS -X POST --data-binary "@$TESTDATA/sweep_req.json" "$BASE/v1/sweep")"
+    id="$(echo "$accept" | sed -n 's/.*"id":"\([^"]*\)".*/\1/p')"
+    [ -n "$id" ] || {
+        echo "FAIL: sweep submit returned no job id: $accept" >&2
+        exit 1
+    }
+    for _ in $(seq 1 200); do
+        state="$(curl -fsS "$BASE/v1/sweep/$id" | sed -n 's/.*"state":"\([^"]*\)".*/\1/p')"
+        case "$state" in
+            done) break ;;
+            failed|cancelled)
+                echo "FAIL: sweep job ended $state" >&2
+                exit 1 ;;
+        esac
+        sleep 0.05
+    done
+    [ "$state" = done ] || {
+        echo "FAIL: sweep job stuck in state $state" >&2
+        exit 1
+    }
+    curl -fsS "$BASE/v1/sweep/$id/results" -o "$1"
+}
+
+run_sweep "$TMP/sweep_p1.ndjson"
+head -n 1 "$TMP/sweep_p1.ndjson" > "$TMP/sweep_first.json"
+tail -n 1 "$TMP/sweep_p1.ndjson" > "$TMP/sweep_last.json"
+if [ "${REGEN:-}" = "1" ]; then
+    cp "$TMP/sweep_first.json" "$TESTDATA/sweep_first_golden.json"
+    cp "$TMP/sweep_last.json" "$TESTDATA/sweep_last_golden.json"
+    echo "regenerated sweep first/last goldens"
+else
+    for part in first last; do
+        if ! cmp -s "$TMP/sweep_$part.json" "$TESTDATA/sweep_${part}_golden.json"; then
+            echo "FAIL: sweep $part row differs from testdata/sweep_${part}_golden.json:" >&2
+            diff "$TESTDATA/sweep_${part}_golden.json" "$TMP/sweep_$part.json" >&2 || true
+            exit 1
+        fi
+    done
+fi
+[ "$(wc -l < "$TMP/sweep_p1.ndjson")" -eq 3 ] || {
+    echo "FAIL: sweep stream is not 3 rows" >&2
     exit 1
 }
-echo "ok /v1/stats"
+echo "ok /v1/sweep submit/poll/stream"
 stop_daemon
 
 # Determinism across parallelism: a fresh daemon at -parallel 8 must return
@@ -95,6 +149,16 @@ if ! cmp -s "$TMP/simulate_p8.json" "$TESTDATA/simulate_golden.json"; then
     exit 1
 fi
 echo "ok simulate determinism across -parallel 1/8"
+
+# The whole sweep stream must also be byte-identical on the -parallel 8
+# daemon (fresh cache, so every cell recomputes).
+run_sweep "$TMP/sweep_p8.ndjson"
+if ! cmp -s "$TMP/sweep_p8.ndjson" "$TMP/sweep_p1.ndjson"; then
+    echo "FAIL: sweep NDJSON differs between -parallel 1 and -parallel 8:" >&2
+    diff "$TMP/sweep_p1.ndjson" "$TMP/sweep_p8.ndjson" >&2 || true
+    exit 1
+fi
+echo "ok sweep determinism across -parallel 1/8"
 stop_daemon
 
 echo "service smoke: all checks passed"
