@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race bench bench-service smoke docs-check fmt fmt-check vet ci
+.PHONY: build test race bench bench-service bench-simulate smoke docs-check fmt fmt-check vet ci
 
 build:
 	$(GO) build ./...
@@ -14,7 +14,8 @@ race:
 	$(GO) test -race ./internal/engine/... ./internal/experiments/... \
 		./internal/queueing/... ./internal/batch/... \
 		./internal/bandit/... ./internal/restless/... \
-		./internal/service/... ./internal/sweep/...
+		./internal/service/... ./internal/sweep/... \
+		./internal/scenario/...
 
 # Engine replication benchmark at parallelism 1/4/max, rendered as
 # machine-readable BENCH_engine.json for the performance trajectory.
@@ -34,6 +35,17 @@ bench-service:
 	$(GO) run ./cmd/bench2json < bench_service.out > BENCH_service.json
 	@rm -f bench_service.out
 	@echo wrote BENCH_service.json
+
+# Simulate-path benchmark: every registered scenario kind through
+# /v1/simulate, cold (computing) and warm (cached bytes), rendered as
+# BENCH_simulate.json so the simulate path is tracked like the engine and
+# cache benches.
+bench-simulate:
+	$(GO) test -run '^$$' -bench BenchmarkSimulate -benchmem . > bench_simulate.out
+	@cat bench_simulate.out
+	$(GO) run ./cmd/bench2json < bench_simulate.out > BENCH_simulate.json
+	@rm -f bench_simulate.out
+	@echo wrote BENCH_simulate.json
 
 # End-to-end smoke of the stochschedd HTTP server: build, start, curl every
 # endpoint against golden bodies, verify cache hits, sweep submit/poll/

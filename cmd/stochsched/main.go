@@ -22,6 +22,14 @@
 //
 //	stochsched sweep -f request.json
 //	stochsched sweep -f request.json -ndjson   # raw result rows
+//
+// The simulate and scenarios subcommands resolve the same scenario
+// registry the daemon serves: simulate runs one /v1/simulate body
+// in-process (byte-identical to the HTTP response), scenarios lists the
+// registered kinds and their sweep policy paths:
+//
+//	stochsched simulate -f request.json
+//	stochsched scenarios
 package main
 
 import (
@@ -38,8 +46,15 @@ import (
 )
 
 func main() {
-	if len(os.Args) > 1 && os.Args[1] == "sweep" {
-		os.Exit(runSweep(os.Args[2:]))
+	if len(os.Args) > 1 {
+		switch os.Args[1] {
+		case "sweep":
+			os.Exit(runSweep(os.Args[2:]))
+		case "simulate":
+			os.Exit(runSimulate(os.Args[2:]))
+		case "scenarios":
+			os.Exit(runScenarios(os.Args[2:]))
+		}
 	}
 	list := flag.Bool("list", false, "list all experiments and exit")
 	catalog := flag.Bool("catalog", false, "print the index-rule catalog and exit")

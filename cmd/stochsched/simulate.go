@@ -1,0 +1,97 @@
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"text/tabwriter"
+
+	"stochsched/internal/engine"
+	"stochsched/internal/scenario"
+)
+
+// runSimulate implements the `stochsched simulate` subcommand: it reads one
+// /v1/simulate request body (the exact JSON the daemon accepts), resolves
+// its kind through the scenario registry, runs it in-process, and prints
+// the response body — byte-identical to what POST /v1/simulate would
+// return, at any -parallel level.
+func runSimulate(args []string) int {
+	fs := flag.NewFlagSet("simulate", flag.ExitOnError)
+	file := fs.String("f", "-", "simulate request file (JSON; \"-\" = stdin)")
+	parallel := fs.Int("parallel", 0, "worker pool size (overrides the request; results do not depend on it)")
+	fs.Usage = func() {
+		fmt.Fprintf(fs.Output(), `usage: stochsched simulate [-f request.json] [-parallel N]
+
+Runs one simulate request in-process through the scenario registry — the
+same JSON POST /v1/simulate accepts, the same response body. Registered
+kinds: %s (see "stochsched scenarios").
+`, strings.Join(scenario.Kinds(), ", "))
+		fs.PrintDefaults()
+	}
+	fs.Parse(args)
+
+	var in io.Reader = os.Stdin
+	if *file != "-" {
+		f, err := os.Open(*file)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		defer f.Close()
+		in = f
+	}
+	raw, err := io.ReadAll(in)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	body, err := SimulateLocal(raw, *parallel)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	os.Stdout.Write(body)
+	return 0
+}
+
+// runScenarios implements the `stochsched scenarios` subcommand: the
+// registry's table of simulate kinds, each with its sweep policy path —
+// the catalog of what /v1/simulate and /v1/sweep can run.
+func runScenarios(args []string) int {
+	fs := flag.NewFlagSet("scenarios", flag.ExitOnError)
+	fs.Usage = func() {
+		fmt.Fprintln(fs.Output(), `usage: stochsched scenarios
+
+Lists the registered simulate scenarios: the kind name POST /v1/simulate
+dispatches on, and the policy path POST /v1/sweep substitutes policies at.`)
+	}
+	fs.Parse(args)
+
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "kind\tsweep policy path")
+	for _, kind := range scenario.Kinds() {
+		sc, _ := scenario.Lookup(kind)
+		fmt.Fprintf(tw, "%s\t%s\n", kind, sc.PolicyPath())
+	}
+	tw.Flush()
+	return 0
+}
+
+// SimulateLocal parses and runs one simulate body in-process. Split from
+// runSimulate so tests can drive it without a process boundary.
+func SimulateLocal(raw []byte, parallel int) ([]byte, error) {
+	req, err := scenario.ParseRequest(raw, scenario.Limits{})
+	if err != nil {
+		return nil, err
+	}
+	if err := req.Scenario.Validate(req.Payload); err != nil {
+		return nil, err
+	}
+	if parallel > 0 {
+		req.Parallel = parallel
+	}
+	return scenario.Run(context.Background(), req, engine.NewPool(req.Parallel))
+}

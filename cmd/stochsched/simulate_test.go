@@ -1,0 +1,58 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestSimulateLocalMatchesAcrossParallelism: the simulate subcommand's
+// output is byte-identical at any -parallel level, for every registered
+// kind — the same body POST /v1/simulate returns.
+func TestSimulateLocalMatchesAcrossParallelism(t *testing.T) {
+	bodies := map[string]string{
+		"mg1": `{"kind":"mg1","mg1":{"spec":{"classes":[
+		    {"rate":0.3,"service_mean":0.5,"hold_cost":4}]},
+		  "policy":"cmu","horizon":200,"burnin":20},"seed":7,"replications":8}`,
+		"restless": `{"kind":"restless","restless":{"spec":{"beta":0.9,
+		    "passive":{"transitions":[[0.7,0.3],[0,1]],"rewards":[1,0.1]},
+		    "active":{"transitions":[[1,0],[1,0]],"rewards":[-0.5,-0.5]}},
+		  "n":5,"m":2,"policy":"whittle","horizon":100,"burnin":20},"seed":2,"replications":10}`,
+		"batch": `{"kind":"batch","batch":{"spec":{"jobs":[
+		    {"weight":1,"dist":{"kind":"exp","mean":1}},
+		    {"weight":2,"dist":{"kind":"det","value":1}}]},
+		  "policy":"wsept"},"seed":9,"replications":12}`,
+	}
+	for kind, body := range bodies {
+		b1, err := SimulateLocal([]byte(body), 1)
+		if err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		b8, err := SimulateLocal([]byte(body), 8)
+		if err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		if !bytes.Equal(b1, b8) {
+			t.Errorf("%s differs between -parallel 1 and 8:\n%s\n%s", kind, b1, b8)
+		}
+		if !bytes.Contains(b1, []byte(`"`+kind+`":{`)) {
+			t.Errorf("%s body missing its fragment: %s", kind, b1)
+		}
+	}
+}
+
+func TestSimulateLocalRejectsBadRequests(t *testing.T) {
+	bad := []string{
+		`not json`,
+		`{"kind":"quantum","quantum":{},"seed":1,"replications":5}`,
+		// Parses but fails validation: unstable queue.
+		`{"kind":"mg1","mg1":{"spec":{"classes":[
+		    {"rate":9,"service_mean":0.5,"hold_cost":1}]},
+		  "policy":"cmu","horizon":100,"burnin":10},"seed":1,"replications":3}`,
+	}
+	for _, body := range bad {
+		if _, err := SimulateLocal([]byte(body), 0); err == nil {
+			t.Errorf("body %q simulated without error", strings.TrimSpace(body[:20]))
+		}
+	}
+}

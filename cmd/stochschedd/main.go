@@ -1,6 +1,7 @@
 // Command stochschedd serves the repository's scheduling-policy solvers
 // over HTTP/JSON: Gittins indices, Whittle indices, cµ/Klimov/WSEPT
-// priority orders, and engine-backed Monte Carlo evaluation, behind a
+// priority orders, and engine-backed Monte Carlo evaluation of every
+// registered simulate scenario (mg1, bandit, restless, batch), behind a
 // sharded memoization cache and a bounded admission queue.
 //
 //	stochschedd -addr :8080 -parallel 8
@@ -8,7 +9,7 @@
 //	POST   /v1/gittins            bandit spec            → Gittins indices (two algorithms)
 //	POST   /v1/whittle            restless spec          → Whittle indices (+ indexability)
 //	POST   /v1/priority           mg1 or batch spec      → cµ/Klimov/WSEPT order + indices
-//	POST   /v1/simulate           spec + seed + reps     → replication estimates
+//	POST   /v1/simulate           spec + seed + reps     → replication estimates (any registered kind)
 //	POST   /v1/sweep              base + grid + policies → async job id (202)
 //	GET    /v1/sweep/{id}         job status + progress
 //	GET    /v1/sweep/{id}/results NDJSON comparison rows, grid order
@@ -25,6 +26,7 @@ import (
 	"context"
 	"errors"
 	"flag"
+	"io"
 	"log"
 	"net/http"
 	"os"
@@ -35,28 +37,47 @@ import (
 	"stochsched/internal/service"
 )
 
-func main() {
-	addr := flag.String("addr", ":8080", "listen address")
-	parallel := flag.Int("parallel", 0, "default simulation worker-pool size (0 = GOMAXPROCS)")
-	shards := flag.Int("cache-shards", 16, "cache shard count")
-	perShard := flag.Int("cache-entries", 256, "cached responses per shard (-1 = unbounded)")
-	inflight := flag.Int("max-inflight", 64, "max concurrently executing computations")
-	queue := flag.Int("max-queue", 256, "max computations waiting for a slot before shedding 429s (-1 = shed immediately)")
-	sweepJobs := flag.Int("sweep-max-jobs", 32, "max stored sweep jobs (oldest finished evicted beyond this)")
-	sweepCells := flag.Int("sweep-max-cells", 4096, "max grid points × policies per sweep")
-	flag.Parse()
+// options is the daemon's parsed command line: the listen address and the
+// service configuration the flags map onto.
+type options struct {
+	addr string
+	cfg  service.Config
+}
 
-	srv := service.New(service.Config{
-		Parallel:             *parallel,
-		CacheShards:          *shards,
-		CacheEntriesPerShard: *perShard,
-		MaxInflight:          *inflight,
-		MaxQueue:             *queue,
-		SweepMaxJobs:         *sweepJobs,
-		SweepMaxCells:        *sweepCells,
-	})
+// parseArgs resolves the command line into options. Errors (including
+// -h/-help) are reported on stderr by the flag set; the caller decides the
+// exit path, which is what makes the wiring testable.
+func parseArgs(args []string, stderr io.Writer) (*options, error) {
+	fs := flag.NewFlagSet("stochschedd", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var opt options
+	fs.StringVar(&opt.addr, "addr", ":8080", "listen address")
+	fs.IntVar(&opt.cfg.Parallel, "parallel", 0, "simulation worker-pool size; per-request parallelism is clamped to it (0 = GOMAXPROCS)")
+	fs.IntVar(&opt.cfg.CacheShards, "cache-shards", 16, "cache shard count")
+	fs.IntVar(&opt.cfg.CacheEntriesPerShard, "cache-entries", 256, "cached responses per shard (-1 = unbounded)")
+	fs.IntVar(&opt.cfg.MaxInflight, "max-inflight", 64, "max concurrently executing computations")
+	fs.IntVar(&opt.cfg.MaxQueue, "max-queue", 256, "max computations waiting for a slot before shedding 429s (-1 = shed immediately)")
+	fs.DurationVar(&opt.cfg.ComputeTimeout, "compute-timeout", 2*time.Minute, "server-side bound on a single response computation")
+	fs.IntVar(&opt.cfg.SweepMaxJobs, "sweep-max-jobs", 32, "max stored sweep jobs (oldest finished evicted beyond this)")
+	fs.IntVar(&opt.cfg.SweepMaxCells, "sweep-max-cells", 4096, "max grid points × policies per sweep")
+	if err := fs.Parse(args); err != nil {
+		return nil, err
+	}
+	return &opt, nil
+}
+
+func main() {
+	opt, err := parseArgs(os.Args[1:], os.Stderr)
+	if err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			os.Exit(0)
+		}
+		os.Exit(2)
+	}
+
+	srv := service.New(opt.cfg)
 	hs := &http.Server{
-		Addr:    *addr,
+		Addr:    opt.addr,
 		Handler: srv.Handler(),
 		// Full-request read deadline: request bodies are small specs, so a
 		// client needing longer than this is trickling, not transferring.
@@ -78,7 +99,7 @@ func main() {
 		}
 	}()
 
-	log.Printf("stochschedd: listening on %s", *addr)
+	log.Printf("stochschedd: listening on %s", opt.addr)
 	if err := hs.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		log.Fatal(err)
 	}

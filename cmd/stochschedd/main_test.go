@@ -1,0 +1,83 @@
+package main
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestParseArgsWiresServiceConfig pins the flag → service.Config wiring:
+// every tunable the daemon advertises must land in the field the service
+// reads, or the flag silently configures nothing.
+func TestParseArgsWiresServiceConfig(t *testing.T) {
+	var stderr strings.Builder
+	opt, err := parseArgs([]string{
+		"-addr", "127.0.0.1:9090",
+		"-parallel", "4",
+		"-cache-shards", "8",
+		"-cache-entries", "-1",
+		"-max-inflight", "5",
+		"-max-queue", "-1",
+		"-compute-timeout", "30s",
+		"-sweep-max-jobs", "3",
+		"-sweep-max-cells", "64",
+	}, &stderr)
+	if err != nil {
+		t.Fatalf("parseArgs: %v (stderr: %s)", err, stderr.String())
+	}
+	if opt.addr != "127.0.0.1:9090" {
+		t.Errorf("addr = %q", opt.addr)
+	}
+	cfg := opt.cfg
+	if cfg.Parallel != 4 {
+		t.Errorf("Parallel = %d, want 4", cfg.Parallel)
+	}
+	if cfg.CacheShards != 8 || cfg.CacheEntriesPerShard != -1 {
+		t.Errorf("cache config %d/%d", cfg.CacheShards, cfg.CacheEntriesPerShard)
+	}
+	if cfg.MaxInflight != 5 || cfg.MaxQueue != -1 {
+		t.Errorf("admission config %d/%d", cfg.MaxInflight, cfg.MaxQueue)
+	}
+	if cfg.ComputeTimeout != 30*time.Second {
+		t.Errorf("ComputeTimeout = %v, want 30s", cfg.ComputeTimeout)
+	}
+	if cfg.SweepMaxJobs != 3 || cfg.SweepMaxCells != 64 {
+		t.Errorf("sweep config %d/%d", cfg.SweepMaxJobs, cfg.SweepMaxCells)
+	}
+}
+
+// TestParseArgsDefaults pins the documented defaults.
+func TestParseArgsDefaults(t *testing.T) {
+	var stderr strings.Builder
+	opt, err := parseArgs(nil, &stderr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opt.addr != ":8080" {
+		t.Errorf("addr = %q", opt.addr)
+	}
+	if opt.cfg.Parallel != 0 || opt.cfg.CacheShards != 16 || opt.cfg.MaxInflight != 64 {
+		t.Errorf("defaults %+v", opt.cfg)
+	}
+	if opt.cfg.ComputeTimeout != 2*time.Minute {
+		t.Errorf("ComputeTimeout default = %v", opt.cfg.ComputeTimeout)
+	}
+}
+
+// TestParseArgsRejectsBadFlags: unknown flags and malformed values error
+// instead of being swallowed (main exits 2 on the error path).
+func TestParseArgsRejectsBadFlags(t *testing.T) {
+	bad := [][]string{
+		{"-no-such-flag"},
+		{"-parallel", "many"},
+		{"-compute-timeout", "fast"},
+	}
+	for _, args := range bad {
+		var stderr strings.Builder
+		if _, err := parseArgs(args, &stderr); err == nil {
+			t.Errorf("args %v parsed without error", args)
+		} else if stderr.Len() == 0 {
+			t.Errorf("args %v produced no usage output", args)
+		}
+	}
+}

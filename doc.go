@@ -37,6 +37,15 @@
 //     batch) with strict validation, conversion into the solver models,
 //     and a deterministic SHA-256 content hash. The gittins and mg1 CLIs
 //     and the policy service all parse into these types.
+//   - Scenarios (internal/scenario): the pluggable model layer of the
+//     simulation service. One registered Scenario per simulate kind —
+//     mg1 (cµ/FIFO/Klimov), bandit (Gittins/greedy), restless fleets
+//     (Whittle/myopic/random), batch (WSEPT/SEPT/LEPT) — each owning
+//     strict payload parsing, spec validation, work-budget accounting,
+//     policy enumeration with a sweep substitution path, the engine-backed
+//     simulation, and metric extraction for comparisons. The service, the
+//     sweep engine, and the CLIs all resolve kinds through the registry,
+//     so a new kind is one file plus its registration line.
 //   - Serving (internal/service, cmd/stochschedd): an HTTP/JSON policy
 //     server exposing the solvers — POST /v1/gittins, /v1/whittle,
 //     /v1/priority, /v1/simulate — behind a sharded memoization cache
@@ -62,8 +71,10 @@
 // cmd/stochsched with -parallel and -timeout) contains 28 experiments, one
 // per classical result the survey cites; BenchmarkE* in this package
 // regenerate each experiment's table, BenchmarkEngineReplications tracks
-// the engine's replication throughput, and BenchmarkServiceIndexCache
-// tracks the policy service's cold-compute vs warm-cache latency. Run
+// the engine's replication throughput, BenchmarkServiceIndexCache
+// tracks the policy service's cold-compute vs warm-cache latency, and
+// BenchmarkSimulate tracks the /v1/simulate path for every registered
+// scenario kind. Run
 // `stochsched -list` for the experiment index and `stochsched -catalog`
 // for the index-rule catalogue.
 //

@@ -42,8 +42,9 @@ import (
 // everything on the dispatcher (fully sequential), which is the
 // deterministic baseline the parallel paths are verified against.
 type Pool struct {
-	slots chan struct{}
-	size  int
+	slots  chan struct{}
+	parent *Pool // non-nil for Limit sub-pools: slots are drawn from it too
+	size   int
 }
 
 // NewPool returns a pool targeting n concurrently executing tasks. n ≤ 0
@@ -56,6 +57,24 @@ func NewPool(n int) *Pool {
 	return &Pool{slots: make(chan struct{}, n-1), size: n}
 }
 
+// Limit returns a view of p capped at n concurrent tasks. The sub-pool
+// draws every worker slot from p as well as from its own cap, so the
+// worker goroutines running on any number of Limit views never exceed
+// the parent's capacity; as with any Reduce, each caller's dispatching
+// goroutine additionally executes tasks inline when no slot is free (the
+// engine's usual saturation behavior), so total concurrency is bounded by
+// parent capacity plus the number of concurrent callers — not by a fresh
+// pool per caller, which is the escape this exists to close. The serving
+// layer uses it to honor a per-request parallelism knob without letting
+// requests multiply the shared bound. n ≤ 0 or n ≥ p.Size() returns p
+// itself.
+func (p *Pool) Limit(n int) *Pool {
+	if p == nil || n <= 0 || n >= p.size {
+		return p
+	}
+	return &Pool{slots: make(chan struct{}, n-1), parent: p, size: n}
+}
+
 // Size returns the target parallelism (1 for a nil pool).
 func (p *Pool) Size() int {
 	if p == nil {
@@ -64,20 +83,30 @@ func (p *Pool) Size() int {
 	return p.size
 }
 
-// tryAcquire claims a worker slot without blocking.
+// tryAcquire claims a worker slot without blocking. A Limit sub-pool must
+// win both its own slot and one of the parent's.
 func (p *Pool) tryAcquire() bool {
 	if p == nil {
 		return false
 	}
 	select {
 	case p.slots <- struct{}{}:
-		return true
 	default:
 		return false
 	}
+	if p.parent != nil && !p.parent.tryAcquire() {
+		<-p.slots
+		return false
+	}
+	return true
 }
 
-func (p *Pool) release() { <-p.slots }
+func (p *Pool) release() {
+	if p.parent != nil {
+		p.parent.release()
+	}
+	<-p.slots
+}
 
 // Streams splits n independent substreams off src in index order. The i-th
 // stream depends only on src's state and i, never on execution order, so

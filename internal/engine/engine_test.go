@@ -259,3 +259,73 @@ func TestReduceProgress(t *testing.T) {
 		}
 	}
 }
+
+// TestPoolLimitIdentity: limits at or above the parent's capacity (and on
+// the nil pool) are the parent itself, not a new layer of slots.
+func TestPoolLimitIdentity(t *testing.T) {
+	parent := NewPool(2)
+	if parent.Limit(0) != parent || parent.Limit(2) != parent || parent.Limit(5) != parent {
+		t.Fatal("Limit at or above capacity must return the parent itself")
+	}
+	var nilPool *Pool
+	if nilPool.Limit(1) != nil {
+		t.Fatal("nil pool Limit must stay nil")
+	}
+}
+
+// TestPoolLimitAcquireDrawsParentSlot pins the slot accounting: a capped
+// view's acquire consumes a parent slot, starving siblings; release
+// returns it.
+func TestPoolLimitAcquireDrawsParentSlot(t *testing.T) {
+	parent := NewPool(3) // two worker slots
+	a := parent.Limit(2) // one worker slot of its own
+	b := parent.Limit(2)
+	if a.Size() != 2 || b.Size() != 2 {
+		t.Fatalf("sizes %d/%d", a.Size(), b.Size())
+	}
+	if !a.tryAcquire() {
+		t.Fatal("first acquire on a failed")
+	}
+	if a.tryAcquire() {
+		t.Fatal("a exceeded its own cap of one extra worker")
+	}
+	if !b.tryAcquire() {
+		t.Fatal("b should win the parent's second slot")
+	}
+	// Both parent slots are now held through the views: nothing else can
+	// acquire, directly or via another view.
+	if parent.tryAcquire() {
+		t.Fatal("parent slot acquired beyond capacity")
+	}
+	if c := parent.Limit(2); c.tryAcquire() {
+		t.Fatal("third view acquired beyond parent capacity")
+	}
+	a.release()
+	if !parent.tryAcquire() {
+		t.Fatal("released slot did not return to the parent")
+	}
+	parent.release()
+	b.release()
+}
+
+// TestPoolLimitDeterminism: limiting never changes results, only
+// throughput — the engine contract extended to capped views.
+func TestPoolLimitDeterminism(t *testing.T) {
+	run := func(p *Pool) []float64 {
+		out, err := Map(context.Background(), p, 64, func(_ context.Context, i int) (float64, error) {
+			s := rng.New(uint64(i))
+			return s.Float64(), nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	parent := NewPool(8)
+	a, b := run(parent), run(parent.Limit(3))
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("index %d differs: %v vs %v", i, a[i], b[i])
+		}
+	}
+}

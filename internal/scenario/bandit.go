@@ -1,0 +1,143 @@
+package scenario
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+
+	"stochsched/internal/bandit"
+	"stochsched/internal/engine"
+	"stochsched/internal/rng"
+	"stochsched/internal/spec"
+)
+
+func init() { Register(banditScenario{}) }
+
+// BanditSim parameterizes a bandit simulation: the system spec, the
+// component start states, and the selection policy ("gittins", the default,
+// or "greedy" — the one-step myopic baseline).
+type BanditSim struct {
+	Spec   spec.BanditSystem `json:"spec"`
+	Start  []int             `json:"start"`
+	Policy string            `json:"policy,omitempty"`
+}
+
+// BanditResult carries the discounted-reward estimate under the selected
+// policy.
+type BanditResult struct {
+	Policy     string  `json:"policy"`
+	RewardMean float64 `json:"reward_mean"`
+	RewardCI95 float64 `json:"reward_ci95"`
+}
+
+// banditScenario evaluates an index policy on a multi-project discounted
+// bandit.
+type banditScenario struct{}
+
+func (banditScenario) Kind() string { return "bandit" }
+
+// banditPolicy defaults the payload's policy knob: an absent policy means
+// "gittins", keeping pre-registry request bodies (and their hashes) valid.
+func banditPolicy(p *BanditSim) string {
+	if p.Policy == "" {
+		return "gittins"
+	}
+	return p.Policy
+}
+
+func (banditScenario) ParsePayload(raw json.RawMessage) (any, error) {
+	var p BanditSim
+	if err := decodeStrictPayload(raw, &p); err != nil {
+		return nil, err
+	}
+	if len(p.Start) != len(p.Spec.Projects) {
+		return nil, fmt.Errorf("start has %d states for %d projects", len(p.Start), len(p.Spec.Projects))
+	}
+	for i, st := range p.Start {
+		if st < 0 || st >= len(p.Spec.Projects[i].Rewards) {
+			return nil, fmt.Errorf("start state %d of project %d out of range", st, i)
+		}
+	}
+	return &p, nil
+}
+
+func (banditScenario) ReplicationWork(payload any) float64 {
+	// Episode length scales with the discounted horizon 1/(1−β). An
+	// out-of-range discount is reported by Validate, not the budget.
+	if beta := payload.(*BanditSim).Spec.Beta; beta > 0 && beta < 1 {
+		return 1 / (1 - beta)
+	}
+	return 0
+}
+
+func (s banditScenario) Validate(payload any) error {
+	p := payload.(*BanditSim)
+	if err := p.Spec.Validate(); err != nil {
+		return err
+	}
+	return s.checkPolicy(banditPolicy(p))
+}
+
+func (banditScenario) Policies(any) []string { return []string{"gittins", "greedy"} }
+
+func (banditScenario) PolicyPath() string { return "bandit.policy" }
+
+func (banditScenario) checkPolicy(policy string) error {
+	if policy != "gittins" && policy != "greedy" {
+		return fmt.Errorf("unknown bandit policy %q (want gittins or greedy)", policy)
+	}
+	return nil
+}
+
+func (s banditScenario) Simulate(ctx context.Context, pool *engine.Pool, payload any, seed uint64, reps int) (any, error) {
+	p := payload.(*BanditSim)
+	policy := banditPolicy(p)
+	if err := s.checkPolicy(policy); err != nil {
+		return nil, BadSpec{err}
+	}
+	b, err := p.Spec.ToBandit()
+	if err != nil {
+		return nil, BadSpec{err}
+	}
+	var pol bandit.Policy
+	if policy == "greedy" {
+		pol = bandit.GreedyPolicy(b)
+	} else {
+		indices := make([][]float64, len(b.Projects))
+		for i, pr := range b.Projects {
+			if indices[i], err = bandit.GittinsRestart(pr, b.Beta); err != nil {
+				return nil, err
+			}
+		}
+		pol = bandit.IndexPolicy(indices)
+	}
+	est, err := bandit.EstimateDiscounted(ctx, pool, b, pol, p.Start, reps, rng.New(seed))
+	if err != nil {
+		return nil, err
+	}
+	return &BanditResult{Policy: policy, RewardMean: est.Mean(), RewardCI95: est.CI95()}, nil
+}
+
+func (banditScenario) Outcome(policy string, resp []byte) (Outcome, error) {
+	var b struct {
+		SpecHash string        `json:"spec_hash"`
+		Bandit   *BanditResult `json:"bandit"`
+	}
+	if err := json.Unmarshal(resp, &b); err != nil {
+		return Outcome{}, fmt.Errorf("decoding bandit simulate response: %v", err)
+	}
+	if b.Bandit == nil {
+		return Outcome{}, fmt.Errorf("simulate response carries no bandit result")
+	}
+	if policy == "" {
+		policy = b.Bandit.Policy
+	}
+	return Outcome{
+		Policy:         policy,
+		SpecHash:       b.SpecHash,
+		Metric:         "reward",
+		HigherIsBetter: true,
+		Mean:           b.Bandit.RewardMean,
+		CI95:           b.Bandit.RewardCI95,
+	}, nil
+}

@@ -1,0 +1,168 @@
+package scenario
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+
+	"stochsched/internal/batch"
+	"stochsched/internal/engine"
+	"stochsched/internal/rng"
+	"stochsched/internal/spec"
+)
+
+func init() { Register(batchScenario{}) }
+
+// BatchSim parameterizes a parallel-machine batch simulation: the instance
+// spec, the list policy computing the dispatch order ("wsept", "sept", or
+// "lept"), and the objective sweeps compare on ("weighted_flowtime", the
+// default; "flowtime"; or "makespan"). All three objectives are always
+// reported — the objective knob only selects the comparison metric.
+type BatchSim struct {
+	Spec      spec.Batch `json:"spec"`
+	Policy    string     `json:"policy"`
+	Objective string     `json:"objective,omitempty"`
+}
+
+// BatchResult carries the replication estimates of one list policy on
+// identical parallel machines: the dispatch order and all three realized
+// objectives.
+type BatchResult struct {
+	Policy               string  `json:"policy"`
+	Objective            string  `json:"objective"`
+	Order                []int   `json:"order"`
+	MakespanMean         float64 `json:"makespan_mean"`
+	MakespanCI95         float64 `json:"makespan_ci95"`
+	FlowtimeMean         float64 `json:"flowtime_mean"`
+	FlowtimeCI95         float64 `json:"flowtime_ci95"`
+	WeightedFlowtimeMean float64 `json:"weighted_flowtime_mean"`
+	WeightedFlowtimeCI95 float64 `json:"weighted_flowtime_ci95"`
+}
+
+// batchScenario estimates list-policy objectives on identical parallel
+// machines via internal/batch.
+type batchScenario struct{}
+
+func (batchScenario) Kind() string { return "batch" }
+
+// batchObjective defaults the payload's objective knob.
+func batchObjective(p *BatchSim) string {
+	if p.Objective == "" {
+		return "weighted_flowtime"
+	}
+	return p.Objective
+}
+
+func (batchScenario) ParsePayload(raw json.RawMessage) (any, error) {
+	var p BatchSim
+	if err := decodeStrictPayload(raw, &p); err != nil {
+		return nil, err
+	}
+	return &p, nil
+}
+
+func (batchScenario) ReplicationWork(payload any) float64 {
+	// One replication dispatches every job once.
+	return float64(len(payload.(*BatchSim).Spec.Jobs))
+}
+
+func (s batchScenario) Validate(payload any) error {
+	p := payload.(*BatchSim)
+	if err := p.Spec.Validate(); err != nil {
+		return err
+	}
+	if err := s.checkPolicy(p.Policy); err != nil {
+		return err
+	}
+	return checkBatchObjective(batchObjective(p))
+}
+
+func (batchScenario) Policies(any) []string { return []string{"wsept", "sept", "lept"} }
+
+func (batchScenario) PolicyPath() string { return "batch.policy" }
+
+func (batchScenario) checkPolicy(policy string) error {
+	switch policy {
+	case "wsept", "sept", "lept":
+		return nil
+	}
+	return fmt.Errorf("unknown batch policy %q (want wsept, sept, or lept)", policy)
+}
+
+func checkBatchObjective(objective string) error {
+	switch objective {
+	case "weighted_flowtime", "flowtime", "makespan":
+		return nil
+	}
+	return fmt.Errorf("unknown batch objective %q (want weighted_flowtime, flowtime, or makespan)", objective)
+}
+
+func (s batchScenario) Simulate(ctx context.Context, pool *engine.Pool, payload any, seed uint64, reps int) (any, error) {
+	p := payload.(*BatchSim)
+	if err := s.checkPolicy(p.Policy); err != nil {
+		return nil, BadSpec{err}
+	}
+	objective := batchObjective(p)
+	if err := checkBatchObjective(objective); err != nil {
+		return nil, BadSpec{err}
+	}
+	in, err := p.Spec.ToInstance()
+	if err != nil {
+		return nil, BadSpec{err}
+	}
+	var order batch.Order
+	switch p.Policy {
+	case "wsept":
+		order = batch.WSEPT(in.Jobs)
+	case "sept":
+		order = batch.SEPT(in.Jobs)
+	case "lept":
+		order = batch.LEPT(in.Jobs)
+	}
+	est, err := batch.EstimateParallel(ctx, pool, in, order, reps, rng.New(seed))
+	if err != nil {
+		return nil, err
+	}
+	return &BatchResult{
+		Policy:               p.Policy,
+		Objective:            objective,
+		Order:                order,
+		MakespanMean:         est.Makespan.Mean(),
+		MakespanCI95:         est.Makespan.CI95(),
+		FlowtimeMean:         est.Flowtime.Mean(),
+		FlowtimeCI95:         est.Flowtime.CI95(),
+		WeightedFlowtimeMean: est.WeightedFlowtime.Mean(),
+		WeightedFlowtimeCI95: est.WeightedFlowtime.CI95(),
+	}, nil
+}
+
+func (batchScenario) Outcome(policy string, resp []byte) (Outcome, error) {
+	var b struct {
+		SpecHash string       `json:"spec_hash"`
+		Batch    *BatchResult `json:"batch"`
+	}
+	if err := json.Unmarshal(resp, &b); err != nil {
+		return Outcome{}, fmt.Errorf("decoding batch simulate response: %v", err)
+	}
+	if b.Batch == nil {
+		return Outcome{}, fmt.Errorf("simulate response carries no batch result")
+	}
+	if policy == "" {
+		policy = b.Batch.Policy
+	}
+	out := Outcome{
+		Policy:   policy,
+		SpecHash: b.SpecHash,
+		Metric:   b.Batch.Objective,
+	}
+	switch b.Batch.Objective {
+	case "makespan":
+		out.Mean, out.CI95 = b.Batch.MakespanMean, b.Batch.MakespanCI95
+	case "flowtime":
+		out.Mean, out.CI95 = b.Batch.FlowtimeMean, b.Batch.FlowtimeCI95
+	default:
+		out.Metric = "weighted_flowtime"
+		out.Mean, out.CI95 = b.Batch.WeightedFlowtimeMean, b.Batch.WeightedFlowtimeCI95
+	}
+	return out, nil
+}

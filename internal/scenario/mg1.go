@@ -1,0 +1,170 @@
+package scenario
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+
+	"stochsched/internal/engine"
+	"stochsched/internal/queueing"
+	"stochsched/internal/rng"
+	"stochsched/internal/spec"
+)
+
+func init() { Register(mg1Scenario{}) }
+
+// MG1Sim parameterizes an M/G/1 simulation: the system spec, the discipline
+// ("cmu", "fifo", or "klimov" for feedback systems), and the horizon.
+type MG1Sim struct {
+	Spec    spec.MG1 `json:"spec"`
+	Policy  string   `json:"policy"`
+	Horizon float64  `json:"horizon"`
+	Burnin  float64  `json:"burnin"`
+}
+
+// MG1Result carries replication means for the queueing simulation. For
+// feedback (Klimov) systems only the cost rate is estimated.
+type MG1Result struct {
+	Policy       string    `json:"policy"`
+	Order        []int     `json:"order,omitempty"`
+	L            []float64 `json:"l,omitempty"`
+	Wq           []float64 `json:"wq,omitempty"`
+	CostRateMean float64   `json:"cost_rate_mean"`
+	CostRateCI95 float64   `json:"cost_rate_ci95"`
+}
+
+// mg1Scenario simulates the multiclass M/G/1 queue (and, with feedback,
+// Klimov's network) under a discipline.
+type mg1Scenario struct{}
+
+func (mg1Scenario) Kind() string { return "mg1" }
+
+func (mg1Scenario) ParsePayload(raw json.RawMessage) (any, error) {
+	var p MG1Sim
+	if err := decodeStrictPayload(raw, &p); err != nil {
+		return nil, err
+	}
+	if p.Burnin < 0 || p.Horizon <= p.Burnin {
+		return nil, fmt.Errorf("need 0 <= burnin < horizon, got burnin=%v horizon=%v", p.Burnin, p.Horizon)
+	}
+	return &p, nil
+}
+
+func (mg1Scenario) ReplicationWork(payload any) float64 {
+	return payload.(*MG1Sim).Horizon
+}
+
+func (s mg1Scenario) Validate(payload any) error {
+	p := payload.(*MG1Sim)
+	if err := p.Spec.Validate(); err != nil {
+		return err
+	}
+	return s.checkPolicy(&p.Spec, p.Policy)
+}
+
+func (mg1Scenario) Policies(payload any) []string {
+	if payload.(*MG1Sim).Spec.HasFeedback() {
+		return []string{"klimov"}
+	}
+	return []string{"cmu", "fifo"}
+}
+
+func (mg1Scenario) PolicyPath() string { return "mg1.policy" }
+
+// checkPolicy is the single source of truth for which simulate policies an
+// mg1 spec supports; submit-time validation (Validate) and execution
+// (Simulate) must never disagree.
+func (mg1Scenario) checkPolicy(m *spec.MG1, policy string) error {
+	if m.HasFeedback() {
+		if policy != "klimov" {
+			return fmt.Errorf("feedback systems support policy \"klimov\", got %q", policy)
+		}
+		return nil
+	}
+	if policy != "cmu" && policy != "fifo" {
+		return fmt.Errorf("unknown mg1 policy %q (want cmu or fifo)", policy)
+	}
+	return nil
+}
+
+func (s mg1Scenario) Simulate(ctx context.Context, pool *engine.Pool, payload any, seed uint64, reps int) (any, error) {
+	sim := payload.(*MG1Sim)
+	if err := s.checkPolicy(&sim.Spec, sim.Policy); err != nil {
+		return nil, BadSpec{err}
+	}
+	if sim.Spec.HasFeedback() {
+		k, err := sim.Spec.ToKlimov()
+		if err != nil {
+			return nil, BadSpec{err}
+		}
+		_, order, err := k.KlimovIndices()
+		if err != nil {
+			return nil, err
+		}
+		est, err := k.ReplicateKlimov(ctx, pool, order, sim.Horizon, sim.Burnin, reps, rng.New(seed))
+		if err != nil {
+			return nil, err
+		}
+		return &MG1Result{
+			Policy:       "klimov",
+			Order:        order,
+			CostRateMean: est.Mean(),
+			CostRateCI95: est.CI95(),
+		}, nil
+	}
+
+	m, err := sim.Spec.ToMG1()
+	if err != nil {
+		return nil, BadSpec{err}
+	}
+	// checkPolicy above admits exactly cmu and fifo here.
+	var d queueing.Discipline
+	var order []int
+	if sim.Policy == "cmu" {
+		order = m.CMuOrder()
+		d = queueing.StaticPriority{Order: order}
+	} else {
+		d = queueing.FIFO{}
+	}
+	rep, err := m.Replicate(ctx, pool, d, sim.Horizon, sim.Burnin, reps, rng.New(seed))
+	if err != nil {
+		return nil, err
+	}
+	n := len(m.Classes)
+	res := &MG1Result{
+		Policy:       sim.Policy,
+		Order:        order,
+		L:            make([]float64, n),
+		Wq:           make([]float64, n),
+		CostRateMean: rep.CostRate.Mean(),
+		CostRateCI95: rep.CostRate.CI95(),
+	}
+	for j := 0; j < n; j++ {
+		res.L[j] = rep.L[j].Mean()
+		res.Wq[j] = rep.Wq[j].Mean()
+	}
+	return res, nil
+}
+
+func (mg1Scenario) Outcome(policy string, resp []byte) (Outcome, error) {
+	var b struct {
+		SpecHash string     `json:"spec_hash"`
+		MG1      *MG1Result `json:"mg1"`
+	}
+	if err := json.Unmarshal(resp, &b); err != nil {
+		return Outcome{}, fmt.Errorf("decoding mg1 simulate response: %v", err)
+	}
+	if b.MG1 == nil {
+		return Outcome{}, fmt.Errorf("simulate response carries no mg1 result")
+	}
+	if policy == "" {
+		policy = b.MG1.Policy
+	}
+	return Outcome{
+		Policy:   policy,
+		SpecHash: b.SpecHash,
+		Metric:   "cost_rate",
+		Mean:     b.MG1.CostRateMean,
+		CI95:     b.MG1.CostRateCI95,
+	}, nil
+}

@@ -1,0 +1,219 @@
+package scenario
+
+import (
+	"bytes"
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"stochsched/internal/engine"
+)
+
+// Limits carries the serving layer's request-level budgets into envelope
+// parsing. Zero values disable the corresponding check (the serving layer
+// always sets both).
+type Limits struct {
+	// MaxReplications bounds the replication count of one request.
+	MaxReplications int
+	// MaxSimWork bounds ReplicationWork × replications.
+	MaxSimWork float64
+}
+
+// Request is a parsed /v1/simulate request: the kind-independent envelope
+// plus the resolved scenario and its typed payload.
+type Request struct {
+	Kind         string
+	Seed         uint64
+	Replications int
+	Parallel     int
+	Scenario     Scenario
+	Payload      any
+
+	hash string // memoized Hash(); requests are not shared across goroutines until computed
+}
+
+// ParseRequest strictly decodes a /v1/simulate body: the envelope fields
+// (kind, seed, replications, parallel), exactly one payload field named
+// after the kind, no unknown fields, no trailing data. Request-level
+// invariants — replication and parallelism ranges, the work budget — are
+// enforced here so every consumer (HTTP handler, sweep cell validation, the
+// CLI) agrees on what a well-formed request is. Spec-level validation is
+// NOT performed; call req.Scenario.Validate(req.Payload) for that.
+func ParseRequest(body []byte, lim Limits) (*Request, error) {
+	dec := json.NewDecoder(bytes.NewReader(body))
+	var fields map[string]json.RawMessage
+	if err := dec.Decode(&fields); err != nil {
+		return nil, fmt.Errorf("parsing request: %w", err)
+	}
+	if dec.More() {
+		return nil, fmt.Errorf("parsing request: trailing data after JSON value")
+	}
+
+	var req Request
+	// pop removes and returns the field named name — exact match first,
+	// then case-insensitively, mirroring encoding/json's struct-field
+	// matching so bodies the pre-registry strict decoder accepted keep
+	// parsing.
+	pop := func(name string) (json.RawMessage, bool) {
+		if raw, ok := fields[name]; ok {
+			delete(fields, name)
+			return raw, true
+		}
+		for k, raw := range fields {
+			if strings.EqualFold(k, name) {
+				delete(fields, k)
+				return raw, true
+			}
+		}
+		return nil, false
+	}
+	// take pops and decodes one envelope field, leaving only payload
+	// candidates behind.
+	take := func(name string, dst any) error {
+		raw, ok := pop(name)
+		if !ok {
+			return nil
+		}
+		if err := json.Unmarshal(raw, dst); err != nil {
+			return fmt.Errorf("parsing request: field %q: %w", name, err)
+		}
+		return nil
+	}
+	if err := take("kind", &req.Kind); err != nil {
+		return nil, err
+	}
+	if err := take("seed", &req.Seed); err != nil {
+		return nil, err
+	}
+	if err := take("replications", &req.Replications); err != nil {
+		return nil, err
+	}
+	if err := take("parallel", &req.Parallel); err != nil {
+		return nil, err
+	}
+
+	if lim.MaxReplications > 0 && req.Replications > lim.MaxReplications {
+		return nil, fmt.Errorf("replications %d outside [1, %d]", req.Replications, lim.MaxReplications)
+	}
+	if req.Replications < 1 {
+		return nil, fmt.Errorf("replications %d must be at least 1", req.Replications)
+	}
+	if req.Parallel < 0 || req.Parallel > 1024 {
+		return nil, fmt.Errorf("parallel %d outside [0, 1024]", req.Parallel)
+	}
+
+	sc, ok := Lookup(req.Kind)
+	if !ok {
+		return nil, fmt.Errorf("unknown simulate kind %q (want %s)", req.Kind, strings.Join(Kinds(), ", "))
+	}
+	req.Scenario = sc
+
+	raw, ok := pop(req.Kind)
+	if !ok || len(fields) > 0 {
+		// Either the payload is missing or extra fields remain (a second
+		// kind's payload, or a field nothing knows). Name the offenders
+		// deterministically.
+		if len(fields) > 0 {
+			extra := make([]string, 0, len(fields))
+			for name := range fields {
+				extra = append(extra, strconv.Quote(name))
+			}
+			sort.Strings(extra)
+			return nil, fmt.Errorf("kind %s needs exactly the %s field (unexpected %s)",
+				req.Kind, req.Kind, strings.Join(extra, ", "))
+		}
+		return nil, fmt.Errorf("kind %s needs exactly the %s field", req.Kind, req.Kind)
+	}
+
+	payload, err := sc.ParsePayload(raw)
+	if err != nil {
+		return nil, err
+	}
+	req.Payload = payload
+
+	if lim.MaxSimWork > 0 {
+		// NaN-propagating comparison: a non-finite work estimate fails too.
+		if work := sc.ReplicationWork(payload) * float64(req.Replications); !(work <= lim.MaxSimWork) {
+			return nil, fmt.Errorf("work estimate per replication × replications = %g exceeds the work budget %g", work, lim.MaxSimWork)
+		}
+	}
+	return &req, nil
+}
+
+// Hash returns the canonical content hash of the request with the
+// parallelism knob excluded — the /v1/simulate memoization key and the
+// spec_hash echoed in response bodies. The encoding deliberately mirrors
+// the pre-registry envelope struct ({"kind":…,"<kind>":…,"seed":…,
+// "replications":…}), so hashes — and therefore golden response bodies —
+// are stable across the refactor. Payload types are plain data (no maps),
+// which keeps the encoding canonical.
+func (r *Request) Hash() string {
+	if r.hash != "" {
+		return r.hash
+	}
+	payload, err := json.Marshal(r.Payload)
+	if err != nil {
+		// Payloads are plain data decoded from JSON; marshaling cannot
+		// fail on anything ParsePayload accepts.
+		panic(fmt.Sprintf("scenario: unhashable payload: %v", err))
+	}
+	var buf bytes.Buffer
+	fmt.Fprintf(&buf, `{"kind":%q,%q:%s,"seed":%d,"replications":%d}`,
+		r.Kind, r.Kind, payload, r.Seed, r.Replications)
+	sum := sha256.Sum256(buf.Bytes())
+	r.hash = hex.EncodeToString(sum[:])
+	return r.hash
+}
+
+// Run executes a parsed request on the pool and assembles the encoded
+// response body: the kind-independent envelope (spec_hash, seed,
+// replications) with the scenario's result fragment spliced in under the
+// kind name, plus a trailing newline. The HTTP serving layer and the CLI
+// both assemble through here, so they can never disagree about the
+// response encoding — and neither needs a kind-specific response type.
+func Run(ctx context.Context, req *Request, pool *engine.Pool) ([]byte, error) {
+	body, err := req.Scenario.Simulate(ctx, pool, req.Payload, req.Seed, req.Replications)
+	if err != nil {
+		return nil, err
+	}
+	env, err := json.Marshal(struct {
+		SpecHash     string `json:"spec_hash"`
+		Seed         uint64 `json:"seed"`
+		Replications int64  `json:"replications"`
+	}{req.Hash(), req.Seed, int64(req.Replications)})
+	if err != nil {
+		return nil, err
+	}
+	frag, err := json.Marshal(body)
+	if err != nil {
+		return nil, err
+	}
+	key, err := json.Marshal(req.Kind)
+	if err != nil {
+		return nil, err
+	}
+	out := append(env[:len(env)-1], ',')
+	out = append(out, key...)
+	out = append(out, ':')
+	out = append(out, frag...)
+	return append(out, '}', '\n'), nil
+}
+
+// decodeStrictPayload unmarshals raw into v, rejecting unknown fields and
+// trailing garbage — the same strictness the envelope applies.
+func decodeStrictPayload(raw json.RawMessage, v any) error {
+	dec := json.NewDecoder(bytes.NewReader(raw))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("parsing request: %w", err)
+	}
+	if dec.More() {
+		return fmt.Errorf("parsing request: trailing data after JSON value")
+	}
+	return nil
+}

@@ -1,0 +1,139 @@
+package scenario
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+
+	"stochsched/internal/engine"
+	"stochsched/internal/restless"
+	"stochsched/internal/rng"
+	"stochsched/internal/spec"
+)
+
+func init() { Register(restlessScenario{}) }
+
+// RestlessSim parameterizes a restless-fleet simulation: N iid copies of
+// one two-action restless project, M of which are activated every epoch by
+// a static state-priority rule — "whittle" (scores = Whittle indices),
+// "myopic" (scores = one-step activation advantage R₁ − R₀), or "random"
+// (the unprioritized baseline). Average reward per epoch is measured over
+// [burnin, horizon).
+type RestlessSim struct {
+	Spec    spec.Restless `json:"spec"`
+	N       int           `json:"n"`
+	M       int           `json:"m"`
+	Policy  string        `json:"policy"`
+	Horizon int           `json:"horizon"`
+	Burnin  int           `json:"burnin"`
+}
+
+// RestlessResult carries the average-reward-per-epoch estimate of the
+// fleet under the selected activation rule.
+type RestlessResult struct {
+	Policy     string  `json:"policy"`
+	RewardMean float64 `json:"reward_mean"`
+	RewardCI95 float64 `json:"reward_ci95"`
+}
+
+// restlessScenario estimates fleet-scale activation heuristics
+// (Whittle vs myopic vs random) via internal/restless.
+type restlessScenario struct{}
+
+func (restlessScenario) Kind() string { return "restless" }
+
+func (restlessScenario) ParsePayload(raw json.RawMessage) (any, error) {
+	var p RestlessSim
+	if err := decodeStrictPayload(raw, &p); err != nil {
+		return nil, err
+	}
+	if p.N < 1 || p.M < 0 || p.M > p.N {
+		return nil, fmt.Errorf("need 1 <= n and 0 <= m <= n, got n=%d m=%d", p.N, p.M)
+	}
+	if p.Burnin < 0 || p.Horizon <= p.Burnin {
+		return nil, fmt.Errorf("need 0 <= burnin < horizon, got burnin=%d horizon=%d", p.Burnin, p.Horizon)
+	}
+	return &p, nil
+}
+
+func (restlessScenario) ReplicationWork(payload any) float64 {
+	// Every epoch touches all N projects.
+	p := payload.(*RestlessSim)
+	return float64(p.Horizon) * float64(p.N)
+}
+
+func (s restlessScenario) Validate(payload any) error {
+	p := payload.(*RestlessSim)
+	if err := p.Spec.Validate(); err != nil {
+		return err
+	}
+	return s.checkPolicy(p.Policy)
+}
+
+func (restlessScenario) Policies(any) []string { return []string{"whittle", "myopic", "random"} }
+
+func (restlessScenario) PolicyPath() string { return "restless.policy" }
+
+func (restlessScenario) checkPolicy(policy string) error {
+	switch policy {
+	case "whittle", "myopic", "random":
+		return nil
+	}
+	return fmt.Errorf("unknown restless policy %q (want whittle, myopic, or random)", policy)
+}
+
+func (s restlessScenario) Simulate(ctx context.Context, pool *engine.Pool, payload any, seed uint64, reps int) (any, error) {
+	p := payload.(*RestlessSim)
+	if err := s.checkPolicy(p.Policy); err != nil {
+		return nil, BadSpec{err}
+	}
+	proj, err := p.Spec.ToProject()
+	if err != nil {
+		return nil, BadSpec{err}
+	}
+	fleet := &restless.Fleet{Type: proj, N: p.N, M: p.M}
+	var est interface {
+		Mean() float64
+		CI95() float64
+	}
+	switch p.Policy {
+	case "random":
+		est, err = fleet.EstimateRandomPolicy(ctx, pool, p.Horizon, p.Burnin, reps, rng.New(seed))
+	default:
+		score := restless.MyopicScore(proj)
+		if p.Policy == "whittle" {
+			if score, err = restless.WhittleIndex(proj, p.Spec.Beta); err != nil {
+				return nil, err
+			}
+		}
+		est, err = fleet.EstimateStaticPriority(ctx, pool, score, p.Horizon, p.Burnin, reps, rng.New(seed))
+	}
+	if err != nil {
+		return nil, err
+	}
+	return &RestlessResult{Policy: p.Policy, RewardMean: est.Mean(), RewardCI95: est.CI95()}, nil
+}
+
+func (restlessScenario) Outcome(policy string, resp []byte) (Outcome, error) {
+	var b struct {
+		SpecHash string          `json:"spec_hash"`
+		Restless *RestlessResult `json:"restless"`
+	}
+	if err := json.Unmarshal(resp, &b); err != nil {
+		return Outcome{}, fmt.Errorf("decoding restless simulate response: %v", err)
+	}
+	if b.Restless == nil {
+		return Outcome{}, fmt.Errorf("simulate response carries no restless result")
+	}
+	if policy == "" {
+		policy = b.Restless.Policy
+	}
+	return Outcome{
+		Policy:         policy,
+		SpecHash:       b.SpecHash,
+		Metric:         "reward",
+		HigherIsBetter: true,
+		Mean:           b.Restless.RewardMean,
+		CI95:           b.Restless.RewardCI95,
+	}, nil
+}

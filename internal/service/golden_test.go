@@ -21,57 +21,68 @@ func TestGoldenBodies(t *testing.T) {
 		t.Skipf("goldens are amd64-exact; running on %s", runtime.GOARCH)
 	}
 	h := New(Config{}).Handler()
-	for _, ep := range []string{"gittins", "whittle", "priority", "simulate"} {
-		req, err := os.ReadFile(filepath.Join("testdata", ep+"_req.json"))
+	for _, tc := range []struct{ stem, ep string }{
+		{"gittins", "gittins"},
+		{"whittle", "whittle"},
+		{"priority", "priority"},
+		{"simulate", "simulate"},
+		// The registry's non-mg1 simulate kinds, through the same endpoint.
+		{"simulate_restless", "simulate"},
+		{"simulate_batch", "simulate"},
+	} {
+		req, err := os.ReadFile(filepath.Join("testdata", tc.stem+"_req.json"))
 		if err != nil {
 			t.Fatal(err)
 		}
-		golden, err := os.ReadFile(filepath.Join("testdata", ep+"_golden.json"))
+		golden, err := os.ReadFile(filepath.Join("testdata", tc.stem+"_golden.json"))
 		if err != nil {
 			t.Fatal(err)
 		}
-		w := post(t, h, "/v1/"+ep, string(req))
+		w := post(t, h, "/v1/"+tc.ep, string(req))
 		if w.Code != http.StatusOK {
-			t.Errorf("/v1/%s: code %d: %s", ep, w.Code, w.Body)
+			t.Errorf("/v1/%s (%s): code %d: %s", tc.ep, tc.stem, w.Code, w.Body)
 			continue
 		}
 		if !bytes.Equal(w.Body.Bytes(), golden) {
 			t.Errorf("/v1/%s drifted from testdata/%s_golden.json:\ngot  %s\nwant %s",
-				ep, ep, w.Body.Bytes(), golden)
+				tc.ep, tc.stem, w.Body.Bytes(), golden)
 		}
 	}
 }
 
 // TestSweepGoldenRows pins the first and last NDJSON rows of the smoke
-// sweep to the same goldens scripts/service_smoke.sh checks, so a drift in
-// sweep row encoding or simulation output fails `go test` before CI.
+// sweeps (the mg1 policy comparison and the restless fleet comparison) to
+// the same goldens scripts/service_smoke.sh checks, so a drift in sweep row
+// encoding or simulation output fails `go test` before CI.
 func TestSweepGoldenRows(t *testing.T) {
 	if runtime.GOARCH != "amd64" {
 		t.Skipf("goldens are amd64-exact; running on %s", runtime.GOARCH)
 	}
-	req, err := os.ReadFile(filepath.Join("testdata", "sweep_req.json"))
-	if err != nil {
-		t.Fatal(err)
-	}
-	h := New(Config{}).Handler()
-	st := submitSweep(t, h, string(req))
-	if final := waitSweep(t, h, st.ID); final.State != "done" {
-		t.Fatalf("sweep ended %q: %+v", final.State, final)
-	}
-	lines := bytes.Split(bytes.TrimRight(sweepResults(t, h, st.ID), "\n"), []byte("\n"))
-	first := append(append([]byte(nil), lines[0]...), '\n')
-	last := append(append([]byte(nil), lines[len(lines)-1]...), '\n')
-	for _, part := range []struct {
-		name string
-		got  []byte
-	}{{"first", first}, {"last", last}} {
-		golden, err := os.ReadFile(filepath.Join("testdata", "sweep_"+part.name+"_golden.json"))
+	for _, stem := range []string{"sweep", "sweep_restless"} {
+		req, err := os.ReadFile(filepath.Join("testdata", stem+"_req.json"))
 		if err != nil {
 			t.Fatal(err)
 		}
-		if !bytes.Equal(part.got, golden) {
-			t.Errorf("sweep %s row drifted from testdata/sweep_%s_golden.json:\ngot  %s\nwant %s",
-				part.name, part.name, part.got, golden)
+		h := New(Config{}).Handler()
+		st := submitSweep(t, h, string(req))
+		if final := waitSweep(t, h, st.ID); final.State != "done" {
+			t.Fatalf("%s ended %q: %+v", stem, final.State, final)
+		}
+		lines := bytes.Split(bytes.TrimRight(sweepResults(t, h, st.ID), "\n"), []byte("\n"))
+		first := append(append([]byte(nil), lines[0]...), '\n')
+		last := append(append([]byte(nil), lines[len(lines)-1]...), '\n')
+		for _, part := range []struct {
+			name string
+			got  []byte
+		}{{"first", first}, {"last", last}} {
+			golden, err := os.ReadFile(filepath.Join("testdata", stem+"_"+part.name+"_golden.json"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(part.got, golden) {
+				t.Errorf("%s %s row drifted from testdata/%s_%s_golden.json:\ngot  %s\nwant %s",
+					stem, part.name, stem, part.name, part.got, golden)
+			}
 		}
 	}
 }

@@ -1,9 +1,9 @@
 // Package service exposes the repository's solvers as an HTTP/JSON policy
 // service: Gittins and Whittle index computation, cµ/Klimov/WSEPT priority
-// orders, and engine-backed Monte Carlo evaluation, behind a sharded
-// memoization cache with singleflight deduplication, a bounded admission
-// queue that sheds overload with 429s, and per-endpoint counters at
-// /v1/stats.
+// orders, and engine-backed Monte Carlo evaluation of every simulate kind
+// registered in internal/scenario, behind a sharded memoization cache with
+// singleflight deduplication, a bounded admission queue that sheds
+// overload with 429s, and per-endpoint counters at /v1/stats.
 //
 // Responses are cached as encoded bytes keyed by the canonical spec hash
 // (see internal/spec), so repeated identical queries are byte-identical and
@@ -26,9 +26,8 @@ import (
 	"stochsched/internal/bandit"
 	"stochsched/internal/batch"
 	"stochsched/internal/engine"
-	"stochsched/internal/queueing"
 	"stochsched/internal/restless"
-	"stochsched/internal/rng"
+	"stochsched/internal/scenario"
 	"stochsched/internal/spec"
 	"stochsched/internal/sweep"
 )
@@ -55,10 +54,12 @@ type Config struct {
 	// request may ask for. Default 100000.
 	MaxReplications int
 	// MaxSimWork bounds the total simulated work one /v1/simulate request
-	// may ask for: replications × horizon for queueing models,
-	// replications × 1/(1−β) (the discounted episode scale) for bandits.
-	// Requests beyond it are rejected with 400 instead of monopolizing
-	// execution slots. Default 1e8.
+	// may ask for: replications × the scenario's per-replication work
+	// estimate (horizon for queueing models, the discounted episode scale
+	// 1/(1−β) for bandits, epochs × fleet size for restless fleets, job
+	// count for batch — see scenario.Scenario.ReplicationWork). Requests
+	// beyond it are rejected with 400 instead of monopolizing execution
+	// slots, uniformly across every registered kind. Default 1e8.
 	MaxSimWork float64
 	// ComputeTimeout bounds a single response computation server-side
 	// (client disconnects do not cancel a computation, because concurrent
@@ -494,112 +495,31 @@ func priorityResponse(req *PriorityRequest, hash string) (*PriorityResponse, err
 // ---------------------------------------------------------------------------
 // /v1/simulate
 
-// SimulateRequest is the body of a /v1/simulate request. Kind selects the
-// model: "mg1" simulates the multiclass queue under a discipline, "bandit"
-// evaluates the Gittins index policy on a multi-project bandit. Parallel
-// sets the worker-pool size for this request (0 = server default); it is
-// excluded from the cache key because the response is byte-identical at
-// every parallelism level for a fixed (spec, seed).
-type SimulateRequest struct {
-	Kind         string     `json:"kind"`
-	MG1          *MG1Sim    `json:"mg1,omitempty"`
-	Bandit       *BanditSim `json:"bandit,omitempty"`
-	Seed         uint64     `json:"seed"`
-	Replications int        `json:"replications"`
-	Parallel     int        `json:"parallel,omitempty"`
-}
-
-// MG1Sim parameterizes an M/G/1 simulation: the system spec, the discipline
-// ("cmu", "fifo", or "klimov" for feedback systems), and the horizon.
-type MG1Sim struct {
-	Spec    spec.MG1 `json:"spec"`
-	Policy  string   `json:"policy"`
-	Horizon float64  `json:"horizon"`
-	Burnin  float64  `json:"burnin"`
-}
-
-// BanditSim parameterizes a bandit simulation: the system spec and the
-// component start states.
-type BanditSim struct {
-	Spec  spec.BanditSystem `json:"spec"`
-	Start []int             `json:"start"`
-}
-
-// SimulateResponse is the body of a /v1/simulate response.
-type SimulateResponse struct {
-	SpecHash     string           `json:"spec_hash"`
-	Seed         uint64           `json:"seed"`
-	Replications int64            `json:"replications"`
-	MG1          *MG1SimResult    `json:"mg1,omitempty"`
-	Bandit       *BanditSimResult `json:"bandit,omitempty"`
-}
-
-// MG1SimResult carries replication means for the queueing simulation. For
-// feedback (Klimov) systems only the cost rate is estimated.
-type MG1SimResult struct {
-	Policy       string    `json:"policy"`
-	Order        []int     `json:"order,omitempty"`
-	L            []float64 `json:"l,omitempty"`
-	Wq           []float64 `json:"wq,omitempty"`
-	CostRateMean float64   `json:"cost_rate_mean"`
-	CostRateCI95 float64   `json:"cost_rate_ci95"`
-}
-
-// BanditSimResult carries the discounted-reward estimate under the Gittins
-// index policy.
-type BanditSimResult struct {
-	RewardMean float64 `json:"reward_mean"`
-	RewardCI95 float64 `json:"reward_ci95"`
-}
-
-// parseSimulate decodes a /v1/simulate body and enforces the request-level
-// invariants (shape, replication cap, work budget). Spec-level validation
+// parseSimulate decodes a /v1/simulate body through the scenario registry
+// and enforces the request-level invariants (shape, replication cap, work
+// budget — uniformly across every registered kind). Spec-level validation
 // is deferred to the computation (hits skip it); ValidateSimulate in
 // sweep.go performs both for sweep submissions.
-func (s *Server) parseSimulate(body []byte) (*SimulateRequest, error) {
-	var req SimulateRequest
-	if err := decodeStrict(body, &req); err != nil {
-		return nil, err
+func (s *Server) parseSimulate(body []byte) (*scenario.Request, error) {
+	req, err := scenario.ParseRequest(body, scenario.Limits{
+		MaxReplications: s.cfg.MaxReplications,
+		MaxSimWork:      s.cfg.MaxSimWork,
+	})
+	if err != nil {
+		return nil, badRequest{err}
 	}
-	if req.Replications < 1 || req.Replications > s.cfg.MaxReplications {
-		return nil, badRequest{fmt.Errorf("replications %d outside [1, %d]", req.Replications, s.cfg.MaxReplications)}
-	}
-	if req.Parallel < 0 || req.Parallel > 1024 {
-		return nil, badRequest{fmt.Errorf("parallel %d outside [0, 1024]", req.Parallel)}
-	}
-	switch req.Kind {
-	case "mg1":
-		if req.MG1 == nil || req.Bandit != nil {
-			return nil, badRequest{fmt.Errorf("kind mg1 needs exactly the mg1 field")}
-		}
-		if req.MG1.Burnin < 0 || req.MG1.Horizon <= req.MG1.Burnin {
-			return nil, badRequest{fmt.Errorf("need 0 <= burnin < horizon, got burnin=%v horizon=%v", req.MG1.Burnin, req.MG1.Horizon)}
-		}
-		if work := req.MG1.Horizon * float64(req.Replications); !(work <= s.cfg.MaxSimWork) {
-			return nil, badRequest{fmt.Errorf("horizon × replications = %g exceeds the work budget %g", work, s.cfg.MaxSimWork)}
-		}
-	case "bandit":
-		if req.Bandit == nil || req.MG1 != nil {
-			return nil, badRequest{fmt.Errorf("kind bandit needs exactly the bandit field")}
-		}
-		if len(req.Bandit.Start) != len(req.Bandit.Spec.Projects) {
-			return nil, badRequest{fmt.Errorf("start has %d states for %d projects", len(req.Bandit.Start), len(req.Bandit.Spec.Projects))}
-		}
-		for i, st := range req.Bandit.Start {
-			if st < 0 || st >= len(req.Bandit.Spec.Projects[i].Rewards) {
-				return nil, badRequest{fmt.Errorf("start state %d of project %d out of range", st, i)}
-			}
-		}
-		// Episode length scales with the discounted horizon 1/(1−β).
-		if beta := req.Bandit.Spec.Beta; beta > 0 && beta < 1 {
-			if work := float64(req.Replications) / (1 - beta); !(work <= s.cfg.MaxSimWork) {
-				return nil, badRequest{fmt.Errorf("replications/(1-beta) = %g exceeds the work budget %g", work, s.cfg.MaxSimWork)}
-			}
-		}
-	default:
-		return nil, badRequest{fmt.Errorf("unknown simulate kind %q (want mg1 or bandit)", req.Kind)}
-	}
-	return &req, nil
+	return req, nil
+}
+
+// requestPool resolves the pool a request's simulation fans out over. A
+// per-request parallelism is a capped view of the server's shared pool
+// (engine.Pool.Limit): the knob can shrink a request's footprint, but the
+// worker slots it does use are drawn from — never added to — the
+// configured capacity, no matter how many requests carry the knob at
+// once (each admitted computation still executes inline on its own
+// goroutine when the pool is saturated, as everywhere in the engine).
+func (s *Server) requestPool(parallel int) *engine.Pool {
+	return s.pool.Limit(parallel)
 }
 
 func (s *Server) computeSimulate(body []byte) (parsed, error) {
@@ -611,136 +531,53 @@ func (s *Server) computeSimulate(body []byte) (parsed, error) {
 	// The cache key deliberately omits Parallel: the engine makes the
 	// response a function of (spec, seed, replications) only, so requests
 	// differing only in parallelism share one cached body.
-	keyed := *req
-	keyed.Parallel = 0
-	hash := spec.Hash(&keyed)
-
-	pool := s.pool
-	if req.Parallel > 0 {
-		pool = engine.NewPool(req.Parallel)
-	}
-	return parsed{key: "simulate:" + hash, compute: func() ([]byte, error) {
-		resp, err := s.simulateResponse(req, hash, pool)
-		if err != nil {
-			return nil, err
-		}
-		return marshal(resp)
+	pool := s.requestPool(req.Parallel)
+	return parsed{key: "simulate:" + req.Hash(), compute: func() ([]byte, error) {
+		return s.simulateResponse(req, pool)
 	}}, nil
 }
 
-// checkMG1Policy is the single source of truth for which simulate policies
-// a spec supports; submit-time validation (ValidateSimulate) and execution
-// (simulateResponse) must never disagree.
-func checkMG1Policy(m *spec.MG1, policy string) error {
-	if m.HasFeedback() {
-		if policy != "klimov" {
-			return badRequest{fmt.Errorf("feedback systems support policy \"klimov\", got %q", policy)}
-		}
-		return nil
-	}
-	if policy != "cmu" && policy != "fifo" {
-		return badRequest{fmt.Errorf("unknown mg1 policy %q (want cmu or fifo)", policy)}
-	}
-	return nil
-}
-
-func (s *Server) simulateResponse(req *SimulateRequest, hash string, pool *engine.Pool) (*SimulateResponse, error) {
+// simulateResponse executes a parsed request through its scenario.
+// Response assembly (envelope + kind-keyed fragment) lives in
+// scenario.Run, so the serving layer carries no kind-specific response
+// types — a new scenario needs no edits here.
+func (s *Server) simulateResponse(req *scenario.Request, pool *engine.Pool) ([]byte, error) {
 	// Server-side timeout, not the request's context: singleflight waiters
 	// may be sharing this computation after the initiating client leaves.
 	ctx, cancel := context.WithTimeout(context.Background(), s.cfg.ComputeTimeout)
 	defer cancel()
-	resp := &SimulateResponse{SpecHash: hash, Seed: req.Seed, Replications: int64(req.Replications)}
-	if req.Kind == "bandit" {
-		b, err := req.Bandit.Spec.ToBandit()
-		if err != nil {
+	body, err := scenario.Run(ctx, req, pool)
+	if err != nil {
+		var bs scenario.BadSpec
+		if errors.As(err, &bs) {
 			return nil, badRequest{err}
 		}
-		indices := make([][]float64, len(b.Projects))
-		for i, p := range b.Projects {
-			if indices[i], err = bandit.GittinsRestart(p, b.Beta); err != nil {
-				return nil, err
-			}
-		}
-		est, err := bandit.EstimateDiscounted(ctx, pool, b, bandit.IndexPolicy(indices), req.Bandit.Start, req.Replications, rng.New(req.Seed))
-		if err != nil {
-			return nil, err
-		}
-		resp.Bandit = &BanditSimResult{RewardMean: est.Mean(), RewardCI95: est.CI95()}
-		return resp, nil
-	}
-
-	sim := req.MG1
-	if err := checkMG1Policy(&sim.Spec, sim.Policy); err != nil {
 		return nil, err
 	}
-	if sim.Spec.HasFeedback() {
-		k, err := sim.Spec.ToKlimov()
-		if err != nil {
-			return nil, badRequest{err}
-		}
-		_, order, err := k.KlimovIndices()
-		if err != nil {
-			return nil, err
-		}
-		est, err := k.ReplicateKlimov(ctx, pool, order, sim.Horizon, sim.Burnin, req.Replications, rng.New(req.Seed))
-		if err != nil {
-			return nil, err
-		}
-		resp.MG1 = &MG1SimResult{
-			Policy:       "klimov",
-			Order:        order,
-			CostRateMean: est.Mean(),
-			CostRateCI95: est.CI95(),
-		}
-		return resp, nil
-	}
-
-	m, err := sim.Spec.ToMG1()
-	if err != nil {
-		return nil, badRequest{err}
-	}
-	// checkMG1Policy above admits exactly cmu and fifo here.
-	var d queueing.Discipline
-	var order []int
-	if sim.Policy == "cmu" {
-		order = m.CMuOrder()
-		d = queueing.StaticPriority{Order: order}
-	} else {
-		d = queueing.FIFO{}
-	}
-	rep, err := m.Replicate(ctx, pool, d, sim.Horizon, sim.Burnin, req.Replications, rng.New(req.Seed))
-	if err != nil {
-		return nil, err
-	}
-	n := len(m.Classes)
-	res := &MG1SimResult{
-		Policy:       sim.Policy,
-		Order:        order,
-		L:            make([]float64, n),
-		Wq:           make([]float64, n),
-		CostRateMean: rep.CostRate.Mean(),
-		CostRateCI95: rep.CostRate.CI95(),
-	}
-	for j := 0; j < n; j++ {
-		res.L[j] = rep.L[j].Mean()
-		res.Wq[j] = rep.Wq[j].Mean()
-	}
-	resp.MG1 = res
-	return resp, nil
+	return body, nil
 }
 
 // ---------------------------------------------------------------------------
 // /v1/stats
 
-// StatsResponse is the body of a /v1/stats response. CacheEntries repeats
-// Cache.Entries for compatibility with pre-sweep clients.
+// StatsResponse is the body of a /v1/stats response. The legacy top-level
+// cache_entries field (kept for pre-sweep clients) is not a struct field:
+// MarshalJSON derives it from Cache.Entries, so the two can never disagree.
 type StatsResponse struct {
-	Endpoints    map[string]EndpointSnapshot `json:"endpoints"`
-	Cache        CacheStats                  `json:"cache"`
-	Sweeps       sweep.ManagerStats          `json:"sweeps"`
-	CacheEntries int                         `json:"cache_entries"`
-	InFlight     int                         `json:"in_flight"`
-	Waiting      int64                       `json:"waiting"`
+	Endpoints map[string]EndpointSnapshot `json:"endpoints"`
+	Cache     CacheStats                  `json:"cache"`
+	Sweeps    sweep.ManagerStats          `json:"sweeps"`
+	InFlight  int                         `json:"in_flight"`
+	Waiting   int64                       `json:"waiting"`
+}
+
+// MarshalJSON appends the derived cache_entries compatibility field.
+func (r StatsResponse) MarshalJSON() ([]byte, error) {
+	type alias StatsResponse // drops the method, avoiding recursion
+	return json.Marshal(struct {
+		alias
+		CacheEntries int `json:"cache_entries"`
+	}{alias(r), r.Cache.Entries})
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -748,14 +585,12 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusMethodNotAllowed, "/v1/stats: GET only")
 		return
 	}
-	cache := s.cache.Stats()
 	resp := StatsResponse{
-		Endpoints:    make(map[string]EndpointSnapshot, len(s.eps)),
-		Cache:        cache,
-		Sweeps:       s.sweeps.Stats(),
-		CacheEntries: cache.Entries,
-		InFlight:     s.admit.InFlight(),
-		Waiting:      s.admit.Waiting(),
+		Endpoints: make(map[string]EndpointSnapshot, len(s.eps)),
+		Cache:     s.cache.Stats(),
+		Sweeps:    s.sweeps.Stats(),
+		InFlight:  s.admit.InFlight(),
+		Waiting:   s.admit.Waiting(),
 	}
 	for name, m := range s.eps {
 		resp.Endpoints[name] = m.snapshot()

@@ -12,7 +12,22 @@ import (
 	"sync/atomic"
 	"testing"
 	"time"
+
+	"stochsched/internal/scenario"
 )
+
+// simResp decodes /v1/simulate bodies in tests. The server assembles
+// responses generically (envelope + kind-keyed fragment), so only tests
+// need a struct naming every kind.
+type simResp struct {
+	SpecHash     string                   `json:"spec_hash"`
+	Seed         uint64                   `json:"seed"`
+	Replications int64                    `json:"replications"`
+	MG1          *scenario.MG1Result      `json:"mg1"`
+	Bandit       *scenario.BanditResult   `json:"bandit"`
+	Restless     *scenario.RestlessResult `json:"restless"`
+	Batch        *scenario.BatchResult    `json:"batch"`
+}
 
 // post sends body to path on the handler and returns the recorder.
 func post(t *testing.T, h http.Handler, path, body string) *httptest.ResponseRecorder {
@@ -400,7 +415,7 @@ func TestSimulateDeterministicAcrossParallelism(t *testing.T) {
 		t.Fatalf("parallel=1 and parallel=8 bodies differ:\n%s\n%s", w1.Body, w8.Body)
 	}
 
-	var resp SimulateResponse
+	var resp simResp
 	if err := json.Unmarshal(w1.Body.Bytes(), &resp); err != nil {
 		t.Fatal(err)
 	}
@@ -453,7 +468,7 @@ func TestSimulateBandit(t *testing.T) {
 	if w.Code != http.StatusOK {
 		t.Fatalf("code %d: %s", w.Code, w.Body)
 	}
-	var resp SimulateResponse
+	var resp simResp
 	if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
 		t.Fatal(err)
 	}
@@ -485,7 +500,7 @@ func TestSimulateKlimov(t *testing.T) {
 	if w.Code != http.StatusOK {
 		t.Fatalf("code %d: %s", w.Code, w.Body)
 	}
-	var resp SimulateResponse
+	var resp simResp
 	if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
 		t.Fatal(err)
 	}
@@ -657,8 +672,8 @@ func TestStatsEndpoint(t *testing.T) {
 	if g.Requests != 2 || g.CacheHits != 1 || g.CacheMisses != 1 {
 		t.Errorf("gittins stats %+v", g)
 	}
-	if resp.CacheEntries != 1 {
-		t.Errorf("cache entries %d", resp.CacheEntries)
+	if resp.Cache.Entries != 1 {
+		t.Errorf("cache entries %d", resp.Cache.Entries)
 	}
 	if _, ok := resp.Endpoints["simulate"]; !ok {
 		t.Error("simulate endpoint missing from stats")

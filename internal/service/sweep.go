@@ -24,24 +24,16 @@ import (
 
 // ValidateSimulate implements sweep.Backend: it fully validates a
 // /v1/simulate body — request shape, work budget, spec, and policy — without
-// executing it, so malformed sweep cells are rejected at submission.
+// executing it, so malformed sweep cells are rejected at submission. Both
+// halves resolve through the scenario registry, so any registered kind is
+// sweepable.
 func (s *Server) ValidateSimulate(body []byte) error {
 	req, err := s.parseSimulate(body)
 	if err != nil {
 		return err
 	}
-	switch req.Kind {
-	case "mg1":
-		if err := req.MG1.Spec.Validate(); err != nil {
-			return badRequest{err}
-		}
-		if err := checkMG1Policy(&req.MG1.Spec, req.MG1.Policy); err != nil {
-			return err
-		}
-	case "bandit":
-		if err := req.Bandit.Spec.Validate(); err != nil {
-			return badRequest{err}
-		}
+	if err := req.Scenario.Validate(req.Payload); err != nil {
+		return badRequest{err}
 	}
 	return nil
 }

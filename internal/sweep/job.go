@@ -58,8 +58,9 @@ func (c Config) withDefaults() Config {
 // Manager owns the asynchronous sweep jobs: submission, lookup, streaming,
 // cancellation, and bounded-store eviction. Safe for concurrent use.
 type Manager struct {
-	cfg Config
-	be  Backend
+	cfg  Config
+	be   Backend
+	pool *engine.Pool // shared across jobs; per-job parallelism is a Limit view
 
 	mu    sync.Mutex
 	jobs  map[string]*Job
@@ -71,7 +72,16 @@ type Manager struct {
 
 // NewManager returns a manager executing cells through be.
 func NewManager(be Backend, cfg Config) *Manager {
-	return &Manager{cfg: cfg.withDefaults(), be: be, jobs: make(map[string]*Job)}
+	cfg = cfg.withDefaults()
+	return &Manager{cfg: cfg, be: be, pool: engine.NewPool(cfg.Parallel), jobs: make(map[string]*Job)}
+}
+
+// jobPool resolves the pool one job's cells fan out over: a request's
+// parallel knob is a capped view of the manager's shared pool, so
+// concurrent sweeps draw from — never add to — the configured capacity
+// (the same clamp the serving layer applies to /v1/simulate).
+func (m *Manager) jobPool(parallel int) *engine.Pool {
+	return m.pool.Limit(parallel)
 }
 
 // Submit expands and validates req, stores a new running job, and starts
@@ -106,18 +116,14 @@ func (m *Manager) Submit(req *Request) (*Job, error) {
 	m.order = append(m.order, job.ID)
 	m.mu.Unlock()
 
-	parallel := req.Parallel
-	if parallel == 0 {
-		parallel = m.cfg.Parallel
-	}
-	go m.run(ctx, job, plan, parallel)
+	go m.run(ctx, job, plan, m.jobPool(req.Parallel))
 	return job, nil
 }
 
 // run executes the plan and settles the job's terminal state.
-func (m *Manager) run(ctx context.Context, job *Job, plan *Plan, parallel int) {
+func (m *Manager) run(ctx context.Context, job *Job, plan *Plan, pool *engine.Pool) {
 	defer job.cancel() // release the context once settled
-	err := Execute(ctx, m.be, plan, engine.NewPool(parallel), job.observeProgress,
+	err := Execute(ctx, m.be, plan, pool, job.observeProgress,
 		func(_ Row, line []byte) error { return job.appendRow(line) })
 	job.finish(err)
 }

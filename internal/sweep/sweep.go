@@ -37,6 +37,7 @@ import (
 	"fmt"
 
 	"stochsched/internal/engine"
+	"stochsched/internal/scenario"
 	"stochsched/internal/spec"
 )
 
@@ -59,9 +60,11 @@ type Request struct {
 	Base json.RawMessage `json:"base"`
 	// Grid declares the parameter overrides; the empty grid has one point.
 	Grid spec.Grid `json:"grid"`
-	// Policies lists the values substituted at mg1.policy, one simulation
-	// per policy per grid point. Empty means "evaluate base as-is" (the
-	// single-policy sweep — still useful for response-surface studies).
+	// Policies lists the values substituted at the base kind's policy path
+	// (scenario.Scenario.PolicyPath — e.g. mg1.policy, restless.policy),
+	// one simulation per policy per grid point. Empty means "evaluate base
+	// as-is" (the single-policy sweep — still useful for response-surface
+	// studies).
 	Policies []string `json:"policies,omitempty"`
 	// Parallel sets the worker-pool size cells fan out over (0 = the
 	// manager default). Like the simulate knob it never changes results,
@@ -102,6 +105,7 @@ type Plan struct {
 	Points   int
 	Policies []string // effective policy list: the request's, or [""] for "base as-is"
 	grid     spec.Grid
+	scn      scenario.Scenario // resolved from the base body's kind
 	cells    [][]byte
 }
 
@@ -110,9 +114,6 @@ func (p *Plan) Cells() int { return len(p.cells) }
 
 // Cell returns the fully-substituted /v1/simulate body of cell i.
 func (p *Plan) Cell(i int) []byte { return p.cells[i] }
-
-// policyPath is where Policies values are substituted in the base body.
-const policyPath = "mg1.policy"
 
 // DefaultMaxCells is the cell budget Expand applies when the caller
 // passes maxCells <= 0.
@@ -155,6 +156,20 @@ func Expand(req *Request, be Backend, maxCells int) (*Plan, error) {
 	}
 	base := compact.Bytes()
 
+	// The base's kind picks the scenario, which owns the policy
+	// substitution path and the metric decoding — the sweep layer itself
+	// knows nothing kind-specific.
+	var probe struct {
+		Kind string `json:"kind"`
+	}
+	if err := json.Unmarshal(base, &probe); err != nil {
+		return nil, fmt.Errorf("sweep: base is not a JSON object: %w", err)
+	}
+	scn, ok := scenario.Lookup(probe.Kind)
+	if !ok {
+		return nil, fmt.Errorf("sweep: base has unknown simulate kind %q", probe.Kind)
+	}
+
 	policies := req.Policies
 	if len(policies) == 0 {
 		policies = []string{""}
@@ -171,6 +186,7 @@ func Expand(req *Request, be Backend, maxCells int) (*Plan, error) {
 		Points:   req.Grid.Size(),
 		Policies: policies,
 		grid:     req.Grid,
+		scn:      scn,
 	}
 	plan.cells = make([][]byte, 0, plan.Points*len(policies))
 	for pt := 0; pt < plan.Points; pt++ {
@@ -181,7 +197,7 @@ func Expand(req *Request, be Backend, maxCells int) (*Plan, error) {
 		for _, pol := range policies {
 			body := pointBody
 			if pol != "" {
-				if body, err = spec.SetString(pointBody, policyPath, pol); err != nil {
+				if body, err = spec.SetString(pointBody, scn.PolicyPath(), pol); err != nil {
 					return nil, err
 				}
 			}
@@ -233,60 +249,15 @@ type Row struct {
 	Policies []PolicyResult `json:"policies"`
 }
 
-// cellOutcome is the decoded slice of a /v1/simulate response a row needs.
-type cellOutcome struct {
-	policy   string
-	specHash string
-	metric   string
-	mean     float64
-	ci95     float64
-}
-
-// simBody mirrors the stable fields of service.SimulateResponse. sweep
-// decodes loosely instead of importing the type to keep the dependency
-// arrow pointing service → sweep.
-type simBody struct {
-	SpecHash string `json:"spec_hash"`
-	MG1      *struct {
-		Policy       string  `json:"policy"`
-		CostRateMean float64 `json:"cost_rate_mean"`
-		CostRateCI95 float64 `json:"cost_rate_ci95"`
-	} `json:"mg1"`
-	Bandit *struct {
-		RewardMean float64 `json:"reward_mean"`
-		RewardCI95 float64 `json:"reward_ci95"`
-	} `json:"bandit"`
-}
-
-func decodeCell(policy string, resp []byte) (cellOutcome, error) {
-	var b simBody
-	if err := json.Unmarshal(resp, &b); err != nil {
-		return cellOutcome{}, fmt.Errorf("sweep: decoding simulate response: %w", err)
-	}
-	switch {
-	case b.MG1 != nil:
-		if policy == "" {
-			policy = b.MG1.Policy
-		}
-		return cellOutcome{policy: policy, specHash: b.SpecHash, metric: "cost_rate",
-			mean: b.MG1.CostRateMean, ci95: b.MG1.CostRateCI95}, nil
-	case b.Bandit != nil:
-		if policy == "" {
-			policy = "gittins"
-		}
-		return cellOutcome{policy: policy, specHash: b.SpecHash, metric: "reward",
-			mean: b.Bandit.RewardMean, ci95: b.Bandit.RewardCI95}, nil
-	}
-	return cellOutcome{}, fmt.Errorf("sweep: simulate response carries neither mg1 nor bandit result")
-}
-
 // buildRow folds one grid point's cell outcomes (in policy order) into a
 // comparison row. Pure float arithmetic on values that are themselves
-// parallelism-invariant, so the row is too.
-func buildRow(plan *Plan, point int, cells []cellOutcome) Row {
+// parallelism-invariant, so the row is too. The metric name and its
+// orientation come from the scenario's Outcome, so the comparison works for
+// every registered kind without the sweep layer naming any.
+func buildRow(plan *Plan, point int, cells []scenario.Outcome) Row {
 	row := Row{
 		Point:    point,
-		Metric:   cells[0].metric,
+		Metric:   cells[0].Metric,
 		Policies: make([]PolicyResult, len(cells)),
 	}
 	if n := len(plan.grid.Axes); n > 0 {
@@ -298,25 +269,25 @@ func buildRow(plan *Plan, point int, cells []cellOutcome) Row {
 	}
 	best := 0
 	for i := 1; i < len(cells); i++ {
-		better := cells[i].mean < cells[best].mean
-		if row.Metric == "reward" {
-			better = cells[i].mean > cells[best].mean
+		better := cells[i].Mean < cells[best].Mean
+		if cells[0].HigherIsBetter {
+			better = cells[i].Mean > cells[best].Mean
 		}
 		if better {
 			best = i
 		}
 	}
-	row.Best = cells[best].policy
+	row.Best = cells[best].Policy
 	for i, c := range cells {
-		regret := c.mean - cells[best].mean
-		if row.Metric == "reward" {
-			regret = cells[best].mean - c.mean
+		regret := c.Mean - cells[best].Mean
+		if cells[0].HigherIsBetter {
+			regret = cells[best].Mean - c.Mean
 		}
 		row.Policies[i] = PolicyResult{
-			Policy:   c.policy,
-			SpecHash: c.specHash,
-			Mean:     c.mean,
-			CI95:     c.ci95,
+			Policy:   c.Policy,
+			SpecHash: c.SpecHash,
+			Mean:     c.Mean,
+			CI95:     c.CI95,
 			Regret:   regret,
 		}
 	}
@@ -331,9 +302,9 @@ func buildRow(plan *Plan, point int, cells []cellOutcome) Row {
 // the run. Cancellation arrives through ctx.
 func Execute(ctx context.Context, be Backend, plan *Plan, pool *engine.Pool, progress func(done, total int), emit func(Row, []byte) error) error {
 	perPoint := len(plan.Policies)
-	buf := make([]cellOutcome, 0, perPoint)
+	buf := make([]scenario.Outcome, 0, perPoint)
 	return engine.ReduceProgress(ctx, pool, plan.Cells(),
-		func(ctx context.Context, i int) (cellOutcome, error) {
+		func(ctx context.Context, i int) (scenario.Outcome, error) {
 			resp, err := be.Simulate(ctx, plan.Cell(i))
 			// A Canceled error while our own ctx is alive means the cell
 			// singleflight-joined a shared computation whose initiating
@@ -346,7 +317,7 @@ func Execute(ctx context.Context, be Backend, plan *Plan, pool *engine.Pool, pro
 			}
 			if err != nil {
 				if ctx.Err() != nil {
-					return cellOutcome{}, err // this sweep was cancelled
+					return scenario.Outcome{}, err // this sweep was cancelled
 				}
 				// A backend failure — including a server-side compute
 				// timeout, which arrives as context.DeadlineExceeded from a
@@ -354,11 +325,15 @@ func Execute(ctx context.Context, be Backend, plan *Plan, pool *engine.Pool, pro
 				// (not %w) so the engine cannot mistake it for an echo of
 				// sweep cancellation, and the job settles "failed" with the
 				// cell named instead of a spurious "cancelled".
-				return cellOutcome{}, fmt.Errorf("sweep: cell %d: %v", i, err)
+				return scenario.Outcome{}, fmt.Errorf("sweep: cell %d: %v", i, err)
 			}
-			return decodeCell(plan.Policies[i%perPoint], resp)
+			out, err := plan.scn.Outcome(plan.Policies[i%perPoint], resp)
+			if err != nil {
+				return scenario.Outcome{}, fmt.Errorf("sweep: cell %d: %v", i, err)
+			}
+			return out, nil
 		},
-		func(i int, c cellOutcome) error {
+		func(i int, c scenario.Outcome) error {
 			buf = append(buf, c)
 			if len(buf) < perPoint {
 				return nil

@@ -413,3 +413,19 @@ func TestBackendFailureSettlesFailedNotCancelled(t *testing.T) {
 		}
 	}
 }
+
+// TestJobPoolClampedToManagerCapacity: a sweep's parallel knob is a Limit
+// view of the manager's shared pool — it can shrink a job's footprint but
+// never buys workers past the configured capacity.
+func TestJobPoolClampedToManagerCapacity(t *testing.T) {
+	m := NewManager(&fakeBackend{}, Config{Parallel: 2})
+	if got := m.jobPool(0); got != m.pool {
+		t.Error("parallel 0 should reuse the shared pool")
+	}
+	if got := m.jobPool(1024); got != m.pool {
+		t.Errorf("parallel 1024 built a pool of size %d past the configured 2", m.jobPool(1024).Size())
+	}
+	if got := m.jobPool(1); got == m.pool || got.Size() != 1 {
+		t.Errorf("parallel 1 pool: shared=%v size=%d", got == m.pool, got.Size())
+	}
+}

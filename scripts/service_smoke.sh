@@ -49,27 +49,32 @@ stop_daemon() {
     DAEMON_PID=""
 }
 
-check_endpoint() { # $1 = endpoint name
+check_endpoint() { # $1 = testdata stem, $2 = endpoint path (default /v1/$1)
+    ep="${2:-$1}"
     req="$TESTDATA/${1}_req.json"
     golden="$TESTDATA/${1}_golden.json"
     out="$TMP/${1}_resp.json"
-    curl -fsS -X POST --data-binary "@$req" "$BASE/v1/$1" -o "$out"
+    curl -fsS -X POST --data-binary "@$req" "$BASE/v1/$ep" -o "$out"
     if [ "${REGEN:-}" = "1" ]; then
         cp "$out" "$golden"
         echo "regenerated $golden"
         return 0
     fi
     if ! cmp -s "$out" "$golden"; then
-        echo "FAIL: /v1/$1 response differs from $golden:" >&2
+        echo "FAIL: /v1/$ep ($1) response differs from $golden:" >&2
         diff "$golden" "$out" >&2 || true
         exit 1
     fi
-    echo "ok /v1/$1"
+    echo "ok /v1/$ep ($1)"
 }
 
 start_daemon 1
 for ep in gittins whittle priority simulate; do
     check_endpoint "$ep"
+done
+# The registry's non-mg1 simulate kinds, through the same endpoint.
+for kind in restless batch; do
+    check_endpoint "simulate_$kind" simulate
 done
 
 # A repeated request must be a cache hit.
@@ -92,8 +97,8 @@ done
 echo "ok /v1/stats"
 
 # Sweep round trip: submit, poll to done, stream NDJSON results.
-run_sweep() { # $1 = output file for the NDJSON stream
-    accept="$(curl -fsS -X POST --data-binary "@$TESTDATA/sweep_req.json" "$BASE/v1/sweep")"
+run_sweep() { # $1 = output file for the NDJSON stream, $2 = request file
+    accept="$(curl -fsS -X POST --data-binary "@${2:-$TESTDATA/sweep_req.json}" "$BASE/v1/sweep")"
     id="$(echo "$accept" | sed -n 's/.*"id":"\([^"]*\)".*/\1/p')"
     [ -n "$id" ] || {
         echo "FAIL: sweep submit returned no job id: $accept" >&2
@@ -137,20 +142,46 @@ fi
     exit 1
 }
 echo "ok /v1/sweep submit/poll/stream"
+
+# A non-mg1 sweep: restless fleet, whittle vs myopic vs random, policies
+# substituted at restless.policy via the scenario registry.
+run_sweep "$TMP/sweep_restless_p1.ndjson" "$TESTDATA/sweep_restless_req.json"
+head -n 1 "$TMP/sweep_restless_p1.ndjson" > "$TMP/sweep_restless_first.json"
+tail -n 1 "$TMP/sweep_restless_p1.ndjson" > "$TMP/sweep_restless_last.json"
+if [ "${REGEN:-}" = "1" ]; then
+    cp "$TMP/sweep_restless_first.json" "$TESTDATA/sweep_restless_first_golden.json"
+    cp "$TMP/sweep_restless_last.json" "$TESTDATA/sweep_restless_last_golden.json"
+    echo "regenerated restless sweep first/last goldens"
+else
+    for part in first last; do
+        if ! cmp -s "$TMP/sweep_restless_$part.json" "$TESTDATA/sweep_restless_${part}_golden.json"; then
+            echo "FAIL: restless sweep $part row differs from testdata/sweep_restless_${part}_golden.json:" >&2
+            diff "$TESTDATA/sweep_restless_${part}_golden.json" "$TMP/sweep_restless_$part.json" >&2 || true
+            exit 1
+        fi
+    done
+fi
+[ "$(wc -l < "$TMP/sweep_restless_p1.ndjson")" -eq 3 ] || {
+    echo "FAIL: restless sweep stream is not 3 rows" >&2
+    exit 1
+}
+echo "ok /v1/sweep restless kind"
 stop_daemon
 
 # Determinism across parallelism: a fresh daemon at -parallel 8 must return
-# the exact same simulate body (its cache is empty, so this recomputes).
+# the exact same simulate bodies (its cache is empty, so this recomputes).
 start_daemon 8
-curl -fsS -X POST --data-binary "@$TESTDATA/simulate_req.json" "$BASE/v1/simulate" -o "$TMP/simulate_p8.json"
-if ! cmp -s "$TMP/simulate_p8.json" "$TESTDATA/simulate_golden.json"; then
-    echo "FAIL: /v1/simulate differs between -parallel 1 and -parallel 8:" >&2
-    diff "$TESTDATA/simulate_golden.json" "$TMP/simulate_p8.json" >&2 || true
-    exit 1
-fi
-echo "ok simulate determinism across -parallel 1/8"
+for stem in simulate simulate_restless simulate_batch; do
+    curl -fsS -X POST --data-binary "@$TESTDATA/${stem}_req.json" "$BASE/v1/simulate" -o "$TMP/${stem}_p8.json"
+    if ! cmp -s "$TMP/${stem}_p8.json" "$TESTDATA/${stem}_golden.json"; then
+        echo "FAIL: /v1/simulate ($stem) differs between -parallel 1 and -parallel 8:" >&2
+        diff "$TESTDATA/${stem}_golden.json" "$TMP/${stem}_p8.json" >&2 || true
+        exit 1
+    fi
+done
+echo "ok simulate determinism across -parallel 1/8 (mg1, restless, batch)"
 
-# The whole sweep stream must also be byte-identical on the -parallel 8
+# The whole sweep streams must also be byte-identical on the -parallel 8
 # daemon (fresh cache, so every cell recomputes).
 run_sweep "$TMP/sweep_p8.ndjson"
 if ! cmp -s "$TMP/sweep_p8.ndjson" "$TMP/sweep_p1.ndjson"; then
@@ -158,7 +189,13 @@ if ! cmp -s "$TMP/sweep_p8.ndjson" "$TMP/sweep_p1.ndjson"; then
     diff "$TMP/sweep_p1.ndjson" "$TMP/sweep_p8.ndjson" >&2 || true
     exit 1
 fi
-echo "ok sweep determinism across -parallel 1/8"
+run_sweep "$TMP/sweep_restless_p8.ndjson" "$TESTDATA/sweep_restless_req.json"
+if ! cmp -s "$TMP/sweep_restless_p8.ndjson" "$TMP/sweep_restless_p1.ndjson"; then
+    echo "FAIL: restless sweep NDJSON differs between -parallel 1 and -parallel 8:" >&2
+    diff "$TMP/sweep_restless_p1.ndjson" "$TMP/sweep_restless_p8.ndjson" >&2 || true
+    exit 1
+fi
+echo "ok sweep determinism across -parallel 1/8 (mg1, restless)"
 stop_daemon
 
 echo "service smoke: all checks passed"
