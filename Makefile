@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race bench bench-service bench-simulate smoke docs-check fmt fmt-check vet ci
+.PHONY: build test race bench bench-service bench-simulate bench-batch smoke docs-check fmt fmt-check vet ci
 
 build:
 	$(GO) build ./...
@@ -15,7 +15,7 @@ race:
 		./internal/queueing/... ./internal/batch/... \
 		./internal/bandit/... ./internal/restless/... \
 		./internal/service/... ./internal/sweep/... \
-		./internal/scenario/...
+		./internal/scenario/... ./pkg/...
 
 # Engine replication benchmark at parallelism 1/4/max, rendered as
 # machine-readable BENCH_engine.json for the performance trajectory.
@@ -46,6 +46,17 @@ bench-simulate:
 	$(GO) run ./cmd/bench2json < bench_simulate.out > BENCH_simulate.json
 	@rm -f bench_simulate.out
 	@echo wrote BENCH_simulate.json
+
+# Batching benchmark: N warm index calls as N single HTTP round trips
+# through pkg/client vs one POST /v1/batch carrying all N, rendered as
+# BENCH_batch.json. The batch must amortize per-call transport overhead
+# (batch faster per op than the N singles).
+bench-batch:
+	$(GO) test -run '^$$' -bench BenchmarkBatchVsSingle -benchmem . > bench_batch.out
+	@cat bench_batch.out
+	$(GO) run ./cmd/bench2json < bench_batch.out > BENCH_batch.json
+	@rm -f bench_batch.out
+	@echo wrote BENCH_batch.json
 
 # End-to-end smoke of the stochschedd HTTP server: build, start, curl every
 # endpoint against golden bodies, verify cache hits, sweep submit/poll/

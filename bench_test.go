@@ -6,6 +6,7 @@ package stochsched
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
 	"net/http"
 	"net/http/httptest"
@@ -18,6 +19,8 @@ import (
 	"stochsched/internal/experiments"
 	"stochsched/internal/rng"
 	"stochsched/internal/service"
+	"stochsched/pkg/api"
+	"stochsched/pkg/client"
 )
 
 func benchExperiment(b *testing.B, id string) {
@@ -189,6 +192,56 @@ func BenchmarkSimulate(b *testing.B) {
 			run(b, h, func(int) string { return warm })
 		})
 	}
+}
+
+// BenchmarkBatchVsSingle measures the wire amortization POST /v1/batch
+// buys: the same N warm index calls issued as N single HTTP round trips
+// through pkg/client versus one /v1/batch round trip carrying all N. The
+// specs are small (the realistic high-traffic shape: many cheap index
+// queries) and pre-warmed, so both variants measure per-call transport and
+// cache-lookup overhead — exactly the cost batching exists to amortize.
+// `make bench-batch` renders the measurements as BENCH_batch.json; the
+// acceptance bar is batch beating singles per op.
+func BenchmarkBatchVsSingle(b *testing.B) {
+	const n = 16
+	srv := httptest.NewServer(service.New(service.Config{}).Handler())
+	defer srv.Close()
+	c := client.New(srv.URL)
+	ctx := context.Background()
+
+	bodies := make([][]byte, n)
+	items := make([]api.BatchItem, n)
+	for i := range bodies {
+		body := fmt.Sprintf(`{"kind":"bandit","bandit":%s}`, serviceGittinsBody(3, float64(i+1)))
+		bodies[i] = []byte(body)
+		items[i] = api.BatchItem{Op: api.OpIndex, Body: json.RawMessage(body)}
+		// Pre-warm: both variants below measure transport, not solving.
+		if _, err := c.IndexRaw(ctx, bodies[i]); err != nil {
+			b.Fatal(err)
+		}
+	}
+
+	b.Run("single", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, body := range bodies {
+				if _, err := c.IndexRaw(ctx, body); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	b.Run("batch", func(b *testing.B) {
+		req := &api.BatchRequest{Items: items}
+		for i := 0; i < b.N; i++ {
+			resp, err := c.Batch(ctx, req)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(resp.Items) != n || resp.Items[0].Status != 200 {
+				b.Fatalf("batch answered %d items, first status %d", len(resp.Items), resp.Items[0].Status)
+			}
+		}
+	})
 }
 
 func BenchmarkE01_WSEPTSingleMachine(b *testing.B)     { benchExperiment(b, "E01") }

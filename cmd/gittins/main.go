@@ -7,15 +7,17 @@
 //	  "rewards": [1, 0.3]
 //	}
 //
-// The spec is the canonical internal/spec.Bandit shape — the same one
-// POST /v1/gittins of the policy service accepts — and is strictly
-// validated (discount in (0,1), square row-stochastic matrix, matching
-// rewards) before any computation. It prints one line per state with the
-// index computed independently by the restart-in-state and
-// largest-index-first algorithms.
+// The spec is the canonical api.Bandit shape — the same one POST
+// /v1/gittins (and POST /v1/index with kind "bandit") of the policy
+// service accepts — and the command drives the service itself: the spec
+// goes through pkg/client into an in-process service handler, so the CLI
+// validates, hashes, and computes exactly like the daemon. It prints one
+// line per state with the index computed independently by the
+// restart-in-state and largest-index-first algorithms.
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"flag"
@@ -24,8 +26,9 @@ import (
 	"log"
 	"os"
 
-	"stochsched/internal/bandit"
-	"stochsched/internal/spec"
+	"stochsched/internal/service"
+	"stochsched/pkg/api"
+	"stochsched/pkg/client"
 )
 
 func main() {
@@ -54,25 +57,20 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	if err != nil {
 		return err
 	}
-	var sp spec.Bandit
+	var sp api.Bandit
 	if err := json.Unmarshal(data, &sp); err != nil {
 		return fmt.Errorf("parsing spec: %w", err)
 	}
-	p, err := sp.ToProject()
-	if err != nil {
-		return err
-	}
-	restart, err := bandit.GittinsRestart(p, sp.Beta)
-	if err != nil {
-		return err
-	}
-	largest, err := bandit.GittinsLargestIndex(p, sp.Beta)
+	// The same request/validation/compute path as the daemon, in-process
+	// (body cap lifted: the spec is a local file, not untrusted traffic).
+	c := client.NewInProcess(service.New(service.Config{MaxBodyBytes: -1}).Handler())
+	resp, err := c.Gittins(context.Background(), &sp)
 	if err != nil {
 		return err
 	}
 	fmt.Fprintf(stdout, "state  reward   gittins(restart)  gittins(largest-index)\n")
-	for i := range restart {
-		fmt.Fprintf(stdout, "%5d  %7.4f  %16.6f  %21.6f\n", i, sp.Rewards[i], restart[i], largest[i])
+	for i := range resp.Restart {
+		fmt.Fprintf(stdout, "%5d  %7.4f  %16.6f  %21.6f\n", i, sp.Rewards[i], resp.Restart[i], resp.Largest[i])
 	}
 	return nil
 }

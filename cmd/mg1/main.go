@@ -6,16 +6,24 @@
 // (exponential service):
 //
 //	mg1 -class 0.3:0.5:4 -class 0.2:1:1 -policy cmu -horizon 50000
+//
+// The simulation runs through pkg/client against an in-process policy
+// service — the same /v1/simulate path (spec validation, canonical
+// hashing, engine-backed replication) the daemon serves — and, for the cµ
+// discipline, the exact delays come from the same /v1/index priority
+// computation. Supported policies are the service's: cmu and fifo.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 
-	"stochsched/internal/queueing"
-	"stochsched/internal/rng"
+	"stochsched/internal/service"
 	"stochsched/internal/spec"
+	"stochsched/pkg/api"
+	"stochsched/pkg/client"
 )
 
 // classList accumulates -class flags as canonical spec classes, so the CLI
@@ -38,8 +46,9 @@ func (c *classList) Set(v string) error {
 func main() {
 	var classes classList
 	flag.Var(&classes, "class", "class spec rate:serviceMean:holdCost (repeatable)")
-	policy := flag.String("policy", "cmu", "discipline: cmu, fifo, or reverse")
+	policy := flag.String("policy", "cmu", "discipline: cmu or fifo")
 	horizon := flag.Float64("horizon", 50000, "simulation horizon")
+	reps := flag.Int("replications", 1, "independent replications to average")
 	seed := flag.Uint64("seed", 1, "random seed")
 	flag.Parse()
 
@@ -50,50 +59,54 @@ func main() {
 		}
 		fmt.Println("(no -class flags: using the built-in 2-class demo system)")
 	}
-	sys := spec.MG1{Classes: classes}
-	m, err := sys.ToMG1()
+	sys := api.MG1{Classes: classes}
+	if *policy != "cmu" && *policy != "fifo" {
+		log.Fatalf("unknown policy %q (want cmu or fifo)", *policy)
+	}
+
+	// The local model backs the load factor and the exact FIFO formulas
+	// (which have no wire endpoint); the simulation and the cµ exact
+	// values go through the service client.
+	m, err := spec.MG1Model(&sys)
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	var d queueing.Discipline
-	var order []int
-	switch *policy {
-	case "cmu":
-		order = m.CMuOrder()
-		d = queueing.StaticPriority{Order: order}
-	case "reverse":
-		cmu := m.CMuOrder()
-		order = make([]int, len(cmu))
-		for i, c := range cmu {
-			order[len(cmu)-1-i] = c
-		}
-		d = queueing.StaticPriority{Order: order}
-	case "fifo":
-		d = queueing.FIFO{}
-	default:
-		log.Fatalf("unknown policy %q", *policy)
-	}
-
-	res, err := m.Simulate(d, *horizon, *horizon/10, rng.New(*seed))
+	ctx := context.Background()
+	c := client.NewInProcess(service.New(service.Config{MaxReplications: -1, MaxSimWork: -1, MaxBodyBytes: -1}).Handler())
+	sim, err := c.Simulate(ctx, &api.SimulateRequest{
+		Kind: "mg1",
+		MG1: &api.MG1Sim{
+			Spec:    sys,
+			Policy:  *policy,
+			Horizon: *horizon,
+			Burnin:  *horizon / 10,
+		},
+		Seed:         *seed,
+		Replications: *reps,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
+	res := sim.MG1
 
 	var wqE, lE []float64
-	if order != nil {
-		wqE, lE, err = m.ExactPriority(order)
+	var costE float64
+	if *policy == "cmu" {
+		pr, err := c.Priority(ctx, &api.PriorityRequest{Kind: "mg1", MG1: &sys})
 		if err != nil {
 			log.Fatal(err)
 		}
+		wqE, lE, costE = pr.Wq, pr.L, *pr.CostRate
 	} else {
 		wqE, lE = m.ExactFIFO()
+		costE = m.HoldingCostRate(lE)
 	}
 
-	fmt.Printf("policy %s, load ρ = %.3f\n\n", d.Name(), m.Load())
+	fmt.Printf("policy %s, load ρ = %.3f  (spec %.12s…)\n\n", res.Policy, m.Load(), sim.SpecHash)
 	fmt.Printf("class   L(sim)    L(exact)  Wq(sim)   Wq(exact)\n")
-	for j, c := range m.Classes {
-		fmt.Printf("%-6s  %-8.4f  %-8.4f  %-8.4f  %-8.4f\n", c.Name, res.L[j], lE[j], res.Wq[j], wqE[j])
+	for j, cl := range m.Classes {
+		fmt.Printf("%-6s  %-8.4f  %-8.4f  %-8.4f  %-8.4f\n", cl.Name, res.L[j], lE[j], res.Wq[j], wqE[j])
 	}
-	fmt.Printf("\nholding-cost rate: sim %.4f, exact %.4f\n", res.CostRate, m.HoldingCostRate(lE))
+	fmt.Printf("\nholding-cost rate: sim %.4f, exact %.4f\n", res.CostRateMean, costE)
 }

@@ -24,9 +24,10 @@
 //	stochsched sweep -f request.json -ndjson   # raw result rows
 //
 // The simulate and scenarios subcommands resolve the same scenario
-// registry the daemon serves: simulate runs one /v1/simulate body
-// in-process (byte-identical to the HTTP response), scenarios lists the
-// registered kinds and their sweep policy paths:
+// registry the daemon serves — simulate drives one /v1/simulate body
+// through pkg/client against an in-process service handler
+// (byte-identical to the HTTP response), scenarios lists the registered
+// kinds with their sweep policy paths and index families:
 //
 //	stochsched simulate -f request.json
 //	stochsched scenarios

@@ -9,15 +9,18 @@ import (
 	"strings"
 	"text/tabwriter"
 
-	"stochsched/internal/engine"
 	"stochsched/internal/scenario"
+	"stochsched/internal/service"
+	"stochsched/pkg/api"
+	"stochsched/pkg/client"
 )
 
 // runSimulate implements the `stochsched simulate` subcommand: it reads one
-// /v1/simulate request body (the exact JSON the daemon accepts), resolves
-// its kind through the scenario registry, runs it in-process, and prints
-// the response body — byte-identical to what POST /v1/simulate would
-// return, at any -parallel level.
+// /v1/simulate request body (the exact JSON the daemon accepts) and runs it
+// through pkg/client against an in-process service handler — literally the
+// same handler, cache, and registry path as POST /v1/simulate, so the
+// printed body is byte-identical to the daemon's response at any -parallel
+// level.
 func runSimulate(args []string) int {
 	fs := flag.NewFlagSet("simulate", flag.ExitOnError)
 	file := fs.String("f", "-", "simulate request file (JSON; \"-\" = stdin)")
@@ -33,17 +36,7 @@ kinds: %s (see "stochsched scenarios").
 	}
 	fs.Parse(args)
 
-	var in io.Reader = os.Stdin
-	if *file != "-" {
-		f, err := os.Open(*file)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			return 1
-		}
-		defer f.Close()
-		in = f
-	}
-	raw, err := io.ReadAll(in)
+	raw, err := readInput(*file)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		return 1
@@ -57,41 +50,75 @@ kinds: %s (see "stochsched scenarios").
 	return 0
 }
 
+// readInput reads a request file ("-" = stdin).
+func readInput(file string) ([]byte, error) {
+	var in io.Reader = os.Stdin
+	if file != "-" {
+		f, err := os.Open(file)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		in = f
+	}
+	return io.ReadAll(in)
+}
+
 // runScenarios implements the `stochsched scenarios` subcommand: the
-// registry's table of simulate kinds, each with its sweep policy path —
-// the catalog of what /v1/simulate and /v1/sweep can run.
+// registry's table of simulate kinds, each with its sweep policy path and
+// whether POST /v1/index serves its analytic indices — the catalog of what
+// /v1/simulate, /v1/index, and /v1/sweep can run.
 func runScenarios(args []string) int {
 	fs := flag.NewFlagSet("scenarios", flag.ExitOnError)
 	fs.Usage = func() {
 		fmt.Fprintln(fs.Output(), `usage: stochsched scenarios
 
 Lists the registered simulate scenarios: the kind name POST /v1/simulate
-dispatches on, and the policy path POST /v1/sweep substitutes policies at.`)
+and POST /v1/index dispatch on, the policy path POST /v1/sweep substitutes
+policies at, and the analytic index family (if any) /v1/index computes.`)
 	}
 	fs.Parse(args)
 
+	indexers := make(map[string]bool)
+	for _, kind := range scenario.IndexKinds() {
+		indexers[kind] = true
+	}
 	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(tw, "kind\tsweep policy path")
+	fmt.Fprintln(tw, "kind\tsweep policy path\tindex")
 	for _, kind := range scenario.Kinds() {
 		sc, _ := scenario.Lookup(kind)
-		fmt.Fprintf(tw, "%s\t%s\n", kind, sc.PolicyPath())
+		family := "-"
+		if indexers[kind] {
+			family = sc.(scenario.Indexer).IndexFamily()
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%s\n", kind, sc.PolicyPath(), family)
 	}
 	tw.Flush()
 	return 0
 }
 
-// SimulateLocal parses and runs one simulate body in-process. Split from
-// runSimulate so tests can drive it without a process boundary.
+// localClient mounts pkg/client on an in-process service handler with the
+// CLI's configuration: no replication, work, or body-size caps (the caps
+// protect a shared daemon; a local run is the caller's own CPU), and a
+// worker pool sized by the parallel override.
+func localClient(parallel int) *client.Client {
+	return client.NewInProcess(service.New(service.Config{
+		Parallel:        parallel,
+		MaxReplications: -1,
+		MaxSimWork:      -1,
+		MaxBodyBytes:    -1,
+	}).Handler())
+}
+
+// SimulateLocal parses and runs one simulate body in-process through the
+// client SDK. Split from runSimulate so tests can drive it without a
+// process boundary.
 func SimulateLocal(raw []byte, parallel int) ([]byte, error) {
-	req, err := scenario.ParseRequest(raw, scenario.Limits{})
-	if err != nil {
-		return nil, err
-	}
-	if err := req.Scenario.Validate(req.Payload); err != nil {
-		return nil, err
-	}
 	if parallel > 0 {
-		req.Parallel = parallel
+		var err error
+		if raw, err = api.SetNumber(raw, "parallel", float64(parallel)); err != nil {
+			return nil, err
+		}
 	}
-	return scenario.Run(context.Background(), req, engine.NewPool(req.Parallel))
+	return localClient(parallel).SimulateRaw(context.Background(), raw)
 }

@@ -9,17 +9,18 @@ import (
 	"strings"
 	"text/tabwriter"
 
-	"stochsched/internal/engine"
 	"stochsched/internal/service"
-	"stochsched/internal/sweep"
+	"stochsched/pkg/api"
+	"stochsched/pkg/client"
 )
 
 // runSweep implements the `stochsched sweep` subcommand: it reads a sweep
-// request (the exact JSON POST /v1/sweep accepts), executes it in-process
-// against the same service backend the daemon uses — so cells share one
-// in-memory cache across grid points — and renders the policy-comparison
-// table. With -ndjson it emits the raw result rows instead, byte-identical
-// to what GET /v1/sweep/{id}/results would stream.
+// request (the exact JSON POST /v1/sweep accepts) and drives it through
+// pkg/client against an in-process service handler — the same submit/poll/
+// stream protocol as the daemon, so cells share one in-memory cache across
+// grid points and the NDJSON rows are byte-identical to what
+// GET /v1/sweep/{id}/results would stream. The default output is the
+// rendered policy-comparison table.
 func runSweep(args []string) int {
 	fs := flag.NewFlagSet("sweep", flag.ExitOnError)
 	file := fs.String("f", "-", "sweep request file (JSON; \"-\" = stdin)")
@@ -38,29 +39,16 @@ The request file is the same JSON POST /v1/sweep accepts; see docs/api.md.
 	}
 	fs.Parse(args)
 
-	var in io.Reader = os.Stdin
-	if *file != "-" {
-		f, err := os.Open(*file)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			return 1
-		}
-		defer f.Close()
-		in = f
-	}
-	raw, err := io.ReadAll(in)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		return 1
-	}
-	// DecodeRequest is the same strict parse POST /v1/sweep applies.
-	req, err := sweep.DecodeRequest(raw)
+	raw, err := readInput(*file)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		return 1
 	}
 	if *parallel > 0 {
-		req.Parallel = *parallel
+		if raw, err = api.SetNumber(raw, "parallel", float64(*parallel)); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
 	}
 
 	ctx := context.Background()
@@ -70,44 +58,71 @@ The request file is the same JSON POST /v1/sweep accepts; see docs/api.md.
 		defer cancel()
 	}
 
-	// The in-process backend: the same cache/admission machinery as the
-	// daemon, so repeated cells within the sweep cost one computation.
-	be := service.New(service.Config{Parallel: req.Parallel})
-	plan, err := sweep.Expand(req, be, 0)
+	// The in-process backend: the same handler, cache, and admission
+	// machinery as the daemon (default work budgets included — a sweep is
+	// a submission like any other; only the transport-protecting body cap
+	// is lifted, since the request file is local), driven through the
+	// client SDK.
+	c := client.NewInProcess(service.New(service.Config{Parallel: *parallel, MaxBodyBytes: -1}).Handler())
+	st, err := c.SweepSubmitRaw(ctx, raw)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		return 1
 	}
-
-	var rows []sweep.Row
-	err = sweep.Execute(ctx, be, plan, engine.NewPool(req.Parallel), nil,
-		func(row sweep.Row, line []byte) error {
-			if *ndjson {
-				_, err := os.Stdout.Write(line)
-				return err
-			}
-			rows = append(rows, row)
-			return nil
-		})
+	// abort reports a mid-sweep failure; when the -timeout context killed
+	// the run, it also best-effort cancels the job so the cells stop
+	// burning CPU behind the exiting CLI.
+	abort := func(err error) int {
+		if ctx.Err() != nil {
+			c.SweepCancel(context.Background(), st.ID)
+			fmt.Fprintf(os.Stderr, "sweep timed out after %v (cancelled): %v\n", *timeout, err)
+			return 1
+		}
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	// The results stream long-polls row by row in grid order; over a real
+	// network transport it errors on ctx expiry, in-process it returns the
+	// partial stream — SweepWait below settles which happened.
+	stream, err := c.SweepResults(ctx, st.ID)
+	if err != nil {
+		return abort(err)
+	}
+	final, err := c.SweepWait(ctx, st.ID, 0)
+	if err != nil {
+		return abort(err)
+	}
+	if *ndjson {
+		// Every completed row, even when the job then failed: the stream
+		// holds the rows that finished, and a downstream consumer should
+		// get them either way (the terminal state goes to stderr + exit 1).
+		os.Stdout.Write(stream)
+	}
+	if final.State != api.SweepDone {
+		fmt.Fprintf(os.Stderr, "sweep %s: %s\n", final.State, final.Error)
+		return 1
+	}
+	if *ndjson {
+		return 0
+	}
+	rows, err := api.DecodeSweepRows(stream)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		return 1
 	}
-	if !*ndjson {
-		printSweepTable(os.Stdout, plan, rows)
-	}
+	printSweepTable(os.Stdout, final, rows)
 	return 0
 }
 
 // printSweepTable renders the comparison: one line per grid point, one
 // mean ± CI column per policy, then the winner and the runner-up regret.
-func printSweepTable(w io.Writer, plan *sweep.Plan, rows []sweep.Row) {
+func printSweepTable(w io.Writer, st *api.SweepStatus, rows []api.SweepRow) {
 	if len(rows) == 0 {
 		fmt.Fprintln(w, "no rows")
 		return
 	}
 	fmt.Fprintf(w, "sweep %s…  %d points × %d policies, metric %s\n\n",
-		plan.Hash[:12], plan.Points, len(rows[0].Policies), rows[0].Metric)
+		st.SweepHash[:12], st.Points, len(rows[0].Policies), rows[0].Metric)
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
 	header := []string{"point"}
 	for _, p := range rows[0].Params {

@@ -6,10 +6,12 @@
 //
 //	stochschedd -addr :8080 -parallel 8
 //
-//	POST   /v1/gittins            bandit spec            → Gittins indices (two algorithms)
-//	POST   /v1/whittle            restless spec          → Whittle indices (+ indexability)
-//	POST   /v1/priority           mg1 or batch spec      → cµ/Klimov/WSEPT order + indices
+//	POST   /v1/index              kind + spec            → analytic indices (kind-dispatched)
+//	POST   /v1/gittins            bandit spec            → alias of /v1/index kind bandit
+//	POST   /v1/whittle            restless spec          → alias of /v1/index kind restless
+//	POST   /v1/priority           mg1 or batch spec      → alias of /v1/index (priority kinds)
 //	POST   /v1/simulate           spec + seed + reps     → replication estimates (any registered kind)
+//	POST   /v1/batch              [{op, body}, …]        → up to -batch-max-items calls, one round trip
 //	POST   /v1/sweep              base + grid + policies → async job id (202)
 //	GET    /v1/sweep/{id}         job status + progress
 //	GET    /v1/sweep/{id}/results NDJSON comparison rows, grid order
@@ -60,6 +62,7 @@ func parseArgs(args []string, stderr io.Writer) (*options, error) {
 	fs.DurationVar(&opt.cfg.ComputeTimeout, "compute-timeout", 2*time.Minute, "server-side bound on a single response computation")
 	fs.IntVar(&opt.cfg.SweepMaxJobs, "sweep-max-jobs", 32, "max stored sweep jobs (oldest finished evicted beyond this)")
 	fs.IntVar(&opt.cfg.SweepMaxCells, "sweep-max-cells", 4096, "max grid points × policies per sweep")
+	fs.IntVar(&opt.cfg.BatchMaxItems, "batch-max-items", 64, "max calls one POST /v1/batch may multiplex")
 	if err := fs.Parse(args); err != nil {
 		return nil, err
 	}

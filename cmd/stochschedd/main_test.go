@@ -21,6 +21,7 @@ func TestParseArgsWiresServiceConfig(t *testing.T) {
 		"-compute-timeout", "30s",
 		"-sweep-max-jobs", "3",
 		"-sweep-max-cells", "64",
+		"-batch-max-items", "7",
 	}, &stderr)
 	if err != nil {
 		t.Fatalf("parseArgs: %v (stderr: %s)", err, stderr.String())
@@ -44,6 +45,9 @@ func TestParseArgsWiresServiceConfig(t *testing.T) {
 	if cfg.SweepMaxJobs != 3 || cfg.SweepMaxCells != 64 {
 		t.Errorf("sweep config %d/%d", cfg.SweepMaxJobs, cfg.SweepMaxCells)
 	}
+	if cfg.BatchMaxItems != 7 {
+		t.Errorf("BatchMaxItems = %d, want 7", cfg.BatchMaxItems)
+	}
 }
 
 // TestParseArgsDefaults pins the documented defaults.
@@ -61,6 +65,9 @@ func TestParseArgsDefaults(t *testing.T) {
 	}
 	if opt.cfg.ComputeTimeout != 2*time.Minute {
 		t.Errorf("ComputeTimeout default = %v", opt.cfg.ComputeTimeout)
+	}
+	if opt.cfg.BatchMaxItems != 64 {
+		t.Errorf("BatchMaxItems default = %d", opt.cfg.BatchMaxItems)
 	}
 }
 

@@ -32,29 +32,46 @@
 //     reduce, so every simulator and the experiment suite produce
 //     byte-identical results for a given seed at any parallelism level,
 //     with context-based cancellation and timeouts throughout.
-//   - Specs (internal/spec): canonical, serializable problem descriptions
-//     (bandit, restless, multiclass M/G/1 with optional Klimov feedback,
-//     batch) with strict validation, conversion into the solver models,
-//     and a deterministic SHA-256 content hash. The gittins and mg1 CLIs
-//     and the policy service all parse into these types.
+//   - Wire contract (pkg/api) and specs (internal/spec): pkg/api defines
+//     every request/response JSON shape the service speaks — the problem
+//     specs (bandit, restless, multiclass M/G/1 with optional Klimov
+//     feedback, batch), the simulate/index/batch/sweep/stats envelopes,
+//     the standard error envelope, and the deterministic SHA-256 content
+//     hashing — with no internal dependencies, so external programs can
+//     import it. internal/spec aliases those shapes and adds strict deep
+//     validation plus conversion into the solver models. The CLIs and the
+//     policy service all parse into these types.
 //   - Scenarios (internal/scenario): the pluggable model layer of the
 //     simulation service. One registered Scenario per simulate kind —
 //     mg1 (cµ/FIFO/Klimov), bandit (Gittins/greedy), restless fleets
 //     (Whittle/myopic/random), batch (WSEPT/SEPT/LEPT) — each owning
 //     strict payload parsing, spec validation, work-budget accounting,
 //     policy enumeration with a sweep substitution path, the engine-backed
-//     simulation, and metric extraction for comparisons. The service, the
-//     sweep engine, and the CLIs all resolve kinds through the registry,
-//     so a new kind is one file plus its registration line.
+//     simulation, and metric extraction for comparisons. Kinds with
+//     closed-form indices additionally implement the optional Indexer
+//     capability (Gittins, Whittle, cµ/Klimov/WSEPT), which is how
+//     POST /v1/index computes. The service, the sweep engine, and the
+//     CLIs all resolve kinds through the registry, so a new kind is one
+//     file plus its registration line.
 //   - Serving (internal/service, cmd/stochschedd): an HTTP/JSON policy
-//     server exposing the solvers — POST /v1/gittins, /v1/whittle,
-//     /v1/priority, /v1/simulate — behind a sharded memoization cache
-//     keyed by spec hash with singleflight deduplication of concurrent
-//     identical requests, a bounded admission queue that sheds overload
-//     with 429s, and per-endpoint hit-rate/latency counters at /v1/stats.
-//     Simulation responses are byte-identical for a given (spec, seed) at
-//     any parallelism level, which also lets the cache key ignore the
-//     parallelism knob.
+//     server exposing the solvers — POST /v1/index (kind-dispatched
+//     analytic indices, with /v1/gittins, /v1/whittle, /v1/priority as
+//     byte-identical legacy aliases), /v1/simulate, and /v1/batch (up to
+//     N heterogeneous calls multiplexed into one round trip, executed
+//     concurrently on the shared pool with per-item status in item
+//     order) — behind a sharded memoization cache keyed by spec hash
+//     with singleflight deduplication of concurrent identical requests,
+//     a bounded admission queue that sheds overload with 429s, a
+//     standard JSON error envelope, and per-endpoint hit-rate/latency
+//     counters at /v1/stats. Simulation responses are byte-identical for
+//     a given (spec, seed) at any parallelism level, which also lets the
+//     cache key ignore the parallelism knob.
+//   - Client SDK (pkg/client): the typed Go client — context-aware calls
+//     for every endpoint, automatic retry-on-429 with exponential
+//     backoff (safe: the service is idempotent by spec hash), spec-hash
+//     verification on simulate responses, a batching transport that
+//     coalesces concurrent calls into /v1/batch round trips, and an
+//     in-process transport the bundled CLIs run on.
 //   - Sweeps (internal/sweep): the asynchronous experiment platform on
 //     top of the service — a base /v1/simulate request, a declarative
 //     parameter grid (spec.Grid), and a policy list expand into a
@@ -72,14 +89,16 @@
 // per classical result the survey cites; BenchmarkE* in this package
 // regenerate each experiment's table, BenchmarkEngineReplications tracks
 // the engine's replication throughput, BenchmarkServiceIndexCache
-// tracks the policy service's cold-compute vs warm-cache latency, and
+// tracks the policy service's cold-compute vs warm-cache latency,
 // BenchmarkSimulate tracks the /v1/simulate path for every registered
-// scenario kind. Run
+// scenario kind, and BenchmarkBatchVsSingle tracks the /v1/batch wire
+// amortization against single calls. Run
 // `stochsched -list` for the experiment index and `stochsched -catalog`
 // for the index-rule catalogue.
 //
 // Documentation lives in docs/: architecture.md (the layer diagram and
 // what each layer owns), api.md (the full HTTP reference for every /v1/*
-// endpoint), and determinism.md (why results are byte-identical across
-// parallelism and what would break it); README.md is the quickstart.
+// endpoint), client.md (using the Go client SDK), and determinism.md
+// (why results are byte-identical across parallelism and what would
+// break it); README.md is the quickstart.
 package stochsched

@@ -9,29 +9,26 @@ import (
 	"stochsched/internal/engine"
 	"stochsched/internal/rng"
 	"stochsched/internal/spec"
+	"stochsched/pkg/api"
 )
 
 func init() { Register(banditScenario{}) }
 
-// BanditSim parameterizes a bandit simulation: the system spec, the
-// component start states, and the selection policy ("gittins", the default,
-// or "greedy" — the one-step myopic baseline).
-type BanditSim struct {
-	Spec   spec.BanditSystem `json:"spec"`
-	Start  []int             `json:"start"`
-	Policy string            `json:"policy,omitempty"`
-}
-
-// BanditResult carries the discounted-reward estimate under the selected
-// policy.
-type BanditResult struct {
-	Policy     string  `json:"policy"`
-	RewardMean float64 `json:"reward_mean"`
-	RewardCI95 float64 `json:"reward_ci95"`
-}
+// The bandit wire shapes live in the public contract; the aliases keep
+// this package's names stable for internal consumers.
+type (
+	// BanditSim parameterizes a bandit simulation: the system spec, the
+	// component start states, and the selection policy ("gittins", the
+	// default, or "greedy" — the one-step myopic baseline).
+	BanditSim = api.BanditSim
+	// BanditResult carries the discounted-reward estimate under the
+	// selected policy.
+	BanditResult = api.BanditResult
+)
 
 // banditScenario evaluates an index policy on a multi-project discounted
-// bandit.
+// bandit; its Indexer capability computes Gittins indices of a single
+// project (the legacy /v1/gittins endpoint).
 type banditScenario struct{}
 
 func (banditScenario) Kind() string { return "bandit" }
@@ -72,7 +69,7 @@ func (banditScenario) ReplicationWork(payload any) float64 {
 
 func (s banditScenario) Validate(payload any) error {
 	p := payload.(*BanditSim)
-	if err := p.Spec.Validate(); err != nil {
+	if err := spec.ValidateBanditSystem(&p.Spec); err != nil {
 		return err
 	}
 	return s.checkPolicy(banditPolicy(p))
@@ -95,7 +92,7 @@ func (s banditScenario) Simulate(ctx context.Context, pool *engine.Pool, payload
 	if err := s.checkPolicy(policy); err != nil {
 		return nil, BadSpec{err}
 	}
-	b, err := p.Spec.ToBandit()
+	b, err := spec.BanditModel(&p.Spec)
 	if err != nil {
 		return nil, BadSpec{err}
 	}
@@ -139,5 +136,45 @@ func (banditScenario) Outcome(policy string, resp []byte) (Outcome, error) {
 		HigherIsBetter: true,
 		Mean:           b.Bandit.RewardMean,
 		CI95:           b.Bandit.RewardCI95,
+	}, nil
+}
+
+// ---------------------------------------------------------------------------
+// Indexer capability: Gittins indices of one project.
+
+func (banditScenario) IndexFamily() string { return "gittins" }
+
+func (banditScenario) ParseIndexPayload(raw json.RawMessage) (any, error) {
+	var b api.Bandit
+	if err := decodeStrictPayload(raw, &b); err != nil {
+		return nil, err
+	}
+	return &b, nil
+}
+
+// IndexHash hashes the bare project spec — exactly the pre-v2 /v1/gittins
+// body, so legacy goldens and cache keys are preserved.
+func (banditScenario) IndexHash(payload any) string { return api.Hash(payload.(*api.Bandit)) }
+
+func (banditScenario) ComputeIndex(payload any, hash string) (any, error) {
+	b := payload.(*api.Bandit)
+	p, err := spec.BanditProject(b)
+	if err != nil {
+		return nil, BadSpec{err}
+	}
+	restart, err := bandit.GittinsRestart(p, b.Beta)
+	if err != nil {
+		return nil, err
+	}
+	largest, err := bandit.GittinsLargestIndex(p, b.Beta)
+	if err != nil {
+		return nil, err
+	}
+	return &api.GittinsResponse{
+		SpecHash: hash,
+		States:   p.N(),
+		Beta:     b.Beta,
+		Restart:  restart,
+		Largest:  largest,
 	}, nil
 }

@@ -9,38 +9,31 @@ import (
 	"stochsched/internal/engine"
 	"stochsched/internal/rng"
 	"stochsched/internal/spec"
+	"stochsched/pkg/api"
 )
 
 func init() { Register(batchScenario{}) }
 
-// BatchSim parameterizes a parallel-machine batch simulation: the instance
-// spec, the list policy computing the dispatch order ("wsept", "sept", or
-// "lept"), and the objective sweeps compare on ("weighted_flowtime", the
-// default; "flowtime"; or "makespan"). All three objectives are always
-// reported — the objective knob only selects the comparison metric.
-type BatchSim struct {
-	Spec      spec.Batch `json:"spec"`
-	Policy    string     `json:"policy"`
-	Objective string     `json:"objective,omitempty"`
-}
-
-// BatchResult carries the replication estimates of one list policy on
-// identical parallel machines: the dispatch order and all three realized
-// objectives.
-type BatchResult struct {
-	Policy               string  `json:"policy"`
-	Objective            string  `json:"objective"`
-	Order                []int   `json:"order"`
-	MakespanMean         float64 `json:"makespan_mean"`
-	MakespanCI95         float64 `json:"makespan_ci95"`
-	FlowtimeMean         float64 `json:"flowtime_mean"`
-	FlowtimeCI95         float64 `json:"flowtime_ci95"`
-	WeightedFlowtimeMean float64 `json:"weighted_flowtime_mean"`
-	WeightedFlowtimeCI95 float64 `json:"weighted_flowtime_ci95"`
-}
+// The batch wire shapes live in the public contract; the aliases keep this
+// package's names stable for internal consumers.
+type (
+	// BatchSim parameterizes a parallel-machine batch simulation: the
+	// instance spec, the list policy computing the dispatch order
+	// ("wsept", "sept", or "lept"), and the objective sweeps compare on
+	// ("weighted_flowtime", the default; "flowtime"; or "makespan"). All
+	// three objectives are always reported — the objective knob only
+	// selects the comparison metric.
+	BatchSim = api.BatchSim
+	// BatchResult carries the replication estimates of one list policy on
+	// identical parallel machines: the dispatch order and all three
+	// realized objectives.
+	BatchResult = api.BatchResult
+)
 
 // batchScenario estimates list-policy objectives on identical parallel
-// machines via internal/batch.
+// machines via internal/batch; its Indexer capability computes the
+// WSEPT/SEPT/LEPT orders with Smith ratios (the batch half of the legacy
+// /v1/priority endpoint).
 type batchScenario struct{}
 
 func (batchScenario) Kind() string { return "batch" }
@@ -68,7 +61,7 @@ func (batchScenario) ReplicationWork(payload any) float64 {
 
 func (s batchScenario) Validate(payload any) error {
 	p := payload.(*BatchSim)
-	if err := p.Spec.Validate(); err != nil {
+	if err := spec.ValidateBatch(&p.Spec); err != nil {
 		return err
 	}
 	if err := s.checkPolicy(p.Policy); err != nil {
@@ -106,7 +99,7 @@ func (s batchScenario) Simulate(ctx context.Context, pool *engine.Pool, payload 
 	if err := checkBatchObjective(objective); err != nil {
 		return nil, BadSpec{err}
 	}
-	in, err := p.Spec.ToInstance()
+	in, err := spec.BatchInstance(&p.Spec)
 	if err != nil {
 		return nil, BadSpec{err}
 	}
@@ -165,4 +158,50 @@ func (batchScenario) Outcome(policy string, resp []byte) (Outcome, error) {
 		out.Mean, out.CI95 = b.Batch.WeightedFlowtimeMean, b.Batch.WeightedFlowtimeCI95
 	}
 	return out, nil
+}
+
+// ---------------------------------------------------------------------------
+// Indexer capability: WSEPT/SEPT/LEPT orders with Smith ratios.
+
+func (batchScenario) IndexFamily() string { return "priority" }
+
+func (batchScenario) ParseIndexPayload(raw json.RawMessage) (any, error) {
+	var b api.Batch
+	if err := decodeStrictPayload(raw, &b); err != nil {
+		return nil, err
+	}
+	return &b, nil
+}
+
+// IndexHash hashes the {"kind":"batch","batch":…} priority envelope —
+// exactly the pre-v2 /v1/priority body, so legacy goldens and cache keys
+// are preserved.
+func (batchScenario) IndexHash(payload any) string {
+	return api.Hash(&api.PriorityRequest{Kind: "batch", Batch: payload.(*api.Batch)})
+}
+
+func (s batchScenario) ComputeIndex(payload any, hash string) (any, error) {
+	b := payload.(*api.Batch)
+	in, err := spec.BatchInstance(b)
+	if err != nil {
+		return nil, BadSpec{err}
+	}
+	wsept := batch.WSEPT(in.Jobs)
+	ratios := make([]float64, len(in.Jobs))
+	for i, j := range in.Jobs {
+		ratios[i] = j.SmithRatio()
+	}
+	resp := &api.PriorityResponse{
+		SpecHash: hash,
+		Rule:     "wsept",
+		Order:    wsept,
+		Indices:  ratios,
+		SEPT:     batch.SEPT(in.Jobs),
+		LEPT:     batch.LEPT(in.Jobs),
+	}
+	if in.Machines == 1 {
+		v := batch.ExactWeightedFlowtime(in.Jobs, wsept)
+		resp.ExactWeightedFlowtime = &v
+	}
+	return resp, nil
 }

@@ -9,32 +9,27 @@ import (
 	"stochsched/internal/queueing"
 	"stochsched/internal/rng"
 	"stochsched/internal/spec"
+	"stochsched/pkg/api"
 )
 
 func init() { Register(mg1Scenario{}) }
 
-// MG1Sim parameterizes an M/G/1 simulation: the system spec, the discipline
-// ("cmu", "fifo", or "klimov" for feedback systems), and the horizon.
-type MG1Sim struct {
-	Spec    spec.MG1 `json:"spec"`
-	Policy  string   `json:"policy"`
-	Horizon float64  `json:"horizon"`
-	Burnin  float64  `json:"burnin"`
-}
-
-// MG1Result carries replication means for the queueing simulation. For
-// feedback (Klimov) systems only the cost rate is estimated.
-type MG1Result struct {
-	Policy       string    `json:"policy"`
-	Order        []int     `json:"order,omitempty"`
-	L            []float64 `json:"l,omitempty"`
-	Wq           []float64 `json:"wq,omitempty"`
-	CostRateMean float64   `json:"cost_rate_mean"`
-	CostRateCI95 float64   `json:"cost_rate_ci95"`
-}
+// The mg1 wire shapes live in the public contract; the aliases keep this
+// package's names stable for internal consumers.
+type (
+	// MG1Sim parameterizes an M/G/1 simulation: the system spec, the
+	// discipline ("cmu", "fifo", or "klimov" for feedback systems), and
+	// the horizon.
+	MG1Sim = api.MG1Sim
+	// MG1Result carries replication means for the queueing simulation.
+	// For feedback (Klimov) systems only the cost rate is estimated.
+	MG1Result = api.MG1Result
+)
 
 // mg1Scenario simulates the multiclass M/G/1 queue (and, with feedback,
-// Klimov's network) under a discipline.
+// Klimov's network) under a discipline; its Indexer capability computes
+// the cµ (or Klimov) priority order with exact Cobham delays (the mg1 half
+// of the legacy /v1/priority endpoint).
 type mg1Scenario struct{}
 
 func (mg1Scenario) Kind() string { return "mg1" }
@@ -56,7 +51,7 @@ func (mg1Scenario) ReplicationWork(payload any) float64 {
 
 func (s mg1Scenario) Validate(payload any) error {
 	p := payload.(*MG1Sim)
-	if err := p.Spec.Validate(); err != nil {
+	if err := spec.ValidateMG1(&p.Spec); err != nil {
 		return err
 	}
 	return s.checkPolicy(&p.Spec, p.Policy)
@@ -93,7 +88,7 @@ func (s mg1Scenario) Simulate(ctx context.Context, pool *engine.Pool, payload an
 		return nil, BadSpec{err}
 	}
 	if sim.Spec.HasFeedback() {
-		k, err := sim.Spec.ToKlimov()
+		k, err := spec.KlimovModel(&sim.Spec)
 		if err != nil {
 			return nil, BadSpec{err}
 		}
@@ -113,7 +108,7 @@ func (s mg1Scenario) Simulate(ctx context.Context, pool *engine.Pool, payload an
 		}, nil
 	}
 
-	m, err := sim.Spec.ToMG1()
+	m, err := spec.MG1Model(&sim.Spec)
 	if err != nil {
 		return nil, BadSpec{err}
 	}
@@ -166,5 +161,64 @@ func (mg1Scenario) Outcome(policy string, resp []byte) (Outcome, error) {
 		Metric:   "cost_rate",
 		Mean:     b.MG1.CostRateMean,
 		CI95:     b.MG1.CostRateCI95,
+	}, nil
+}
+
+// ---------------------------------------------------------------------------
+// Indexer capability: the cµ order with exact Cobham delays (or Klimov's
+// indices for feedback systems).
+
+func (mg1Scenario) IndexFamily() string { return "priority" }
+
+func (mg1Scenario) ParseIndexPayload(raw json.RawMessage) (any, error) {
+	var m api.MG1
+	if err := decodeStrictPayload(raw, &m); err != nil {
+		return nil, err
+	}
+	return &m, nil
+}
+
+// IndexHash hashes the {"kind":"mg1","mg1":…} priority envelope — exactly
+// the pre-v2 /v1/priority body, so legacy goldens and cache keys are
+// preserved.
+func (mg1Scenario) IndexHash(payload any) string {
+	return api.Hash(&api.PriorityRequest{Kind: "mg1", MG1: payload.(*api.MG1)})
+}
+
+func (s mg1Scenario) ComputeIndex(payload any, hash string) (any, error) {
+	m := payload.(*api.MG1)
+	if m.HasFeedback() {
+		k, err := spec.KlimovModel(m)
+		if err != nil {
+			return nil, BadSpec{err}
+		}
+		indices, order, err := k.KlimovIndices()
+		if err != nil {
+			return nil, err
+		}
+		return &api.PriorityResponse{SpecHash: hash, Rule: "klimov", Order: order, Indices: indices}, nil
+	}
+	q, err := spec.MG1Model(m)
+	if err != nil {
+		return nil, BadSpec{err}
+	}
+	order := q.CMuOrder()
+	indices := make([]float64, len(q.Classes))
+	for i, c := range q.Classes {
+		indices[i] = c.HoldCost / c.Service.Mean()
+	}
+	wq, l, err := q.ExactPriority(order)
+	if err != nil {
+		return nil, err
+	}
+	cost := q.HoldingCostRate(l)
+	return &api.PriorityResponse{
+		SpecHash: hash,
+		Rule:     "cmu",
+		Order:    order,
+		Indices:  indices,
+		Wq:       wq,
+		L:        l,
+		CostRate: &cost,
 	}, nil
 }

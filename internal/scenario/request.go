@@ -3,8 +3,6 @@ package scenario
 import (
 	"bytes"
 	"context"
-	"crypto/sha256"
-	"encoding/hex"
 	"encoding/json"
 	"fmt"
 	"sort"
@@ -12,11 +10,12 @@ import (
 	"strings"
 
 	"stochsched/internal/engine"
+	"stochsched/pkg/api"
 )
 
 // Limits carries the serving layer's request-level budgets into envelope
-// parsing. Zero values disable the corresponding check (the serving layer
-// always sets both).
+// parsing. Zero or negative values disable the corresponding check (the
+// serving layer always sets both; the in-process CLI disables them).
 type Limits struct {
 	// MaxReplications bounds the replication count of one request.
 	MaxReplications int
@@ -37,14 +36,16 @@ type Request struct {
 	hash string // memoized Hash(); requests are not shared across goroutines until computed
 }
 
-// ParseRequest strictly decodes a /v1/simulate body: the envelope fields
-// (kind, seed, replications, parallel), exactly one payload field named
-// after the kind, no unknown fields, no trailing data. Request-level
-// invariants — replication and parallelism ranges, the work budget — are
-// enforced here so every consumer (HTTP handler, sweep cell validation, the
-// CLI) agrees on what a well-formed request is. Spec-level validation is
-// NOT performed; call req.Scenario.Validate(req.Payload) for that.
-func ParseRequest(body []byte, lim Limits) (*Request, error) {
+// fieldSet is a decoded JSON object whose fields are consumed one by one,
+// so envelope parsers can name exactly the leftovers. Field lookup is
+// exact-match first, then case-insensitive, mirroring encoding/json's
+// struct-field matching so bodies the pre-registry strict decoder accepted
+// keep parsing.
+type fieldSet map[string]json.RawMessage
+
+// parseFields strictly decodes body into a fieldSet (trailing data is an
+// error).
+func parseFields(body []byte) (fieldSet, error) {
 	dec := json.NewDecoder(bytes.NewReader(body))
 	var fields map[string]json.RawMessage
 	if err := dec.Decode(&fields); err != nil {
@@ -53,47 +54,86 @@ func ParseRequest(body []byte, lim Limits) (*Request, error) {
 	if dec.More() {
 		return nil, fmt.Errorf("parsing request: trailing data after JSON value")
 	}
+	return fields, nil
+}
 
-	var req Request
-	// pop removes and returns the field named name — exact match first,
-	// then case-insensitively, mirroring encoding/json's struct-field
-	// matching so bodies the pre-registry strict decoder accepted keep
-	// parsing.
-	pop := func(name string) (json.RawMessage, bool) {
-		if raw, ok := fields[name]; ok {
-			delete(fields, name)
+// pop removes and returns the field named name.
+func (f fieldSet) pop(name string) (json.RawMessage, bool) {
+	if raw, ok := f[name]; ok {
+		delete(f, name)
+		return raw, true
+	}
+	for k, raw := range f {
+		if strings.EqualFold(k, name) {
+			delete(f, k)
 			return raw, true
 		}
-		for k, raw := range fields {
-			if strings.EqualFold(k, name) {
-				delete(fields, k)
-				return raw, true
-			}
-		}
-		return nil, false
 	}
-	// take pops and decodes one envelope field, leaving only payload
-	// candidates behind.
-	take := func(name string, dst any) error {
-		raw, ok := pop(name)
-		if !ok {
-			return nil
-		}
-		if err := json.Unmarshal(raw, dst); err != nil {
-			return fmt.Errorf("parsing request: field %q: %w", name, err)
-		}
+	return nil, false
+}
+
+// take pops and decodes one envelope field; an absent field leaves dst
+// untouched.
+func (f fieldSet) take(name string, dst any) error {
+	raw, ok := f.pop(name)
+	if !ok {
 		return nil
 	}
-	if err := take("kind", &req.Kind); err != nil {
+	if err := json.Unmarshal(raw, dst); err != nil {
+		return fmt.Errorf("parsing request: field %q: %w", name, err)
+	}
+	return nil
+}
+
+// extras returns the remaining field names, quoted and sorted, for
+// deterministic error messages.
+func (f fieldSet) extras() string {
+	extra := make([]string, 0, len(f))
+	for name := range f {
+		extra = append(extra, strconv.Quote(name))
+	}
+	sort.Strings(extra)
+	return strings.Join(extra, ", ")
+}
+
+// popPayload pops the payload field named after kind and requires nothing
+// else to remain: either the payload is missing or extra fields remain (a
+// second kind's payload, or a field nothing knows).
+func (f fieldSet) popPayload(kind string) (json.RawMessage, error) {
+	raw, ok := f.pop(kind)
+	if !ok || len(f) > 0 {
+		if len(f) > 0 {
+			return nil, fmt.Errorf("kind %s needs exactly the %s field (unexpected %s)", kind, kind, f.extras())
+		}
+		return nil, fmt.Errorf("kind %s needs exactly the %s field", kind, kind)
+	}
+	return raw, nil
+}
+
+// ParseRequest strictly decodes a /v1/simulate body: the envelope fields
+// (kind, seed, replications, parallel), exactly one payload field named
+// after the kind, no unknown fields, no trailing data. Request-level
+// invariants — replication and parallelism ranges, the work budget — are
+// enforced here so every consumer (HTTP handler, sweep cell validation, the
+// CLI) agrees on what a well-formed request is. Spec-level validation is
+// NOT performed; call req.Scenario.Validate(req.Payload) for that.
+func ParseRequest(body []byte, lim Limits) (*Request, error) {
+	fields, err := parseFields(body)
+	if err != nil {
 		return nil, err
 	}
-	if err := take("seed", &req.Seed); err != nil {
+
+	var req Request
+	if err := fields.take("kind", &req.Kind); err != nil {
 		return nil, err
 	}
-	if err := take("replications", &req.Replications); err != nil {
+	if err := fields.take("seed", &req.Seed); err != nil {
 		return nil, err
 	}
-	if err := take("parallel", &req.Parallel); err != nil {
+	if err := fields.take("replications", &req.Replications); err != nil {
+		return nil, err
+	}
+	if err := fields.take("parallel", &req.Parallel); err != nil {
 		return nil, err
 	}
 
@@ -113,23 +153,10 @@ func ParseRequest(body []byte, lim Limits) (*Request, error) {
 	}
 	req.Scenario = sc
 
-	raw, ok := pop(req.Kind)
-	if !ok || len(fields) > 0 {
-		// Either the payload is missing or extra fields remain (a second
-		// kind's payload, or a field nothing knows). Name the offenders
-		// deterministically.
-		if len(fields) > 0 {
-			extra := make([]string, 0, len(fields))
-			for name := range fields {
-				extra = append(extra, strconv.Quote(name))
-			}
-			sort.Strings(extra)
-			return nil, fmt.Errorf("kind %s needs exactly the %s field (unexpected %s)",
-				req.Kind, req.Kind, strings.Join(extra, ", "))
-		}
-		return nil, fmt.Errorf("kind %s needs exactly the %s field", req.Kind, req.Kind)
+	raw, err := fields.popPayload(req.Kind)
+	if err != nil {
+		return nil, err
 	}
-
 	payload, err := sc.ParsePayload(raw)
 	if err != nil {
 		return nil, err
@@ -147,26 +174,23 @@ func ParseRequest(body []byte, lim Limits) (*Request, error) {
 
 // Hash returns the canonical content hash of the request with the
 // parallelism knob excluded — the /v1/simulate memoization key and the
-// spec_hash echoed in response bodies. The encoding deliberately mirrors
-// the pre-registry envelope struct ({"kind":…,"<kind>":…,"seed":…,
-// "replications":…}), so hashes — and therefore golden response bodies —
-// are stable across the refactor. Payload types are plain data (no maps),
-// which keeps the encoding canonical.
+// spec_hash echoed in response bodies. The encoding is api.SimulateHash's
+// fixed envelope ({"kind":…,"<kind>":…,"seed":…,"replications":…}), shared
+// with the client SDK's SimulateRequest.SpecHash, so server keys, response
+// hashes, and client-side idempotency tokens can never drift apart.
+// Payload types are plain data (no maps), which keeps the encoding
+// canonical.
 func (r *Request) Hash() string {
 	if r.hash != "" {
 		return r.hash
 	}
-	payload, err := json.Marshal(r.Payload)
+	h, err := api.SimulateHash(r.Kind, r.Payload, r.Seed, r.Replications)
 	if err != nil {
 		// Payloads are plain data decoded from JSON; marshaling cannot
 		// fail on anything ParsePayload accepts.
 		panic(fmt.Sprintf("scenario: unhashable payload: %v", err))
 	}
-	var buf bytes.Buffer
-	fmt.Fprintf(&buf, `{"kind":%q,%q:%s,"seed":%d,"replications":%d}`,
-		r.Kind, r.Kind, payload, r.Seed, r.Replications)
-	sum := sha256.Sum256(buf.Bytes())
-	r.hash = hex.EncodeToString(sum[:])
+	r.hash = h
 	return r.hash
 }
 

@@ -9,35 +9,30 @@ import (
 	"stochsched/internal/restless"
 	"stochsched/internal/rng"
 	"stochsched/internal/spec"
+	"stochsched/pkg/api"
 )
 
 func init() { Register(restlessScenario{}) }
 
-// RestlessSim parameterizes a restless-fleet simulation: N iid copies of
-// one two-action restless project, M of which are activated every epoch by
-// a static state-priority rule — "whittle" (scores = Whittle indices),
-// "myopic" (scores = one-step activation advantage R₁ − R₀), or "random"
-// (the unprioritized baseline). Average reward per epoch is measured over
-// [burnin, horizon).
-type RestlessSim struct {
-	Spec    spec.Restless `json:"spec"`
-	N       int           `json:"n"`
-	M       int           `json:"m"`
-	Policy  string        `json:"policy"`
-	Horizon int           `json:"horizon"`
-	Burnin  int           `json:"burnin"`
-}
-
-// RestlessResult carries the average-reward-per-epoch estimate of the
-// fleet under the selected activation rule.
-type RestlessResult struct {
-	Policy     string  `json:"policy"`
-	RewardMean float64 `json:"reward_mean"`
-	RewardCI95 float64 `json:"reward_ci95"`
-}
+// The restless wire shapes live in the public contract; the aliases keep
+// this package's names stable for internal consumers.
+type (
+	// RestlessSim parameterizes a restless-fleet simulation: N iid copies
+	// of one two-action restless project, M of which are activated every
+	// epoch by a static state-priority rule — "whittle" (scores = Whittle
+	// indices), "myopic" (scores = one-step activation advantage R₁ − R₀),
+	// or "random" (the unprioritized baseline). Average reward per epoch
+	// is measured over [burnin, horizon).
+	RestlessSim = api.RestlessSim
+	// RestlessResult carries the average-reward-per-epoch estimate of the
+	// fleet under the selected activation rule.
+	RestlessResult = api.RestlessResult
+)
 
 // restlessScenario estimates fleet-scale activation heuristics
-// (Whittle vs myopic vs random) via internal/restless.
+// (Whittle vs myopic vs random) via internal/restless; its Indexer
+// capability computes Whittle indices of the single project (the legacy
+// /v1/whittle endpoint).
 type restlessScenario struct{}
 
 func (restlessScenario) Kind() string { return "restless" }
@@ -64,7 +59,7 @@ func (restlessScenario) ReplicationWork(payload any) float64 {
 
 func (s restlessScenario) Validate(payload any) error {
 	p := payload.(*RestlessSim)
-	if err := p.Spec.Validate(); err != nil {
+	if err := spec.ValidateRestless(&p.Spec); err != nil {
 		return err
 	}
 	return s.checkPolicy(p.Policy)
@@ -87,7 +82,7 @@ func (s restlessScenario) Simulate(ctx context.Context, pool *engine.Pool, paylo
 	if err := s.checkPolicy(p.Policy); err != nil {
 		return nil, BadSpec{err}
 	}
-	proj, err := p.Spec.ToProject()
+	proj, err := spec.RestlessProject(&p.Spec)
 	if err != nil {
 		return nil, BadSpec{err}
 	}
@@ -136,4 +131,50 @@ func (restlessScenario) Outcome(policy string, resp []byte) (Outcome, error) {
 		Mean:           b.Restless.RewardMean,
 		CI95:           b.Restless.RewardCI95,
 	}, nil
+}
+
+// ---------------------------------------------------------------------------
+// Indexer capability: Whittle indices (+ optional indexability check).
+
+func (restlessScenario) IndexFamily() string { return "whittle" }
+
+func (restlessScenario) ParseIndexPayload(raw json.RawMessage) (any, error) {
+	var r api.WhittleRequest
+	if err := decodeStrictPayload(raw, &r); err != nil {
+		return nil, err
+	}
+	return &r, nil
+}
+
+// IndexHash hashes the flattened project-plus-knob struct — exactly the
+// pre-v2 /v1/whittle body, so legacy goldens and cache keys are preserved.
+func (restlessScenario) IndexHash(payload any) string {
+	return api.Hash(payload.(*api.WhittleRequest))
+}
+
+func (restlessScenario) ComputeIndex(payload any, hash string) (any, error) {
+	req := payload.(*api.WhittleRequest)
+	p, err := spec.RestlessProject(&req.Restless)
+	if err != nil {
+		return nil, BadSpec{err}
+	}
+	idx, err := restless.WhittleIndex(p, req.Beta)
+	if err != nil {
+		return nil, err
+	}
+	resp := &api.WhittleResponse{
+		SpecHash: hash,
+		States:   p.N(),
+		Beta:     req.Beta,
+		Whittle:  idx,
+	}
+	if req.CheckIndexability {
+		lo, hi := restless.SubsidyBracket(p, req.Beta)
+		rep, err := restless.CheckIndexability(p, req.Beta, lo, hi, 50)
+		if err != nil {
+			return nil, err
+		}
+		resp.Indexable = &rep.Indexable
+	}
+	return resp, nil
 }

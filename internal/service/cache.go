@@ -3,6 +3,8 @@ package service
 import (
 	"fmt"
 	"sync"
+
+	"stochsched/pkg/api"
 )
 
 // Outcome classifies how a cache lookup was served.
@@ -152,14 +154,11 @@ func (c *Cache) Len() int {
 
 // CacheStats is a point-in-time view of the cache for /v1/stats: total and
 // per-shard entry counts (including in-flight entries) and the cumulative
-// number of evictions. Watching entries plateau while evictions climb is
+// number of evictions (the wire shape lives in the public contract as
+// api.CacheStats). Watching entries plateau while evictions climb is
 // how an over-budget working set shows up; watching entries grow with zero
 // evictions across a warm sweep is how per-point cache reuse shows up.
-type CacheStats struct {
-	Entries      int   `json:"entries"`
-	Evictions    int64 `json:"evictions"`
-	ShardEntries []int `json:"shard_entries"`
-}
+type CacheStats = api.CacheStats
 
 // Stats gathers per-shard counters. Shards are locked one at a time, so the
 // view is per-shard consistent, not globally atomic.

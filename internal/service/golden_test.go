@@ -21,20 +21,29 @@ func TestGoldenBodies(t *testing.T) {
 		t.Skipf("goldens are amd64-exact; running on %s", runtime.GOARCH)
 	}
 	h := New(Config{}).Handler()
-	for _, tc := range []struct{ stem, ep string }{
-		{"gittins", "gittins"},
-		{"whittle", "whittle"},
-		{"priority", "priority"},
-		{"simulate", "simulate"},
+	for _, tc := range []struct{ stem, ep, golden string }{
+		{"gittins", "gittins", ""},
+		{"whittle", "whittle", ""},
+		{"priority", "priority", ""},
+		{"simulate", "simulate", ""},
 		// The registry's non-mg1 simulate kinds, through the same endpoint.
-		{"simulate_restless", "simulate"},
-		{"simulate_batch", "simulate"},
+		{"simulate_restless", "simulate", ""},
+		{"simulate_batch", "simulate", ""},
+		// The v2 surface: the kind-dispatched index envelope answers the
+		// legacy gittins golden byte-identically, and a heterogeneous batch
+		// has its own golden.
+		{"index", "index", "gittins"},
+		{"batch", "batch", ""},
 	} {
 		req, err := os.ReadFile(filepath.Join("testdata", tc.stem+"_req.json"))
 		if err != nil {
 			t.Fatal(err)
 		}
-		golden, err := os.ReadFile(filepath.Join("testdata", tc.stem+"_golden.json"))
+		goldenStem := tc.golden
+		if goldenStem == "" {
+			goldenStem = tc.stem
+		}
+		golden, err := os.ReadFile(filepath.Join("testdata", goldenStem+"_golden.json"))
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -1,0 +1,207 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"testing"
+
+	"stochsched/pkg/api"
+)
+
+// This file covers the /v1/index surface of the API redesign: the
+// kind-dispatched endpoint, the byte-identity of the legacy aliases, the
+// method-scoped routing (405 + Allow), and the standard error envelope.
+
+// indexEnvelope wraps a legacy single-kind body into its /v1/index form.
+func indexEnvelope(kind string, payload []byte) string {
+	return fmt.Sprintf(`{"kind":%q,%q:%s}`, kind, kind, payload)
+}
+
+// TestIndexGoldenCompat is the golden-compat half of the redesign's
+// acceptance bar: for every legacy index endpoint, the pre-redesign golden
+// body must come back byte-identical BOTH from the legacy route and from
+// the equivalent kind-dispatched /v1/index request — and the two must
+// share one cache entry (the second request is a hit).
+func TestIndexGoldenCompat(t *testing.T) {
+	if runtime.GOARCH != "amd64" {
+		t.Skipf("goldens are amd64-exact; running on %s", runtime.GOARCH)
+	}
+	cases := []struct {
+		stem   string // testdata stem (request + golden)
+		legacy string // legacy route
+		index  string // equivalent /v1/index body ("" = legacy body as-is)
+	}{
+		{"gittins", "gittins", "wrap:bandit"},
+		{"whittle", "whittle", "wrap:restless"},
+		{"priority", "priority", "as-is"},
+	}
+	for _, tc := range cases {
+		req, err := os.ReadFile(filepath.Join("testdata", tc.stem+"_req.json"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		golden, err := os.ReadFile(filepath.Join("testdata", tc.stem+"_golden.json"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		indexBody := string(req)
+		if kind, ok := strings.CutPrefix(tc.index, "wrap:"); ok {
+			indexBody = indexEnvelope(kind, req)
+		}
+
+		h := New(Config{}).Handler()
+		legacy := post(t, h, "/v1/"+tc.legacy, string(req))
+		if legacy.Code != http.StatusOK {
+			t.Fatalf("/v1/%s: code %d: %s", tc.legacy, legacy.Code, legacy.Body)
+		}
+		if got := legacy.Body.Bytes(); string(got) != string(golden) {
+			t.Errorf("/v1/%s drifted from golden:\ngot  %s\nwant %s", tc.legacy, got, golden)
+		}
+		idx := post(t, h, "/v1/index", indexBody)
+		if idx.Code != http.StatusOK {
+			t.Fatalf("/v1/index (%s): code %d: %s", tc.stem, idx.Code, idx.Body)
+		}
+		if got := idx.Body.Bytes(); string(got) != string(golden) {
+			t.Errorf("/v1/index (%s) differs from the legacy golden:\ngot  %s\nwant %s", tc.stem, got, golden)
+		}
+		// One computation served both routes: the /v1/index request joined
+		// the legacy route's cache entry.
+		if got := idx.Header().Get("X-Cache"); got != "hit" {
+			t.Errorf("/v1/index (%s) after /v1/%s: X-Cache = %q, want hit (shared key)", tc.stem, tc.legacy, got)
+		}
+	}
+}
+
+// TestIndexRejectsBadRequests covers the 400 surface of the new endpoint.
+func TestIndexRejectsBadRequests(t *testing.T) {
+	h := New(Config{}).Handler()
+	bad := []string{
+		`not json`,
+		`{"kind":"quantum","quantum":{}}`,              // unknown kind
+		`{"kind":"bandit"}`,                            // missing payload
+		`{"kind":"bandit","restless":{}}`,              // payload under the wrong kind
+		indexEnvelope("bandit", []byte(`{"beta":2}`)),  // payload fails validation
+		`{"kind":"mg1","mg1":{"classes":[]},"x":true}`, // extra field
+	}
+	for _, body := range bad {
+		if w := post(t, h, "/v1/index", body); w.Code != http.StatusBadRequest {
+			t.Errorf("body %q: code %d, want 400 (%s)", body, w.Code, w.Body)
+		}
+	}
+	// /v1/priority is restricted to the priority family: a valid bandit
+	// index envelope is still a 400 there (legacy behavior).
+	banditBody := indexEnvelope("bandit", []byte(gittinsBody))
+	if w := post(t, h, "/v1/priority", banditBody); w.Code != http.StatusBadRequest {
+		t.Errorf("/v1/priority with bandit kind: code %d, want 400", w.Code)
+	}
+	if w := post(t, h, "/v1/index", banditBody); w.Code != http.StatusOK {
+		t.Errorf("/v1/index with bandit kind: code %d, want 200 (%s)", w.Code, w.Body)
+	}
+}
+
+// TestMethodNotAllowedOnEveryRoute is the regression suite for the
+// method-scoped patterns: every /v1 route must answer wrong-method
+// requests with 405, an Allow header naming the supported verbs, and the
+// standard JSON error envelope — not Go's plain-text default and not the
+// old accept-anything behavior.
+func TestMethodNotAllowedOnEveryRoute(t *testing.T) {
+	s := New(Config{})
+	h := s.Handler()
+	// A live sweep id so the {id} routes resolve.
+	st := submitSweep(t, h, fmt.Sprintf(sweepBody, 0))
+	waitSweep(t, h, st.ID)
+
+	routes := []struct {
+		path  string
+		allow string // exact Allow header
+	}{
+		{"/v1/index", "POST"},
+		{"/v1/gittins", "POST"},
+		{"/v1/whittle", "POST"},
+		{"/v1/priority", "POST"},
+		{"/v1/simulate", "POST"},
+		{"/v1/batch", "POST"},
+		{"/v1/sweep", "POST"},
+		{"/v1/sweep/" + st.ID, "GET, DELETE"},
+		{"/v1/sweep/" + st.ID + "/results", "GET"},
+		{"/v1/stats", "GET"},
+	}
+	for _, rt := range routes {
+		for _, method := range []string{http.MethodGet, http.MethodPut, http.MethodPatch} {
+			if strings.Contains(rt.allow, method) {
+				continue
+			}
+			req := httptest.NewRequest(method, rt.path, nil)
+			w := httptest.NewRecorder()
+			h.ServeHTTP(w, req)
+			if w.Code != http.StatusMethodNotAllowed {
+				t.Errorf("%s %s: code %d, want 405", method, rt.path, w.Code)
+				continue
+			}
+			if got := w.Header().Get("Allow"); got != rt.allow {
+				t.Errorf("%s %s: Allow = %q, want %q", method, rt.path, got, rt.allow)
+			}
+			var env api.ErrorResponse
+			if err := json.Unmarshal(w.Body.Bytes(), &env); err != nil {
+				t.Errorf("%s %s: non-envelope 405 body %q", method, rt.path, w.Body)
+				continue
+			}
+			if env.Err.Code != api.ErrCodeMethodNotAllowed {
+				t.Errorf("%s %s: code %q, want %q", method, rt.path, env.Err.Code, api.ErrCodeMethodNotAllowed)
+			}
+		}
+	}
+}
+
+// TestErrorEnvelopeShape pins the standardized error body
+// {"error":{"code","message"}} across representative failure classes, and
+// the client-side compat shim that still reads the legacy string form.
+func TestErrorEnvelopeShape(t *testing.T) {
+	s := New(Config{})
+	h := s.Handler()
+
+	check := func(w *httptest.ResponseRecorder, wantStatus int, wantCode string) {
+		t.Helper()
+		if w.Code != wantStatus {
+			t.Fatalf("code %d, want %d (%s)", w.Code, wantStatus, w.Body)
+		}
+		// The raw shape: "error" must be an object with exactly code+message.
+		var raw struct {
+			Err map[string]json.RawMessage `json:"error"`
+		}
+		if err := json.Unmarshal(w.Body.Bytes(), &raw); err != nil || raw.Err == nil {
+			t.Fatalf("body %q is not the object envelope (%v)", w.Body, err)
+		}
+		var env api.ErrorResponse
+		if err := json.Unmarshal(w.Body.Bytes(), &env); err != nil {
+			t.Fatal(err)
+		}
+		if env.Err.Code != wantCode || env.Err.Message == "" {
+			t.Errorf("envelope %+v, want code %q with a message", env.Err, wantCode)
+		}
+	}
+
+	check(post(t, h, "/v1/gittins", `not json`), http.StatusBadRequest, api.ErrCodeBadRequest)
+	check(post(t, h, "/v1/index", `{"kind":"quantum","quantum":{}}`), http.StatusBadRequest, api.ErrCodeBadRequest)
+
+	req := httptest.NewRequest(http.MethodGet, "/v1/sweep/swp-nope", nil)
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, req)
+	check(w, http.StatusNotFound, api.ErrCodeNotFound)
+
+	// The compat shim: a pre-v2 string-form body decodes into the same
+	// ErrorResponse with an empty code.
+	var env api.ErrorResponse
+	if err := json.Unmarshal([]byte(`{"error":"server overloaded"}`), &env); err != nil {
+		t.Fatal(err)
+	}
+	if env.Err.Code != "" || env.Err.Message != "server overloaded" {
+		t.Errorf("legacy form decoded as %+v", env.Err)
+	}
+}

@@ -3,18 +3,21 @@ package service
 import (
 	"sync/atomic"
 	"time"
+
+	"stochsched/pkg/api"
 )
 
 // EndpointMetrics holds the per-endpoint counters exposed at /v1/stats.
 // All fields are updated atomically by the request path.
 type EndpointMetrics struct {
-	requests  atomic.Int64
-	hits      atomic.Int64
-	misses    atomic.Int64
-	dedups    atomic.Int64
-	shed      atomic.Int64
-	errors    atomic.Int64
-	latencyNs atomic.Int64
+	requests   atomic.Int64
+	hits       atomic.Int64
+	misses     atomic.Int64
+	dedups     atomic.Int64
+	shed       atomic.Int64
+	errors     atomic.Int64
+	latencyNs  atomic.Int64
+	batchItems atomic.Int64 // /v1/batch only: individual calls fanned out
 }
 
 func (m *EndpointMetrics) observe(out Outcome) {
@@ -28,17 +31,9 @@ func (m *EndpointMetrics) observe(out Outcome) {
 	}
 }
 
-// EndpointSnapshot is the JSON form of one endpoint's counters.
-type EndpointSnapshot struct {
-	Requests     int64   `json:"requests"`
-	CacheHits    int64   `json:"cache_hits"`
-	CacheMisses  int64   `json:"cache_misses"`
-	Deduplicated int64   `json:"deduplicated"`
-	Shed         int64   `json:"shed"`
-	Errors       int64   `json:"errors"`
-	HitRate      float64 `json:"hit_rate"`
-	AvgLatencyMs float64 `json:"avg_latency_ms"`
-}
+// EndpointSnapshot is the JSON form of one endpoint's counters (the wire
+// shape lives in the public contract as api.EndpointStats).
+type EndpointSnapshot = api.EndpointStats
 
 func (m *EndpointMetrics) snapshot() EndpointSnapshot {
 	s := EndpointSnapshot{
@@ -48,6 +43,7 @@ func (m *EndpointMetrics) snapshot() EndpointSnapshot {
 		Deduplicated: m.dedups.Load(),
 		Shed:         m.shed.Load(),
 		Errors:       m.errors.Load(),
+		BatchItems:   m.batchItems.Load(),
 	}
 	// Hit rate counts dedup joins as hits: they were served without a
 	// recompute, which is what the rate is meant to measure.

@@ -1,12 +1,18 @@
 // Package service exposes the repository's solvers as an HTTP/JSON policy
-// service: Gittins and Whittle index computation, cµ/Klimov/WSEPT priority
-// orders, and engine-backed Monte Carlo evaluation of every simulate kind
-// registered in internal/scenario, behind a sharded memoization cache with
-// singleflight deduplication, a bounded admission queue that sheds
-// overload with 429s, and per-endpoint counters at /v1/stats.
+// service: analytic index computation (Gittins, Whittle, cµ/Klimov/WSEPT
+// priority orders) through the scenario registry's Indexer capability,
+// engine-backed Monte Carlo evaluation of every simulate kind registered
+// in internal/scenario, and request batching — behind a sharded
+// memoization cache with singleflight deduplication, a bounded admission
+// queue that sheds overload with 429s, and per-endpoint counters at
+// /v1/stats.
+//
+// The wire contract (request/response JSON shapes, error envelope, spec
+// hashes) is defined once in pkg/api and shared with the Go client SDK
+// (pkg/client) and the CLIs.
 //
 // Responses are cached as encoded bytes keyed by the canonical spec hash
-// (see internal/spec), so repeated identical queries are byte-identical and
+// (see pkg/api Hash), so repeated identical queries are byte-identical and
 // cost one map lookup. Simulation responses are additionally byte-identical
 // across parallelism levels for a fixed (spec, seed): the engine guarantees
 // replication-order aggregation, the cache key excludes the parallelism
@@ -23,13 +29,10 @@ import (
 	"net/http"
 	"time"
 
-	"stochsched/internal/bandit"
-	"stochsched/internal/batch"
 	"stochsched/internal/engine"
-	"stochsched/internal/restless"
 	"stochsched/internal/scenario"
-	"stochsched/internal/spec"
 	"stochsched/internal/sweep"
+	"stochsched/pkg/api"
 )
 
 // Config tunes the server. Zero values select the documented defaults.
@@ -48,10 +51,12 @@ type Config struct {
 	// it the server sheds with 429 (0 keeps the default 256; negative
 	// means no queue — shed as soon as every slot is busy).
 	MaxQueue int
-	// MaxBodyBytes bounds request bodies. Default 1 MiB.
+	// MaxBodyBytes bounds request bodies. Default 1 MiB; negative
+	// disables the bound (the in-process CLIs use that — the cap protects
+	// a shared daemon, not a local run).
 	MaxBodyBytes int64
 	// MaxReplications bounds the replication count a single /v1/simulate
-	// request may ask for. Default 100000.
+	// request may ask for. Default 100000; negative disables the bound.
 	MaxReplications int
 	// MaxSimWork bounds the total simulated work one /v1/simulate request
 	// may ask for: replications × the scenario's per-replication work
@@ -59,7 +64,8 @@ type Config struct {
 	// 1/(1−β) for bandits, epochs × fleet size for restless fleets, job
 	// count for batch — see scenario.Scenario.ReplicationWork). Requests
 	// beyond it are rejected with 400 instead of monopolizing execution
-	// slots, uniformly across every registered kind. Default 1e8.
+	// slots, uniformly across every registered kind. Default 1e8; negative
+	// disables the bound.
 	MaxSimWork float64
 	// ComputeTimeout bounds a single response computation server-side
 	// (client disconnects do not cancel a computation, because concurrent
@@ -71,6 +77,9 @@ type Config struct {
 	SweepMaxJobs int
 	// SweepMaxCells bounds one sweep's grid points × policies. Default 4096.
 	SweepMaxCells int
+	// BatchMaxItems bounds the calls one POST /v1/batch may multiplex.
+	// Default 64.
+	BatchMaxItems int
 }
 
 func (c Config) withDefaults() Config {
@@ -102,6 +111,9 @@ func (c Config) withDefaults() Config {
 	if c.ComputeTimeout == 0 {
 		c.ComputeTimeout = 2 * time.Minute
 	}
+	if c.BatchMaxItems == 0 {
+		c.BatchMaxItems = 64
+	}
 	return c
 }
 
@@ -126,9 +138,14 @@ func New(cfg Config) *Server {
 		admit: NewAdmission(cfg.MaxInflight, cfg.MaxQueue),
 		eps:   make(map[string]*EndpointMetrics),
 	}
-	// sweep and sweep_cells are pseudo-endpoints: submissions of /v1/sweep
-	// and the individual simulate cells sweeps execute through the cache.
-	for _, name := range []string{"gittins", "whittle", "priority", "simulate", "sweep", "sweep_cells"} {
+	// gittins/whittle/priority are the legacy alias routes over /v1/index,
+	// kept as distinct buckets so pre-v2 dashboards keep working. sweep and
+	// sweep_cells are pseudo-endpoints: submissions of /v1/sweep and the
+	// individual simulate cells sweeps execute through the cache.
+	for _, name := range []string{
+		"gittins", "whittle", "priority", "index", "simulate", "batch",
+		"sweep", "sweep_cells",
+	} {
 		s.eps[name] = &EndpointMetrics{}
 	}
 	s.sweeps = sweep.NewManager(s, sweep.Config{
@@ -139,18 +156,28 @@ func New(cfg Config) *Server {
 	return s
 }
 
-// Handler returns the HTTP handler serving the v1 API.
+// Handler returns the HTTP handler serving the v1 API. Every route is
+// registered method-scoped; the companion methodNotAllowed pattern catches
+// the other verbs with a 405, an Allow header, and the standard error
+// envelope (Go's mux alone would answer 405 with a plain-text body).
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("/v1/gittins", s.solverEndpoint("gittins", s.computeGittins))
-	mux.HandleFunc("/v1/whittle", s.solverEndpoint("whittle", s.computeWhittle))
-	mux.HandleFunc("/v1/priority", s.solverEndpoint("priority", s.computePriority))
-	mux.HandleFunc("/v1/simulate", s.solverEndpoint("simulate", s.computeSimulate))
-	mux.HandleFunc("POST /v1/sweep", s.handleSweepSubmit)
+	route := func(method, pattern string, h http.HandlerFunc, allow string) {
+		mux.HandleFunc(method+" "+pattern, h)
+		mux.HandleFunc(pattern, s.methodNotAllowed(allow))
+	}
+	route(http.MethodPost, "/v1/index", s.solverEndpoint("index", parseIndex), "POST")
+	route(http.MethodPost, "/v1/gittins", s.solverEndpoint("gittins", indexAlias("bandit")), "POST")
+	route(http.MethodPost, "/v1/whittle", s.solverEndpoint("whittle", indexAlias("restless")), "POST")
+	route(http.MethodPost, "/v1/priority", s.solverEndpoint("priority", parsePriorityAlias), "POST")
+	route(http.MethodPost, "/v1/simulate", s.solverEndpoint("simulate", computeSimulate), "POST")
+	route(http.MethodPost, "/v1/batch", s.handleBatch, "POST")
+	route(http.MethodPost, "/v1/sweep", s.handleSweepSubmit, "POST")
 	mux.HandleFunc("GET /v1/sweep/{id}", s.handleSweepStatus)
 	mux.HandleFunc("DELETE /v1/sweep/{id}", s.handleSweepCancel)
-	mux.HandleFunc("GET /v1/sweep/{id}/results", s.handleSweepResults)
-	mux.HandleFunc("/v1/stats", s.handleStats)
+	mux.HandleFunc("/v1/sweep/{id}", s.methodNotAllowed("GET, DELETE"))
+	route(http.MethodGet, "/v1/sweep/{id}/results", s.handleSweepResults, "GET")
+	route(http.MethodGet, "/v1/stats", s.handleStats, "GET")
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		io.WriteString(w, "ok\n")
@@ -158,11 +185,58 @@ func (s *Server) Handler() http.Handler {
 	return mux
 }
 
+// methodNotAllowed answers 405 with the standard error envelope and an
+// Allow header naming the verbs the path does serve.
+func (s *Server) methodNotAllowed(allow string) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Allow", allow)
+		writeError(w, http.StatusMethodNotAllowed, api.ErrCodeMethodNotAllowed,
+			fmt.Sprintf("%s does not allow %s (allow: %s)", r.URL.Path, r.Method, allow))
+	}
+}
+
+// The index request/response wire shapes live in the public contract
+// (pkg/api); the aliases keep this package's historical names working for
+// internal consumers and tests.
+type (
+	GittinsResponse  = api.GittinsResponse
+	WhittleRequest   = api.WhittleRequest
+	WhittleResponse  = api.WhittleResponse
+	PriorityRequest  = api.PriorityRequest
+	PriorityResponse = api.PriorityResponse
+)
+
 // badRequest marks an error as the client's fault (HTTP 400).
 type badRequest struct{ err error }
 
 func (e badRequest) Error() string { return e.err.Error() }
 func (e badRequest) Unwrap() error { return e.err }
+
+// asClientFault rewraps scenario-level spec errors as badRequest so the
+// shared error mapping classifies them 400.
+func asClientFault(err error) error {
+	var bs scenario.BadSpec
+	if errors.As(err, &bs) {
+		return badRequest{err}
+	}
+	return err
+}
+
+// errorStatus maps a request-path error onto its HTTP status and
+// machine-readable envelope code.
+func errorStatus(err error) (int, string) {
+	var br badRequest
+	switch {
+	case errors.Is(err, ErrShed):
+		return http.StatusTooManyRequests, api.ErrCodeOverloaded
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		return http.StatusServiceUnavailable, api.ErrCodeUnavailable
+	case errors.As(err, &br):
+		return http.StatusBadRequest, api.ErrCodeBadRequest
+	default:
+		return http.StatusInternalServerError, api.ErrCodeInternal
+	}
+}
 
 // parsed is the outcome of decoding one request: a cache key and the
 // computation producing the encoded response body.
@@ -171,60 +245,65 @@ type parsed struct {
 	compute func() ([]byte, error)
 }
 
+// readBody reads a request body under the configured size cap (negative
+// MaxBodyBytes means uncapped).
+func (s *Server) readBody(w http.ResponseWriter, r *http.Request) ([]byte, error) {
+	if s.cfg.MaxBodyBytes < 0 {
+		return io.ReadAll(r.Body)
+	}
+	return io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+}
+
+// serve runs one parsed computation through the shared machinery: the
+// sharded cache (hits and singleflight joins bypass admission entirely)
+// and the bounded admission queue. Both the single-call endpoints and the
+// /v1/batch items execute through here.
+func (s *Server) serve(ctx context.Context, p parsed) ([]byte, Outcome, error) {
+	// Admission wraps only the computation: cache hits are map lookups
+	// and singleflight waiters are parked channel reads, so neither
+	// consumes an execution slot — one slow popular spec cannot starve
+	// cheap traffic on other keys.
+	return s.cache.Do(p.key, func() ([]byte, error) {
+		if err := s.admit.Acquire(ctx); err != nil {
+			return nil, err
+		}
+		defer s.admit.Release()
+		return p.compute()
+	})
+}
+
 // solverEndpoint wraps a solver endpoint with the shared machinery:
-// method/body checks, admission control, memoization, and metrics.
-func (s *Server) solverEndpoint(name string, parse func(body []byte) (parsed, error)) http.HandlerFunc {
+// body limits, admission control, memoization, and metrics.
+func (s *Server) solverEndpoint(name string, parse func(s *Server, body []byte) (parsed, error)) http.HandlerFunc {
 	m := s.eps[name]
 	return func(w http.ResponseWriter, r *http.Request) {
 		begin := time.Now()
 		m.requests.Add(1)
 		defer func() { m.latencyNs.Add(int64(time.Since(begin))) }()
 
-		if r.Method != http.MethodPost {
-			m.errors.Add(1)
-			writeError(w, http.StatusMethodNotAllowed, fmt.Sprintf("%s: POST only", r.URL.Path))
-			return
-		}
 		// Read and parse before admission: a slow client trickling its body
 		// is network I/O, not compute, and must not pin an execution slot.
-		body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+		body, err := s.readBody(w, r)
 		if err != nil {
 			m.errors.Add(1)
-			writeError(w, http.StatusBadRequest, fmt.Sprintf("reading body: %v", err))
+			writeError(w, http.StatusBadRequest, api.ErrCodeBadRequest, fmt.Sprintf("reading body: %v", err))
 			return
 		}
-		p, err := parse(body)
+		p, err := parse(s, body)
 		if err != nil {
 			m.errors.Add(1)
-			writeError(w, http.StatusBadRequest, err.Error())
+			writeError(w, http.StatusBadRequest, api.ErrCodeBadRequest, err.Error())
 			return
 		}
-		// Admission wraps only the computation: cache hits are map lookups
-		// and singleflight waiters are parked channel reads, so neither
-		// consumes an execution slot — one slow popular spec cannot starve
-		// cheap traffic on other keys.
-		resp, outcome, err := s.cache.Do(p.key, func() ([]byte, error) {
-			if err := s.admit.Acquire(r.Context()); err != nil {
-				return nil, err
-			}
-			defer s.admit.Release()
-			return p.compute()
-		})
+		resp, outcome, err := s.serve(r.Context(), p)
 		if err != nil {
-			var br badRequest
-			switch {
-			case errors.Is(err, ErrShed):
+			status, code := errorStatus(err)
+			if status == http.StatusTooManyRequests {
 				m.shed.Add(1)
-				writeError(w, http.StatusTooManyRequests, "server overloaded: admission queue full")
-			case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+				writeError(w, status, code, "server overloaded: admission queue full")
+			} else {
 				m.errors.Add(1)
-				writeError(w, http.StatusServiceUnavailable, err.Error())
-			case errors.As(err, &br):
-				m.errors.Add(1)
-				writeError(w, http.StatusBadRequest, err.Error())
-			default:
-				m.errors.Add(1)
-				writeError(w, http.StatusInternalServerError, err.Error())
+				writeError(w, status, code, err.Error())
 			}
 			return
 		}
@@ -246,26 +325,12 @@ func outcomeHeader(o Outcome) string {
 	}
 }
 
-func writeError(w http.ResponseWriter, code int, msg string) {
+// writeError emits the standard JSON error envelope
+// {"error":{"code":…,"message":…}} (see pkg/api and docs/api.md).
+func writeError(w http.ResponseWriter, status int, code, msg string) {
 	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(code)
-	json.NewEncoder(w).Encode(struct {
-		Error string `json:"error"`
-	}{msg})
-}
-
-// decodeStrict unmarshals body into v, rejecting unknown fields and
-// trailing garbage.
-func decodeStrict(body []byte, v any) error {
-	dec := json.NewDecoder(bytes.NewReader(body))
-	dec.DisallowUnknownFields()
-	if err := dec.Decode(v); err != nil {
-		return badRequest{fmt.Errorf("parsing request: %w", err)}
-	}
-	if dec.More() {
-		return badRequest{fmt.Errorf("parsing request: trailing data after JSON value")}
-	}
-	return nil
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(api.ErrorResponse{Err: api.ErrorDetail{Code: code, Message: msg}})
 }
 
 // marshal encodes a response body. Spec and response types contain no maps,
@@ -280,216 +345,61 @@ func marshal(v any) ([]byte, error) {
 }
 
 // ---------------------------------------------------------------------------
-// /v1/gittins
+// /v1/index (and the legacy aliases /v1/gittins, /v1/whittle, /v1/priority)
+//
+// Index computation is resolved through the scenario registry's Indexer
+// capability — the serving layer carries no per-kind solver code, exactly
+// like /v1/simulate. The cache key is family-prefixed with the legacy hash
+// encoding, so a legacy route and its /v1/index equivalent share one
+// cached, byte-identical body.
 
-// GittinsResponse is the body of a /v1/gittins response.
-type GittinsResponse struct {
-	SpecHash string    `json:"spec_hash"`
-	States   int       `json:"states"`
-	Beta     float64   `json:"beta"`
-	Restart  []float64 `json:"gittins_restart"`
-	Largest  []float64 `json:"gittins_largest_index"`
-}
-
-func (s *Server) computeGittins(body []byte) (parsed, error) {
-	var req spec.Bandit
-	if err := decodeStrict(body, &req); err != nil {
-		return parsed{}, err
-	}
-	// Validation happens inside compute (ToProject): hits skip it entirely,
-	// and invalid specs never enter the cache because errors are not cached.
-	hash := spec.Hash(&req)
-	return parsed{key: "gittins:" + hash, compute: func() ([]byte, error) {
-		p, err := req.ToProject()
+// indexParsed turns a parsed index request into its cache key and
+// computation.
+func indexParsed(req *scenario.IndexRequest) parsed {
+	return parsed{key: req.Family() + ":" + req.Hash(), compute: func() ([]byte, error) {
+		// Validation happens inside compute: hits skip it entirely, and
+		// invalid specs never enter the cache because errors are not cached.
+		resp, err := req.Compute()
 		if err != nil {
-			return nil, badRequest{err}
-		}
-		restart, err := bandit.GittinsRestart(p, req.Beta)
-		if err != nil {
-			return nil, err
-		}
-		largest, err := bandit.GittinsLargestIndex(p, req.Beta)
-		if err != nil {
-			return nil, err
-		}
-		return marshal(GittinsResponse{
-			SpecHash: hash,
-			States:   p.N(),
-			Beta:     req.Beta,
-			Restart:  restart,
-			Largest:  largest,
-		})
-	}}, nil
-}
-
-// ---------------------------------------------------------------------------
-// /v1/whittle
-
-// WhittleRequest is the body of a /v1/whittle request.
-type WhittleRequest struct {
-	spec.Restless
-	// CheckIndexability additionally sweeps the subsidy range and reports
-	// whether the passive set grows monotonically (more expensive).
-	CheckIndexability bool `json:"check_indexability,omitempty"`
-}
-
-// WhittleResponse is the body of a /v1/whittle response.
-type WhittleResponse struct {
-	SpecHash  string    `json:"spec_hash"`
-	States    int       `json:"states"`
-	Beta      float64   `json:"beta"`
-	Whittle   []float64 `json:"whittle"`
-	Indexable *bool     `json:"indexable,omitempty"`
-}
-
-func (s *Server) computeWhittle(body []byte) (parsed, error) {
-	var req WhittleRequest
-	if err := decodeStrict(body, &req); err != nil {
-		return parsed{}, err
-	}
-	hash := spec.Hash(&req)
-	return parsed{key: "whittle:" + hash, compute: func() ([]byte, error) {
-		p, err := req.ToProject()
-		if err != nil {
-			return nil, badRequest{err}
-		}
-		idx, err := restless.WhittleIndex(p, req.Beta)
-		if err != nil {
-			return nil, err
-		}
-		resp := WhittleResponse{SpecHash: hash, States: p.N(), Beta: req.Beta, Whittle: idx}
-		if req.CheckIndexability {
-			lo, hi := restless.SubsidyBracket(p, req.Beta)
-			rep, err := restless.CheckIndexability(p, req.Beta, lo, hi, 50)
-			if err != nil {
-				return nil, err
-			}
-			resp.Indexable = &rep.Indexable
+			return nil, asClientFault(err)
 		}
 		return marshal(resp)
-	}}, nil
+	}}
 }
 
-// ---------------------------------------------------------------------------
-// /v1/priority
-
-// PriorityRequest is the body of a /v1/priority request. Kind selects the
-// model family: "mg1" (cµ order; Klimov order when the spec has feedback)
-// or "batch" (WSEPT/SEPT/LEPT orders).
-type PriorityRequest struct {
-	Kind  string      `json:"kind"`
-	MG1   *spec.MG1   `json:"mg1,omitempty"`
-	Batch *spec.Batch `json:"batch,omitempty"`
-}
-
-// PriorityResponse is the body of a /v1/priority response. Order lists
-// class/job indices highest priority first; Indices holds the per-class
-// priority indices (cµ values, Klimov indices, or Smith ratios).
-type PriorityResponse struct {
-	SpecHash string    `json:"spec_hash"`
-	Rule     string    `json:"rule"`
-	Order    []int     `json:"order"`
-	Indices  []float64 `json:"indices"`
-
-	// Feedback-free mg1 only: exact Cobham delays, numbers in system, and
-	// holding-cost rate under Order.
-	Wq       []float64 `json:"wq,omitempty"`
-	L        []float64 `json:"l,omitempty"`
-	CostRate *float64  `json:"cost_rate,omitempty"`
-
-	// Batch only: the companion orders and, on a single machine, the exact
-	// expected weighted flowtime of the WSEPT order.
-	SEPT                  []int    `json:"sept,omitempty"`
-	LEPT                  []int    `json:"lept,omitempty"`
-	ExactWeightedFlowtime *float64 `json:"exact_weighted_flowtime,omitempty"`
-}
-
-func (s *Server) computePriority(body []byte) (parsed, error) {
-	var req PriorityRequest
-	if err := decodeStrict(body, &req); err != nil {
-		return parsed{}, err
+// parseIndex decodes a kind-dispatched /v1/index body.
+func parseIndex(_ *Server, body []byte) (parsed, error) {
+	req, err := scenario.ParseIndexRequest(body)
+	if err != nil {
+		return parsed{}, badRequest{err}
 	}
-	switch req.Kind {
-	case "mg1":
-		if req.MG1 == nil || req.Batch != nil {
-			return parsed{}, badRequest{fmt.Errorf("kind mg1 needs exactly the mg1 field")}
+	return indexParsed(req), nil
+}
+
+// indexAlias adapts a legacy single-kind route (/v1/gittins, /v1/whittle)
+// whose whole body is the payload of one fixed kind.
+func indexAlias(kind string) func(*Server, []byte) (parsed, error) {
+	return func(_ *Server, body []byte) (parsed, error) {
+		req, err := scenario.ParseIndexBody(kind, body)
+		if err != nil {
+			return parsed{}, badRequest{err}
 		}
-	case "batch":
-		if req.Batch == nil || req.MG1 != nil {
-			return parsed{}, badRequest{fmt.Errorf("kind batch needs exactly the batch field")}
-		}
-	default:
+		return indexParsed(req), nil
+	}
+}
+
+// parsePriorityAlias adapts the legacy /v1/priority route: its body is
+// already a kind-dispatched index envelope ({"kind":"mg1"|"batch",…}), so
+// the alias is a parse restricted to the priority family.
+func parsePriorityAlias(_ *Server, body []byte) (parsed, error) {
+	req, err := scenario.ParseIndexRequest(body)
+	if err != nil {
+		return parsed{}, badRequest{err}
+	}
+	if req.Family() != "priority" {
 		return parsed{}, badRequest{fmt.Errorf("unknown priority kind %q (want mg1 or batch)", req.Kind)}
 	}
-	hash := spec.Hash(&req)
-	return parsed{key: "priority:" + hash, compute: func() ([]byte, error) {
-		resp, err := priorityResponse(&req, hash)
-		if err != nil {
-			return nil, err
-		}
-		return marshal(resp)
-	}}, nil
-}
-
-func priorityResponse(req *PriorityRequest, hash string) (*PriorityResponse, error) {
-	if req.Kind == "batch" {
-		in, err := req.Batch.ToInstance()
-		if err != nil {
-			return nil, badRequest{err}
-		}
-		wsept := batch.WSEPT(in.Jobs)
-		ratios := make([]float64, len(in.Jobs))
-		for i, j := range in.Jobs {
-			ratios[i] = j.SmithRatio()
-		}
-		resp := &PriorityResponse{
-			SpecHash: hash,
-			Rule:     "wsept",
-			Order:    wsept,
-			Indices:  ratios,
-			SEPT:     batch.SEPT(in.Jobs),
-			LEPT:     batch.LEPT(in.Jobs),
-		}
-		if in.Machines == 1 {
-			v := batch.ExactWeightedFlowtime(in.Jobs, wsept)
-			resp.ExactWeightedFlowtime = &v
-		}
-		return resp, nil
-	}
-	if req.MG1.HasFeedback() {
-		k, err := req.MG1.ToKlimov()
-		if err != nil {
-			return nil, badRequest{err}
-		}
-		indices, order, err := k.KlimovIndices()
-		if err != nil {
-			return nil, err
-		}
-		return &PriorityResponse{SpecHash: hash, Rule: "klimov", Order: order, Indices: indices}, nil
-	}
-	m, err := req.MG1.ToMG1()
-	if err != nil {
-		return nil, badRequest{err}
-	}
-	order := m.CMuOrder()
-	indices := make([]float64, len(m.Classes))
-	for i, c := range m.Classes {
-		indices[i] = c.HoldCost / c.Service.Mean()
-	}
-	wq, l, err := m.ExactPriority(order)
-	if err != nil {
-		return nil, err
-	}
-	cost := m.HoldingCostRate(l)
-	return &PriorityResponse{
-		SpecHash: hash,
-		Rule:     "cmu",
-		Order:    order,
-		Indices:  indices,
-		Wq:       wq,
-		L:        l,
-		CostRate: &cost,
-	}, nil
+	return indexParsed(req), nil
 }
 
 // ---------------------------------------------------------------------------
@@ -522,7 +432,7 @@ func (s *Server) requestPool(parallel int) *engine.Pool {
 	return s.pool.Limit(parallel)
 }
 
-func (s *Server) computeSimulate(body []byte) (parsed, error) {
+func computeSimulate(s *Server, body []byte) (parsed, error) {
 	req, err := s.parseSimulate(body)
 	if err != nil {
 		return parsed{}, err
@@ -548,43 +458,144 @@ func (s *Server) simulateResponse(req *scenario.Request, pool *engine.Pool) ([]b
 	defer cancel()
 	body, err := scenario.Run(ctx, req, pool)
 	if err != nil {
-		var bs scenario.BadSpec
-		if errors.As(err, &bs) {
-			return nil, badRequest{err}
-		}
-		return nil, err
+		return nil, asClientFault(err)
 	}
 	return body, nil
 }
 
 // ---------------------------------------------------------------------------
-// /v1/stats
+// /v1/batch
 
-// StatsResponse is the body of a /v1/stats response. The legacy top-level
-// cache_entries field (kept for pre-sweep clients) is not a struct field:
-// MarshalJSON derives it from Cache.Entries, so the two can never disagree.
-type StatsResponse struct {
-	Endpoints map[string]EndpointSnapshot `json:"endpoints"`
-	Cache     CacheStats                  `json:"cache"`
-	Sweeps    sweep.ManagerStats          `json:"sweeps"`
-	InFlight  int                         `json:"in_flight"`
-	Waiting   int64                       `json:"waiting"`
-}
+// handleBatch serves POST /v1/batch: up to BatchMaxItems heterogeneous
+// index/simulate calls multiplexed into one HTTP round trip. Items execute
+// concurrently on the server's shared engine pool, each through the same
+// cache, admission, and compute path as its single-call endpoint, and the
+// response lists per-item status and body in item order — deterministically,
+// whatever the completion interleaving. One invalid or shed item never
+// fails its siblings.
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	m := s.eps["batch"]
+	begin := time.Now()
+	m.requests.Add(1)
+	defer func() { m.latencyNs.Add(int64(time.Since(begin))) }()
 
-// MarshalJSON appends the derived cache_entries compatibility field.
-func (r StatsResponse) MarshalJSON() ([]byte, error) {
-	type alias StatsResponse // drops the method, avoiding recursion
-	return json.Marshal(struct {
-		alias
-		CacheEntries int `json:"cache_entries"`
-	}{alias(r), r.Cache.Entries})
-}
-
-func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodGet {
-		writeError(w, http.StatusMethodNotAllowed, "/v1/stats: GET only")
+	body, err := s.readBody(w, r)
+	if err != nil {
+		m.errors.Add(1)
+		writeError(w, http.StatusBadRequest, api.ErrCodeBadRequest, fmt.Sprintf("reading body: %v", err))
 		return
 	}
+	var req api.BatchRequest
+	if err := decodeStrict(body, &req); err != nil {
+		m.errors.Add(1)
+		writeError(w, http.StatusBadRequest, api.ErrCodeBadRequest, err.Error())
+		return
+	}
+	if len(req.Items) == 0 {
+		m.errors.Add(1)
+		writeError(w, http.StatusBadRequest, api.ErrCodeBadRequest, "batch carries no items")
+		return
+	}
+	if len(req.Items) > s.cfg.BatchMaxItems {
+		m.errors.Add(1)
+		writeError(w, http.StatusBadRequest, api.ErrCodeBadRequest,
+			fmt.Sprintf("batch carries %d items, limit %d", len(req.Items), s.cfg.BatchMaxItems))
+		return
+	}
+	m.batchItems.Add(int64(len(req.Items)))
+
+	// engine.Map fans the items out over the shared pool (degrading to
+	// inline execution when it is saturated) and returns results in item
+	// order. Item functions never return errors — failures are encoded
+	// into the item result — so the only Map error is the request context
+	// dying mid-batch, which gets the same unavailable mapping as every
+	// other endpoint.
+	results, err := engine.Map(r.Context(), s.pool, len(req.Items),
+		func(ctx context.Context, i int) (api.BatchItemResult, error) {
+			return s.batchItem(ctx, m, req.Items[i]), nil
+		})
+	if err != nil {
+		m.errors.Add(1)
+		status, code := errorStatus(err)
+		writeError(w, status, code, err.Error())
+		return
+	}
+	resp, err := marshal(api.BatchResponse{Items: results})
+	if err != nil {
+		m.errors.Add(1)
+		writeError(w, http.StatusInternalServerError, api.ErrCodeInternal, err.Error())
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(resp)
+}
+
+// batchItem executes one batch item end to end and renders its outcome as
+// the per-item status/body pair — the same status and body the single-call
+// endpoint would have produced.
+func (s *Server) batchItem(ctx context.Context, m *EndpointMetrics, item api.BatchItem) api.BatchItemResult {
+	var p parsed
+	var err error
+	switch item.Op {
+	case api.OpIndex:
+		p, err = parseIndex(s, item.Body)
+	case api.OpSimulate:
+		p, err = computeSimulate(s, item.Body)
+	default:
+		err = badRequest{fmt.Errorf("unknown batch op %q (want %s or %s)", item.Op, api.OpIndex, api.OpSimulate)}
+	}
+	if err != nil {
+		m.errors.Add(1)
+		return batchItemError(http.StatusBadRequest, api.ErrCodeBadRequest, err.Error())
+	}
+	resp, outcome, err := s.serve(ctx, p)
+	if err != nil {
+		status, code := errorStatus(err)
+		if status == http.StatusTooManyRequests {
+			m.shed.Add(1)
+			return batchItemError(status, code, "server overloaded: admission queue full")
+		}
+		m.errors.Add(1)
+		return batchItemError(status, code, err.Error())
+	}
+	m.observe(outcome)
+	return api.BatchItemResult{Status: http.StatusOK, Body: resp}
+}
+
+// batchItemError renders a failed item as its HTTP-equivalent status plus
+// the standard error envelope.
+func batchItemError(status int, code, msg string) api.BatchItemResult {
+	body, err := json.Marshal(api.ErrorResponse{Err: api.ErrorDetail{Code: code, Message: msg}})
+	if err != nil {
+		body = []byte(`{"error":{"code":"internal","message":"encoding error body"}}`)
+	}
+	return api.BatchItemResult{Status: status, Body: body}
+}
+
+// decodeStrict unmarshals body into v, rejecting unknown fields and
+// trailing garbage.
+func decodeStrict(body []byte, v any) error {
+	dec := json.NewDecoder(bytes.NewReader(body))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return badRequest{fmt.Errorf("parsing request: %w", err)}
+	}
+	if dec.More() {
+		return badRequest{fmt.Errorf("parsing request: trailing data after JSON value")}
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// /v1/stats
+
+// StatsResponse is the body of a /v1/stats response (the wire shape lives
+// in the public contract as api.StatsResponse; the legacy top-level
+// cache_entries field is derived from Cache.Entries at marshal time, so
+// the two can never disagree).
+type StatsResponse = api.StatsResponse
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	resp := StatsResponse{
 		Endpoints: make(map[string]EndpointSnapshot, len(s.eps)),
 		Cache:     s.cache.Stats(),

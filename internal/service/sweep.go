@@ -4,11 +4,11 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"io"
 	"net/http"
 	"time"
 
 	"stochsched/internal/sweep"
+	"stochsched/pkg/api"
 )
 
 // This file is the serving layer of the sweep subsystem: the sweep.Backend
@@ -50,7 +50,7 @@ func (s *Server) Simulate(ctx context.Context, body []byte) ([]byte, error) {
 	m.requests.Add(1)
 	defer func() { m.latencyNs.Add(int64(time.Since(begin))) }()
 
-	p, err := s.computeSimulate(body)
+	p, err := computeSimulate(s, body)
 	if err != nil {
 		m.errors.Add(1)
 		return nil, err
@@ -80,16 +80,16 @@ func (s *Server) handleSweepSubmit(w http.ResponseWriter, r *http.Request) {
 	m.requests.Add(1)
 	defer func() { m.latencyNs.Add(int64(time.Since(begin))) }()
 
-	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+	body, err := s.readBody(w, r)
 	if err != nil {
 		m.errors.Add(1)
-		writeError(w, http.StatusBadRequest, fmt.Sprintf("reading body: %v", err))
+		writeError(w, http.StatusBadRequest, api.ErrCodeBadRequest, fmt.Sprintf("reading body: %v", err))
 		return
 	}
 	req, err := sweep.DecodeRequest(body)
 	if err != nil {
 		m.errors.Add(1)
-		writeError(w, http.StatusBadRequest, err.Error())
+		writeError(w, http.StatusBadRequest, api.ErrCodeBadRequest, err.Error())
 		return
 	}
 	job, err := s.sweeps.Submit(req)
@@ -97,12 +97,12 @@ func (s *Server) handleSweepSubmit(w http.ResponseWriter, r *http.Request) {
 		switch {
 		case errors.Is(err, sweep.ErrStoreFull):
 			m.shed.Add(1)
-			writeError(w, http.StatusTooManyRequests, err.Error())
+			writeError(w, http.StatusTooManyRequests, api.ErrCodeOverloaded, err.Error())
 		default:
 			// Expansion and validation failures are the client's: bad grid,
 			// bad base body, over-budget cell count.
 			m.errors.Add(1)
-			writeError(w, http.StatusBadRequest, err.Error())
+			writeError(w, http.StatusBadRequest, api.ErrCodeBadRequest, err.Error())
 		}
 		return
 	}
@@ -116,7 +116,7 @@ func (s *Server) handleSweepSubmit(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleSweepStatus(w http.ResponseWriter, r *http.Request) {
 	job, ok := s.sweeps.Get(r.PathValue("id"))
 	if !ok {
-		writeError(w, http.StatusNotFound, "unknown sweep job")
+		writeError(w, http.StatusNotFound, api.ErrCodeNotFound, "unknown sweep job")
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
@@ -130,7 +130,7 @@ func (s *Server) handleSweepStatus(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleSweepCancel(w http.ResponseWriter, r *http.Request) {
 	job, ok := s.sweeps.Cancel(r.PathValue("id"))
 	if !ok {
-		writeError(w, http.StatusNotFound, "unknown sweep job")
+		writeError(w, http.StatusNotFound, api.ErrCodeNotFound, "unknown sweep job")
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
@@ -147,7 +147,7 @@ func (s *Server) handleSweepCancel(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleSweepResults(w http.ResponseWriter, r *http.Request) {
 	job, ok := s.sweeps.Get(r.PathValue("id"))
 	if !ok {
-		writeError(w, http.StatusNotFound, "unknown sweep job")
+		writeError(w, http.StatusNotFound, api.ErrCodeNotFound, "unknown sweep job")
 		return
 	}
 	w.Header().Set("Content-Type", "application/x-ndjson")
@@ -169,7 +169,7 @@ func (s *Server) handleSweepResults(w http.ResponseWriter, r *http.Request) {
 func writeJSON(w http.ResponseWriter, v any) {
 	b, err := marshal(v)
 	if err != nil {
-		writeError(w, http.StatusInternalServerError, err.Error())
+		writeError(w, http.StatusInternalServerError, api.ErrCodeInternal, err.Error())
 		return
 	}
 	w.Write(b)

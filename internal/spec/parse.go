@@ -25,7 +25,7 @@ func ParseClass(v string) (Class, error) {
 		fields[i] = f
 	}
 	c := Class{Rate: fields[0], ServiceMean: fields[1], HoldCost: fields[2]}
-	if err := c.Validate(); err != nil {
+	if err := ValidateClass(&c); err != nil {
 		return Class{}, fmt.Errorf("class %q: %w", v, err)
 	}
 	return c, nil

@@ -1,14 +1,17 @@
-// Package spec defines the canonical, serializable problem descriptions
-// shared by the command-line tools and the policy service: bandit projects,
-// restless projects, multiclass M/G/1 systems (with optional Klimov
-// feedback), and batch instances.
+// Package spec validates the canonical, serializable problem descriptions
+// shared by the command-line tools and the policy service, and converts
+// them into solver models: bandit projects, restless projects, multiclass
+// M/G/1 systems (with optional Klimov feedback), and batch instances.
 //
-// Every spec type offers strict validation (rejecting negative rates,
-// nonpositive means, malformed matrices, and out-of-range discounts before
-// any solver runs), a conversion into the corresponding solver model, and a
-// deterministic content hash (see Hash) that the service uses as its
-// memoization key. Specs contain no maps, so their JSON encoding — and
-// therefore their hash — is canonical.
+// The data shapes themselves live in the public wire contract (pkg/api)
+// and are aliased here, so the wire JSON — and therefore every canonical
+// content hash — is defined exactly once. What this package adds is the
+// half that needs the solvers: strict validation (rejecting negative
+// rates, nonpositive means, malformed matrices, out-of-range discounts,
+// non-stochastic transition rows, and unstable queues before any solver
+// runs) and the conversions into internal/bandit, internal/restless,
+// internal/queueing, and internal/batch models. Specs contain no maps, so
+// their JSON encoding — and therefore their hash — is canonical.
 package spec
 
 import (
@@ -21,30 +24,41 @@ import (
 	"stochsched/internal/linalg"
 	"stochsched/internal/queueing"
 	"stochsched/internal/restless"
+	"stochsched/pkg/api"
 )
+
+// The wire shapes, aliased from the public contract. An alias (not a
+// defined type) keeps every existing spec.X reference, JSON encoding, and
+// content hash identical while making pkg/api the single source of truth.
+type (
+	Dist         = api.Dist
+	Bandit       = api.Bandit
+	BanditSystem = api.BanditSystem
+	Arm          = api.Arm
+	Action       = api.Action
+	Restless     = api.Restless
+	Class        = api.Class
+	MG1          = api.MG1
+	JobSpec      = api.JobSpec
+	Batch        = api.Batch
+	Grid         = api.Grid
+	Axis         = api.Axis
+)
+
+// SetString forwards to api.SetString (the sweep policy override).
+func SetString(base []byte, path, value string) ([]byte, error) {
+	return api.SetString(base, path, value)
+}
+
+// Hash forwards to api.Hash: the canonical content hash the service
+// memoizes on.
+func Hash(v any) string { return api.Hash(v) }
 
 // ---------------------------------------------------------------------------
 // Distributions
 
-// Dist describes a nonnegative service/processing-time law. Kind selects the
-// family; the other fields parameterize it:
-//
-//	{"kind": "exp", "rate": 2}        exponential, rate 2 (or "mean": 0.5)
-//	{"kind": "det", "value": 1.5}     point mass
-//	{"kind": "uniform", "lo": 0, "hi": 2}
-//	{"kind": "erlang", "k": 3, "rate": 2}
-type Dist struct {
-	Kind  string  `json:"kind"`
-	Rate  float64 `json:"rate,omitempty"`
-	Mean  float64 `json:"mean,omitempty"`
-	Value float64 `json:"value,omitempty"`
-	Lo    float64 `json:"lo,omitempty"`
-	Hi    float64 `json:"hi,omitempty"`
-	K     int     `json:"k,omitempty"`
-}
-
-// Validate checks the parameters of the selected family.
-func (d *Dist) Validate() error {
+// ValidateDist checks the parameters of the selected family.
+func ValidateDist(d *Dist) error {
 	switch d.Kind {
 	case "exp":
 		if (d.Rate > 0) == (d.Mean > 0) {
@@ -71,9 +85,9 @@ func (d *Dist) Validate() error {
 	return nil
 }
 
-// Dist returns the dist.Distribution the spec describes.
-func (d *Dist) Dist() (dist.Distribution, error) {
-	if err := d.Validate(); err != nil {
+// DistLaw returns the dist.Distribution the spec describes.
+func DistLaw(d *Dist) (dist.Distribution, error) {
+	if err := ValidateDist(d); err != nil {
 		return nil, err
 	}
 	switch d.Kind {
@@ -96,16 +110,8 @@ func (d *Dist) Dist() (dist.Distribution, error) {
 // ---------------------------------------------------------------------------
 // Bandit
 
-// Bandit is a single discounted bandit project: the JSON shape consumed by
-// cmd/gittins and POST /v1/gittins.
-type Bandit struct {
-	Beta        float64     `json:"beta"`
-	Transitions [][]float64 `json:"transitions"`
-	Rewards     []float64   `json:"rewards"`
-}
-
-// Validate checks the discount, matrix shape, and row-stochasticity.
-func (b *Bandit) Validate() error {
+// ValidateBandit checks the discount, matrix shape, and row-stochasticity.
+func ValidateBandit(b *Bandit) error {
 	if !(b.Beta > 0 && b.Beta < 1) {
 		return fmt.Errorf("spec: discount beta %v outside (0,1)", b.Beta)
 	}
@@ -116,29 +122,16 @@ func (b *Bandit) Validate() error {
 	return p.Validate()
 }
 
-// ToProject converts the spec into a validated solver model.
-func (b *Bandit) ToProject() (*bandit.Project, error) {
-	if err := b.Validate(); err != nil {
+// BanditProject converts the spec into a validated solver model.
+func BanditProject(b *Bandit) (*bandit.Project, error) {
+	if err := ValidateBandit(b); err != nil {
 		return nil, err
 	}
 	return &bandit.Project{P: linalg.FromRows(b.Transitions), R: b.Rewards}, nil
 }
 
-// BanditSystem is a multi-project bandit for simulation: POST /v1/simulate
-// with kind "bandit" evaluates the Gittins index policy on it.
-type BanditSystem struct {
-	Beta     float64 `json:"beta"`
-	Projects []Arm   `json:"projects"`
-}
-
-// Arm is one project of a BanditSystem.
-type Arm struct {
-	Transitions [][]float64 `json:"transitions"`
-	Rewards     []float64   `json:"rewards"`
-}
-
-// Validate checks the discount and every arm.
-func (b *BanditSystem) Validate() error {
+// ValidateBanditSystem checks the discount and every arm.
+func ValidateBanditSystem(b *BanditSystem) error {
 	if !(b.Beta > 0 && b.Beta < 1) {
 		return fmt.Errorf("spec: discount beta %v outside (0,1)", b.Beta)
 	}
@@ -150,12 +143,12 @@ func (b *BanditSystem) Validate() error {
 			return fmt.Errorf("project %d: %w", i, err)
 		}
 	}
-	_, err := b.ToBandit()
+	_, err := BanditModel(b)
 	return err
 }
 
-// ToBandit converts the spec into a validated solver model.
-func (b *BanditSystem) ToBandit() (*bandit.Bandit, error) {
+// BanditModel converts the spec into a validated solver model.
+func BanditModel(b *BanditSystem) (*bandit.Bandit, error) {
 	out := &bandit.Bandit{Beta: b.Beta}
 	for i, a := range b.Projects {
 		if err := checkMatrix(a.Transitions, a.Rewards); err != nil {
@@ -172,28 +165,14 @@ func (b *BanditSystem) ToBandit() (*bandit.Bandit, error) {
 // ---------------------------------------------------------------------------
 // Restless
 
-// Action holds the dynamics of one action of a restless project.
-type Action struct {
-	Transitions [][]float64 `json:"transitions"`
-	Rewards     []float64   `json:"rewards"`
-}
-
-// Restless is a two-action restless project: the JSON shape consumed by
-// POST /v1/whittle.
-type Restless struct {
-	Beta    float64 `json:"beta"`
-	Passive Action  `json:"passive"`
-	Active  Action  `json:"active"`
-}
-
-// Validate checks the discount and both actions' dynamics.
-func (r *Restless) Validate() error {
-	_, err := r.ToProject()
+// ValidateRestless checks the discount and both actions' dynamics.
+func ValidateRestless(r *Restless) error {
+	_, err := RestlessProject(r)
 	return err
 }
 
-// ToProject converts the spec into a validated solver model.
-func (r *Restless) ToProject() (*restless.Project, error) {
+// RestlessProject converts the spec into a validated solver model.
+func RestlessProject(r *Restless) (*restless.Project, error) {
 	if !(r.Beta > 0 && r.Beta < 1) {
 		return nil, fmt.Errorf("spec: discount beta %v outside (0,1)", r.Beta)
 	}
@@ -219,19 +198,9 @@ func (r *Restless) ToProject() (*restless.Project, error) {
 // ---------------------------------------------------------------------------
 // Multiclass M/G/1 (with optional Klimov feedback)
 
-// Class describes one customer class. Exactly one of ServiceMean (shorthand
-// for an exponential law with that mean) and Service must be set.
-type Class struct {
-	Name        string  `json:"name,omitempty"`
-	Rate        float64 `json:"rate"`
-	ServiceMean float64 `json:"service_mean,omitempty"`
-	Service     *Dist   `json:"service,omitempty"`
-	HoldCost    float64 `json:"hold_cost"`
-}
-
-// Validate rejects nonpositive rates and means, negative costs, and
+// ValidateClass rejects nonpositive rates and means, negative costs, and
 // non-finite values.
-func (c *Class) Validate() error {
+func ValidateClass(c *Class) error {
 	if !(c.Rate > 0) || !finite(c.Rate) {
 		return fmt.Errorf("spec: class needs a positive arrival rate, got %v", c.Rate)
 	}
@@ -242,7 +211,7 @@ func (c *Class) Validate() error {
 		return fmt.Errorf("spec: class needs exactly one of service_mean, service")
 	}
 	if c.Service != nil {
-		return c.Service.Validate()
+		return ValidateDist(c.Service)
 	}
 	if !(c.ServiceMean > 0) || !finite(c.ServiceMean) {
 		return fmt.Errorf("spec: class needs a positive service mean, got %v", c.ServiceMean)
@@ -251,8 +220,8 @@ func (c *Class) Validate() error {
 }
 
 // toClass converts into the queueing model's class, defaulting the name.
-func (c *Class) toClass(i int) (queueing.Class, error) {
-	if err := c.Validate(); err != nil {
+func toClass(c *Class, i int) (queueing.Class, error) {
+	if err := ValidateClass(c); err != nil {
 		return queueing.Class{}, fmt.Errorf("class %d: %w", i, err)
 	}
 	name := c.Name
@@ -262,7 +231,7 @@ func (c *Class) toClass(i int) (queueing.Class, error) {
 	var law dist.Distribution
 	if c.Service != nil {
 		var err error
-		if law, err = c.Service.Dist(); err != nil {
+		if law, err = DistLaw(c.Service); err != nil {
 			return queueing.Class{}, fmt.Errorf("class %d: %w", i, err)
 		}
 	} else {
@@ -271,33 +240,22 @@ func (c *Class) toClass(i int) (queueing.Class, error) {
 	return queueing.Class{Name: name, ArrivalRate: c.Rate, Service: law, HoldCost: c.HoldCost}, nil
 }
 
-// MG1 is a multiclass M/G/1 system; a nonempty Feedback matrix turns it into
-// a Klimov network (row i gives the probabilities a completed class-i job
-// re-enters as class j; the row deficit is the exit probability).
-type MG1 struct {
-	Classes  []Class     `json:"classes"`
-	Feedback [][]float64 `json:"feedback,omitempty"`
-}
-
-// HasFeedback reports whether the spec describes a Klimov network.
-func (m *MG1) HasFeedback() bool { return len(m.Feedback) > 0 }
-
-// Validate checks every class, the feedback shape, and stability.
-func (m *MG1) Validate() error {
+// ValidateMG1 checks every class, the feedback shape, and stability.
+func ValidateMG1(m *MG1) error {
 	if m.HasFeedback() {
-		_, err := m.ToKlimov()
+		_, err := KlimovModel(m)
 		return err
 	}
-	_, err := m.ToMG1()
+	_, err := MG1Model(m)
 	return err
 }
 
-// ToMG1 converts a feedback-free spec into a validated queueing model.
-func (m *MG1) ToMG1() (*queueing.MG1, error) {
+// MG1Model converts a feedback-free spec into a validated queueing model.
+func MG1Model(m *MG1) (*queueing.MG1, error) {
 	if m.HasFeedback() {
-		return nil, fmt.Errorf("spec: system has feedback; use ToKlimov")
+		return nil, fmt.Errorf("spec: system has feedback; use KlimovModel")
 	}
-	cs, err := m.classes()
+	cs, err := classes(m)
 	if err != nil {
 		return nil, err
 	}
@@ -308,10 +266,10 @@ func (m *MG1) ToMG1() (*queueing.MG1, error) {
 	return out, nil
 }
 
-// ToKlimov converts the spec into a validated Klimov network (a zero
+// KlimovModel converts the spec into a validated Klimov network (a zero
 // feedback matrix is supplied when absent).
-func (m *MG1) ToKlimov() (*queueing.KlimovNetwork, error) {
-	cs, err := m.classes()
+func KlimovModel(m *MG1) (*queueing.KlimovNetwork, error) {
+	cs, err := classes(m)
 	if err != nil {
 		return nil, err
 	}
@@ -340,13 +298,13 @@ func (m *MG1) ToKlimov() (*queueing.KlimovNetwork, error) {
 	return out, nil
 }
 
-func (m *MG1) classes() ([]queueing.Class, error) {
+func classes(m *MG1) ([]queueing.Class, error) {
 	if len(m.Classes) == 0 {
 		return nil, fmt.Errorf("spec: system has no classes")
 	}
 	cs := make([]queueing.Class, len(m.Classes))
 	for i := range m.Classes {
-		c, err := m.Classes[i].toClass(i)
+		c, err := toClass(&m.Classes[i], i)
 		if err != nil {
 			return nil, err
 		}
@@ -358,27 +316,14 @@ func (m *MG1) classes() ([]queueing.Class, error) {
 // ---------------------------------------------------------------------------
 // Batch
 
-// JobSpec is one stochastic job of a batch instance.
-type JobSpec struct {
-	Weight float64 `json:"weight"`
-	Dist   Dist    `json:"dist"`
-}
-
-// Batch is a batch-scheduling instance: jobs on Machines identical machines
-// (default 1).
-type Batch struct {
-	Jobs     []JobSpec `json:"jobs"`
-	Machines int       `json:"machines,omitempty"`
-}
-
-// Validate checks every job and the machine count.
-func (b *Batch) Validate() error {
-	_, err := b.ToInstance()
+// ValidateBatch checks every job and the machine count.
+func ValidateBatch(b *Batch) error {
+	_, err := BatchInstance(b)
 	return err
 }
 
-// ToInstance converts the spec into a validated solver instance.
-func (b *Batch) ToInstance() (*batch.Instance, error) {
+// BatchInstance converts the spec into a validated solver instance.
+func BatchInstance(b *Batch) (*batch.Instance, error) {
 	if len(b.Jobs) == 0 {
 		return nil, fmt.Errorf("spec: batch has no jobs")
 	}
@@ -391,7 +336,7 @@ func (b *Batch) ToInstance() (*batch.Instance, error) {
 		if j.Weight < 0 || !finite(j.Weight) {
 			return nil, fmt.Errorf("spec: job %d needs a nonnegative weight, got %v", i, j.Weight)
 		}
-		law, err := j.Dist.Dist()
+		law, err := DistLaw(&j.Dist)
 		if err != nil {
 			return nil, fmt.Errorf("job %d: %w", i, err)
 		}

@@ -16,7 +16,7 @@ func validBandit() Bandit {
 
 func TestBanditValidate(t *testing.T) {
 	b := validBandit()
-	if err := b.Validate(); err != nil {
+	if err := ValidateBandit(&b); err != nil {
 		t.Fatalf("valid spec rejected: %v", err)
 	}
 	cases := []struct {
@@ -36,7 +36,7 @@ func TestBanditValidate(t *testing.T) {
 	for _, c := range cases {
 		bad := validBandit()
 		c.mut(&bad)
-		if err := bad.Validate(); err == nil {
+		if err := ValidateBandit(&bad); err == nil {
 			t.Errorf("%s: accepted", c.name)
 		}
 	}
@@ -47,7 +47,7 @@ func TestMG1Validate(t *testing.T) {
 		{Rate: 0.3, ServiceMean: 0.5, HoldCost: 4},
 		{Rate: 0.2, ServiceMean: 1, HoldCost: 1},
 	}}
-	q, err := m.ToMG1()
+	q, err := MG1Model(&m)
 	if err != nil {
 		t.Fatalf("valid spec rejected: %v", err)
 	}
@@ -69,7 +69,7 @@ func TestMG1Validate(t *testing.T) {
 		{Classes: []Class{{Rate: 2, ServiceMean: 1, HoldCost: 1}}},                            // unstable
 	}
 	for i, b := range bad {
-		if err := b.Validate(); err == nil {
+		if err := ValidateMG1(&b); err == nil {
 			t.Errorf("bad spec %d accepted", i)
 		}
 	}
@@ -85,14 +85,14 @@ func TestMG1Validate(t *testing.T) {
 	if !fb.HasFeedback() {
 		t.Fatal("HasFeedback = false")
 	}
-	if _, err := fb.ToKlimov(); err != nil {
+	if _, err := KlimovModel(&fb); err != nil {
 		t.Fatalf("valid klimov rejected: %v", err)
 	}
-	if _, err := fb.ToMG1(); err == nil {
-		t.Fatal("ToMG1 accepted a feedback system")
+	if _, err := MG1Model(&fb); err == nil {
+		t.Fatal("MG1Model accepted a feedback system")
 	}
 	fb.Feedback[0][1] = -0.3
-	if _, err := fb.ToKlimov(); err == nil {
+	if _, err := KlimovModel(&fb); err == nil {
 		t.Fatal("negative feedback accepted")
 	}
 }
@@ -106,7 +106,7 @@ func TestDistValidate(t *testing.T) {
 		{Kind: "erlang", K: 3, Rate: 2},
 	}
 	for i, d := range good {
-		law, err := d.Dist()
+		law, err := DistLaw(&d)
 		if err != nil {
 			t.Errorf("good dist %d rejected: %v", i, err)
 			continue
@@ -116,8 +116,8 @@ func TestDistValidate(t *testing.T) {
 		}
 	}
 	// The two exp forms must agree.
-	a, _ := (&Dist{Kind: "exp", Rate: 2}).Dist()
-	b, _ := (&Dist{Kind: "exp", Mean: 0.5}).Dist()
+	a, _ := DistLaw(&Dist{Kind: "exp", Rate: 2})
+	b, _ := DistLaw(&Dist{Kind: "exp", Mean: 0.5})
 	if a.Mean() != b.Mean() {
 		t.Errorf("exp rate/mean disagree: %v vs %v", a.Mean(), b.Mean())
 	}
@@ -133,7 +133,7 @@ func TestDistValidate(t *testing.T) {
 		{Kind: "erlang", K: 0, Rate: 1},
 	}
 	for i, d := range bad {
-		if err := d.Validate(); err == nil {
+		if err := ValidateDist(&d); err == nil {
 			t.Errorf("bad dist %d accepted", i)
 		}
 	}
@@ -144,7 +144,7 @@ func TestBatchValidate(t *testing.T) {
 		{Weight: 2, Dist: Dist{Kind: "exp", Rate: 1}},
 		{Weight: 1, Dist: Dist{Kind: "det", Value: 0.5}},
 	}}
-	in, err := b.ToInstance()
+	in, err := BatchInstance(&b)
 	if err != nil {
 		t.Fatalf("valid batch rejected: %v", err)
 	}
@@ -158,7 +158,7 @@ func TestBatchValidate(t *testing.T) {
 		{Jobs: []JobSpec{{Weight: 1, Dist: Dist{Kind: "exp", Rate: 1}}}, Machines: -2},
 	}
 	for i, b := range bad {
-		if err := b.Validate(); err == nil {
+		if err := ValidateBatch(&b); err == nil {
 			t.Errorf("bad batch %d accepted", i)
 		}
 	}
@@ -176,11 +176,11 @@ func TestRestlessValidate(t *testing.T) {
 			Rewards:     []float64{-0.5, -0.5},
 		},
 	}
-	if _, err := r.ToProject(); err != nil {
+	if _, err := RestlessProject(&r); err != nil {
 		t.Fatalf("valid restless rejected: %v", err)
 	}
 	r.Active.Transitions = [][]float64{{1}}
-	if _, err := r.ToProject(); err == nil {
+	if _, err := RestlessProject(&r); err == nil {
 		t.Fatal("mismatched action dimensions accepted")
 	}
 }

@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 
 	"stochsched/internal/engine"
+	"stochsched/pkg/api"
 )
 
 // ErrStoreFull is returned by Submit when the job store is at capacity and
@@ -19,18 +20,19 @@ var ErrStoreFull = errors.New("sweep: job store full of running jobs")
 // declares more cells than allowed. The HTTP layer maps it to 400.
 var ErrTooLarge = errors.New("sweep: grid expands beyond the cell budget")
 
-// State is a job's lifecycle stage.
-type State string
+// State is a job's lifecycle stage (the wire shape lives in the public
+// contract as api.SweepState).
+type State = api.SweepState
 
 const (
-	StateRunning   State = "running"
-	StateDone      State = "done"
-	StateFailed    State = "failed"
-	StateCancelled State = "cancelled"
+	StateRunning   = api.SweepRunning
+	StateDone      = api.SweepDone
+	StateFailed    = api.SweepFailed
+	StateCancelled = api.SweepCancelled
 )
 
-// terminal reports whether no further rows will be produced.
-func (s State) terminal() bool { return s != StateRunning }
+// terminal reports whether no further rows will be produced in state s.
+func terminal(s State) bool { return s != StateRunning }
 
 // Config tunes a Manager. Zero values select the documented defaults.
 type Config struct {
@@ -134,7 +136,7 @@ func (m *Manager) evictOldestTerminalLocked() bool {
 	for i, id := range m.order {
 		j := m.jobs[id]
 		j.mu.Lock()
-		done := j.state.terminal()
+		done := terminal(j.state)
 		j.mu.Unlock()
 		if done {
 			delete(m.jobs, id)
@@ -165,12 +167,9 @@ func (m *Manager) Cancel(id string) (*Job, bool) {
 	return j, ok
 }
 
-// Stats summarizes the store for /v1/stats.
-type ManagerStats struct {
-	Jobs      int   `json:"jobs"`
-	Running   int   `json:"running"`
-	Evictions int64 `json:"evictions"`
-}
+// ManagerStats summarizes the store for /v1/stats (the wire shape lives
+// in the public contract as api.SweepStoreStats).
+type ManagerStats = api.SweepStoreStats
 
 // Stats returns current store counters.
 func (m *Manager) Stats() ManagerStats {
@@ -179,7 +178,7 @@ func (m *Manager) Stats() ManagerStats {
 	st := ManagerStats{Jobs: len(m.jobs), Evictions: m.evictions.Load()}
 	for _, j := range m.jobs {
 		j.mu.Lock()
-		if !j.state.terminal() {
+		if !terminal(j.state) {
 			st.Running++
 		}
 		j.mu.Unlock()
@@ -210,21 +209,12 @@ type Job struct {
 	errMsg    string
 }
 
-// Status is the JSON body of GET /v1/sweep/{id}. CellsDone counts cells
-// whose execution has settled in arrival order — computed, failed, or
-// (after cancellation) abandoned — so it reaches CellsTotal even for a
-// cancelled job; RowsReady is the count of completed result rows.
-type Status struct {
-	ID         string   `json:"id"`
-	SweepHash  string   `json:"sweep_hash"`
-	State      State    `json:"state"`
-	Points     int      `json:"points"`
-	Policies   []string `json:"policies"`
-	CellsTotal int      `json:"cells_total"`
-	CellsDone  int      `json:"cells_done"`
-	RowsReady  int      `json:"rows_ready"`
-	Error      string   `json:"error,omitempty"`
-}
+// Status is the JSON body of GET /v1/sweep/{id} (the wire shape lives in
+// the public contract as api.SweepStatus). CellsDone counts cells whose
+// execution has settled in arrival order — computed, failed, or (after
+// cancellation) abandoned — so it reaches CellsTotal even for a cancelled
+// job; RowsReady is the count of completed result rows.
+type Status = api.SweepStatus
 
 // Snapshot returns the job's current status.
 func (j *Job) Snapshot() Status {
@@ -296,7 +286,7 @@ func (j *Job) NextRow(ctx context.Context, i int) (line []byte, ok bool, err err
 			j.mu.Unlock()
 			return line, true, nil
 		}
-		if j.state.terminal() {
+		if terminal(j.state) {
 			j.mu.Unlock()
 			return nil, false, nil
 		}
@@ -315,7 +305,7 @@ func (j *Job) NextRow(ctx context.Context, i int) (line []byte, ok bool, err err
 func (j *Job) Wait(ctx context.Context) (Status, error) {
 	for {
 		j.mu.Lock()
-		if j.state.terminal() {
+		if terminal(j.state) {
 			j.mu.Unlock()
 			return j.Snapshot(), nil
 		}

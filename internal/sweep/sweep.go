@@ -39,6 +39,7 @@ import (
 	"stochsched/internal/engine"
 	"stochsched/internal/scenario"
 	"stochsched/internal/spec"
+	"stochsched/pkg/api"
 )
 
 // Backend executes individual sweep cells. internal/service implements it
@@ -53,24 +54,12 @@ type Backend interface {
 	Simulate(ctx context.Context, body []byte) ([]byte, error)
 }
 
-// Request is a sweep submission: the body of POST /v1/sweep.
-type Request struct {
-	// Base is a complete /v1/simulate request body; grid axes and policies
-	// override paths inside it.
-	Base json.RawMessage `json:"base"`
-	// Grid declares the parameter overrides; the empty grid has one point.
-	Grid spec.Grid `json:"grid"`
-	// Policies lists the values substituted at the base kind's policy path
-	// (scenario.Scenario.PolicyPath — e.g. mg1.policy, restless.policy),
-	// one simulation per policy per grid point. Empty means "evaluate base
-	// as-is" (the single-policy sweep — still useful for response-surface
-	// studies).
-	Policies []string `json:"policies,omitempty"`
-	// Parallel sets the worker-pool size cells fan out over (0 = the
-	// manager default). Like the simulate knob it never changes results,
-	// only throughput, and it is excluded from the sweep hash.
-	Parallel int `json:"parallel,omitempty"`
-}
+// Request is a sweep submission: the body of POST /v1/sweep. The wire
+// shape lives in the public contract (api.SweepRequest); policies are
+// substituted at the base kind's policy path
+// (scenario.Scenario.PolicyPath — e.g. mg1.policy, restless.policy), one
+// simulation per policy per grid point.
+type Request = api.SweepRequest
 
 // DecodeRequest parses data as a Request with the strictness the API
 // promises: unknown fields and trailing data are errors. The HTTP handler
@@ -220,34 +209,18 @@ func label(policy string) string {
 // ---------------------------------------------------------------------------
 // Rows
 
-// Param is one grid coordinate of a row: the axis path and the value this
-// point takes on it.
-type Param struct {
-	Path  string  `json:"path"`
-	Value float64 `json:"value"`
-}
-
-// PolicyResult is one policy's performance at one grid point.
-type PolicyResult struct {
-	Policy   string  `json:"policy"`
-	SpecHash string  `json:"spec_hash"`
-	Mean     float64 `json:"mean"`
-	CI95     float64 `json:"ci95"`
-	// Regret is the gap to the best policy at this point, oriented so 0 is
-	// best and larger is worse for both metric senses (cost: mean − min;
-	// reward: max − mean).
-	Regret float64 `json:"regret"`
-}
-
-// Row is one grid point's policy comparison: the NDJSON record streamed by
-// GET /v1/sweep/{id}/results, in grid order.
-type Row struct {
-	Point    int            `json:"point"`
-	Params   []Param        `json:"params,omitempty"`
-	Metric   string         `json:"metric"` // "cost_rate" (lower wins) or "reward" (higher wins)
-	Best     string         `json:"best"`   // winning policy (first in request order on ties)
-	Policies []PolicyResult `json:"policies"`
-}
+// The row wire shapes live in the public contract; the aliases keep this
+// package's names stable for internal consumers.
+type (
+	// Param is one grid coordinate of a row: the axis path and the value
+	// this point takes on it.
+	Param = api.SweepParam
+	// PolicyResult is one policy's performance at one grid point.
+	PolicyResult = api.SweepPolicyResult
+	// Row is one grid point's policy comparison: the NDJSON record
+	// streamed by GET /v1/sweep/{id}/results, in grid order.
+	Row = api.SweepRow
+)
 
 // buildRow folds one grid point's cell outcomes (in policy order) into a
 // comparison row. Pure float arithmetic on values that are themselves

@@ -1,0 +1,51 @@
+package api
+
+import "encoding/json"
+
+// ---------------------------------------------------------------------------
+// POST /v1/batch — multiplex many index/simulate calls into one round trip.
+//
+// A batch executes its items concurrently on the server's shared worker
+// pool, each through the same cache, admission control, and compute path
+// as the corresponding single-call endpoint. Results come back in item
+// order with a per-item HTTP-equivalent status, so one bad or shed item
+// never fails the others. Item bodies are the single-call bodies
+// (compacted: embedding strips insignificant whitespace), which keeps
+// batched and unbatched traffic byte-comparable and cache-shared.
+
+// Batch item operations.
+const (
+	// OpIndex runs the item body as a POST /v1/index request.
+	OpIndex = "index"
+	// OpSimulate runs the item body as a POST /v1/simulate request.
+	OpSimulate = "simulate"
+)
+
+// BatchItem is one call of a batch: the operation and the request body the
+// corresponding endpoint would receive.
+type BatchItem struct {
+	Op   string          `json:"op"`
+	Body json.RawMessage `json:"body"`
+}
+
+// BatchRequest is the body of POST /v1/batch.
+type BatchRequest struct {
+	Items []BatchItem `json:"items"`
+}
+
+// BatchItemResult is one item's outcome: the HTTP status the single-call
+// endpoint would have answered, and its body — a success payload for 200,
+// an ErrorResponse envelope otherwise. Cache outcomes are deliberately NOT
+// part of the body (they depend on cache warmth, and batch bodies — like
+// single-call bodies — are a pure function of the request); per-item cache
+// reuse is observable on the batch endpoint's /v1/stats counters.
+type BatchItemResult struct {
+	Status int             `json:"status"`
+	Body   json.RawMessage `json:"body"`
+}
+
+// BatchResponse is the body of a /v1/batch response: one result per item,
+// in item order.
+type BatchResponse struct {
+	Items []BatchItemResult `json:"items"`
+}

@@ -1,4 +1,4 @@
-package spec
+package api
 
 import (
 	"bytes"
@@ -15,7 +15,9 @@ import (
 // A Grid declares a cartesian product of overrides applied to a base request
 // body: each Axis names a path into the body's JSON and the values that path
 // sweeps over. Grids are plain data (no maps), so they participate in the
-// canonical content hash (see Hash) exactly like the spec types.
+// canonical content hash (see Hash) exactly like the spec types, and their
+// point enumeration is a pure function of the grid — the property sweep
+// determinism rests on.
 
 // Axis is one dimension of a parameter grid: a path into the base request's
 // JSON (dot-separated object keys and array indices, e.g.
@@ -31,8 +33,7 @@ type Axis struct {
 //
 //	i = ((v0*len1 + v1)*len2 + v2)...
 //
-// where vk is the value index chosen on axis k. The enumeration is a pure
-// function of the grid, which is what keeps sweep output deterministic.
+// where vk is the value index chosen on axis k.
 type Grid struct {
 	Axes []Axis `json:"axes,omitempty"`
 }
@@ -43,18 +44,18 @@ func (g *Grid) Validate() error {
 	seen := make(map[string]bool, len(g.Axes))
 	for i, a := range g.Axes {
 		if a.Path == "" {
-			return fmt.Errorf("spec: grid axis %d has an empty path", i)
+			return fmt.Errorf("api: grid axis %d has an empty path", i)
 		}
 		if seen[a.Path] {
-			return fmt.Errorf("spec: grid repeats path %q", a.Path)
+			return fmt.Errorf("api: grid repeats path %q", a.Path)
 		}
 		seen[a.Path] = true
 		if len(a.Values) == 0 {
-			return fmt.Errorf("spec: grid axis %q has no values", a.Path)
+			return fmt.Errorf("api: grid axis %q has no values", a.Path)
 		}
 		for j, v := range a.Values {
-			if !finite(v) {
-				return fmt.Errorf("spec: grid axis %q value %d is not finite", a.Path, j)
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return fmt.Errorf("api: grid axis %q value %d is not finite", a.Path, j)
 			}
 		}
 	}
@@ -82,7 +83,7 @@ func (g *Grid) Size() int {
 // axis order, with the last axis varying fastest.
 func (g *Grid) Point(i int) []float64 {
 	if i < 0 || i >= g.Size() {
-		panic(fmt.Sprintf("spec: grid point %d outside [0, %d)", i, g.Size()))
+		panic(fmt.Sprintf("api: grid point %d outside [0, %d)", i, g.Size()))
 	}
 	out := make([]float64, len(g.Axes))
 	for k := len(g.Axes) - 1; k >= 0; k-- {
@@ -100,7 +101,7 @@ func (g *Grid) Point(i int) []float64 {
 // re-parse into canonical typed structs before hashing).
 func (g *Grid) Apply(base []byte, point []float64) ([]byte, error) {
 	if len(point) != len(g.Axes) {
-		return nil, fmt.Errorf("spec: point has %d values for %d axes", len(point), len(g.Axes))
+		return nil, fmt.Errorf("api: point has %d values for %d axes", len(point), len(g.Axes))
 	}
 	doc, err := decodeTree(base)
 	if err != nil {
@@ -109,7 +110,7 @@ func (g *Grid) Apply(base []byte, point []float64) ([]byte, error) {
 	for k, a := range g.Axes {
 		v := json.Number(strconv.FormatFloat(point[k], 'g', -1, 64))
 		if doc, err = setPath(doc, strings.Split(a.Path, "."), v); err != nil {
-			return nil, fmt.Errorf("spec: axis %q: %w", a.Path, err)
+			return nil, fmt.Errorf("api: axis %q: %w", a.Path, err)
 		}
 	}
 	return json.Marshal(doc)
@@ -118,12 +119,24 @@ func (g *Grid) Apply(base []byte, point []float64) ([]byte, error) {
 // SetString returns base with the string value substituted at path — the
 // override used for non-numeric knobs such as the simulate policy.
 func SetString(base []byte, path, value string) ([]byte, error) {
+	return setDocument(base, path, value)
+}
+
+// SetNumber returns base with the numeric value substituted at path,
+// formatted exactly as a Grid.Apply override would format it. Clients use
+// it to inject knobs such as "parallel" into otherwise untouched raw
+// request bodies.
+func SetNumber(base []byte, path string, value float64) ([]byte, error) {
+	return setDocument(base, path, json.Number(strconv.FormatFloat(value, 'g', -1, 64)))
+}
+
+func setDocument(base []byte, path string, value any) ([]byte, error) {
 	doc, err := decodeTree(base)
 	if err != nil {
 		return nil, err
 	}
 	if doc, err = setPath(doc, strings.Split(path, "."), value); err != nil {
-		return nil, fmt.Errorf("spec: path %q: %w", path, err)
+		return nil, fmt.Errorf("api: path %q: %w", path, err)
 	}
 	return json.Marshal(doc)
 }
@@ -135,10 +148,10 @@ func decodeTree(base []byte) (any, error) {
 	dec.UseNumber()
 	var doc any
 	if err := dec.Decode(&doc); err != nil {
-		return nil, fmt.Errorf("spec: parsing base document: %w", err)
+		return nil, fmt.Errorf("api: parsing base document: %w", err)
 	}
 	if dec.More() {
-		return nil, fmt.Errorf("spec: trailing data after base document")
+		return nil, fmt.Errorf("api: trailing data after base document")
 	}
 	return doc, nil
 }

@@ -1,0 +1,55 @@
+package api
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+)
+
+// Hash returns the canonical content hash of a spec (or any value whose JSON
+// encoding is deterministic — structs and slices, no maps): the hex SHA-256
+// of its compact JSON form. Two specs hash equal iff they are semantically
+// identical requests, which makes the hash usable as a memoization key, a
+// retry-idempotency token, and a stable identifier in responses and logs.
+func Hash(v any) string {
+	b, err := json.Marshal(v)
+	if err != nil {
+		// Spec types are plain data; marshaling can only fail on hand-built
+		// values containing NaN/Inf, which validation rejects first.
+		panic(fmt.Sprintf("api: unhashable value: %v", err))
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:])
+}
+
+// SimulateHash returns the canonical hash of one simulate request: kind,
+// the kind-named payload, seed, and replication count — with the
+// parallelism knob deliberately excluded, because results never depend on
+// it. The encoding is the fixed envelope
+//
+//	{"kind":<kind>,<kind>:<payload>,"seed":<seed>,"replications":<reps>}
+//
+// and is shared verbatim by the server's cache key, the spec_hash echoed
+// in response bodies, and SimulateRequest.SpecHash on the client side, so
+// the three can never drift apart.
+func SimulateHash(kind string, payload any, seed uint64, reps int) (string, error) {
+	enc, err := json.Marshal(payload)
+	if err != nil {
+		return "", fmt.Errorf("api: unhashable simulate payload: %w", err)
+	}
+	key, err := json.Marshal(kind)
+	if err != nil {
+		return "", fmt.Errorf("api: unhashable simulate kind: %w", err)
+	}
+	var buf []byte
+	buf = append(buf, `{"kind":`...)
+	buf = append(buf, key...)
+	buf = append(buf, ',')
+	buf = append(buf, key...)
+	buf = append(buf, ':')
+	buf = append(buf, enc...)
+	buf = append(buf, fmt.Sprintf(`,"seed":%d,"replications":%d}`, seed, reps)...)
+	sum := sha256.Sum256(buf)
+	return hex.EncodeToString(sum[:]), nil
+}

@@ -1,0 +1,85 @@
+package api
+
+// ---------------------------------------------------------------------------
+// POST /v1/index — analytic index/priority computation, kind-dispatched
+// like /v1/simulate. The legacy routes are thin aliases over the same
+// computation:
+//
+//	/v1/gittins  ≡ /v1/index {"kind":"bandit","bandit":<Bandit>}
+//	/v1/whittle  ≡ /v1/index {"kind":"restless","restless":<WhittleRequest>}
+//	/v1/priority ≡ /v1/index {"kind":"mg1"|"batch", ...}   (same body!)
+//
+// Responses — including spec_hash — are byte-identical between a legacy
+// route and its /v1/index equivalent, and the two share one cache entry.
+
+// IndexRequest is the body of POST /v1/index: the kind plus exactly one
+// payload field named after the kind.
+type IndexRequest struct {
+	Kind     string          `json:"kind"`
+	Bandit   *Bandit         `json:"bandit,omitempty"`
+	Restless *WhittleRequest `json:"restless,omitempty"`
+	MG1      *MG1            `json:"mg1,omitempty"`
+	Batch    *Batch          `json:"batch,omitempty"`
+}
+
+// WhittleRequest is the "restless" index payload (and the whole body of
+// the legacy POST /v1/whittle): a restless project spec plus the optional
+// indexability check.
+type WhittleRequest struct {
+	Restless
+	// CheckIndexability additionally sweeps the subsidy range and reports
+	// whether the passive set grows monotonically (more expensive).
+	CheckIndexability bool `json:"check_indexability,omitempty"`
+}
+
+// PriorityRequest is the body of the legacy POST /v1/priority. Kind
+// selects the model family: "mg1" (cµ order; Klimov order when the spec
+// has feedback) or "batch" (WSEPT/SEPT/LEPT orders). Note the shape is a
+// valid IndexRequest — /v1/priority is literally an alias of /v1/index
+// restricted to the priority kinds.
+type PriorityRequest struct {
+	Kind  string `json:"kind"`
+	MG1   *MG1   `json:"mg1,omitempty"`
+	Batch *Batch `json:"batch,omitempty"`
+}
+
+// GittinsResponse is the body of a gittins index response (kind "bandit").
+type GittinsResponse struct {
+	SpecHash string    `json:"spec_hash"`
+	States   int       `json:"states"`
+	Beta     float64   `json:"beta"`
+	Restart  []float64 `json:"gittins_restart"`
+	Largest  []float64 `json:"gittins_largest_index"`
+}
+
+// WhittleResponse is the body of a whittle index response (kind "restless").
+type WhittleResponse struct {
+	SpecHash  string    `json:"spec_hash"`
+	States    int       `json:"states"`
+	Beta      float64   `json:"beta"`
+	Whittle   []float64 `json:"whittle"`
+	Indexable *bool     `json:"indexable,omitempty"`
+}
+
+// PriorityResponse is the body of a priority response (kinds "mg1" and
+// "batch"). Order lists class/job indices highest priority first; Indices
+// holds the per-class priority indices (cµ values, Klimov indices, or
+// Smith ratios).
+type PriorityResponse struct {
+	SpecHash string    `json:"spec_hash"`
+	Rule     string    `json:"rule"`
+	Order    []int     `json:"order"`
+	Indices  []float64 `json:"indices"`
+
+	// Feedback-free mg1 only: exact Cobham delays, numbers in system, and
+	// holding-cost rate under Order.
+	Wq       []float64 `json:"wq,omitempty"`
+	L        []float64 `json:"l,omitempty"`
+	CostRate *float64  `json:"cost_rate,omitempty"`
+
+	// Batch only: the companion orders and, on a single machine, the exact
+	// expected weighted flowtime of the WSEPT order.
+	SEPT                  []int    `json:"sept,omitempty"`
+	LEPT                  []int    `json:"lept,omitempty"`
+	ExactWeightedFlowtime *float64 `json:"exact_weighted_flowtime,omitempty"`
+}

@@ -1,0 +1,169 @@
+package api
+
+import "fmt"
+
+// ---------------------------------------------------------------------------
+// POST /v1/simulate — the kind-dispatched Monte Carlo envelope.
+
+// SimulateRequest is the body of POST /v1/simulate: the kind-independent
+// envelope (kind, seed, replications, parallel) plus exactly one payload
+// field named after the kind. The pointer fields are mutually exclusive;
+// Payload resolves the one matching Kind.
+type SimulateRequest struct {
+	Kind     string       `json:"kind"`
+	MG1      *MG1Sim      `json:"mg1,omitempty"`
+	Bandit   *BanditSim   `json:"bandit,omitempty"`
+	Restless *RestlessSim `json:"restless,omitempty"`
+	Batch    *BatchSim    `json:"batch,omitempty"`
+
+	Seed         uint64 `json:"seed"`
+	Replications int    `json:"replications"`
+	// Parallel caps the worker-pool slots this request's replications fan
+	// out over (0 = server default; the server clamps to its own pool).
+	// Results never depend on it, and it is excluded from SpecHash.
+	Parallel int `json:"parallel,omitempty"`
+}
+
+// Payload returns the payload field matching Kind, or an error when the
+// request carries none (or one under a different kind). Kinds this struct
+// has no field for can still be sent raw — see pkg/client.
+func (r *SimulateRequest) Payload() (any, error) {
+	var p any
+	switch r.Kind {
+	case "mg1":
+		if r.MG1 != nil {
+			p = r.MG1
+		}
+	case "bandit":
+		if r.Bandit != nil {
+			p = r.Bandit
+		}
+	case "restless":
+		if r.Restless != nil {
+			p = r.Restless
+		}
+	case "batch":
+		if r.Batch != nil {
+			p = r.Batch
+		}
+	default:
+		return nil, fmt.Errorf("api: kind %q has no typed payload field", r.Kind)
+	}
+	if p == nil {
+		return nil, fmt.Errorf("api: kind %s needs exactly the %s payload field", r.Kind, r.Kind)
+	}
+	return p, nil
+}
+
+// SpecHash returns the request's canonical content hash — the memoization
+// key the server uses and the spec_hash its response will echo. Clients
+// use it for retry idempotency and response integrity checks.
+func (r *SimulateRequest) SpecHash() (string, error) {
+	payload, err := r.Payload()
+	if err != nil {
+		return "", err
+	}
+	return SimulateHash(r.Kind, payload, r.Seed, r.Replications)
+}
+
+// SimulateResponse is the body of a /v1/simulate response: the
+// kind-independent envelope plus one result fragment under the kind name.
+type SimulateResponse struct {
+	SpecHash     string `json:"spec_hash"`
+	Seed         uint64 `json:"seed"`
+	Replications int64  `json:"replications"`
+
+	MG1      *MG1Result      `json:"mg1,omitempty"`
+	Bandit   *BanditResult   `json:"bandit,omitempty"`
+	Restless *RestlessResult `json:"restless,omitempty"`
+	Batch    *BatchResult    `json:"batch,omitempty"`
+}
+
+// ---------------------------------------------------------------------------
+// Per-kind simulate payloads and results.
+
+// MG1Sim parameterizes an M/G/1 simulation: the system spec, the discipline
+// ("cmu", "fifo", or "klimov" for feedback systems), and the horizon.
+type MG1Sim struct {
+	Spec    MG1     `json:"spec"`
+	Policy  string  `json:"policy"`
+	Horizon float64 `json:"horizon"`
+	Burnin  float64 `json:"burnin"`
+}
+
+// MG1Result carries replication means for the queueing simulation. For
+// feedback (Klimov) systems only the cost rate is estimated.
+type MG1Result struct {
+	Policy       string    `json:"policy"`
+	Order        []int     `json:"order,omitempty"`
+	L            []float64 `json:"l,omitempty"`
+	Wq           []float64 `json:"wq,omitempty"`
+	CostRateMean float64   `json:"cost_rate_mean"`
+	CostRateCI95 float64   `json:"cost_rate_ci95"`
+}
+
+// BanditSim parameterizes a bandit simulation: the system spec, the
+// component start states, and the selection policy ("gittins", the default,
+// or "greedy" — the one-step myopic baseline).
+type BanditSim struct {
+	Spec   BanditSystem `json:"spec"`
+	Start  []int        `json:"start"`
+	Policy string       `json:"policy,omitempty"`
+}
+
+// BanditResult carries the discounted-reward estimate under the selected
+// policy.
+type BanditResult struct {
+	Policy     string  `json:"policy"`
+	RewardMean float64 `json:"reward_mean"`
+	RewardCI95 float64 `json:"reward_ci95"`
+}
+
+// RestlessSim parameterizes a restless-fleet simulation: N iid copies of
+// one two-action restless project, M of which are activated every epoch by
+// a static state-priority rule — "whittle" (scores = Whittle indices),
+// "myopic" (scores = one-step activation advantage R₁ − R₀), or "random"
+// (the unprioritized baseline). Average reward per epoch is measured over
+// [burnin, horizon).
+type RestlessSim struct {
+	Spec    Restless `json:"spec"`
+	N       int      `json:"n"`
+	M       int      `json:"m"`
+	Policy  string   `json:"policy"`
+	Horizon int      `json:"horizon"`
+	Burnin  int      `json:"burnin"`
+}
+
+// RestlessResult carries the average-reward-per-epoch estimate of the
+// fleet under the selected activation rule.
+type RestlessResult struct {
+	Policy     string  `json:"policy"`
+	RewardMean float64 `json:"reward_mean"`
+	RewardCI95 float64 `json:"reward_ci95"`
+}
+
+// BatchSim parameterizes a parallel-machine batch simulation: the instance
+// spec, the list policy computing the dispatch order ("wsept", "sept", or
+// "lept"), and the objective sweeps compare on ("weighted_flowtime", the
+// default; "flowtime"; or "makespan"). All three objectives are always
+// reported — the objective knob only selects the comparison metric.
+type BatchSim struct {
+	Spec      Batch  `json:"spec"`
+	Policy    string `json:"policy"`
+	Objective string `json:"objective,omitempty"`
+}
+
+// BatchResult carries the replication estimates of one list policy on
+// identical parallel machines: the dispatch order and all three realized
+// objectives.
+type BatchResult struct {
+	Policy               string  `json:"policy"`
+	Objective            string  `json:"objective"`
+	Order                []int   `json:"order"`
+	MakespanMean         float64 `json:"makespan_mean"`
+	MakespanCI95         float64 `json:"makespan_ci95"`
+	FlowtimeMean         float64 `json:"flowtime_mean"`
+	FlowtimeCI95         float64 `json:"flowtime_ci95"`
+	WeightedFlowtimeMean float64 `json:"weighted_flowtime_mean"`
+	WeightedFlowtimeCI95 float64 `json:"weighted_flowtime_ci95"`
+}

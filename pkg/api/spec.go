@@ -1,0 +1,95 @@
+package api
+
+// This file holds the canonical problem-spec shapes. They are pure data:
+// strict decoding, deep validation (row-stochasticity, queue stability),
+// and conversion into solver models happen server-side (internal/spec),
+// so the wire contract stays dependency-free.
+
+// Dist describes a nonnegative service/processing-time law. Kind selects
+// the family; the other fields parameterize it:
+//
+//	{"kind": "exp", "rate": 2}        exponential, rate 2 (or "mean": 0.5)
+//	{"kind": "det", "value": 1.5}     point mass
+//	{"kind": "uniform", "lo": 0, "hi": 2}
+//	{"kind": "erlang", "k": 3, "rate": 2}
+type Dist struct {
+	Kind  string  `json:"kind"`
+	Rate  float64 `json:"rate,omitempty"`
+	Mean  float64 `json:"mean,omitempty"`
+	Value float64 `json:"value,omitempty"`
+	Lo    float64 `json:"lo,omitempty"`
+	Hi    float64 `json:"hi,omitempty"`
+	K     int     `json:"k,omitempty"`
+}
+
+// Bandit is a single discounted bandit project: the body of POST
+// /v1/gittins (and the "bandit" payload of POST /v1/index). Beta is the
+// discount in (0,1); Transitions is a row-stochastic n×n matrix; Rewards
+// has length n.
+type Bandit struct {
+	Beta        float64     `json:"beta"`
+	Transitions [][]float64 `json:"transitions"`
+	Rewards     []float64   `json:"rewards"`
+}
+
+// BanditSystem is a multi-project bandit for simulation: the spec inside
+// a BanditSim payload.
+type BanditSystem struct {
+	Beta     float64 `json:"beta"`
+	Projects []Arm   `json:"projects"`
+}
+
+// Arm is one project of a BanditSystem.
+type Arm struct {
+	Transitions [][]float64 `json:"transitions"`
+	Rewards     []float64   `json:"rewards"`
+}
+
+// Action holds the dynamics of one action of a restless project.
+type Action struct {
+	Transitions [][]float64 `json:"transitions"`
+	Rewards     []float64   `json:"rewards"`
+}
+
+// Restless is a two-action restless project: the body of POST /v1/whittle
+// (minus the check_indexability knob — see WhittleRequest).
+type Restless struct {
+	Beta    float64 `json:"beta"`
+	Passive Action  `json:"passive"`
+	Active  Action  `json:"active"`
+}
+
+// Class describes one customer class of a multiclass M/G/1. Exactly one
+// of ServiceMean (shorthand for an exponential law with that mean) and
+// Service must be set.
+type Class struct {
+	Name        string  `json:"name,omitempty"`
+	Rate        float64 `json:"rate"`
+	ServiceMean float64 `json:"service_mean,omitempty"`
+	Service     *Dist   `json:"service,omitempty"`
+	HoldCost    float64 `json:"hold_cost"`
+}
+
+// MG1 is a multiclass M/G/1 system; a nonempty Feedback matrix turns it
+// into a Klimov network (row i gives the probabilities a completed class-i
+// job re-enters as class j; the row deficit is the exit probability).
+type MG1 struct {
+	Classes  []Class     `json:"classes"`
+	Feedback [][]float64 `json:"feedback,omitempty"`
+}
+
+// HasFeedback reports whether the spec describes a Klimov network.
+func (m *MG1) HasFeedback() bool { return len(m.Feedback) > 0 }
+
+// JobSpec is one stochastic job of a batch instance.
+type JobSpec struct {
+	Weight float64 `json:"weight"`
+	Dist   Dist    `json:"dist"`
+}
+
+// Batch is a batch-scheduling instance: jobs on Machines identical
+// machines (default 1).
+type Batch struct {
+	Jobs     []JobSpec `json:"jobs"`
+	Machines int       `json:"machines,omitempty"`
+}

@@ -1,0 +1,57 @@
+package api
+
+import "encoding/json"
+
+// ---------------------------------------------------------------------------
+// GET /v1/stats — point-in-time service counters.
+
+// EndpointStats is one endpoint's counters.
+type EndpointStats struct {
+	Requests     int64   `json:"requests"`
+	CacheHits    int64   `json:"cache_hits"`
+	CacheMisses  int64   `json:"cache_misses"`
+	Deduplicated int64   `json:"deduplicated"`
+	Shed         int64   `json:"shed"`
+	Errors       int64   `json:"errors"`
+	HitRate      float64 `json:"hit_rate"`
+	AvgLatencyMs float64 `json:"avg_latency_ms"`
+	// BatchItems counts the individual calls fanned out by /v1/batch
+	// requests (only the "batch" endpoint reports it).
+	BatchItems int64 `json:"batch_items,omitempty"`
+}
+
+// CacheStats is a point-in-time view of the response cache: total and
+// per-shard entry counts (including in-flight entries) and the cumulative
+// number of evictions.
+type CacheStats struct {
+	Entries      int   `json:"entries"`
+	Evictions    int64 `json:"evictions"`
+	ShardEntries []int `json:"shard_entries"`
+}
+
+// SweepStoreStats summarizes the async sweep job store.
+type SweepStoreStats struct {
+	Jobs      int   `json:"jobs"`
+	Running   int   `json:"running"`
+	Evictions int64 `json:"evictions"`
+}
+
+// StatsResponse is the body of GET /v1/stats. The legacy top-level
+// cache_entries field (kept for pre-sweep clients) is not a struct field:
+// MarshalJSON derives it from Cache.Entries, so the two can never disagree.
+type StatsResponse struct {
+	Endpoints map[string]EndpointStats `json:"endpoints"`
+	Cache     CacheStats               `json:"cache"`
+	Sweeps    SweepStoreStats          `json:"sweeps"`
+	InFlight  int                      `json:"in_flight"`
+	Waiting   int64                    `json:"waiting"`
+}
+
+// MarshalJSON appends the derived cache_entries compatibility field.
+func (r StatsResponse) MarshalJSON() ([]byte, error) {
+	type alias StatsResponse // drops the method, avoiding recursion
+	return json.Marshal(struct {
+		alias
+		CacheEntries int `json:"cache_entries"`
+	}{alias(r), r.Cache.Entries})
+}

@@ -1,0 +1,98 @@
+package api
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+)
+
+// ---------------------------------------------------------------------------
+// /v1/sweep — asynchronous parameter sweeps.
+
+// SweepRequest is a sweep submission: the body of POST /v1/sweep.
+type SweepRequest struct {
+	// Base is a complete /v1/simulate request body; grid axes and policies
+	// override paths inside it.
+	Base json.RawMessage `json:"base"`
+	// Grid declares the parameter overrides; the empty grid has one point.
+	Grid Grid `json:"grid"`
+	// Policies lists the values substituted at the base kind's policy path
+	// (e.g. mg1.policy, restless.policy), one simulation per policy per
+	// grid point. Empty means "evaluate base as-is".
+	Policies []string `json:"policies,omitempty"`
+	// Parallel sets the worker-pool size cells fan out over (0 = the
+	// server default). Like the simulate knob it never changes results,
+	// only throughput, and it is excluded from the sweep hash.
+	Parallel int `json:"parallel,omitempty"`
+}
+
+// SweepState is a sweep job's lifecycle stage.
+type SweepState string
+
+const (
+	SweepRunning   SweepState = "running"
+	SweepDone      SweepState = "done"
+	SweepFailed    SweepState = "failed"
+	SweepCancelled SweepState = "cancelled"
+)
+
+// SweepStatus is the JSON body of GET /v1/sweep/{id} (and of the 202
+// accepted response). CellsDone counts cells whose execution has settled
+// in arrival order — computed, failed, or (after cancellation) abandoned —
+// so it reaches CellsTotal even for a cancelled job; RowsReady is the
+// count of completed result rows.
+type SweepStatus struct {
+	ID         string     `json:"id"`
+	SweepHash  string     `json:"sweep_hash"`
+	State      SweepState `json:"state"`
+	Points     int        `json:"points"`
+	Policies   []string   `json:"policies"`
+	CellsTotal int        `json:"cells_total"`
+	CellsDone  int        `json:"cells_done"`
+	RowsReady  int        `json:"rows_ready"`
+	Error      string     `json:"error,omitempty"`
+}
+
+// SweepParam is one grid coordinate of a row: the axis path and the value
+// this point takes on it.
+type SweepParam struct {
+	Path  string  `json:"path"`
+	Value float64 `json:"value"`
+}
+
+// SweepPolicyResult is one policy's performance at one grid point.
+type SweepPolicyResult struct {
+	Policy   string  `json:"policy"`
+	SpecHash string  `json:"spec_hash"`
+	Mean     float64 `json:"mean"`
+	CI95     float64 `json:"ci95"`
+	// Regret is the gap to the best policy at this point, oriented so 0 is
+	// best and larger is worse for both metric senses (cost: mean − min;
+	// reward: max − mean).
+	Regret float64 `json:"regret"`
+}
+
+// SweepRow is one grid point's policy comparison: the NDJSON record
+// streamed by GET /v1/sweep/{id}/results, in grid order.
+type SweepRow struct {
+	Point    int                 `json:"point"`
+	Params   []SweepParam        `json:"params,omitempty"`
+	Metric   string              `json:"metric"` // e.g. "cost_rate" (lower wins) or "reward" (higher wins)
+	Best     string              `json:"best"`   // winning policy (first in request order on ties)
+	Policies []SweepPolicyResult `json:"policies"`
+}
+
+// DecodeSweepRows decodes a results NDJSON stream into typed rows, in
+// grid order.
+func DecodeSweepRows(stream []byte) ([]SweepRow, error) {
+	var rows []SweepRow
+	dec := json.NewDecoder(bytes.NewReader(stream))
+	for dec.More() {
+		var row SweepRow
+		if err := dec.Decode(&row); err != nil {
+			return nil, fmt.Errorf("api: decoding sweep row %d: %w", len(rows), err)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}

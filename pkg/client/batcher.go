@@ -1,0 +1,216 @@
+package client
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"stochsched/pkg/api"
+)
+
+// Batcher is the batching transport: it coalesces concurrent single calls
+// into POST /v1/batch round trips, amortizing per-call HTTP overhead for
+// high-traffic callers. Calls enqueue; a batch flushes as soon as it holds
+// MaxItems calls or the oldest call has lingered Linger, whichever comes
+// first. Results are demultiplexed back to each caller with single-call
+// semantics: a caller observes exactly the status and body its own request
+// would have produced, so one sibling's bad spec or shed never fails it.
+//
+// A Batcher is safe for concurrent use — concurrency is what it is for.
+// Sequential callers gain nothing (every batch would hold one item); point
+// worker pools or fan-out loops at it.
+type Batcher struct {
+	c        *Client
+	maxItems int
+	linger   time.Duration
+
+	mu      sync.Mutex
+	pending []*batchCall
+	timer   *time.Timer
+	closed  bool
+}
+
+// batchCall is one enqueued call and its reply channel.
+type batchCall struct {
+	op   string
+	body []byte
+	done chan struct{}
+	resp []byte
+	err  error
+}
+
+// BatcherOption configures a Batcher.
+type BatcherOption func(*Batcher)
+
+// WithBatchMaxItems caps the calls per flushed batch (default 16; keep it
+// at or below the server's -batch-max-items).
+func WithBatchMaxItems(n int) BatcherOption {
+	return func(b *Batcher) {
+		if n > 0 {
+			b.maxItems = n
+		}
+	}
+}
+
+// WithBatchLinger sets how long the first call of a batch waits for
+// company before the batch flushes anyway (default 2ms). Zero flushes
+// every call immediately (useful in tests, pointless in production).
+func WithBatchLinger(d time.Duration) BatcherOption {
+	return func(b *Batcher) { b.linger = d }
+}
+
+// Batcher returns a batching transport over this client.
+func (c *Client) Batcher(opts ...BatcherOption) *Batcher {
+	b := &Batcher{c: c, maxItems: 16, linger: 2 * time.Millisecond}
+	for _, o := range opts {
+		o(b)
+	}
+	return b
+}
+
+// Do enqueues one call (op api.OpIndex or api.OpSimulate with the
+// corresponding single-call body) and blocks until its batch lands.
+// Cancelling ctx abandons the wait, not the batch: the flush still
+// executes server-side (idempotently, so nothing is wasted — a retry hits
+// the cache). Per-item 429s are retried with the client's backoff policy
+// (re-enqueued into a later batch), so a batched call sheds exactly when
+// the equivalent single call would have.
+func (b *Batcher) Do(ctx context.Context, op string, body []byte) ([]byte, error) {
+	return b.c.withRetry(ctx, func() ([]byte, error) {
+		return b.once(ctx, op, body)
+	})
+}
+
+// once enqueues one call into the current batch and waits for its result.
+func (b *Batcher) once(ctx context.Context, op string, body []byte) ([]byte, error) {
+	call := &batchCall{op: op, body: body, done: make(chan struct{})}
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return nil, fmt.Errorf("client: batcher is closed")
+	}
+	b.pending = append(b.pending, call)
+	switch {
+	case len(b.pending) >= b.maxItems:
+		b.flushLocked()
+	case len(b.pending) == 1 && b.linger > 0:
+		b.timer = time.AfterFunc(b.linger, b.Flush)
+	case b.linger <= 0:
+		b.flushLocked()
+	}
+	b.mu.Unlock()
+
+	select {
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	case <-call.done:
+		return call.resp, call.err
+	}
+}
+
+// Flush sends whatever is pending immediately.
+func (b *Batcher) Flush() {
+	b.mu.Lock()
+	b.flushLocked()
+	b.mu.Unlock()
+}
+
+// Close flushes the pending batch and rejects further calls. In-flight
+// batches complete; it does not wait for them.
+func (b *Batcher) Close() {
+	b.mu.Lock()
+	b.flushLocked()
+	b.closed = true
+	b.mu.Unlock()
+}
+
+// flushLocked takes the pending queue and dispatches it. Callers hold mu.
+func (b *Batcher) flushLocked() {
+	if b.timer != nil {
+		b.timer.Stop()
+		b.timer = nil
+	}
+	if len(b.pending) == 0 {
+		return
+	}
+	calls := b.pending
+	b.pending = nil
+	go b.send(calls)
+}
+
+// send executes one flushed batch and demultiplexes the results. The
+// batch request runs under a background context (the calls inside belong
+// to many callers whose individual contexts only govern their own waits)
+// and as a SINGLE attempt: the retry policy lives in each call's Do loop,
+// so a 429 — whole-batch or per-item — is retried per call with a linear
+// budget, exactly like the equivalent single request, instead of
+// compounding a transport-level retry with the per-call one.
+func (b *Batcher) send(calls []*batchCall) {
+	req := &api.BatchRequest{Items: make([]api.BatchItem, len(calls))}
+	for i, call := range calls {
+		req.Items[i] = api.BatchItem{Op: call.op, Body: call.body}
+	}
+	resp, err := b.c.batchAttempt(context.Background(), req)
+	for i, call := range calls {
+		if err != nil {
+			call.err = err
+		} else {
+			item := resp.Items[i]
+			if item.Status == http.StatusOK {
+				call.resp = item.Body
+			} else {
+				call.err = decodeError(item.Status, item.Body)
+			}
+		}
+		close(call.done)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Typed single-call views over the batching transport: the same signatures
+// as the Client methods, transparently coalesced.
+
+// batchJSON marshals req, routes it through the batcher, and decodes into *T.
+func batchJSON[T any](ctx context.Context, b *Batcher, op string, req any) (*T, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, fmt.Errorf("client: encoding request: %w", err)
+	}
+	raw, err := b.Do(ctx, op, body)
+	if err != nil {
+		return nil, err
+	}
+	var out T
+	if err := json.Unmarshal(raw, &out); err != nil {
+		return nil, fmt.Errorf("client: decoding batched %s response: %w", op, err)
+	}
+	return &out, nil
+}
+
+// Gittins is Client.Gittins through the batching transport.
+func (b *Batcher) Gittins(ctx context.Context, spec *api.Bandit) (*api.GittinsResponse, error) {
+	return batchJSON[api.GittinsResponse](ctx, b, api.OpIndex,
+		&api.IndexRequest{Kind: "bandit", Bandit: spec})
+}
+
+// Whittle is Client.Whittle through the batching transport.
+func (b *Batcher) Whittle(ctx context.Context, req *api.WhittleRequest) (*api.WhittleResponse, error) {
+	return batchJSON[api.WhittleResponse](ctx, b, api.OpIndex,
+		&api.IndexRequest{Kind: "restless", Restless: req})
+}
+
+// Priority is Client.Priority through the batching transport.
+func (b *Batcher) Priority(ctx context.Context, req *api.PriorityRequest) (*api.PriorityResponse, error) {
+	return batchJSON[api.PriorityResponse](ctx, b, api.OpIndex, req)
+}
+
+// Simulate is Client.Simulate through the batching transport, including
+// the spec-hash integrity check.
+func (b *Batcher) Simulate(ctx context.Context, req *api.SimulateRequest) (*api.SimulateResponse, error) {
+	return verifySimulate(req, func(r *api.SimulateRequest) (*api.SimulateResponse, error) {
+		return batchJSON[api.SimulateResponse](ctx, b, api.OpSimulate, r)
+	})
+}

@@ -49,10 +49,10 @@ stop_daemon() {
     DAEMON_PID=""
 }
 
-check_endpoint() { # $1 = testdata stem, $2 = endpoint path (default /v1/$1)
+check_endpoint() { # $1 = testdata stem, $2 = endpoint path (default /v1/$1), $3 = golden stem (default $1)
     ep="${2:-$1}"
     req="$TESTDATA/${1}_req.json"
-    golden="$TESTDATA/${1}_golden.json"
+    golden="$TESTDATA/${3:-$1}_golden.json"
     out="$TMP/${1}_resp.json"
     curl -fsS -X POST --data-binary "@$req" "$BASE/v1/$ep" -o "$out"
     if [ "${REGEN:-}" = "1" ]; then
@@ -76,6 +76,13 @@ done
 for kind in restless batch; do
     check_endpoint "simulate_$kind" simulate
 done
+
+# The v2 index surface: the kind-dispatched /v1/index envelope must answer
+# the legacy gittins golden byte-identically (shared computation, shared
+# cache), and a heterogeneous /v1/batch (two index calls + one simulate)
+# pins its own golden.
+check_endpoint index index gittins
+check_endpoint batch
 
 # A repeated request must be a cache hit.
 hdr="$(curl -fsS -D - -o /dev/null -X POST --data-binary "@$TESTDATA/gittins_req.json" "$BASE/v1/gittins")"
@@ -180,6 +187,17 @@ for stem in simulate simulate_restless simulate_batch; do
     fi
 done
 echo "ok simulate determinism across -parallel 1/8 (mg1, restless, batch)"
+
+# The batch response (whose third item is a simulation) must also be
+# byte-identical on the -parallel 8 daemon: batched execution preserves
+# the engine's determinism contract item by item.
+curl -fsS -X POST --data-binary "@$TESTDATA/batch_req.json" "$BASE/v1/batch" -o "$TMP/batch_p8.json"
+if ! cmp -s "$TMP/batch_p8.json" "$TESTDATA/batch_golden.json"; then
+    echo "FAIL: /v1/batch differs between -parallel 1 and -parallel 8:" >&2
+    diff "$TESTDATA/batch_golden.json" "$TMP/batch_p8.json" >&2 || true
+    exit 1
+fi
+echo "ok batch determinism across -parallel 1/8"
 
 # The whole sweep streams must also be byte-identical on the -parallel 8
 # daemon (fresh cache, so every cell recomputes).
