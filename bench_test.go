@@ -162,6 +162,10 @@ func BenchmarkSimulate(b *testing.B) {
 		    {"weight":4,"dist":{"kind":"det","value":1}},
 		    {"weight":1,"dist":{"kind":"exp","mean":0.5}}],"machines":2},
 		  "policy":"wsept"},"seed":%d,"replications":40}`,
+		"mmm": `{"kind":"mmm","mmm":{"spec":{"classes":[
+		    {"rate":0.9,"service_mean":1,"hold_cost":4.5},
+		    {"rate":0.6,"service_mean":1,"hold_cost":1}],"servers":3},
+		  "policy":"cmu","horizon":400,"burnin":50},"seed":%d,"replications":10}`,
 	}
 	run := func(b *testing.B, h http.Handler, body func(i int) string) {
 		b.Helper()
@@ -174,7 +178,7 @@ func BenchmarkSimulate(b *testing.B) {
 			}
 		}
 	}
-	for _, kind := range []string{"mg1", "bandit", "restless", "batch"} {
+	for _, kind := range []string{"mg1", "mmm", "bandit", "restless", "batch"} {
 		tmpl := bodies[kind]
 		b.Run(kind+"/cold", func(b *testing.B) {
 			h := service.New(service.Config{}).Handler()

@@ -1,0 +1,422 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"text/tabwriter"
+	"time"
+
+	"stochsched/pkg/api"
+	"stochsched/pkg/client"
+)
+
+// runLoadgen implements the `stochsched loadgen` subcommand: an open-loop
+// soak of a policy service through pkg/client — a weighted mix of
+// /v1/index, /v1/simulate, and /v1/batch calls at a target rate — followed
+// by a client-side latency report and the server's own /v1/stats latency
+// histograms, which is how the daemon's histogram wiring is exercised end
+// to end.
+func runLoadgen(args []string) int {
+	fs := flag.NewFlagSet("loadgen", flag.ExitOnError)
+	addr := fs.String("addr", "", "daemon base URL (empty = soak an in-process service handler)")
+	rps := fs.Float64("rps", 50, "target aggregate request rate (0 = closed loop at full concurrency)")
+	concurrency := fs.Int("concurrency", 4, "concurrent workers")
+	duration := fs.Duration("duration", 10*time.Second, "soak duration")
+	mix := fs.String("mix", "index=1,simulate=1,batch=1", "endpoint weights (index, simulate, batch)")
+	seed := fs.Uint64("seed", 1, "base seed varying the generated request specs")
+	parallel := fs.Int("parallel", 0, "in-process worker pool size (ignored with -addr)")
+	check := fs.Bool("check", false, "exit nonzero on any non-429 error or missing server histograms")
+	fs.Usage = func() {
+		fmt.Fprint(fs.Output(), `usage: stochsched loadgen [-addr URL] [-rps N] [-concurrency N] [-duration D] [-mix index=1,simulate=1,batch=1] [-check]
+
+Soaks a policy service through the Go SDK with a weighted mix of index,
+simulate, and batch requests, then prints client-observed latency
+quantiles per endpoint and the server-side /v1/stats latency histograms.
+With -check it exits 1 unless the soak saw zero non-429 errors and the
+server reported populated histograms for every driven endpoint.
+`)
+		fs.PrintDefaults()
+	}
+	fs.Parse(args)
+
+	weights, err := parseMix(*mix)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	cfg := loadgenConfig{
+		RPS:         *rps,
+		Concurrency: *concurrency,
+		Duration:    *duration,
+		Mix:         weights,
+		Seed:        *seed,
+	}
+	var c *client.Client
+	if *addr != "" {
+		c = client.New(*addr, client.WithHTTPClient(&http.Client{Timeout: 30 * time.Second}))
+	} else {
+		c = localClient(*parallel)
+	}
+	rep, err := loadgen(context.Background(), c, cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	rep.print(os.Stdout)
+	if *check {
+		if msgs := rep.checkFailures(); len(msgs) > 0 {
+			for _, m := range msgs {
+				fmt.Fprintln(os.Stderr, "loadgen check failed:", m)
+			}
+			return 1
+		}
+		fmt.Println("loadgen check passed")
+	}
+	return 0
+}
+
+// parseMix decodes "index=1,simulate=1,batch=1" into endpoint weights.
+func parseMix(s string) (map[string]int, error) {
+	out := map[string]int{}
+	total := 0
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, val, ok := strings.Cut(part, "=")
+		if !ok {
+			return nil, fmt.Errorf("loadgen: mix entry %q is not name=weight", part)
+		}
+		w, err := strconv.Atoi(val)
+		if err != nil || w < 0 {
+			return nil, fmt.Errorf("loadgen: mix weight %q is not a nonnegative integer", val)
+		}
+		switch name {
+		case opIndex, opSimulate, opBatch:
+		default:
+			return nil, fmt.Errorf("loadgen: unknown mix endpoint %q (want index, simulate, or batch)", name)
+		}
+		out[name] = w
+		total += w
+	}
+	if total == 0 {
+		return nil, fmt.Errorf("loadgen: mix %q has no positive weights", s)
+	}
+	return out, nil
+}
+
+const (
+	opIndex    = "index"
+	opSimulate = "simulate"
+	opBatch    = "batch"
+)
+
+// loadgenConfig parameterizes one soak.
+type loadgenConfig struct {
+	RPS         float64
+	Concurrency int
+	Duration    time.Duration
+	Mix         map[string]int
+	Seed        uint64
+}
+
+// pattern expands the mix weights into the deterministic op cycle the
+// workers draw from (sorted names, so the cycle is reproducible).
+func (c *loadgenConfig) pattern() []string {
+	names := make([]string, 0, len(c.Mix))
+	for name, w := range c.Mix {
+		if w > 0 {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	var p []string
+	for _, name := range names {
+		for i := 0; i < c.Mix[name]; i++ {
+			p = append(p, name)
+		}
+	}
+	return p
+}
+
+// endpointLoad aggregates one endpoint's client-side observations.
+type endpointLoad struct {
+	mu      sync.Mutex
+	ms      []float64 // per-op latencies, milliseconds
+	shed    int64     // 429 after the client's retry budget
+	errs    int64     // everything else
+	lastErr string
+}
+
+func (e *endpointLoad) observe(d time.Duration, err error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.ms = append(e.ms, float64(d)/float64(time.Millisecond))
+	if err == nil {
+		return
+	}
+	var apiErr *client.APIError
+	if errors.As(err, &apiErr) && apiErr.Status == http.StatusTooManyRequests {
+		e.shed++
+		return
+	}
+	e.errs++
+	e.lastErr = err.Error()
+}
+
+// quantile returns the exact q-quantile of the sorted sample in ms.
+func quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(sorted)-1))
+	return sorted[i]
+}
+
+// loadgenReport is the outcome of one soak: per-endpoint client-side
+// latencies plus the server's /v1/stats snapshot taken after the run.
+type loadgenReport struct {
+	Elapsed   time.Duration
+	Ops       int64
+	Skipped   int64 // open-loop ticks dropped because every worker was busy
+	Endpoints map[string]*endpointLoad
+	Stats     *api.StatsResponse
+	StatsErr  error
+	driven    []string
+}
+
+// loadgen runs the soak: Concurrency workers consume an open-loop tick
+// stream at RPS (or spin closed-loop when RPS is 0), each op walking the
+// deterministic mix cycle and varying its request spec by op number, so a
+// soak mixes cache hits with genuinely new computations.
+func loadgen(ctx context.Context, c *client.Client, cfg loadgenConfig) (*loadgenReport, error) {
+	pattern := cfg.pattern()
+	if len(pattern) == 0 {
+		return nil, fmt.Errorf("loadgen: empty op mix")
+	}
+	if cfg.Concurrency < 1 || cfg.Duration <= 0 {
+		return nil, fmt.Errorf("loadgen: need concurrency >= 1 and a positive duration")
+	}
+	rep := &loadgenReport{Endpoints: map[string]*endpointLoad{}}
+	for _, op := range pattern {
+		if rep.Endpoints[op] == nil {
+			rep.Endpoints[op] = &endpointLoad{}
+			rep.driven = append(rep.driven, op)
+		}
+	}
+	sort.Strings(rep.driven)
+
+	ctx, cancel := context.WithTimeout(ctx, cfg.Duration)
+	defer cancel()
+	var opN atomic.Int64
+	runOp := func() {
+		n := opN.Add(1) - 1
+		op := pattern[n%int64(len(pattern))]
+		begin := time.Now()
+		err := issue(ctx, c, op, cfg.Seed, n)
+		if ctx.Err() != nil && err != nil {
+			return // deadline tore the call down; not a service error
+		}
+		rep.Endpoints[op].observe(time.Since(begin), err)
+	}
+
+	// Open loop: a ticker feeds a bounded token channel; a tick nobody can
+	// pick up within the buffer is recorded as skipped (the service could
+	// not sustain the target rate with this concurrency). Closed loop
+	// (RPS 0): workers fire back-to-back.
+	var ticks chan struct{}
+	if cfg.RPS > 0 {
+		ticks = make(chan struct{}, cfg.Concurrency)
+		interval := time.Duration(float64(time.Second) / cfg.RPS)
+		if interval <= 0 {
+			interval = time.Nanosecond
+		}
+		go func() {
+			t := time.NewTicker(interval)
+			defer t.Stop()
+			for {
+				select {
+				case <-ctx.Done():
+					close(ticks)
+					return
+				case <-t.C:
+					select {
+					case ticks <- struct{}{}:
+					default:
+						rep.Skipped++ // only this goroutine writes Skipped
+					}
+				}
+			}
+		}()
+	}
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.Concurrency; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if ticks != nil {
+				for range ticks {
+					runOp()
+				}
+				return
+			}
+			for ctx.Err() == nil {
+				runOp()
+			}
+		}()
+	}
+	wg.Wait()
+	rep.Elapsed = time.Since(start)
+	for _, e := range rep.Endpoints {
+		sort.Float64s(e.ms)
+		rep.Ops += int64(len(e.ms))
+	}
+
+	// The stats snapshot is the server's half of the report; fetch it with
+	// a fresh context — the soak deadline has just expired.
+	statsCtx, statsCancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer statsCancel()
+	rep.Stats, rep.StatsErr = c.Stats(statsCtx)
+	return rep, nil
+}
+
+// issue fires one request of the given op, with the spec varied by op
+// number n so the soak covers both cache hits and misses.
+func issue(ctx context.Context, c *client.Client, op string, seed uint64, n int64) error {
+	switch op {
+	case opIndex:
+		_, err := c.IndexRaw(ctx, indexBody(n))
+		return err
+	case opSimulate:
+		_, err := c.SimulateRaw(ctx, simulateBody(seed, n))
+		return err
+	case opBatch:
+		resp, err := c.Batch(ctx, &api.BatchRequest{Items: []api.BatchItem{
+			{Op: api.OpIndex, Body: indexBody(n)},
+			{Op: api.OpSimulate, Body: simulateBody(seed, n+1)},
+		}})
+		if err != nil {
+			return err
+		}
+		for _, item := range resp.Items {
+			if item.Status != http.StatusOK {
+				return &client.APIError{Status: item.Status, Message: string(item.Body)}
+			}
+		}
+		return nil
+	}
+	return fmt.Errorf("loadgen: unknown op %q", op)
+}
+
+// indexBody cycles through 8 distinct M/M/m index requests — the new mmm
+// kind, so a soak also exercises the Erlang-C analytic path.
+func indexBody(n int64) []byte {
+	return []byte(fmt.Sprintf(`{"kind":"mmm","mmm":{"servers":2,"classes":[`+
+		`{"rate":0.9,"service_mean":1,"hold_cost":%d},`+
+		`{"rate":0.6,"service_mean":0.8,"hold_cost":1}]}}`, 2+n%8))
+}
+
+// simulateBody cycles through 16 seeds of a small M/G/1 simulation.
+func simulateBody(seed uint64, n int64) []byte {
+	return []byte(fmt.Sprintf(`{"kind":"mg1","mg1":{"spec":{"classes":[`+
+		`{"rate":0.5,"service_mean":1,"hold_cost":2},`+
+		`{"rate":0.3,"service_mean":0.5,"hold_cost":1}]},`+
+		`"policy":"cmu","horizon":40,"burnin":5},"seed":%d,"replications":4}`,
+		seed+uint64(n%16)))
+}
+
+// print renders the client-side table and the server-side histograms.
+func (r *loadgenReport) print(w io.Writer) {
+	fmt.Fprintf(w, "soak: %d ops in %v (%.1f req/s achieved", r.Ops, r.Elapsed.Round(time.Millisecond), float64(r.Ops)/r.Elapsed.Seconds())
+	if r.Skipped > 0 {
+		fmt.Fprintf(w, ", %d ticks skipped", r.Skipped)
+	}
+	fmt.Fprintln(w, ")")
+
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "endpoint\tops\terrors\tshed\tp50 ms\tp95 ms\tp99 ms\tmax ms")
+	for _, op := range r.driven {
+		e := r.Endpoints[op]
+		max := 0.0
+		if len(e.ms) > 0 {
+			max = e.ms[len(e.ms)-1]
+		}
+		fmt.Fprintf(tw, "%s\t%d\t%d\t%d\t%.3f\t%.3f\t%.3f\t%.3f\n",
+			op, len(e.ms), e.errs, e.shed,
+			quantile(e.ms, 0.50), quantile(e.ms, 0.95), quantile(e.ms, 0.99), max)
+		if e.lastErr != "" {
+			fmt.Fprintf(tw, "\tlast error: %s\n", e.lastErr)
+		}
+	}
+	tw.Flush()
+
+	if r.StatsErr != nil {
+		fmt.Fprintf(w, "server stats unavailable: %v\n", r.StatsErr)
+		return
+	}
+	fmt.Fprintf(w, "server: pool workers %d, in-flight %d, queue depth %d\n",
+		r.Stats.Engine.Workers, r.Stats.Engine.InFlight, r.Stats.Engine.QueueDepth)
+	tw = tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "server endpoint\trequests\tp50 ms\tp95 ms\tp99 ms\tmax ms")
+	for _, op := range r.driven {
+		ep, ok := r.Stats.Endpoints[op]
+		if !ok || ep.Latency == nil {
+			fmt.Fprintf(tw, "%s\t-\t(no histogram)\n", op)
+			continue
+		}
+		h := ep.Latency
+		fmt.Fprintf(tw, "%s\t%d\t%.3f\t%.3f\t%.3f\t%.3f\n", op, h.Count, h.P50Ms, h.P95Ms, h.P99Ms, h.MaxMs)
+	}
+	tw.Flush()
+}
+
+// checkFailures returns the reasons a -check soak should fail: any non-429
+// error, an unreachable stats endpoint, or a driven endpoint whose server
+// histogram never populated.
+func (r *loadgenReport) checkFailures() []string {
+	var msgs []string
+	for _, op := range r.driven {
+		e := r.Endpoints[op]
+		if e.errs > 0 {
+			msgs = append(msgs, fmt.Sprintf("%s: %d non-429 errors (last: %s)", op, e.errs, e.lastErr))
+		}
+		if len(e.ms) == 0 {
+			msgs = append(msgs, fmt.Sprintf("%s: no operations completed", op))
+		}
+	}
+	if r.StatsErr != nil {
+		return append(msgs, fmt.Sprintf("stats: %v", r.StatsErr))
+	}
+	for _, op := range r.driven {
+		ep, ok := r.Stats.Endpoints[op]
+		if !ok || ep.Latency == nil || ep.Latency.Count == 0 {
+			msgs = append(msgs, fmt.Sprintf("%s: server reported no latency histogram", op))
+			continue
+		}
+		// P99 may exceed MaxMs slightly: quantiles interpolate inside the
+		// top bucket, the max is exact. Monotone quantiles are guaranteed.
+		h := ep.Latency
+		if len(h.Buckets) == 0 || h.P50Ms <= 0 || h.P95Ms < h.P50Ms || h.P99Ms < h.P95Ms || h.MaxMs <= 0 {
+			raw, _ := json.Marshal(h)
+			msgs = append(msgs, fmt.Sprintf("%s: malformed server histogram %s", op, raw))
+		}
+	}
+	if r.Stats.Engine.Workers < 1 {
+		msgs = append(msgs, fmt.Sprintf("engine: reported %d workers", r.Stats.Engine.Workers))
+	}
+	return msgs
+}

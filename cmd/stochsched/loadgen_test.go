@@ -1,0 +1,99 @@
+package main
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestParseMix(t *testing.T) {
+	m, err := parseMix("index=2,simulate=1,batch=0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m[opIndex] != 2 || m[opSimulate] != 1 || m[opBatch] != 0 {
+		t.Errorf("mix %v", m)
+	}
+	cfg := loadgenConfig{Mix: m}
+	if got := strings.Join(cfg.pattern(), ","); got != "index,index,simulate" {
+		t.Errorf("pattern %q", got)
+	}
+	for _, bad := range []string{"", "index", "index=x", "index=-1", "gittins=1", "index=0"} {
+		if _, err := parseMix(bad); err == nil {
+			t.Errorf("mix %q accepted", bad)
+		}
+	}
+}
+
+// TestLoadgenInProcess drives a short closed-loop soak against an
+// in-process service and requires a clean -check verdict: no errors, and
+// server-side latency histograms populated for every driven endpoint.
+func TestLoadgenInProcess(t *testing.T) {
+	cfg := loadgenConfig{
+		RPS:         0, // closed loop: fastest way to accumulate ops in a test
+		Concurrency: 2,
+		Duration:    500 * time.Millisecond,
+		Mix:         map[string]int{opIndex: 1, opSimulate: 1, opBatch: 1},
+		Seed:        42,
+	}
+	rep, err := loadgen(context.Background(), localClient(2), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Ops == 0 {
+		t.Fatal("soak completed no operations")
+	}
+	for op, e := range rep.Endpoints {
+		if e.errs > 0 {
+			t.Errorf("%s: %d errors (last: %s)", op, e.errs, e.lastErr)
+		}
+	}
+	if msgs := rep.checkFailures(); len(msgs) > 0 {
+		t.Errorf("check failures: %v", msgs)
+	}
+	if rep.Stats == nil || rep.Stats.Engine.Workers != 2 {
+		t.Errorf("engine stats %+v", rep.Stats.Engine)
+	}
+	var sb strings.Builder
+	rep.print(&sb)
+	out := sb.String()
+	for _, want := range []string{"endpoint", "server: pool workers 2", "server endpoint", "batch", "index", "simulate"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestLoadgenOpenLoopTicks: the open-loop path must pace rather than spin
+// and still report server stats.
+func TestLoadgenOpenLoop(t *testing.T) {
+	cfg := loadgenConfig{
+		RPS:         200,
+		Concurrency: 2,
+		Duration:    400 * time.Millisecond,
+		Mix:         map[string]int{opIndex: 1},
+		Seed:        1,
+	}
+	rep, err := loadgen(context.Background(), localClient(1), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Ops == 0 {
+		t.Fatal("no operations")
+	}
+	// 200 rps for 0.4s: the cheap index op keeps up, so the op count stays
+	// near the tick budget rather than the closed-loop thousands.
+	if rep.Ops > 120 {
+		t.Errorf("open loop did not pace: %d ops in %v", rep.Ops, rep.Elapsed)
+	}
+}
+
+func TestLoadgenRejectsBadConfig(t *testing.T) {
+	if _, err := loadgen(context.Background(), localClient(1), loadgenConfig{Concurrency: 1, Duration: time.Second}); err == nil {
+		t.Error("empty mix accepted")
+	}
+	if _, err := loadgen(context.Background(), localClient(1), loadgenConfig{Mix: map[string]int{opIndex: 1}, Duration: time.Second}); err == nil {
+		t.Error("zero concurrency accepted")
+	}
+}

@@ -31,6 +31,14 @@
 //
 //	stochsched simulate -f request.json
 //	stochsched scenarios
+//
+// The loadgen subcommand soaks a daemon (or an in-process service) through
+// the Go SDK with a weighted index/simulate/batch mix and reports latency
+// quantiles from both sides — the client's measurements and the server's
+// /v1/stats histograms:
+//
+//	stochsched loadgen -rps 100 -concurrency 8 -duration 30s
+//	stochsched loadgen -addr http://localhost:8080 -mix index=2,batch=1
 package main
 
 import (
@@ -55,6 +63,8 @@ func main() {
 			os.Exit(runSimulate(os.Args[2:]))
 		case "scenarios":
 			os.Exit(runScenarios(os.Args[2:]))
+		case "loadgen":
+			os.Exit(runLoadgen(os.Args[2:]))
 		}
 	}
 	list := flag.Bool("list", false, "list all experiments and exit")

@@ -5,6 +5,7 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"sync"
 
 	"stochsched/internal/dist"
 	"stochsched/internal/engine"
@@ -29,6 +30,26 @@ func (h machineHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
 func (h *machineHeap) Push(x any)        { *h = append(*h, x.(float64)) }
 func (h *machineHeap) Pop() any          { old := *h; n := len(old); v := old[n-1]; *h = old[:n-1]; return v }
 
+// heapScratch recycles machine-heap buffers across replications: a
+// replication loop runs the list mechanism thousands of times with the same
+// machine count, so the per-replication heap is scratch, not state. The
+// zeroed heap (all machines free at time 0) is already heap-ordered, so a
+// recycled buffer is indistinguishable from a fresh allocation.
+var heapScratch = sync.Pool{New: func() any { return new(machineHeap) }}
+
+func getMachineHeap(m int) *machineHeap {
+	h := heapScratch.Get().(*machineHeap)
+	if cap(*h) < m {
+		*h = make(machineHeap, m)
+		return h
+	}
+	*h = (*h)[:m]
+	for i := range *h {
+		(*h)[i] = 0
+	}
+	return h
+}
+
 // SimulateParallel runs one replication of a list policy on in.Machines
 // identical machines: whenever a machine frees, the next unstarted job in
 // order o begins there. Returns the realized objectives.
@@ -41,16 +62,23 @@ func SimulateParallel(in *Instance, o Order, s *rng.Stream) ParallelResult {
 	if !validOrder(o, len(in.Jobs)) {
 		panic("batch: invalid order")
 	}
-	m := in.Machines
-	free := make(machineHeap, m)
-	heap.Init(&free)
+	return simulateList(in, o, s)
+}
+
+// simulateList is SimulateParallel after order validation — the replication
+// hot path, which validates the shared order once per estimate rather than
+// once per replication.
+func simulateList(in *Instance, o Order, s *rng.Stream) ParallelResult {
+	hp := getMachineHeap(in.Machines)
+	defer heapScratch.Put(hp)
+	free := *hp // shares hp's backing array; Fix below never changes len
 	var res ParallelResult
 	for _, idx := range o {
 		start := free[0]
 		dur := in.Jobs[idx].Dist.Sample(s)
 		done := start + dur
 		free[0] = done
-		heap.Fix(&free, 0)
+		heap.Fix(hp, 0)
 		res.Flowtime += done
 		res.WeightedFlowtime += in.Jobs[idx].Weight * done
 		if done > res.Makespan {
@@ -72,10 +100,13 @@ type ParallelEstimate struct {
 // objectives, byte-identical for a given seed at any parallelism level.
 // The only possible error is cancellation of ctx.
 func EstimateParallel(ctx context.Context, p *engine.Pool, in *Instance, o Order, reps int, s *rng.Stream) (*ParallelEstimate, error) {
+	if !validOrder(o, len(in.Jobs)) {
+		panic("batch: invalid order")
+	}
 	var est ParallelEstimate
 	err := engine.ReplicateReduce(ctx, p, reps, s,
 		func(_ context.Context, _ int, sub *rng.Stream) (ParallelResult, error) {
-			return SimulateParallel(in, o, sub), nil
+			return simulateList(in, o, sub), nil
 		},
 		func(_ int, r ParallelResult) error {
 			est.Flowtime.Add(r.Flowtime)
@@ -153,14 +184,15 @@ func ExactParallelDiscrete(in *Instance, o Order) (ParallelResult, error) {
 
 // evalListDeterministic runs the list policy on given realized times.
 func evalListDeterministic(in *Instance, o Order, p []float64) ParallelResult {
-	free := make(machineHeap, in.Machines)
-	heap.Init(&free)
+	hp := getMachineHeap(in.Machines)
+	defer heapScratch.Put(hp)
+	free := *hp // shares hp's backing array; Fix below never changes len
 	var res ParallelResult
 	for _, idx := range o {
 		start := free[0]
 		done := start + p[idx]
 		free[0] = done
-		heap.Fix(&free, 0)
+		heap.Fix(hp, 0)
 		res.Flowtime += done
 		res.WeightedFlowtime += in.Jobs[idx].Weight * done
 		if done > res.Makespan {

@@ -258,9 +258,21 @@ func (d TwoPoint) String() string { return fmt.Sprintf("TwoPoint(%g@%g,%g)", d.A
 
 // Discrete is a finite discrete law on the given support. Construct with
 // NewDiscrete, which validates; the zero value is not usable.
+//
+// NewDiscrete also precomputes a Walker/Vose alias table, so Sample runs in
+// O(1) regardless of support size — one uniform draw selects both the
+// bucket and the stay-or-alias decision. Values constructed as struct
+// literals (without NewDiscrete) carry no table and fall back to the linear
+// CDF walk; both paths consume exactly one Float64 per sample and draw from
+// the identical law.
 type Discrete struct {
 	Values []float64
 	Probs  []float64
+
+	// Alias table: bucket i keeps index i with probability stay[i] and
+	// yields alias[i] otherwise. Built only by NewDiscrete.
+	alias []int32
+	stay  []float64
 }
 
 // NewDiscrete returns the discrete law taking Values[i] with probability
@@ -280,10 +292,75 @@ func NewDiscrete(values, probs []float64) (Discrete, error) {
 	if math.Abs(sum-1) > 1e-9 {
 		return Discrete{}, fmt.Errorf("dist: NewDiscrete probabilities sum to %v, want 1", sum)
 	}
-	return Discrete{
+	d := Discrete{
 		Values: append([]float64(nil), values...),
 		Probs:  append([]float64(nil), probs...),
-	}, nil
+	}
+	d.alias, d.stay = buildAlias(d.Probs)
+	return d, nil
+}
+
+// buildAlias constructs a Walker/Vose alias table for the given
+// probabilities (assumed validated). The construction is deterministic:
+// under-full and over-full buckets are worklists processed in a fixed
+// index-derived order with no map iteration or randomness anywhere,
+// so the same probabilities always yield the same table — a table is part
+// of the law's identity, never a per-process artifact (see
+// docs/determinism.md).
+func buildAlias(probs []float64) (alias []int32, stay []float64) {
+	n := len(probs)
+	alias = make([]int32, n)
+	stay = make([]float64, n)
+	scaled := make([]float64, n)
+	small := make([]int32, 0, n)
+	large := make([]int32, 0, n)
+	for i, p := range probs {
+		alias[i] = int32(i)
+		scaled[i] = p * float64(n)
+		if scaled[i] < 1 {
+			small = append(small, int32(i))
+		} else {
+			large = append(large, int32(i))
+		}
+	}
+	for len(small) > 0 && len(large) > 0 {
+		l := small[len(small)-1]
+		small = small[:len(small)-1]
+		g := large[len(large)-1]
+		stay[l] = scaled[l]
+		alias[l] = g
+		scaled[g] -= 1 - scaled[l]
+		if scaled[g] < 1 {
+			large = large[:len(large)-1]
+			small = append(small, g)
+		}
+	}
+	// Leftovers on either list are exactly full up to rounding error.
+	for _, g := range large {
+		stay[g] = 1
+	}
+	for _, l := range small {
+		stay[l] = 1
+	}
+	return alias, stay
+}
+
+// pick draws an index according to Probs: via the alias table when the law
+// was built by NewDiscrete, via the linear CDF walk otherwise. Both consume
+// exactly one Float64 from s.
+func (d Discrete) pick(s *rng.Stream) int {
+	if len(d.stay) != len(d.Probs) {
+		return s.Categorical(d.Probs)
+	}
+	x := s.Float64() * float64(len(d.stay))
+	i := int(x)
+	if i >= len(d.stay) { // guard the u→1 rounding edge
+		i = len(d.stay) - 1
+	}
+	if x-float64(i) < d.stay[i] {
+		return i
+	}
+	return int(d.alias[i])
 }
 
 // Mean implements Distribution.
@@ -307,7 +384,7 @@ func (d Discrete) Var() float64 {
 
 // Sample implements Distribution.
 func (d Discrete) Sample(s *rng.Stream) float64 {
-	return d.Values[s.Categorical(d.Probs)]
+	return d.Values[d.pick(s)]
 }
 
 // CDF returns P(X ≤ x).

@@ -9,13 +9,19 @@
 //   - Pool: a capacity-bounded set of execution slots shared across all
 //     concurrent work (across experiments and within each experiment's
 //     replication loop). Each Reduce call uses one dispatching goroutine
-//     that hands tasks to pool slots when available and executes them
-//     itself otherwise (while the caller blocks folding results), so a
-//     saturated pool degrades to sequential execution on the dispatcher
-//     and nested use of one pool self-throttles without deadlocking.
+//     that hands contiguous task chunks to pool slots when available and
+//     executes them itself otherwise (while the caller blocks folding
+//     results), so a saturated pool degrades to sequential execution on the
+//     dispatcher and nested use of one pool self-throttles without
+//     deadlocking. Chunking bounds coordination overhead: a replication
+//     loop costs a handful of goroutines and a recycled working set of
+//     chunk buffers, not a goroutine and an allocation per task.
 //   - Streams: per-replication RNG substreams split from a parent stream in
 //     replication order before any work is dispatched, so the randomness a
 //     replication consumes is a function of (seed, replication index) only.
+//     Substreams are split in blocks (rng.SplitInto) into chunk-owned
+//     storage; the derivation is draw-for-draw identical to per-task
+//     splitting, so chunk boundaries are invisible to the results.
 //   - Reduce/Map/Replicate: fan-out with a streaming, strictly in-order
 //     fold. Results are consumed in replication order no matter when the
 //     workers finish, which keeps floating-point accumulation order — and
@@ -119,11 +125,50 @@ func Streams(src *rng.Stream, n int) []*rng.Stream {
 	return out
 }
 
-// item carries one task's result to the in-order collector.
-type item[T any] struct {
-	i   int
-	v   T
-	err error
+// chunk carries one contiguous block of tasks through the fan-out: args
+// holds the per-task state bound on the dispatcher (substreams, for the
+// replication paths), vals the results, errs the per-task errors (allocated
+// lazily — the common all-success chunk never pays for it). Chunks are the
+// engine's scratch-reuse unit: the collector recycles each fully folded
+// chunk back to the dispatcher, so a steady-state Reduce touches a bounded
+// working set of buffers instead of allocating per task.
+type chunk[T, A any] struct {
+	start int
+	args  []A
+	vals  []T
+	errs  []error
+}
+
+func (c *chunk[T, A]) setErr(k int, err error) {
+	if c.errs == nil {
+		c.errs = make([]error, len(c.args))
+	}
+	c.errs[k] = err
+}
+
+func (c *chunk[T, A]) errAt(k int) error {
+	if c.errs == nil {
+		return nil
+	}
+	return c.errs[k]
+}
+
+// chunkSize picks the task-block size for a run of n tasks on a pool of the
+// given width: large enough to amortize dispatch overhead on long
+// replication loops, small enough to keep every worker fed (several chunks
+// per worker) and to degrade to per-task dispatch on short fan-outs, where
+// per-cell progress and latency matter more than amortization. The choice
+// only affects scheduling — bind order and fold order are fixed by index —
+// so results are byte-identical at every chunk size.
+func chunkSize(n, width int) int {
+	c := n / (4 * width)
+	if c < 1 {
+		return 1
+	}
+	if c > 256 {
+		return 256
+	}
+	return c
 }
 
 // Reduce runs fn(ctx, i) for i in [0, n) on the pool and feeds the results
@@ -140,95 +185,132 @@ func Reduce[T any](ctx context.Context, p *Pool, n int, fn func(ctx context.Cont
 	return ReduceProgress(ctx, p, n, fn, reduce, nil)
 }
 
-// ReduceProgress is Reduce with a completion callback: after each task's
-// result arrives at the collector, progress(done, n) is invoked with the
-// number of tasks finished so far (in arrival order, which is
-// scheduling-dependent — unlike reduce calls, which remain strictly in index
-// order). progress runs on the collector goroutine, so it must be cheap and
+// ReduceProgress is Reduce with a completion callback: as the collector
+// folds each task, progress(done, n) is invoked with the number of tasks
+// folded so far (done ascends 1..n; how the calls batch up in time depends
+// on scheduling and chunking). progress runs on the collector goroutine, so it must be cheap and
 // must not call back into the same Reduce; a nil progress is ignored. Long
 // fan-outs (such as a parameter sweep) use it to expose live job counters
 // without perturbing the deterministic fold.
 func ReduceProgress[T any](ctx context.Context, p *Pool, n int, fn func(ctx context.Context, i int) (T, error), reduce func(i int, v T) error, progress func(done, total int)) error {
 	return reduceCore(ctx, p, n,
-		func(i int) func(ctx context.Context) (T, error) {
-			return func(ctx context.Context) (T, error) { return fn(ctx, i) }
-		},
+		func(int, []struct{}) {},
+		func(ctx context.Context, i int, _ *struct{}) (T, error) { return fn(ctx, i) },
 		reduce, progress)
 }
 
-// reduceCore is the shared fan-out/fold machinery. bind(i) is called on the
-// dispatching goroutine in strictly ascending index order immediately
-// before task i starts, so any order-sensitive per-task setup (such as
-// splitting an RNG substream) is a function of the index alone, never of
-// scheduling.
-func reduceCore[T any](ctx context.Context, p *Pool, n int, bind func(i int) func(ctx context.Context) (T, error), reduce func(i int, v T) error, progress func(done, total int)) error {
+// reduceCore is the shared fan-out/fold machinery. Tasks are dispatched in
+// contiguous chunks: the dispatching goroutine binds each chunk's per-task
+// state via bind(start, args) in strictly ascending index order immediately
+// before the chunk starts, so order-sensitive setup (such as splitting RNG
+// substreams) is a function of the index alone, never of scheduling. Each
+// chunk then runs on a pool slot when one is free and inline on the
+// dispatcher otherwise, and the collector folds chunks strictly in index
+// order, recycling each folded chunk's buffers back to the dispatcher.
+func reduceCore[T, A any](ctx context.Context, p *Pool, n int,
+	bind func(start int, args []A),
+	run func(ctx context.Context, i int, arg *A) (T, error),
+	reduce func(i int, v T) error,
+	progress func(done, total int)) error {
 	if n <= 0 {
 		return ctx.Err()
 	}
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
-	results := make(chan item[T], n)
-	run := func(i int, task func(ctx context.Context) (T, error)) {
-		if err := ctx.Err(); err != nil {
-			results <- item[T]{i: i, err: err}
-			return
+	size := chunkSize(n, p.Size())
+	chunks := (n + size - 1) / size
+	results := make(chan *chunk[T, A], chunks)
+	free := make(chan *chunk[T, A], chunks)
+
+	exec := func(c *chunk[T, A]) {
+		for k := range c.args {
+			if err := ctx.Err(); err != nil {
+				c.setErr(k, err)
+				continue
+			}
+			v, err := run(ctx, c.start+k, &c.args[k])
+			if err != nil {
+				c.setErr(k, err)
+				cancel() // abandon outstanding work at the next task boundary
+				continue
+			}
+			c.vals[k] = v
 		}
-		v, err := task(ctx)
-		results <- item[T]{i: i, v: v, err: err}
+		results <- c
 	}
+
 	go func() {
 		var wg sync.WaitGroup
-		for i := 0; i < n; i++ {
-			task := bind(i)
+		for start := 0; start < n; start += size {
+			count := min(size, n-start)
+			var c *chunk[T, A]
+			select {
+			case c = <-free:
+				c.args = c.args[:count]
+				c.vals = c.vals[:count]
+				c.errs = nil
+			default:
+				c = &chunk[T, A]{args: make([]A, count, size), vals: make([]T, count, size)}
+			}
+			c.start = start
+			bind(start, c.args) // ascending index order: task i's setup is fixed by (src, i)
 			if p.tryAcquire() {
 				wg.Add(1)
-				go func(i int) {
+				go func() {
 					defer wg.Done()
 					defer p.release()
-					run(i, task)
-				}(i)
+					exec(c)
+				}()
 			} else {
-				run(i, task)
+				exec(c)
 			}
 		}
 		wg.Wait()
 	}()
 
-	// Fold results in index order, holding early finishers until their turn.
-	pending := make(map[int]item[T])
-	next := 0
+	// Fold chunks in index order, holding early finishers until their turn.
+	pending := make(map[int]*chunk[T, A])
+	next := 0 // next task index to fold
+	done := 0
 	var firstErr error
 	firstErrIdx := n
-	for received := 0; received < n; received++ {
-		it := <-results
-		if progress != nil {
-			progress(received+1, n)
-		}
-		if it.err != nil {
-			// Prefer the earliest real failure; context errors only matter
-			// if nothing else failed (they are scheduling-dependent echoes
-			// of the cancellation itself).
-			if preferErr(it, firstErr, firstErrIdx) {
-				firstErr, firstErrIdx = it.err, it.i
-			}
-			cancel()
-			continue
-		}
-		pending[it.i] = it
+	for folded := 0; folded < chunks; folded++ {
+		c := <-results
+		pending[c.start] = c
 		for {
 			cur, ok := pending[next]
 			if !ok {
 				break
 			}
 			delete(pending, next)
-			if firstErr == nil {
-				if err := reduce(cur.i, cur.v); err != nil {
-					firstErr, firstErrIdx = err, cur.i
-					cancel()
+			for k := range cur.args {
+				done++
+				if progress != nil {
+					progress(done, n)
+				}
+				i := cur.start + k
+				if err := cur.errAt(k); err != nil {
+					// Prefer the earliest real failure; context errors only
+					// matter if nothing else failed (they are
+					// scheduling-dependent echoes of the cancellation itself).
+					if preferErr(err, i, firstErr, firstErrIdx) {
+						firstErr, firstErrIdx = err, i
+					}
+					continue
+				}
+				if firstErr == nil {
+					if err := reduce(i, cur.vals[k]); err != nil {
+						firstErr, firstErrIdx = err, i
+						cancel()
+					}
 				}
 			}
-			next++
+			next += len(cur.args)
+			select {
+			case free <- cur:
+			default:
+			}
 		}
 	}
 	if firstErr != nil {
@@ -245,18 +327,18 @@ func reduceCore[T any](ctx context.Context, p *Pool, n int, bind func(i int) fun
 	return nil
 }
 
-// preferErr reports whether the error in it should replace the current
-// (firstErr, firstErrIdx) champion.
-func preferErr[T any](it item[T], firstErr error, firstErrIdx int) bool {
+// preferErr reports whether the error observed at index idx should replace
+// the current (firstErr, firstErrIdx) champion.
+func preferErr(err error, idx int, firstErr error, firstErrIdx int) bool {
 	if firstErr == nil {
 		return true
 	}
-	itCtx := isContextErr(it.err)
+	errCtx := isContextErr(err)
 	curCtx := isContextErr(firstErr)
-	if curCtx != itCtx {
+	if curCtx != errCtx {
 		return curCtx // real errors beat context echoes
 	}
-	return it.i < firstErrIdx
+	return idx < firstErrIdx
 }
 
 // isContextErr reports whether err is (or wraps) a cancellation or
@@ -290,10 +372,10 @@ func Replicate(ctx context.Context, p *Pool, reps int, src *rng.Stream, fn func(
 	}
 	var r stats.Running
 	err := reduceCore(ctx, p, reps,
-		func(i int) func(ctx context.Context) (float64, error) {
-			sub := src.Split() // ascending index order: substream i is fixed by (src, i)
-			return func(ctx context.Context) (float64, error) { return fn(ctx, i, sub) }
-		},
+		// Blocks are split in ascending index order, so substream i is fixed
+		// by (src, i) regardless of chunking or scheduling.
+		func(_ int, args []rng.Stream) { src.SplitInto(args) },
+		func(ctx context.Context, i int, s *rng.Stream) (float64, error) { return fn(ctx, i, s) },
 		func(_ int, v float64) error { r.Add(v); return nil }, nil)
 	if err != nil {
 		return nil, err
@@ -309,9 +391,9 @@ func ReplicateReduce[T any](ctx context.Context, p *Pool, reps int, src *rng.Str
 		return err
 	}
 	return reduceCore(ctx, p, reps,
-		func(i int) func(ctx context.Context) (T, error) {
-			sub := src.Split() // ascending index order: substream i is fixed by (src, i)
-			return func(ctx context.Context) (T, error) { return fn(ctx, i, sub) }
-		},
+		// Blocks are split in ascending index order, so substream i is fixed
+		// by (src, i) regardless of chunking or scheduling.
+		func(_ int, args []rng.Stream) { src.SplitInto(args) },
+		func(ctx context.Context, i int, s *rng.Stream) (T, error) { return fn(ctx, i, s) },
 		reduce, nil)
 }

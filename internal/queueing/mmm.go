@@ -1,10 +1,12 @@
 package queueing
 
 import (
+	"context"
 	"fmt"
 
 	"stochsched/internal/des"
 	"stochsched/internal/dist"
+	"stochsched/internal/engine"
 	"stochsched/internal/rng"
 	"stochsched/internal/stats"
 )
@@ -85,6 +87,28 @@ func (m *MMm) Simulate(order []int, horizon, burnin float64, s *rng.Stream) (*Si
 	for r, cls := range order {
 		rank[cls] = r
 	}
+	return m.simulate(rank, horizon, burnin, s)
+}
+
+// SimulateFIFO runs the M/M/m first-come-first-served: with every class at
+// equal rank the dispatcher below picks the earliest waiting arrival. The
+// random-number consumption is identical to Simulate, so cmu and fifo
+// replications of the same seed see the same arrival/service draws.
+func (m *MMm) SimulateFIFO(horizon, burnin float64, s *rng.Stream) (*SimResult, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	if horizon <= burnin || burnin < 0 {
+		return nil, fmt.Errorf("queueing: need 0 <= burnin < horizon")
+	}
+	return m.simulate(make([]int, len(m.Classes)), horizon, burnin, s)
+}
+
+// simulate is the common event loop: rank maps class -> priority (lower is
+// served first; the strict < in dispatch breaks ties by arrival order, so
+// all-equal ranks degrade to FIFO).
+func (m *MMm) simulate(rank []int, horizon, burnin float64, s *rng.Stream) (*SimResult, error) {
+	n := len(m.Classes)
 	sim := des.New()
 	arrStreams := make([]*rng.Stream, n)
 	svcStreams := make([]*rng.Stream, n)
@@ -165,4 +189,122 @@ func (m *MMm) Simulate(order []int, horizon, burnin float64, s *rng.Stream) (*Si
 func (m *MMm) CMuOrder() []int {
 	mm := &MG1{Classes: m.Classes}
 	return mm.CMuOrder()
+}
+
+// HoldingCostRate returns the steady-state holding-cost rate Σ c_j·L_j for
+// the per-class numbers in system l.
+func (m *MMm) HoldingCostRate(l []float64) float64 {
+	mm := &MG1{Classes: m.Classes}
+	return mm.HoldingCostRate(l)
+}
+
+// OfferedLoad returns the pooled offered load in erlangs, a = Σ λ_j·E[S_j]
+// (the mean number of busy servers; stability is a < Servers).
+func (m *MMm) OfferedLoad() float64 {
+	a := 0.0
+	for _, c := range m.Classes {
+		a += c.ArrivalRate * c.Service.Mean()
+	}
+	return a
+}
+
+// ErlangC returns the Erlang-C probability that an arrival to an M/M/m
+// with the given offered load (in erlangs) finds all servers busy and must
+// wait. Computed by the standard numerically stable Erlang-B recursion
+// B(k) = a·B(k−1)/(k + a·B(k−1)) followed by the B→C conversion.
+func ErlangC(servers int, offered float64) (float64, error) {
+	if servers < 1 {
+		return 0, fmt.Errorf("queueing: ErlangC needs servers >= 1, got %d", servers)
+	}
+	if !(offered >= 0) {
+		return 0, fmt.Errorf("queueing: ErlangC needs a nonnegative offered load, got %v", offered)
+	}
+	if offered >= float64(servers) {
+		return 0, fmt.Errorf("queueing: ErlangC load %v ≥ servers %d", offered, servers)
+	}
+	b := 1.0
+	for k := 1; k <= servers; k++ {
+		b = offered * b / (float64(k) + offered*b)
+	}
+	return b / (1 - offered/float64(servers)*(1-b)), nil
+}
+
+// ErlangC returns the Erlang-C waiting probability of the pooled system.
+func (m *MMm) ErlangC() (float64, error) {
+	if err := m.Validate(); err != nil {
+		return 0, err
+	}
+	return ErlangC(m.Servers, m.OfferedLoad())
+}
+
+// ExactPriority returns the per-class mean queueing delay and mean number
+// in system under a static nonpreemptive priority order (highest first) —
+// the multiserver Cobham formula
+//
+//	Wq_k = C(m,a)/(m·µ̄) · 1/((1−σ_{k−1})(1−σ_k)),  σ_k = Σ_{j ≤ k} λ_j/(m·µ_j),
+//
+// where C(m,a) is the Erlang-C waiting probability of the pooled system
+// and µ̄ the aggregate service rate preserving the offered load. This is
+// exact when every class shares one service rate (the classical M/M/m
+// priority result); with heterogeneous rates it is the standard
+// pooled-rate approximation.
+func (m *MMm) ExactPriority(order []int) (wq []float64, l []float64, err error) {
+	if err := m.Validate(); err != nil {
+		return nil, nil, err
+	}
+	n := len(m.Classes)
+	if len(order) != n {
+		return nil, nil, fmt.Errorf("queueing: order length %d, want %d", len(order), n)
+	}
+	a := m.OfferedLoad()
+	c, err := ErlangC(m.Servers, a)
+	if err != nil {
+		return nil, nil, err
+	}
+	lambda := 0.0
+	for _, cl := range m.Classes {
+		lambda += cl.ArrivalRate
+	}
+	// µ̄ = λ/a: one pooled exponential rate with the same offered load.
+	w0 := c * a / (lambda * float64(m.Servers))
+	wq = make([]float64, n)
+	l = make([]float64, n)
+	sigma := 0.0
+	for _, j := range order {
+		cl := m.Classes[j]
+		prev := sigma
+		sigma += cl.ArrivalRate * cl.Service.Mean() / float64(m.Servers)
+		wq[j] = w0 / ((1 - prev) * (1 - sigma))
+		l[j] = cl.ArrivalRate * (wq[j] + cl.Service.Mean())
+	}
+	return wq, l, nil
+}
+
+// Replicate aggregates independent replications of Simulate (or, with a
+// nil order, SimulateFIFO) on the pool. Each replication draws from its
+// own substream and the per-class statistics are folded in replication
+// order, so the result is byte-identical for a given seed at any
+// parallelism level. The Wq accumulators stay empty: the M/M/m simulator
+// tracks time-average occupancy, not per-job waits.
+func (m *MMm) Replicate(ctx context.Context, p *engine.Pool, order []int, horizon, burnin float64, reps int, s *rng.Stream) (*ReplicatedResult, error) {
+	n := len(m.Classes)
+	out := &ReplicatedResult{L: make([]stats.Running, n), Wq: make([]stats.Running, n)}
+	err := engine.ReplicateReduce(ctx, p, reps, s,
+		func(_ context.Context, _ int, sub *rng.Stream) (*SimResult, error) {
+			if order == nil {
+				return m.SimulateFIFO(horizon, burnin, sub)
+			}
+			return m.Simulate(order, horizon, burnin, sub)
+		},
+		func(_ int, res *SimResult) error {
+			for j := 0; j < n; j++ {
+				out.L[j].Add(res.L[j])
+			}
+			out.CostRate.Add(res.CostRate)
+			return nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
 }

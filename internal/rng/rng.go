@@ -70,13 +70,20 @@ func New(seed uint64) *Stream {
 }
 
 func newWithInc(seed, incHi, incLo uint64) *Stream {
-	s := &Stream{incHi: incHi, incLo: incLo<<1 | 1}
-	s.hi = 0
+	s := new(Stream)
+	s.reset(seed, incHi, incLo)
+	return s
+}
+
+// reset reinitializes s in place from a seed and stream selector — the
+// newWithInc construction on caller-owned storage, shared by Split and
+// SplitInto so the two derivations can never diverge.
+func (s *Stream) reset(seed, incHi, incLo uint64) {
+	*s = Stream{incHi: incHi, incLo: incLo<<1 | 1}
 	s.lo = seed + 0x853c49e6748fea9b
 	s.step()
 	s.hi += seed
 	s.step()
-	return s
 }
 
 // Split returns a new Stream whose future output is independent of the
@@ -88,6 +95,22 @@ func (s *Stream) Split() *Stream {
 	b := s.Uint64()
 	c := s.Uint64()
 	return newWithInc(a, b, c)
+}
+
+// SplitInto splits len(dst) consecutive substreams off s in index order into
+// caller-owned storage: dst[i] receives exactly the stream the (i+1)-th
+// Split call would have returned, and s advances by the same three Uint64
+// draws per substream. Block splitting lets a replication engine amortize
+// one allocation over a whole block of substreams without changing a single
+// bit of any stream produced — the block boundary is invisible to the
+// derivation.
+func (s *Stream) SplitInto(dst []Stream) {
+	for i := range dst {
+		a := s.Uint64()
+		b := s.Uint64()
+		c := s.Uint64()
+		dst[i].reset(a, b, c)
+	}
 }
 
 // Uint64 returns the next 64 uniformly distributed bits.

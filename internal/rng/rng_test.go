@@ -282,3 +282,26 @@ func BenchmarkExp(b *testing.B) {
 	}
 	_ = sink
 }
+
+// SplitInto must be draw-for-draw identical to repeated Split: the i-th
+// substream it fills, and the parent's state afterward, may not depend on
+// whether substreams were split one at a time or in a block.
+func TestSplitIntoMatchesSplit(t *testing.T) {
+	for _, n := range []int{1, 3, 17, 64} {
+		a := New(42)
+		b := New(42)
+		block := make([]Stream, n)
+		a.SplitInto(block)
+		for i := 0; i < n; i++ {
+			one := b.Split()
+			for k := 0; k < 8; k++ {
+				if got, want := block[i].Uint64(), one.Uint64(); got != want {
+					t.Fatalf("n=%d substream %d draw %d: SplitInto %d != Split %d", n, i, k, got, want)
+				}
+			}
+		}
+		if got, want := a.Uint64(), b.Uint64(); got != want {
+			t.Fatalf("n=%d: parent state diverged after block split: %d != %d", n, got, want)
+		}
+	}
+}

@@ -13,7 +13,7 @@ import (
 )
 
 func TestRegistryHasBuiltins(t *testing.T) {
-	want := []string{"bandit", "batch", "mg1", "restless"}
+	want := []string{"bandit", "batch", "mg1", "mmm", "restless"}
 	got := Kinds()
 	if fmt.Sprint(got) != fmt.Sprint(want) {
 		t.Fatalf("Kinds() = %v, want %v", got, want)
@@ -144,6 +144,7 @@ func TestReplicationWorkPerKind(t *testing.T) {
 		want    float64
 	}{
 		{"mg1", &MG1Sim{Horizon: 250}, 250},
+		{"mmm", &MMmSim{Horizon: 400}, 400},
 		{"bandit", &BanditSim{Spec: banditSystem(0.5)}, 2},
 		{"bandit", &BanditSim{Spec: banditSystem(1.5)}, 0}, // invalid β: Validate's problem, not the budget's
 		{"restless", &RestlessSim{Horizon: 100, N: 7}, 700},
@@ -164,6 +165,7 @@ func TestPoliciesPerKind(t *testing.T) {
 		want    string
 	}{
 		{"mg1", &MG1Sim{}, "[cmu fifo]"},
+		{"mmm", &MMmSim{}, "[cmu fifo]"},
 		{"bandit", &BanditSim{}, "[gittins greedy]"},
 		{"restless", &RestlessSim{}, "[whittle myopic random]"},
 		{"batch", &BatchSim{}, "[wsept sept lept]"},
@@ -189,6 +191,10 @@ func TestPoliciesPerKind(t *testing.T) {
 func TestRunDeterministicAcrossPools(t *testing.T) {
 	bodies := map[string]string{
 		"mg1": mg1Body,
+		"mmm": `{"kind":"mmm","mmm":{"spec":{"servers":3,"classes":[
+		    {"rate":1.2,"service":{"kind":"exp","rate":1.5},"hold_cost":3},
+		    {"rate":1.0,"service_mean":1,"hold_cost":1}]},
+		  "policy":"cmu","horizon":200,"burnin":20},"seed":11,"replications":8}`,
 		"bandit": `{"kind":"bandit","bandit":{"spec":{"beta":0.9,"projects":[
 		    {"transitions":[[0.5,0.5],[0.2,0.8]],"rewards":[1,0.3]},
 		    {"transitions":[[0.9,0.1],[0.4,0.6]],"rewards":[0.5,0.8]}]},

@@ -1,0 +1,111 @@
+package service
+
+import (
+	"math/bits"
+	"sync/atomic"
+	"time"
+
+	"stochsched/pkg/api"
+)
+
+// latencyHist is a lock-free log-bucketed latency histogram: bucket i
+// counts requests with latency in (1µs·2^(i−1), 1µs·2^i], so the buckets
+// span 1µs to ~134s in factor-of-two steps, which is the resolution the
+// p50/p95/p99 estimates inherit (recovered below by linear interpolation
+// within a bucket). Recording is one atomic add on the request path.
+type latencyHist struct {
+	counts [histBuckets]atomic.Int64
+	maxNs  atomic.Int64
+}
+
+const (
+	histBuckets = 28
+	histBaseNs  = int64(time.Microsecond)
+)
+
+// histBoundNs returns bucket i's inclusive upper bound in nanoseconds.
+func histBoundNs(i int) int64 { return histBaseNs << i }
+
+// bucketOf returns the bucket index for a latency of ns nanoseconds:
+// the smallest i with ns ≤ 1µs·2^i, clamped to the catch-all last bucket.
+func bucketOf(ns int64) int {
+	if ns <= histBaseNs {
+		return 0
+	}
+	i := bits.Len64(uint64((ns - 1) / histBaseNs))
+	if i >= histBuckets {
+		return histBuckets - 1
+	}
+	return i
+}
+
+func (h *latencyHist) record(d time.Duration) {
+	ns := int64(d)
+	if ns < 0 {
+		ns = 0
+	}
+	h.counts[bucketOf(ns)].Add(1)
+	for {
+		cur := h.maxNs.Load()
+		if ns <= cur || h.maxNs.CompareAndSwap(cur, ns) {
+			return
+		}
+	}
+}
+
+// snapshot renders the histogram into its wire shape, or nil when nothing
+// has been recorded. Concurrent recording can skew a snapshot by the
+// requests landing mid-read; the counts are monotone, so the skew is
+// bounded by the in-flight traffic.
+func (h *latencyHist) snapshot() *api.LatencyHistogram {
+	var counts [histBuckets]int64
+	total := int64(0)
+	for i := range h.counts {
+		counts[i] = h.counts[i].Load()
+		total += counts[i]
+	}
+	if total == 0 {
+		return nil
+	}
+	out := &api.LatencyHistogram{
+		Count: total,
+		P50Ms: histQuantile(&counts, total, 0.50),
+		P95Ms: histQuantile(&counts, total, 0.95),
+		P99Ms: histQuantile(&counts, total, 0.99),
+		MaxMs: float64(h.maxNs.Load()) / float64(time.Millisecond),
+	}
+	for i, c := range counts {
+		if c > 0 {
+			out.Buckets = append(out.Buckets, api.LatencyBucket{
+				LeMs:  float64(histBoundNs(i)) / float64(time.Millisecond),
+				Count: c,
+			})
+		}
+	}
+	return out
+}
+
+// histQuantile estimates the q-quantile in milliseconds by walking the
+// cumulative counts to the bucket holding rank q·total and interpolating
+// linearly inside it.
+func histQuantile(counts *[histBuckets]int64, total int64, q float64) float64 {
+	rank := q * float64(total)
+	cum := 0.0
+	for i, c := range counts {
+		if c == 0 {
+			continue
+		}
+		next := cum + float64(c)
+		if rank <= next {
+			lo := float64(0)
+			if i > 0 {
+				lo = float64(histBoundNs(i - 1))
+			}
+			hi := float64(histBoundNs(i))
+			frac := (rank - cum) / float64(c)
+			return (lo + (hi-lo)*frac) / float64(time.Millisecond)
+		}
+		cum = next
+	}
+	return float64(histBoundNs(histBuckets-1)) / float64(time.Millisecond)
+}

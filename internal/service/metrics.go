@@ -18,6 +18,15 @@ type EndpointMetrics struct {
 	errors     atomic.Int64
 	latencyNs  atomic.Int64
 	batchItems atomic.Int64 // /v1/batch only: individual calls fanned out
+	hist       latencyHist
+}
+
+// observeLatency records one request's wall-clock latency into both the
+// running average and the histogram, so the two /v1/stats views can never
+// come from different populations.
+func (m *EndpointMetrics) observeLatency(d time.Duration) {
+	m.latencyNs.Add(int64(d))
+	m.hist.record(d)
 }
 
 func (m *EndpointMetrics) observe(out Outcome) {
@@ -53,5 +62,6 @@ func (m *EndpointMetrics) snapshot() EndpointSnapshot {
 	if s.Requests > 0 {
 		s.AvgLatencyMs = float64(m.latencyNs.Load()) / float64(s.Requests) / float64(time.Millisecond)
 	}
+	s.Latency = m.hist.snapshot()
 	return s
 }

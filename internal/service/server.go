@@ -279,7 +279,7 @@ func (s *Server) solverEndpoint(name string, parse func(s *Server, body []byte) 
 	return func(w http.ResponseWriter, r *http.Request) {
 		begin := time.Now()
 		m.requests.Add(1)
-		defer func() { m.latencyNs.Add(int64(time.Since(begin))) }()
+		defer func() { m.observeLatency(time.Since(begin)) }()
 
 		// Read and parse before admission: a slow client trickling its body
 		// is network I/O, not compute, and must not pin an execution slot.
@@ -477,7 +477,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	m := s.eps["batch"]
 	begin := time.Now()
 	m.requests.Add(1)
-	defer func() { m.latencyNs.Add(int64(time.Since(begin))) }()
+	defer func() { m.observeLatency(time.Since(begin)) }()
 
 	body, err := s.readBody(w, r)
 	if err != nil {
@@ -600,8 +600,13 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Endpoints: make(map[string]EndpointSnapshot, len(s.eps)),
 		Cache:     s.cache.Stats(),
 		Sweeps:    s.sweeps.Stats(),
-		InFlight:  s.admit.InFlight(),
-		Waiting:   s.admit.Waiting(),
+		Engine: api.EngineStats{
+			Workers:    s.pool.Size(),
+			InFlight:   s.admit.InFlight(),
+			QueueDepth: s.admit.Waiting(),
+		},
+		InFlight: s.admit.InFlight(),
+		Waiting:  s.admit.Waiting(),
 	}
 	for name, m := range s.eps {
 		resp.Endpoints[name] = m.snapshot()

@@ -48,7 +48,7 @@ func (s *Server) Simulate(ctx context.Context, body []byte) ([]byte, error) {
 	m := s.eps["sweep_cells"]
 	begin := time.Now()
 	m.requests.Add(1)
-	defer func() { m.latencyNs.Add(int64(time.Since(begin))) }()
+	defer func() { m.observeLatency(time.Since(begin)) }()
 
 	p, err := computeSimulate(s, body)
 	if err != nil {
@@ -78,7 +78,7 @@ func (s *Server) handleSweepSubmit(w http.ResponseWriter, r *http.Request) {
 	m := s.eps["sweep"]
 	begin := time.Now()
 	m.requests.Add(1)
-	defer func() { m.latencyNs.Add(int64(time.Since(begin))) }()
+	defer func() { m.observeLatency(time.Since(begin)) }()
 
 	body, err := s.readBody(w, r)
 	if err != nil {

@@ -39,6 +39,7 @@ type (
 	Restless     = api.Restless
 	Class        = api.Class
 	MG1          = api.MG1
+	MMm          = api.MMm
 	JobSpec      = api.JobSpec
 	Batch        = api.Batch
 	Grid         = api.Grid
@@ -255,7 +256,7 @@ func MG1Model(m *MG1) (*queueing.MG1, error) {
 	if m.HasFeedback() {
 		return nil, fmt.Errorf("spec: system has feedback; use KlimovModel")
 	}
-	cs, err := classes(m)
+	cs, err := classes(m.Classes)
 	if err != nil {
 		return nil, err
 	}
@@ -269,7 +270,7 @@ func MG1Model(m *MG1) (*queueing.MG1, error) {
 // KlimovModel converts the spec into a validated Klimov network (a zero
 // feedback matrix is supplied when absent).
 func KlimovModel(m *MG1) (*queueing.KlimovNetwork, error) {
-	cs, err := classes(m)
+	cs, err := classes(m.Classes)
 	if err != nil {
 		return nil, err
 	}
@@ -298,19 +299,42 @@ func KlimovModel(m *MG1) (*queueing.KlimovNetwork, error) {
 	return out, nil
 }
 
-func classes(m *MG1) ([]queueing.Class, error) {
-	if len(m.Classes) == 0 {
+func classes(list []Class) ([]queueing.Class, error) {
+	if len(list) == 0 {
 		return nil, fmt.Errorf("spec: system has no classes")
 	}
-	cs := make([]queueing.Class, len(m.Classes))
-	for i := range m.Classes {
-		c, err := toClass(&m.Classes[i], i)
+	cs := make([]queueing.Class, len(list))
+	for i := range list {
+		c, err := toClass(&list[i], i)
 		if err != nil {
 			return nil, err
 		}
 		cs[i] = c
 	}
 	return cs, nil
+}
+
+// ---------------------------------------------------------------------------
+// Multiclass M/M/m
+
+// ValidateMMm checks every class (exponential services only), the server
+// count, and stability.
+func ValidateMMm(m *MMm) error {
+	_, err := MMmModel(m)
+	return err
+}
+
+// MMmModel converts the spec into a validated queueing model.
+func MMmModel(m *MMm) (*queueing.MMm, error) {
+	cs, err := classes(m.Classes)
+	if err != nil {
+		return nil, err
+	}
+	out := &queueing.MMm{Classes: cs, Servers: m.Servers}
+	if err := out.Validate(); err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
 // ---------------------------------------------------------------------------

@@ -19,6 +19,7 @@ type IndexRequest struct {
 	Bandit   *Bandit         `json:"bandit,omitempty"`
 	Restless *WhittleRequest `json:"restless,omitempty"`
 	MG1      *MG1            `json:"mg1,omitempty"`
+	MMm      *MMm            `json:"mmm,omitempty"`
 	Batch    *Batch          `json:"batch,omitempty"`
 }
 
@@ -76,6 +77,15 @@ type PriorityResponse struct {
 	Wq       []float64 `json:"wq,omitempty"`
 	L        []float64 `json:"l,omitempty"`
 	CostRate *float64  `json:"cost_rate,omitempty"`
+
+	// mmm only: the server count, the Erlang-C probability that an arrival
+	// must wait, and the fast-single-server (speed-m M/M/1) lower bound on
+	// the optimal holding-cost rate. For mmm, Wq/L/CostRate hold the
+	// multiserver Cobham values under Order — exact when every class shares
+	// one service rate, the standard pooled-rate approximation otherwise.
+	Servers              int      `json:"servers,omitempty"`
+	ErlangC              *float64 `json:"erlang_c,omitempty"`
+	FastSingleServerCost *float64 `json:"fast_single_server_cost,omitempty"`
 
 	// Batch only: the companion orders and, on a single machine, the exact
 	// expected weighted flowtime of the WSEPT order.

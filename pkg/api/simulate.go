@@ -12,6 +12,7 @@ import "fmt"
 type SimulateRequest struct {
 	Kind     string       `json:"kind"`
 	MG1      *MG1Sim      `json:"mg1,omitempty"`
+	MMm      *MMmSim      `json:"mmm,omitempty"`
 	Bandit   *BanditSim   `json:"bandit,omitempty"`
 	Restless *RestlessSim `json:"restless,omitempty"`
 	Batch    *BatchSim    `json:"batch,omitempty"`
@@ -33,6 +34,10 @@ func (r *SimulateRequest) Payload() (any, error) {
 	case "mg1":
 		if r.MG1 != nil {
 			p = r.MG1
+		}
+	case "mmm":
+		if r.MMm != nil {
+			p = r.MMm
 		}
 	case "bandit":
 		if r.Bandit != nil {
@@ -74,6 +79,7 @@ type SimulateResponse struct {
 	Replications int64  `json:"replications"`
 
 	MG1      *MG1Result      `json:"mg1,omitempty"`
+	MMm      *MMmResult      `json:"mmm,omitempty"`
 	Bandit   *BanditResult   `json:"bandit,omitempty"`
 	Restless *RestlessResult `json:"restless,omitempty"`
 	Batch    *BatchResult    `json:"batch,omitempty"`
@@ -98,6 +104,26 @@ type MG1Result struct {
 	Order        []int     `json:"order,omitempty"`
 	L            []float64 `json:"l,omitempty"`
 	Wq           []float64 `json:"wq,omitempty"`
+	CostRateMean float64   `json:"cost_rate_mean"`
+	CostRateCI95 float64   `json:"cost_rate_ci95"`
+}
+
+// MMmSim parameterizes a multiclass M/M/m simulation: the system spec,
+// the discipline ("cmu" static priorities or "fifo"), and the horizon.
+type MMmSim struct {
+	Spec    MMm     `json:"spec"`
+	Policy  string  `json:"policy"`
+	Horizon float64 `json:"horizon"`
+	Burnin  float64 `json:"burnin"`
+}
+
+// MMmResult carries replication means for the M/M/m simulation: per-class
+// time-average numbers in system and the holding-cost rate.
+type MMmResult struct {
+	Policy       string    `json:"policy"`
+	Order        []int     `json:"order,omitempty"`
+	Servers      int       `json:"servers"`
+	L            []float64 `json:"l,omitempty"`
 	CostRateMean float64   `json:"cost_rate_mean"`
 	CostRateCI95 float64   `json:"cost_rate_ci95"`
 }

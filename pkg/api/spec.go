@@ -81,6 +81,14 @@ type MG1 struct {
 // HasFeedback reports whether the spec describes a Klimov network.
 func (m *MG1) HasFeedback() bool { return len(m.Feedback) > 0 }
 
+// MMm is a multiclass M/M/m system: the classes share Servers identical
+// exponential servers. Every class's service law must be exponential
+// (the service_mean shorthand, or an explicit {"kind":"exp"} dist).
+type MMm struct {
+	Classes []Class `json:"classes"`
+	Servers int     `json:"servers"`
+}
+
 // JobSpec is one stochastic job of a batch instance.
 type JobSpec struct {
 	Weight float64 `json:"weight"`

@@ -18,6 +18,31 @@ type EndpointStats struct {
 	// BatchItems counts the individual calls fanned out by /v1/batch
 	// requests (only the "batch" endpoint reports it).
 	BatchItems int64 `json:"batch_items,omitempty"`
+	// Latency is the endpoint's request-latency distribution; absent until
+	// the endpoint has served at least one request.
+	Latency *LatencyHistogram `json:"latency,omitempty"`
+}
+
+// LatencyBucket is one cell of a latency histogram: the count of requests
+// whose latency was at most LeMs milliseconds (and above the previous
+// bucket's bound). Only non-empty buckets appear on the wire.
+type LatencyBucket struct {
+	LeMs  float64 `json:"le_ms"`
+	Count int64   `json:"count"`
+}
+
+// LatencyHistogram summarizes an endpoint's request latencies:
+// log-spaced bucket counts plus the interpolated p50/p95/p99 quantiles.
+// Quantiles are estimated by linear interpolation inside the bucket the
+// rank falls in, so their resolution is the bucket width (a factor of two),
+// not exact order statistics.
+type LatencyHistogram struct {
+	Count   int64           `json:"count"`
+	P50Ms   float64         `json:"p50_ms"`
+	P95Ms   float64         `json:"p95_ms"`
+	P99Ms   float64         `json:"p99_ms"`
+	MaxMs   float64         `json:"max_ms"`
+	Buckets []LatencyBucket `json:"buckets,omitempty"`
 }
 
 // CacheStats is a point-in-time view of the response cache: total and
@@ -36,6 +61,21 @@ type SweepStoreStats struct {
 	Evictions int64 `json:"evictions"`
 }
 
+// EngineStats describes the shared worker pool every request's
+// replications fan out over: its size and the admission-control view of
+// how much work is running on it or queued for it.
+type EngineStats struct {
+	// Workers is the pool's target parallelism (the service's Parallel
+	// configuration after defaulting).
+	Workers int `json:"workers"`
+	// InFlight is the number of computations currently holding an
+	// admission slot (mirrors the legacy top-level in_flight field).
+	InFlight int `json:"in_flight"`
+	// QueueDepth is the number of admitted requests waiting for a slot
+	// (mirrors the legacy top-level waiting field).
+	QueueDepth int64 `json:"queue_depth"`
+}
+
 // StatsResponse is the body of GET /v1/stats. The legacy top-level
 // cache_entries field (kept for pre-sweep clients) is not a struct field:
 // MarshalJSON derives it from Cache.Entries, so the two can never disagree.
@@ -43,6 +83,7 @@ type StatsResponse struct {
 	Endpoints map[string]EndpointStats `json:"endpoints"`
 	Cache     CacheStats               `json:"cache"`
 	Sweeps    SweepStoreStats          `json:"sweeps"`
+	Engine    EngineStats              `json:"engine"`
 	InFlight  int                      `json:"in_flight"`
 	Waiting   int64                    `json:"waiting"`
 }

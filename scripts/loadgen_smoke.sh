@@ -1,0 +1,41 @@
+#!/bin/sh
+# loadgen_smoke.sh — soak a real stochschedd daemon with `stochsched
+# loadgen` and fail unless the run is clean.
+#
+# Builds and starts the daemon, drives LOADGEN_DURATION (default 30s) of
+# mixed index/simulate/batch traffic through the Go SDK, and relies on
+# loadgen -check to require zero non-429 errors and populated latency
+# histograms for every driven endpoint in GET /v1/stats. Same script CI's
+# loadgen-smoke job runs.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+ADDR=127.0.0.1:18427
+BASE="http://$ADDR"
+DURATION="${LOADGEN_DURATION:-30s}"
+TMP="$(mktemp -d)"
+DAEMON_PID=""
+
+cleanup() {
+    [ -n "$DAEMON_PID" ] && kill "$DAEMON_PID" 2>/dev/null || true
+    rm -rf "$TMP"
+}
+trap cleanup EXIT
+
+go build -o "$TMP/stochschedd" ./cmd/stochschedd
+go build -o "$TMP/stochsched" ./cmd/stochsched
+
+"$TMP/stochschedd" -addr "$ADDR" -parallel 2 &
+DAEMON_PID=$!
+
+# Wait for the daemon to answer.
+i=0
+until curl -fsS "$BASE/healthz" >/dev/null 2>&1; do
+    i=$((i + 1))
+    [ "$i" -ge 50 ] && { echo "daemon did not come up" >&2; exit 1; }
+    sleep 0.1
+done
+
+"$TMP/stochsched" loadgen -addr "$BASE" -duration "$DURATION" \
+    -rps 60 -concurrency 4 -mix index=1,simulate=1,batch=1 -check
