@@ -62,17 +62,25 @@ server reported populated histograms for every driven endpoint.
 		Mix:         weights,
 		Seed:        *seed,
 	}
-	var c *client.Client
+	// Every response — HTTP or in-process — must carry the X-Request-Id
+	// header the service stamps; the wrapper counts violations for -check.
+	hc := &headerCheckDoer{}
 	if *addr != "" {
-		c = client.New(*addr, client.WithHTTPClient(&http.Client{Timeout: 30 * time.Second}))
+		hc.inner = &http.Client{Timeout: 30 * time.Second}
 	} else {
-		c = localClient(*parallel)
+		hc.inner = client.InProcessDoer(localHandler(*parallel))
 	}
+	base := *addr
+	if base == "" {
+		base = "http://in-process"
+	}
+	c := client.New(base, client.WithHTTPClient(hc))
 	rep, err := loadgen(context.Background(), c, cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		return 1
 	}
+	rep.MissingRequestID = hc.missing.Load()
 	rep.print(os.Stdout)
 	if *check {
 		if msgs := rep.checkFailures(); len(msgs) > 0 {
@@ -122,6 +130,22 @@ const (
 	opSimulate = "simulate"
 	opBatch    = "batch"
 )
+
+// headerCheckDoer wraps the transport and counts responses missing the
+// X-Request-Id header every response of an observability-era service
+// carries — the loadgen-side regression check on the middleware.
+type headerCheckDoer struct {
+	inner   client.Doer
+	missing atomic.Int64
+}
+
+func (d *headerCheckDoer) Do(req *http.Request) (*http.Response, error) {
+	resp, err := d.inner.Do(req)
+	if err == nil && resp.Header.Get("X-Request-Id") == "" {
+		d.missing.Add(1)
+	}
+	return resp, err
+}
 
 // loadgenConfig parameterizes one soak.
 type loadgenConfig struct {
@@ -194,7 +218,10 @@ type loadgenReport struct {
 	Endpoints map[string]*endpointLoad
 	Stats     *api.StatsResponse
 	StatsErr  error
-	driven    []string
+	// MissingRequestID counts responses that arrived without an
+	// X-Request-Id header (any is a -check failure).
+	MissingRequestID int64
+	driven           []string
 }
 
 // loadgen runs the soak: Concurrency workers consume an open-loop tick
@@ -346,6 +373,9 @@ func (r *loadgenReport) print(w io.Writer) {
 		fmt.Fprintf(w, ", %d ticks skipped", r.Skipped)
 	}
 	fmt.Fprintln(w, ")")
+	if r.MissingRequestID > 0 {
+		fmt.Fprintf(w, "WARNING: %d responses lacked an X-Request-Id header\n", r.MissingRequestID)
+	}
 
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(tw, "endpoint\tops\terrors\tshed\tp50 ms\tp95 ms\tp99 ms\tmax ms")
@@ -397,6 +427,9 @@ func (r *loadgenReport) checkFailures() []string {
 		if len(e.ms) == 0 {
 			msgs = append(msgs, fmt.Sprintf("%s: no operations completed", op))
 		}
+	}
+	if r.MissingRequestID > 0 {
+		msgs = append(msgs, fmt.Sprintf("%d responses lacked an X-Request-Id header", r.MissingRequestID))
 	}
 	if r.StatsErr != nil {
 		return append(msgs, fmt.Sprintf("stats: %v", r.StatsErr))

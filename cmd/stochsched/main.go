@@ -39,6 +39,13 @@
 //
 //	stochsched loadgen -rps 100 -concurrency 8 -duration 30s
 //	stochsched loadgen -addr http://localhost:8080 -mix index=2,batch=1
+//
+// The trace subcommand renders the span tree of one request — either a
+// request already served (by the X-Request-Id its response carried) or a
+// simulate body it runs and traces itself:
+//
+//	stochsched trace -f request.json
+//	stochsched trace -id r-4f2a1c-000042 -addr http://localhost:8080
 package main
 
 import (
@@ -65,6 +72,8 @@ func main() {
 			os.Exit(runScenarios(os.Args[2:]))
 		case "loadgen":
 			os.Exit(runLoadgen(os.Args[2:]))
+		case "trace":
+			os.Exit(runTrace(os.Args[2:]))
 		}
 	}
 	list := flag.Bool("list", false, "list all experiments and exit")

@@ -5,6 +5,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net/http"
 	"os"
 	"strings"
 	"text/tabwriter"
@@ -97,17 +98,22 @@ policies at, and the analytic index family (if any) /v1/index computes.`)
 	return 0
 }
 
-// localClient mounts pkg/client on an in-process service handler with the
-// CLI's configuration: no replication, work, or body-size caps (the caps
-// protect a shared daemon; a local run is the caller's own CPU), and a
-// worker pool sized by the parallel override.
-func localClient(parallel int) *client.Client {
-	return client.NewInProcess(service.New(service.Config{
+// localHandler builds an in-process service handler with the CLI's
+// configuration: no replication, work, or body-size caps (the caps protect
+// a shared daemon; a local run is the caller's own CPU), and a worker pool
+// sized by the parallel override.
+func localHandler(parallel int) http.Handler {
+	return service.New(service.Config{
 		Parallel:        parallel,
 		MaxReplications: -1,
 		MaxSimWork:      -1,
 		MaxBodyBytes:    -1,
-	}).Handler())
+	}).Handler()
+}
+
+// localClient mounts pkg/client on localHandler.
+func localClient(parallel int) *client.Client {
+	return client.NewInProcess(localHandler(parallel))
 }
 
 // SimulateLocal parses and runs one simulate body in-process through the

@@ -1,0 +1,112 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"stochsched/pkg/api"
+	"stochsched/pkg/client"
+)
+
+// runTrace implements the `stochsched trace` subcommand, the CLI view of
+// GET /v1/trace/{id}. Two modes:
+//
+//   - trace -id <request-id> [-addr URL]: fetch the retained span tree of
+//     a recent request by the X-Request-Id its response carried.
+//   - trace -f request.json [-addr URL]: run one /v1/simulate body
+//     (in-process by default, against a daemon with -addr), then fetch
+//     and render its own trace — the one-command way to see where a
+//     request's time went.
+func runTrace(args []string) int {
+	fs := flag.NewFlagSet("trace", flag.ExitOnError)
+	id := fs.String("id", "", "request id to look up (the X-Request-Id of a recent response)")
+	file := fs.String("f", "", "simulate request file to run and trace (JSON; \"-\" = stdin)")
+	addr := fs.String("addr", "", "daemon base URL (empty = in-process service)")
+	parallel := fs.Int("parallel", 0, "worker pool size for the in-process service")
+	asJSON := fs.Bool("json", false, "print the raw trace JSON instead of the rendered tree")
+	fs.Usage = func() {
+		fmt.Fprintln(fs.Output(), `usage: stochsched trace -id r-… [-addr URL] [-json]
+       stochsched trace -f request.json [-addr URL] [-json]
+
+Renders the span tree of one request: admission, cache lookup, compute,
+encode — the stages GET /v1/trace/{id} retains for the last N requests.
+With -f, runs the simulate request first and traces it; with -id, looks
+up a request already served.`)
+		fs.PrintDefaults()
+	}
+	fs.Parse(args)
+
+	if (*id == "") == (*file == "") {
+		fmt.Fprintln(os.Stderr, "trace: exactly one of -id or -f is required")
+		return 2
+	}
+	c := localClient(*parallel)
+	if *addr != "" {
+		c = client.New(*addr)
+	}
+	ctx := context.Background()
+
+	rid := *id
+	if *file != "" {
+		raw, err := readInput(*file)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		if _, rid, err = c.SimulateRawTraced(ctx, raw); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		if rid == "" {
+			fmt.Fprintln(os.Stderr, "trace: response carried no X-Request-Id (pre-observability server?)")
+			return 1
+		}
+	}
+	tr, err := c.Trace(ctx, rid)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	if *asJSON {
+		b, err := json.MarshalIndent(tr, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		os.Stdout.Write(append(b, '\n'))
+		return 0
+	}
+	printTrace(os.Stdout, tr)
+	return 0
+}
+
+// printTrace renders the span tree, one span per line: offset from the
+// request start, duration, name, and attributes, indented by depth.
+func printTrace(w io.Writer, tr *api.TraceResponse) {
+	fmt.Fprintf(w, "trace %s  total %.3fms", tr.RequestID, float64(tr.DurationNs)/1e6)
+	if !tr.Complete {
+		fmt.Fprint(w, "  (still running)")
+	}
+	fmt.Fprintln(w)
+	printSpan(w, &tr.Root, 0)
+}
+
+func printSpan(w io.Writer, s *api.Span, depth int) {
+	fmt.Fprintf(w, "%s%+9.3fms %9.3fms  %s", strings.Repeat("  ", depth+1),
+		float64(s.StartNs)/1e6, float64(s.DurationNs)/1e6, s.Name)
+	for _, a := range s.Attrs {
+		fmt.Fprintf(w, "  %s=%s", a.Key, a.Value)
+	}
+	if s.Running {
+		fmt.Fprint(w, "  (running)")
+	}
+	fmt.Fprintln(w)
+	for i := range s.Children {
+		printSpan(w, &s.Children[i], depth+1)
+	}
+}

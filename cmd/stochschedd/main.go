@@ -16,21 +16,29 @@
 //	GET    /v1/sweep/{id}         job status + progress
 //	GET    /v1/sweep/{id}/results NDJSON comparison rows, grid order
 //	DELETE /v1/sweep/{id}         cancel
-//	GET    /v1/stats              per-endpoint counters + cache/sweep gauges
+//	GET    /v1/stats              per-endpoint counters + cache/sweep/engine gauges
+//	GET    /v1/trace/{id}         span tree of a recent request (id = its X-Request-Id)
+//	GET    /metrics               Prometheus text exposition of the same counters
 //	GET    /healthz               liveness
+//	GET    /readyz                readiness (503 while admission would shed)
 //
-// Responses are memoized by canonical spec hash; /v1/simulate responses and
-// sweep result rows are byte-identical for a given (spec, seed) at any
-// parallelism. See docs/api.md for the full reference.
+// Every response carries an X-Request-Id header; -log-level/-log-format
+// select the structured access log, and -debug-addr opts into net/http/pprof
+// on a separate listener. Responses are memoized by canonical spec hash;
+// /v1/simulate responses and sweep result rows are byte-identical for a
+// given (spec, seed) at any parallelism — tracing and logging never touch
+// bodies. See docs/api.md and docs/observability.md for the full reference.
 package main
 
 import (
 	"context"
 	"errors"
 	"flag"
+	"fmt"
 	"io"
-	"log"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -39,11 +47,14 @@ import (
 	"stochsched/internal/service"
 )
 
-// options is the daemon's parsed command line: the listen address and the
-// service configuration the flags map onto.
+// options is the daemon's parsed command line: the listen addresses, the
+// logging selections, and the service configuration the flags map onto.
 type options struct {
-	addr string
-	cfg  service.Config
+	addr      string
+	debugAddr string
+	logLevel  string
+	logFormat string
+	cfg       service.Config
 }
 
 // parseArgs resolves the command line into options. Errors (including
@@ -54,6 +65,9 @@ func parseArgs(args []string, stderr io.Writer) (*options, error) {
 	fs.SetOutput(stderr)
 	var opt options
 	fs.StringVar(&opt.addr, "addr", ":8080", "listen address")
+	fs.StringVar(&opt.debugAddr, "debug-addr", "", "listen address for net/http/pprof (empty = disabled)")
+	fs.StringVar(&opt.logLevel, "log-level", "info", "log level: debug, info, warn, or error")
+	fs.StringVar(&opt.logFormat, "log-format", "text", "log format: text or json")
 	fs.IntVar(&opt.cfg.Parallel, "parallel", 0, "simulation worker-pool size; per-request parallelism is clamped to it (0 = GOMAXPROCS)")
 	fs.IntVar(&opt.cfg.CacheShards, "cache-shards", 16, "cache shard count")
 	fs.IntVar(&opt.cfg.CacheEntriesPerShard, "cache-entries", 256, "cached responses per shard (-1 = unbounded)")
@@ -63,10 +77,57 @@ func parseArgs(args []string, stderr io.Writer) (*options, error) {
 	fs.IntVar(&opt.cfg.SweepMaxJobs, "sweep-max-jobs", 32, "max stored sweep jobs (oldest finished evicted beyond this)")
 	fs.IntVar(&opt.cfg.SweepMaxCells, "sweep-max-cells", 4096, "max grid points × policies per sweep")
 	fs.IntVar(&opt.cfg.BatchMaxItems, "batch-max-items", 64, "max calls one POST /v1/batch may multiplex")
+	fs.IntVar(&opt.cfg.TraceBuffer, "trace-buffer", 256, "request traces retained for GET /v1/trace/{id} (-1 = disabled)")
 	if err := fs.Parse(args); err != nil {
 		return nil, err
 	}
+	logger, err := buildLogger(opt.logLevel, opt.logFormat, stderr)
+	if err != nil {
+		fmt.Fprintf(stderr, "stochschedd: %v\n", err)
+		return nil, err
+	}
+	opt.cfg.Logger = logger
 	return &opt, nil
+}
+
+// buildLogger resolves the -log-level/-log-format flags into a slog.Logger
+// writing to w.
+func buildLogger(level, format string, w io.Writer) (*slog.Logger, error) {
+	var lvl slog.Level
+	switch level {
+	case "debug":
+		lvl = slog.LevelDebug
+	case "info":
+		lvl = slog.LevelInfo
+	case "warn":
+		lvl = slog.LevelWarn
+	case "error":
+		lvl = slog.LevelError
+	default:
+		return nil, fmt.Errorf("unknown -log-level %q (want debug, info, warn, or error)", level)
+	}
+	opts := &slog.HandlerOptions{Level: lvl}
+	switch format {
+	case "text":
+		return slog.New(slog.NewTextHandler(w, opts)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(w, opts)), nil
+	default:
+		return nil, fmt.Errorf("unknown -log-format %q (want text or json)", format)
+	}
+}
+
+// debugMux returns the pprof handler set on its own mux — registered
+// explicitly rather than importing the package for its DefaultServeMux
+// side effect, so the profiling surface never leaks onto the API listener.
+func debugMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
 }
 
 func main() {
@@ -77,6 +138,7 @@ func main() {
 		}
 		os.Exit(2)
 	}
+	log := opt.cfg.Logger
 
 	srv := service.New(opt.cfg)
 	hs := &http.Server{
@@ -88,23 +150,34 @@ func main() {
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 
+	if opt.debugAddr != "" {
+		dbg := &http.Server{Addr: opt.debugAddr, Handler: debugMux()}
+		go func() {
+			log.Info("pprof listening", "addr", opt.debugAddr)
+			if err := dbg.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				log.Error("pprof listener failed", "error", err)
+			}
+		}()
+	}
+
 	done := make(chan struct{})
 	go func() {
 		defer close(done)
 		sig := make(chan os.Signal, 1)
 		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 		<-sig
-		log.Print("stochschedd: shutting down")
+		log.Info("shutting down")
 		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
 		if err := hs.Shutdown(ctx); err != nil {
-			log.Printf("stochschedd: shutdown: %v", err)
+			log.Warn("shutdown", "error", err)
 		}
 	}()
 
-	log.Printf("stochschedd: listening on %s", opt.addr)
+	log.Info("listening", "addr", opt.addr)
 	if err := hs.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
-		log.Fatal(err)
+		log.Error("listen", "error", err)
+		os.Exit(1)
 	}
 	<-done
 }

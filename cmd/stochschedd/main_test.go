@@ -22,6 +22,10 @@ func TestParseArgsWiresServiceConfig(t *testing.T) {
 		"-sweep-max-jobs", "3",
 		"-sweep-max-cells", "64",
 		"-batch-max-items", "7",
+		"-trace-buffer", "17",
+		"-debug-addr", "127.0.0.1:6060",
+		"-log-level", "debug",
+		"-log-format", "json",
 	}, &stderr)
 	if err != nil {
 		t.Fatalf("parseArgs: %v (stderr: %s)", err, stderr.String())
@@ -47,6 +51,15 @@ func TestParseArgsWiresServiceConfig(t *testing.T) {
 	}
 	if cfg.BatchMaxItems != 7 {
 		t.Errorf("BatchMaxItems = %d, want 7", cfg.BatchMaxItems)
+	}
+	if cfg.TraceBuffer != 17 {
+		t.Errorf("TraceBuffer = %d, want 17", cfg.TraceBuffer)
+	}
+	if opt.debugAddr != "127.0.0.1:6060" {
+		t.Errorf("debugAddr = %q", opt.debugAddr)
+	}
+	if cfg.Logger == nil {
+		t.Error("Logger not wired")
 	}
 }
 
@@ -78,6 +91,8 @@ func TestParseArgsRejectsBadFlags(t *testing.T) {
 		{"-no-such-flag"},
 		{"-parallel", "many"},
 		{"-compute-timeout", "fast"},
+		{"-log-level", "loud"},
+		{"-log-format", "xml"},
 	}
 	for _, args := range bad {
 		var stderr strings.Builder

@@ -37,6 +37,8 @@ import (
 	"errors"
 	"runtime"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"stochsched/internal/rng"
 	"stochsched/internal/stats"
@@ -51,6 +53,29 @@ type Pool struct {
 	slots  chan struct{}
 	parent *Pool // non-nil for Limit sub-pools: slots are drawn from it too
 	size   int
+	m      *poolMetrics
+}
+
+// poolMetrics accumulates the pool's cumulative execution counters. Limit
+// sub-pools share their parent's instance, so the root pool's counters
+// cover every request fanning out over it regardless of per-request caps.
+type poolMetrics struct {
+	busyNs       atomic.Int64
+	chunksWorker atomic.Int64
+	chunksInline atomic.Int64
+}
+
+// PoolMetrics is a point-in-time view of a pool's cumulative execution
+// counters (see Pool.Metrics).
+type PoolMetrics struct {
+	// BusyNs is the total wall-clock time goroutines spent executing task
+	// chunks — worker slots and inline dispatcher execution together.
+	BusyNs int64
+	// ChunksDispatched counts chunks run on a pool worker slot;
+	// ChunksInline counts chunks the dispatcher executed itself because no
+	// slot was free (the engine's saturation-degradation path).
+	ChunksDispatched int64
+	ChunksInline     int64
 }
 
 // NewPool returns a pool targeting n concurrently executing tasks. n ≤ 0
@@ -60,7 +85,33 @@ func NewPool(n int) *Pool {
 	if n <= 0 {
 		n = runtime.GOMAXPROCS(0)
 	}
-	return &Pool{slots: make(chan struct{}, n-1), size: n}
+	return &Pool{slots: make(chan struct{}, n-1), size: n, m: &poolMetrics{}}
+}
+
+// Metrics returns the pool's cumulative execution counters (zero for a nil
+// pool). For a Limit view the counters are the shared root pool's.
+func (p *Pool) Metrics() PoolMetrics {
+	if p == nil {
+		return PoolMetrics{}
+	}
+	return PoolMetrics{
+		BusyNs:           p.m.busyNs.Load(),
+		ChunksDispatched: p.m.chunksWorker.Load(),
+		ChunksInline:     p.m.chunksInline.Load(),
+	}
+}
+
+// observeChunk records one executed chunk's wall-clock cost.
+func (p *Pool) observeChunk(d time.Duration, worker bool) {
+	if p == nil {
+		return
+	}
+	p.m.busyNs.Add(d.Nanoseconds())
+	if worker {
+		p.m.chunksWorker.Add(1)
+	} else {
+		p.m.chunksInline.Add(1)
+	}
 }
 
 // Limit returns a view of p capped at n concurrent tasks. The sub-pool
@@ -78,7 +129,7 @@ func (p *Pool) Limit(n int) *Pool {
 	if p == nil || n <= 0 || n >= p.size {
 		return p
 	}
-	return &Pool{slots: make(chan struct{}, n-1), parent: p, size: n}
+	return &Pool{slots: make(chan struct{}, n-1), parent: p, size: n, m: p.m}
 }
 
 // Size returns the target parallelism (1 for a nil pool).
@@ -223,7 +274,11 @@ func reduceCore[T, A any](ctx context.Context, p *Pool, n int,
 	results := make(chan *chunk[T, A], chunks)
 	free := make(chan *chunk[T, A], chunks)
 
-	exec := func(c *chunk[T, A]) {
+	// Chunk timing is two clock reads per chunk (chunks batch up to 256
+	// tasks), so the busy-ns instrumentation is invisible next to the work
+	// itself — and it never touches the values, so determinism holds.
+	exec := func(c *chunk[T, A], worker bool) {
+		begin := time.Now()
 		for k := range c.args {
 			if err := ctx.Err(); err != nil {
 				c.setErr(k, err)
@@ -237,6 +292,7 @@ func reduceCore[T, A any](ctx context.Context, p *Pool, n int,
 			}
 			c.vals[k] = v
 		}
+		p.observeChunk(time.Since(begin), worker)
 		results <- c
 	}
 
@@ -260,10 +316,10 @@ func reduceCore[T, A any](ctx context.Context, p *Pool, n int,
 				go func() {
 					defer wg.Done()
 					defer p.release()
-					exec(c)
+					exec(c, true)
 				}()
 			} else {
-				exec(c)
+				exec(c, false)
 			}
 		}
 		wg.Wait()

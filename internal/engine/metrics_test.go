@@ -1,0 +1,57 @@
+package engine
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+func TestPoolMetricsAccumulate(t *testing.T) {
+	p := NewPool(4)
+	if m := p.Metrics(); m != (PoolMetrics{}) {
+		t.Fatalf("fresh pool metrics %+v", m)
+	}
+	err := Reduce(context.Background(), p, 64, func(ctx context.Context, i int) (int, error) {
+		time.Sleep(time.Microsecond)
+		return i, nil
+	}, func(i, v int) error { return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := p.Metrics()
+	if m.BusyNs <= 0 {
+		t.Errorf("BusyNs = %d, want > 0", m.BusyNs)
+	}
+	if m.ChunksDispatched+m.ChunksInline == 0 {
+		t.Error("no chunks counted")
+	}
+	// The inline chunk is the caller's share of the work; a multi-worker
+	// pool dispatches the rest.
+	if m.ChunksInline == 0 {
+		t.Error("caller's inline chunk not counted")
+	}
+}
+
+func TestNilPoolMetricsZero(t *testing.T) {
+	var p *Pool
+	if m := p.Metrics(); m != (PoolMetrics{}) {
+		t.Errorf("nil pool metrics %+v", m)
+	}
+}
+
+// TestLimitSharesParentMetrics pins that a bounded view bills work to the
+// parent pool's counters, so /v1/stats sees all engine work in one place.
+func TestLimitSharesParentMetrics(t *testing.T) {
+	p := NewPool(8)
+	lim := p.Limit(2)
+	err := Reduce(context.Background(), lim, 16, func(ctx context.Context, i int) (int, error) {
+		time.Sleep(time.Microsecond)
+		return i, nil
+	}, func(i, v int) error { return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m := p.Metrics(); m.BusyNs <= 0 || m.ChunksInline == 0 {
+		t.Errorf("parent pool did not observe limited view's work: %+v", m)
+	}
+}

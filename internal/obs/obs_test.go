@@ -1,0 +1,149 @@
+package obs
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestRequestIDsUnique(t *testing.T) {
+	seen := make(map[string]bool)
+	for i := 0; i < 1000; i++ {
+		id := NewRequestID()
+		if seen[id] {
+			t.Fatalf("duplicate id %q", id)
+		}
+		seen[id] = true
+	}
+}
+
+func TestNilSpanSafe(t *testing.T) {
+	var s *Span
+	s.End()
+	s.Annotate("k", "v")
+	if got := s.Attr("k"); got != "" {
+		t.Errorf("nil span Attr = %q", got)
+	}
+	if c := s.StartChild("child"); c != nil {
+		t.Errorf("nil span StartChild = %v", c)
+	}
+	var tr *Trace
+	tr.Finish()
+	if tr.ID() != "" || tr.Root() != nil || tr.Snapshot() != nil {
+		t.Error("nil trace methods not inert")
+	}
+}
+
+func TestStartWithoutTraceIsInert(t *testing.T) {
+	ctx := context.Background()
+	ctx2, sp := Start(ctx, "anything")
+	if sp != nil {
+		t.Fatalf("span without trace = %v", sp)
+	}
+	if ctx2 != ctx {
+		t.Error("context changed on the untraced path")
+	}
+	if RootSpan(ctx) != nil {
+		t.Error("RootSpan without trace != nil")
+	}
+}
+
+func TestTraceSpanTree(t *testing.T) {
+	tr := NewTrace("r-test-1")
+	ctx := WithTrace(context.Background(), tr)
+	if FromContext(ctx) != tr {
+		t.Fatal("trace not propagated")
+	}
+
+	ctx1, parent := Start(ctx, "cache")
+	parent.Annotate("outcome", "miss")
+	parent.Annotate("outcome", "hit") // replaces, not appends
+	_, child := Start(ctx1, "compute")
+	child.End()
+	parent.End()
+	tr.Finish()
+
+	snap := tr.Snapshot()
+	if snap.RequestID != "r-test-1" || !snap.Complete {
+		t.Fatalf("snapshot header %+v", snap)
+	}
+	if snap.Root.Name != "request" || len(snap.Root.Children) != 1 {
+		t.Fatalf("root %+v", snap.Root)
+	}
+	c := snap.Root.Children[0]
+	if c.Name != "cache" || len(c.Attrs) != 1 || c.Attrs[0].Value != "hit" {
+		t.Fatalf("cache span %+v", c)
+	}
+	if len(c.Children) != 1 || c.Children[0].Name != "compute" {
+		t.Fatalf("compute span missing: %+v", c.Children)
+	}
+	if c.Children[0].Running {
+		t.Error("ended span reported running")
+	}
+}
+
+func TestSnapshotWhileRunning(t *testing.T) {
+	tr := NewTrace("r-test-2")
+	ctx := WithTrace(context.Background(), tr)
+	_, sp := Start(ctx, "open")
+	snap := tr.Snapshot()
+	if snap.Complete {
+		t.Error("unfinished trace reported complete")
+	}
+	if !snap.Root.Children[0].Running {
+		t.Error("open span not reported running")
+	}
+	sp.End()
+	tr.Finish()
+	if !tr.Snapshot().Complete {
+		t.Error("finished trace not complete")
+	}
+}
+
+func TestConcurrentSiblings(t *testing.T) {
+	tr := NewTrace("r-test-3")
+	ctx := WithTrace(context.Background(), tr)
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, sp := Start(ctx, fmt.Sprintf("item[%d]", i))
+			sp.Annotate("i", fmt.Sprint(i))
+			sp.End()
+		}(i)
+	}
+	wg.Wait()
+	tr.Finish()
+	if n := len(tr.Snapshot().Root.Children); n != 16 {
+		t.Fatalf("got %d sibling spans, want 16", n)
+	}
+}
+
+func TestRecorderRingEviction(t *testing.T) {
+	r := NewRecorder(2)
+	a, b, c := NewTrace("a"), NewTrace("b"), NewTrace("c")
+	r.Add(a)
+	r.Add(b)
+	r.Add(c) // evicts a
+	if _, ok := r.Get("a"); ok {
+		t.Error("oldest trace not evicted")
+	}
+	for _, id := range []string{"b", "c"} {
+		if _, ok := r.Get(id); !ok {
+			t.Errorf("trace %q missing", id)
+		}
+	}
+	if r.Len() != 2 {
+		t.Errorf("len = %d, want 2", r.Len())
+	}
+}
+
+func TestRecorderDisabled(t *testing.T) {
+	r := NewRecorder(0)
+	r.Add(NewTrace("a"))
+	if r.Len() != 0 {
+		t.Error("zero-capacity recorder retained a trace")
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"strings"
 
 	"stochsched/internal/engine"
+	"stochsched/internal/obs"
 	"stochsched/pkg/api"
 )
 
@@ -201,10 +202,18 @@ func (r *Request) Hash() string {
 // both assemble through here, so they can never disagree about the
 // response encoding — and neither needs a kind-specific response type.
 func Run(ctx context.Context, req *Request, pool *engine.Pool) ([]byte, error) {
-	body, err := req.Scenario.Simulate(ctx, pool, req.Payload, req.Seed, req.Replications)
+	// The "compute" span covers the Monte Carlo work, "encode" the response
+	// assembly; both no-op when the context carries no trace (the CLI path).
+	// Spans never feed back into the computation, so the body stays
+	// byte-identical with tracing on or off.
+	cctx, csp := obs.Start(ctx, "compute")
+	body, err := req.Scenario.Simulate(cctx, pool, req.Payload, req.Seed, req.Replications)
+	csp.End()
 	if err != nil {
 		return nil, err
 	}
+	_, esp := obs.Start(ctx, "encode")
+	defer esp.End()
 	env, err := json.Marshal(struct {
 		SpecHash     string `json:"spec_hash"`
 		Seed         uint64 `json:"seed"`

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"sync/atomic"
+	"time"
 )
 
 // ErrShed is returned by Admission.Acquire when the waiting queue is full;
@@ -24,6 +25,11 @@ type Admission struct {
 	waiting   atomic.Int64
 	waitingBg atomic.Int64
 	maxWait   int64
+	// waitNs accumulates the wall-clock time admitted computations spent
+	// parked in the queue (interactive and background together) — the
+	// "queue-wait" stage of a request, exposed via EngineStats and the
+	// admission span.
+	waitNs atomic.Int64
 }
 
 // NewAdmission returns an admission gate running at most inflight requests
@@ -54,6 +60,8 @@ func (a *Admission) Acquire(ctx context.Context) error {
 		return ErrShed
 	}
 	defer a.waiting.Add(-1)
+	begin := time.Now()
+	defer func() { a.waitNs.Add(time.Since(begin).Nanoseconds()) }()
 	select {
 	case a.slots <- struct{}{}:
 		return nil
@@ -76,6 +84,8 @@ func (a *Admission) AcquireBlocking(ctx context.Context) error {
 	}
 	a.waitingBg.Add(1)
 	defer a.waitingBg.Add(-1)
+	begin := time.Now()
+	defer func() { a.waitNs.Add(time.Since(begin).Nanoseconds()) }()
 	select {
 	case a.slots <- struct{}{}:
 		return nil
@@ -93,3 +103,15 @@ func (a *Admission) Waiting() int64 { return a.waiting.Load() + a.waitingBg.Load
 
 // InFlight returns the number of requests currently executing.
 func (a *Admission) InFlight() int { return len(a.slots) }
+
+// WaitNs returns the cumulative time admitted computations spent waiting
+// for an execution slot.
+func (a *Admission) WaitNs() int64 { return a.waitNs.Load() }
+
+// Saturated reports whether a new interactive Acquire would shed right
+// now: every execution slot busy and the interactive queue at its bound.
+// GET /readyz answers 503 while this holds, so a load balancer can drain
+// the node before clients see 429s.
+func (a *Admission) Saturated() bool {
+	return len(a.slots) == cap(a.slots) && a.waiting.Load() >= a.maxWait
+}

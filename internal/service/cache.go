@@ -1,9 +1,11 @@
 package service
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
+	"stochsched/internal/obs"
 	"stochsched/pkg/api"
 )
 
@@ -74,8 +76,12 @@ func (c *Cache) shard(key string) *cacheShard {
 // Do returns the cached body for key, computing it with compute on a miss.
 // Concurrent calls with the same key are deduplicated: exactly one runs
 // compute, the rest wait and share its result. A failed computation is not
-// cached (waiters observe the error; later calls retry).
-func (c *Cache) Do(key string, compute func() ([]byte, error)) ([]byte, Outcome, error) {
+// cached (waiters observe the error; later calls retry). ctx carries the
+// caller's trace, if any: a singleflight join records the time parked on
+// the in-flight computation as a "singleflight_wait" span. ctx does NOT
+// cancel the wait — the computation is shared, and it completes promptly
+// for whichever caller initiated it.
+func (c *Cache) Do(ctx context.Context, key string, compute func() ([]byte, error)) ([]byte, Outcome, error) {
 	sh := c.shard(key)
 	sh.mu.Lock()
 	if e, ok := sh.m[key]; ok {
@@ -85,7 +91,9 @@ func (c *Cache) Do(key string, compute func() ([]byte, error)) ([]byte, Outcome,
 			return e.body, Hit, e.err
 		default:
 		}
+		_, sp := obs.Start(ctx, "singleflight_wait")
 		<-e.done
+		sp.End()
 		return e.body, Dedup, e.err
 	}
 	e := &cacheEntry{done: make(chan struct{})}

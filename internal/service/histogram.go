@@ -53,17 +53,24 @@ func (h *latencyHist) record(d time.Duration) {
 	}
 }
 
+// totals reads the per-bucket counts and their sum. It is the single read
+// path both renderings of the histogram (/v1/stats snapshot and /metrics
+// exposition) go through, which is what keeps the two views derived from
+// identical state.
+func (h *latencyHist) totals() (counts [histBuckets]int64, total int64) {
+	for i := range h.counts {
+		counts[i] = h.counts[i].Load()
+		total += counts[i]
+	}
+	return counts, total
+}
+
 // snapshot renders the histogram into its wire shape, or nil when nothing
 // has been recorded. Concurrent recording can skew a snapshot by the
 // requests landing mid-read; the counts are monotone, so the skew is
 // bounded by the in-flight traffic.
 func (h *latencyHist) snapshot() *api.LatencyHistogram {
-	var counts [histBuckets]int64
-	total := int64(0)
-	for i := range h.counts {
-		counts[i] = h.counts[i].Load()
-		total += counts[i]
-	}
+	counts, total := h.totals()
 	if total == 0 {
 		return nil
 	}

@@ -1,0 +1,116 @@
+package service
+
+import (
+	"testing"
+	"time"
+)
+
+func TestHistogramEmpty(t *testing.T) {
+	var h latencyHist
+	if snap := h.snapshot(); snap != nil {
+		t.Fatalf("empty histogram snapshot = %+v, want nil", snap)
+	}
+	if _, total := h.totals(); total != 0 {
+		t.Fatalf("empty histogram total = %d", total)
+	}
+}
+
+func TestHistogramSingleObservation(t *testing.T) {
+	var h latencyHist
+	h.record(3 * time.Millisecond)
+	snap := h.snapshot()
+	if snap == nil || snap.Count != 1 {
+		t.Fatalf("snapshot %+v", snap)
+	}
+	if snap.MaxMs != 3 {
+		t.Errorf("MaxMs = %v, want exact 3", snap.MaxMs)
+	}
+	// One observation: every quantile interpolates inside the one occupied
+	// bucket (2.048ms, 4.096ms], so all must land within its bounds.
+	lo := float64(histBoundNs(bucketOf(int64(3*time.Millisecond))-1)) / 1e6
+	hi := float64(histBoundNs(bucketOf(int64(3*time.Millisecond)))) / 1e6
+	for _, q := range []float64{snap.P50Ms, snap.P95Ms, snap.P99Ms} {
+		if q < lo || q > hi {
+			t.Errorf("quantile %v outside bucket (%v, %v]", q, lo, hi)
+		}
+	}
+	if len(snap.Buckets) != 1 || snap.Buckets[0].Count != 1 {
+		t.Errorf("buckets %+v", snap.Buckets)
+	}
+}
+
+func TestHistogramAllInOneBucket(t *testing.T) {
+	var h latencyHist
+	d := 100 * time.Microsecond // bucket (64µs, 128µs]
+	for i := 0; i < 1000; i++ {
+		h.record(d)
+	}
+	snap := h.snapshot()
+	if snap.Count != 1000 || len(snap.Buckets) != 1 {
+		t.Fatalf("snapshot %+v", snap)
+	}
+	lo, hi := 0.064, 0.128
+	if !(snap.P50Ms > lo && snap.P50Ms <= hi) {
+		t.Errorf("P50 %v outside (%v, %v]", snap.P50Ms, lo, hi)
+	}
+	// Quantiles must be monotone even inside one bucket.
+	if snap.P95Ms < snap.P50Ms || snap.P99Ms < snap.P95Ms {
+		t.Errorf("quantiles not monotone: %v %v %v", snap.P50Ms, snap.P95Ms, snap.P99Ms)
+	}
+}
+
+func TestHistogramMaxExact(t *testing.T) {
+	var h latencyHist
+	for _, d := range []time.Duration{time.Millisecond, 7 * time.Millisecond, 3 * time.Millisecond} {
+		h.record(d)
+	}
+	if got := h.snapshot().MaxMs; got != 7 {
+		t.Errorf("MaxMs = %v, want exactly 7 (max is tracked exactly, not bucketed)", got)
+	}
+	// A later smaller observation must not lower the max.
+	h.record(time.Microsecond)
+	if got := h.snapshot().MaxMs; got != 7 {
+		t.Errorf("MaxMs after smaller obs = %v, want 7", got)
+	}
+}
+
+func TestHistogramExtremes(t *testing.T) {
+	var h latencyHist
+	h.record(0)                 // clamps into bucket 0
+	h.record(-time.Millisecond) // negative clamps to 0
+	h.record(time.Hour)         // beyond the last bound: catch-all bucket
+	counts, total := h.totals()
+	if total != 3 {
+		t.Fatalf("total = %d", total)
+	}
+	if counts[0] != 2 {
+		t.Errorf("bucket 0 = %d, want 2", counts[0])
+	}
+	if counts[histBuckets-1] != 1 {
+		t.Errorf("catch-all bucket = %d, want 1", counts[histBuckets-1])
+	}
+	if got := h.snapshot().MaxMs; got != float64(time.Hour)/1e6 {
+		t.Errorf("MaxMs = %v", got)
+	}
+}
+
+// TestHistogramTotalsMatchesSnapshot pins the contract /metrics relies on:
+// totals() and snapshot() describe the same population.
+func TestHistogramTotalsMatchesSnapshot(t *testing.T) {
+	var h latencyHist
+	for i := 1; i <= 100; i++ {
+		h.record(time.Duration(i) * 37 * time.Microsecond)
+	}
+	counts, total := h.totals()
+	snap := h.snapshot()
+	if snap.Count != total {
+		t.Fatalf("snapshot count %d != totals %d", snap.Count, total)
+	}
+	var fromBuckets int64
+	for _, c := range counts {
+		fromBuckets += c
+	}
+	if fromBuckets != total {
+		t.Fatalf("bucket sum %d != total %d", fromBuckets, total)
+	}
+}

@@ -1,0 +1,143 @@
+package service
+
+import (
+	"bytes"
+	"net/http"
+	"sort"
+	"strconv"
+	"time"
+)
+
+// This file renders GET /metrics: the Prometheus text exposition (format
+// 0.0.4) of the same counters /v1/stats reports as JSON. Both views read
+// the identical atomics — the per-endpoint EndpointMetrics, the latency
+// histograms via latencyHist.totals(), the cache/admission/sweep/engine
+// gauges — so a Prometheus scrape and a stats poll can never disagree
+// about what the service did. No client library: the format is a handful
+// of HELP/TYPE/sample lines, and the zero-dependency constraint holds.
+
+// handleMetrics serves GET /metrics.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	var b bytes.Buffer
+	s.renderMetrics(&b)
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.Write(b.Bytes())
+}
+
+// renderMetrics writes the full exposition. Endpoints render in sorted
+// name order so scrapes are stable and diffable.
+func (s *Server) renderMetrics(b *bytes.Buffer) {
+	names := make([]string, 0, len(s.eps))
+	for name := range s.eps {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	counter := func(metric, help string, value func(m *EndpointMetrics) int64) {
+		promHeader(b, metric, help, "counter")
+		for _, name := range names {
+			promSample(b, metric, `endpoint="`+name+`"`, float64(value(s.eps[name])))
+		}
+	}
+	counter("stochsched_requests_total", "Requests received, by endpoint.",
+		func(m *EndpointMetrics) int64 { return m.requests.Load() })
+	counter("stochsched_cache_hits_total", "Requests served from the response cache.",
+		func(m *EndpointMetrics) int64 { return m.hits.Load() })
+	counter("stochsched_cache_misses_total", "Requests that computed their response.",
+		func(m *EndpointMetrics) int64 { return m.misses.Load() })
+	counter("stochsched_dedup_total", "Requests that joined an in-flight identical computation.",
+		func(m *EndpointMetrics) int64 { return m.dedups.Load() })
+	counter("stochsched_shed_total", "Requests shed with 429 by admission control.",
+		func(m *EndpointMetrics) int64 { return m.shed.Load() })
+	counter("stochsched_errors_total", "Requests that terminated with an error envelope (sheds excluded).",
+		func(m *EndpointMetrics) int64 { return m.errors.Load() })
+
+	promHeader(b, "stochsched_batch_items_total", "Individual calls fanned out by /v1/batch requests.", "counter")
+	promSample(b, "stochsched_batch_items_total", "", float64(s.eps["batch"].batchItems.Load()))
+
+	// Request-latency histograms: cumulative buckets over the same 28
+	// log-spaced bounds /v1/stats interpolates its quantiles from, _count
+	// from the identical totals, _sum from the same latencyNs the average
+	// is derived from. Endpoints that have served nothing are omitted,
+	// mirroring the stats view dropping empty Latency blocks.
+	metric := "stochsched_request_duration_seconds"
+	promHeader(b, metric, "Request wall-clock latency, by endpoint.", "histogram")
+	for _, name := range names {
+		m := s.eps[name]
+		counts, total := m.hist.totals()
+		if total == 0 {
+			continue
+		}
+		cum := int64(0)
+		for i, c := range counts {
+			cum += c
+			le := strconv.FormatFloat(float64(histBoundNs(i))/float64(time.Second), 'g', -1, 64)
+			promSample(b, metric+"_bucket", `endpoint="`+name+`",le="`+le+`"`, float64(cum))
+		}
+		promSample(b, metric+"_bucket", `endpoint="`+name+`",le="+Inf"`, float64(cum))
+		promSample(b, metric+"_sum", `endpoint="`+name+`"`, float64(m.latencyNs.Load())/float64(time.Second))
+		promSample(b, metric+"_count", `endpoint="`+name+`"`, float64(total))
+	}
+
+	cache := s.cache.Stats()
+	promHeader(b, "stochsched_cache_entries", "Response-cache entries resident (in-flight included).", "gauge")
+	promSample(b, "stochsched_cache_entries", "", float64(cache.Entries))
+	promHeader(b, "stochsched_cache_evictions_total", "Response-cache entries evicted over budget.", "counter")
+	promSample(b, "stochsched_cache_evictions_total", "", float64(cache.Evictions))
+
+	promHeader(b, "stochsched_inflight_requests", "Computations currently holding an admission slot.", "gauge")
+	promSample(b, "stochsched_inflight_requests", "", float64(s.admit.InFlight()))
+	promHeader(b, "stochsched_admission_queue_depth", "Admitted computations waiting for an execution slot.", "gauge")
+	promSample(b, "stochsched_admission_queue_depth", "", float64(s.admit.Waiting()))
+	promHeader(b, "stochsched_admission_queue_wait_seconds_total", "Cumulative time computations spent queued for a slot.", "counter")
+	promSample(b, "stochsched_admission_queue_wait_seconds_total", "", float64(s.admit.WaitNs())/float64(time.Second))
+
+	sweeps := s.sweeps.Stats()
+	promHeader(b, "stochsched_sweep_jobs", "Sweep jobs resident in the store.", "gauge")
+	promSample(b, "stochsched_sweep_jobs", "", float64(sweeps.Jobs))
+	promHeader(b, "stochsched_sweep_jobs_running", "Sweep jobs currently executing.", "gauge")
+	promSample(b, "stochsched_sweep_jobs_running", "", float64(sweeps.Running))
+	promHeader(b, "stochsched_sweep_evictions_total", "Finished sweep jobs evicted from the store.", "counter")
+	promSample(b, "stochsched_sweep_evictions_total", "", float64(sweeps.Evictions))
+	promHeader(b, "stochsched_sweep_cells_executed_total", "Sweep cells whose execution settled.", "counter")
+	promSample(b, "stochsched_sweep_cells_executed_total", "", float64(sweeps.CellsExecuted))
+	promHeader(b, "stochsched_sweep_compute_seconds_total", "Cumulative wall-clock time executing sweep cells.", "counter")
+	promSample(b, "stochsched_sweep_compute_seconds_total", "", float64(sweeps.ComputeNs)/float64(time.Second))
+
+	pm := s.pool.Metrics()
+	promHeader(b, "stochsched_engine_workers", "Worker-pool target parallelism.", "gauge")
+	promSample(b, "stochsched_engine_workers", "", float64(s.pool.Size()))
+	promHeader(b, "stochsched_engine_busy_seconds_total", "Cumulative wall-clock time executing task chunks.", "counter")
+	promSample(b, "stochsched_engine_busy_seconds_total", "", float64(pm.BusyNs)/float64(time.Second))
+	promHeader(b, "stochsched_engine_chunks_total", "Task chunks executed, by where they ran.", "counter")
+	promSample(b, "stochsched_engine_chunks_total", `mode="worker"`, float64(pm.ChunksDispatched))
+	promSample(b, "stochsched_engine_chunks_total", `mode="inline"`, float64(pm.ChunksInline))
+}
+
+// promHeader writes a family's HELP and TYPE lines.
+func promHeader(b *bytes.Buffer, metric, help, typ string) {
+	b.WriteString("# HELP ")
+	b.WriteString(metric)
+	b.WriteByte(' ')
+	b.WriteString(help)
+	b.WriteString("\n# TYPE ")
+	b.WriteString(metric)
+	b.WriteByte(' ')
+	b.WriteString(typ)
+	b.WriteByte('\n')
+}
+
+// promSample writes one sample line: name{labels} value. labels is the
+// pre-rendered label body ("" for none); values render in Go's shortest
+// round-trip float form, which Prometheus parses exactly.
+func promSample(b *bytes.Buffer, metric, labels string, value float64) {
+	b.WriteString(metric)
+	if labels != "" {
+		b.WriteByte('{')
+		b.WriteString(labels)
+		b.WriteByte('}')
+	}
+	b.WriteByte(' ')
+	b.WriteString(strconv.FormatFloat(value, 'g', -1, 64))
+	b.WriteByte('\n')
+}

@@ -26,10 +26,12 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"time"
 
 	"stochsched/internal/engine"
+	"stochsched/internal/obs"
 	"stochsched/internal/scenario"
 	"stochsched/internal/sweep"
 	"stochsched/pkg/api"
@@ -80,6 +82,17 @@ type Config struct {
 	// BatchMaxItems bounds the calls one POST /v1/batch may multiplex.
 	// Default 64.
 	BatchMaxItems int
+	// TraceBuffer bounds the ring of request traces retained for
+	// GET /v1/trace/{id} (0 keeps the default 256; negative disables
+	// retention — requests still carry X-Request-Id headers, but no trace
+	// is recorded and the trace endpoint always answers 404).
+	TraceBuffer int
+	// Logger receives structured access and lifecycle logs (one Info line
+	// per request: request id, endpoint, scenario kind, spec hash, cache
+	// outcome, status, latency). nil discards logs — the default for
+	// in-process/test use; the daemon wires a real handler from its
+	// -log-level/-log-format flags.
+	Logger *slog.Logger
 }
 
 func (c Config) withDefaults() Config {
@@ -114,6 +127,14 @@ func (c Config) withDefaults() Config {
 	if c.BatchMaxItems == 0 {
 		c.BatchMaxItems = 64
 	}
+	if c.TraceBuffer == 0 {
+		c.TraceBuffer = 256
+	} else if c.TraceBuffer < 0 {
+		c.TraceBuffer = 0
+	}
+	if c.Logger == nil {
+		c.Logger = slog.New(slog.DiscardHandler)
+	}
 	return c
 }
 
@@ -126,6 +147,8 @@ type Server struct {
 	admit  *Admission
 	sweeps *sweep.Manager
 	eps    map[string]*EndpointMetrics
+	rec    *obs.Recorder
+	log    *slog.Logger
 }
 
 // New returns a server with the given configuration.
@@ -137,6 +160,8 @@ func New(cfg Config) *Server {
 		cache: NewCache(cfg.CacheShards, cfg.CacheEntriesPerShard),
 		admit: NewAdmission(cfg.MaxInflight, cfg.MaxQueue),
 		eps:   make(map[string]*EndpointMetrics),
+		rec:   obs.NewRecorder(cfg.TraceBuffer),
+		log:   cfg.Logger,
 	}
 	// gittins/whittle/priority are the legacy alias routes over /v1/index,
 	// kept as distinct buckets so pre-v2 dashboards keep working. sweep and
@@ -156,39 +181,56 @@ func New(cfg Config) *Server {
 	return s
 }
 
-// Handler returns the HTTP handler serving the v1 API. Every route is
-// registered method-scoped; the companion methodNotAllowed pattern catches
-// the other verbs with a 405, an Allow header, and the standard error
-// envelope (Go's mux alone would answer 405 with a plain-text body).
+// Handler returns the HTTP handler serving the v1 API, wrapped in the
+// instrumentation middleware (request IDs, trace recording, access logs —
+// see observe.go). Every route is registered method-scoped; the companion
+// methodNotAllowed pattern catches the other verbs with a 405, an Allow
+// header, and the standard error envelope (Go's mux alone would answer
+// 405 with a plain-text body). Routes pass the endpoint-metrics name they
+// bill to, so rejected verbs land in the same per-endpoint counters as
+// served ones ("" for routes without a metrics bucket).
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	route := func(method, pattern string, h http.HandlerFunc, allow string) {
+	route := func(method, pattern, name string, h http.HandlerFunc, allow string) {
 		mux.HandleFunc(method+" "+pattern, h)
-		mux.HandleFunc(pattern, s.methodNotAllowed(allow))
+		mux.HandleFunc(pattern, s.methodNotAllowed(name, allow))
 	}
-	route(http.MethodPost, "/v1/index", s.solverEndpoint("index", parseIndex), "POST")
-	route(http.MethodPost, "/v1/gittins", s.solverEndpoint("gittins", indexAlias("bandit")), "POST")
-	route(http.MethodPost, "/v1/whittle", s.solverEndpoint("whittle", indexAlias("restless")), "POST")
-	route(http.MethodPost, "/v1/priority", s.solverEndpoint("priority", parsePriorityAlias), "POST")
-	route(http.MethodPost, "/v1/simulate", s.solverEndpoint("simulate", computeSimulate), "POST")
-	route(http.MethodPost, "/v1/batch", s.handleBatch, "POST")
-	route(http.MethodPost, "/v1/sweep", s.handleSweepSubmit, "POST")
+	route(http.MethodPost, "/v1/index", "index", s.solverEndpoint("index", parseIndex), "POST")
+	route(http.MethodPost, "/v1/gittins", "gittins", s.solverEndpoint("gittins", indexAlias("bandit")), "POST")
+	route(http.MethodPost, "/v1/whittle", "whittle", s.solverEndpoint("whittle", indexAlias("restless")), "POST")
+	route(http.MethodPost, "/v1/priority", "priority", s.solverEndpoint("priority", parsePriorityAlias), "POST")
+	route(http.MethodPost, "/v1/simulate", "simulate", s.solverEndpoint("simulate", computeSimulate), "POST")
+	route(http.MethodPost, "/v1/batch", "batch", s.handleBatch, "POST")
+	route(http.MethodPost, "/v1/sweep", "sweep", s.handleSweepSubmit, "POST")
 	mux.HandleFunc("GET /v1/sweep/{id}", s.handleSweepStatus)
 	mux.HandleFunc("DELETE /v1/sweep/{id}", s.handleSweepCancel)
-	mux.HandleFunc("/v1/sweep/{id}", s.methodNotAllowed("GET, DELETE"))
-	route(http.MethodGet, "/v1/sweep/{id}/results", s.handleSweepResults, "GET")
-	route(http.MethodGet, "/v1/stats", s.handleStats, "GET")
+	mux.HandleFunc("/v1/sweep/{id}", s.methodNotAllowed("sweep", "GET, DELETE"))
+	route(http.MethodGet, "/v1/sweep/{id}/results", "sweep", s.handleSweepResults, "GET")
+	route(http.MethodGet, "/v1/stats", "", s.handleStats, "GET")
+	route(http.MethodGet, "/v1/trace/{id}", "", s.handleTrace, "GET")
+	route(http.MethodGet, "/metrics", "", s.handleMetrics, "GET")
+	route(http.MethodGet, "/readyz", "", s.handleReadyz, "GET")
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		io.WriteString(w, "ok\n")
 	})
-	return mux
+	return s.instrument(mux)
 }
 
 // methodNotAllowed answers 405 with the standard error envelope and an
-// Allow header naming the verbs the path does serve.
-func (s *Server) methodNotAllowed(allow string) http.HandlerFunc {
+// Allow header naming the verbs the path does serve. When the route bills
+// to an endpoint-metrics bucket, the rejection is recorded there — a 405
+// is a terminated request like any other, and auditing depends on every
+// termination path incrementing the counters.
+func (s *Server) methodNotAllowed(name, allow string) http.HandlerFunc {
+	m := s.eps[name]
 	return func(w http.ResponseWriter, r *http.Request) {
+		if m != nil {
+			begin := time.Now()
+			m.requests.Add(1)
+			m.errors.Add(1)
+			defer func() { m.observeLatency(time.Since(begin)) }()
+		}
 		w.Header().Set("Allow", allow)
 		writeError(w, http.StatusMethodNotAllowed, api.ErrCodeMethodNotAllowed,
 			fmt.Sprintf("%s does not allow %s (allow: %s)", r.URL.Path, r.Method, allow))
@@ -238,11 +280,16 @@ func errorStatus(err error) (int, string) {
 	}
 }
 
-// parsed is the outcome of decoding one request: a cache key and the
-// computation producing the encoded response body.
+// parsed is the outcome of decoding one request: a cache key, the
+// computation producing the encoded response body, and the request's
+// scenario kind and spec hash for the access log and trace annotations.
+// compute receives the serving context so spans recorded inside the
+// computation attach to the initiating request's trace.
 type parsed struct {
 	key     string
-	compute func() ([]byte, error)
+	kind    string
+	hash    string
+	compute func(ctx context.Context) ([]byte, error)
 }
 
 // readBody reads a request body under the configured size cap (negative
@@ -257,29 +304,46 @@ func (s *Server) readBody(w http.ResponseWriter, r *http.Request) ([]byte, error
 // serve runs one parsed computation through the shared machinery: the
 // sharded cache (hits and singleflight joins bypass admission entirely)
 // and the bounded admission queue. Both the single-call endpoints and the
-// /v1/batch items execute through here.
+// /v1/batch items execute through here. The trace (if any) gets a "cache"
+// span covering the lookup, annotated with the outcome; a miss nests
+// "admission" (queue wait) and the computation's own spans under it.
 func (s *Server) serve(ctx context.Context, p parsed) ([]byte, Outcome, error) {
+	sp := obs.RootSpan(ctx).StartChild("cache")
+	// The cache span enters the context only inside the miss closure, so
+	// hits and dedup joins pay no context allocation.
+	sctx := obs.WithSpan(ctx, sp)
 	// Admission wraps only the computation: cache hits are map lookups
 	// and singleflight waiters are parked channel reads, so neither
 	// consumes an execution slot — one slow popular spec cannot starve
 	// cheap traffic on other keys.
-	return s.cache.Do(p.key, func() ([]byte, error) {
-		if err := s.admit.Acquire(ctx); err != nil {
+	body, outcome, err := s.cache.Do(sctx, p.key, func() ([]byte, error) {
+		asp := sp.StartChild("admission")
+		err := s.admit.Acquire(sctx)
+		asp.End()
+		if err != nil {
 			return nil, err
 		}
 		defer s.admit.Release()
-		return p.compute()
+		// The computation's spans (compute, encode) are siblings of the
+		// admission wait under the cache span.
+		return p.compute(sctx)
 	})
+	sp.Annotate("outcome", outcomeHeader(outcome))
+	sp.End()
+	return body, outcome, err
 }
 
 // solverEndpoint wraps a solver endpoint with the shared machinery:
-// body limits, admission control, memoization, and metrics.
+// body limits, admission control, memoization, metrics, and tracing.
 func (s *Server) solverEndpoint(name string, parse func(s *Server, body []byte) (parsed, error)) http.HandlerFunc {
 	m := s.eps[name]
 	return func(w http.ResponseWriter, r *http.Request) {
 		begin := time.Now()
 		m.requests.Add(1)
 		defer func() { m.observeLatency(time.Since(begin)) }()
+		ctx := r.Context()
+		root := obs.RootSpan(ctx)
+		root.Annotate("endpoint", name)
 
 		// Read and parse before admission: a slow client trickling its body
 		// is network I/O, not compute, and must not pin an execution slot.
@@ -289,13 +353,17 @@ func (s *Server) solverEndpoint(name string, parse func(s *Server, body []byte) 
 			writeError(w, http.StatusBadRequest, api.ErrCodeBadRequest, fmt.Sprintf("reading body: %v", err))
 			return
 		}
+		psp := root.StartChild("parse")
 		p, err := parse(s, body)
+		psp.End()
 		if err != nil {
 			m.errors.Add(1)
 			writeError(w, http.StatusBadRequest, api.ErrCodeBadRequest, err.Error())
 			return
 		}
-		resp, outcome, err := s.serve(r.Context(), p)
+		root.Annotate("kind", p.kind)
+		root.Annotate("spec_hash", p.hash)
+		resp, outcome, err := s.serve(ctx, p)
 		if err != nil {
 			status, code := errorStatus(err)
 			if status == http.StatusTooManyRequests {
@@ -308,9 +376,12 @@ func (s *Server) solverEndpoint(name string, parse func(s *Server, body []byte) 
 			return
 		}
 		m.observe(outcome)
+		root.Annotate("outcome", outcomeHeader(outcome))
 		w.Header().Set("Content-Type", "application/json")
 		w.Header().Set("X-Cache", outcomeHeader(outcome))
+		wsp := root.StartChild("write")
 		w.Write(resp)
+		wsp.End()
 	}
 }
 
@@ -356,15 +427,24 @@ func marshal(v any) ([]byte, error) {
 // indexParsed turns a parsed index request into its cache key and
 // computation.
 func indexParsed(req *scenario.IndexRequest) parsed {
-	return parsed{key: req.Family() + ":" + req.Hash(), compute: func() ([]byte, error) {
-		// Validation happens inside compute: hits skip it entirely, and
-		// invalid specs never enter the cache because errors are not cached.
-		resp, err := req.Compute()
-		if err != nil {
-			return nil, asClientFault(err)
-		}
-		return marshal(resp)
-	}}
+	return parsed{
+		key:  req.Family() + ":" + req.Hash(),
+		kind: req.Kind,
+		hash: req.Hash(),
+		compute: func(ctx context.Context) ([]byte, error) {
+			// Validation happens inside compute: hits skip it entirely, and
+			// invalid specs never enter the cache because errors are not cached.
+			_, csp := obs.Start(ctx, "compute")
+			resp, err := req.Compute()
+			csp.End()
+			if err != nil {
+				return nil, asClientFault(err)
+			}
+			_, esp := obs.Start(ctx, "encode")
+			defer esp.End()
+			return marshal(resp)
+		},
+	}
 }
 
 // parseIndex decodes a kind-dispatched /v1/index body.
@@ -442,19 +522,25 @@ func computeSimulate(s *Server, body []byte) (parsed, error) {
 	// response a function of (spec, seed, replications) only, so requests
 	// differing only in parallelism share one cached body.
 	pool := s.requestPool(req.Parallel)
-	return parsed{key: "simulate:" + req.Hash(), compute: func() ([]byte, error) {
-		return s.simulateResponse(req, pool)
-	}}, nil
+	return parsed{
+		key:  "simulate:" + req.Hash(),
+		kind: req.Kind,
+		hash: req.Hash(),
+		compute: func(ctx context.Context) ([]byte, error) {
+			return s.simulateResponse(ctx, req, pool)
+		},
+	}, nil
 }
 
 // simulateResponse executes a parsed request through its scenario.
 // Response assembly (envelope + kind-keyed fragment) lives in
 // scenario.Run, so the serving layer carries no kind-specific response
 // types — a new scenario needs no edits here.
-func (s *Server) simulateResponse(req *scenario.Request, pool *engine.Pool) ([]byte, error) {
-	// Server-side timeout, not the request's context: singleflight waiters
-	// may be sharing this computation after the initiating client leaves.
-	ctx, cancel := context.WithTimeout(context.Background(), s.cfg.ComputeTimeout)
+func (s *Server) simulateResponse(ctx context.Context, req *scenario.Request, pool *engine.Pool) ([]byte, error) {
+	// Server-side timeout detached from the request's cancellation (but
+	// not its values — the trace rides along): singleflight waiters may be
+	// sharing this computation after the initiating client leaves.
+	ctx, cancel := context.WithTimeout(context.WithoutCancel(ctx), s.cfg.ComputeTimeout)
 	defer cancel()
 	body, err := scenario.Run(ctx, req, pool)
 	if err != nil {
@@ -478,6 +564,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	begin := time.Now()
 	m.requests.Add(1)
 	defer func() { m.observeLatency(time.Since(begin)) }()
+	obs.RootSpan(r.Context()).Annotate("endpoint", "batch")
 
 	body, err := s.readBody(w, r)
 	if err != nil {
@@ -512,7 +599,11 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	// other endpoint.
 	results, err := engine.Map(r.Context(), s.pool, len(req.Items),
 		func(ctx context.Context, i int) (api.BatchItemResult, error) {
-			return s.batchItem(ctx, m, req.Items[i]), nil
+			ictx, isp := obs.Start(ctx, fmt.Sprintf("item[%d]", i))
+			res := s.batchItem(ictx, m, req.Items[i])
+			isp.Annotate("status", fmt.Sprint(res.Status))
+			isp.End()
+			return res, nil
 		})
 	if err != nil {
 		m.errors.Add(1)
@@ -596,14 +687,19 @@ func decodeStrict(body []byte, v any) error {
 type StatsResponse = api.StatsResponse
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	pm := s.pool.Metrics()
 	resp := StatsResponse{
 		Endpoints: make(map[string]EndpointSnapshot, len(s.eps)),
 		Cache:     s.cache.Stats(),
 		Sweeps:    s.sweeps.Stats(),
 		Engine: api.EngineStats{
-			Workers:    s.pool.Size(),
-			InFlight:   s.admit.InFlight(),
-			QueueDepth: s.admit.Waiting(),
+			Workers:          s.pool.Size(),
+			InFlight:         s.admit.InFlight(),
+			QueueDepth:       s.admit.Waiting(),
+			BusyNs:           pm.BusyNs,
+			ChunksDispatched: pm.ChunksDispatched,
+			ChunksInline:     pm.ChunksInline,
+			QueueWaitNs:      s.admit.WaitNs(),
 		},
 		InFlight: s.admit.InFlight(),
 		Waiting:  s.admit.Waiting(),

@@ -131,7 +131,7 @@ func TestCacheSingleflightDedup(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			body, out, err := c.Do("k", func() ([]byte, error) {
+			body, out, err := c.Do(context.Background(), "k", func() ([]byte, error) {
 				computes.Add(1)
 				close(started)
 				<-release
@@ -182,11 +182,11 @@ func TestCacheSingleflightDedup(t *testing.T) {
 func TestCacheErrorNotCached(t *testing.T) {
 	c := NewCache(1, 0)
 	calls := 0
-	_, _, err := c.Do("k", func() ([]byte, error) { calls++; return nil, fmt.Errorf("boom") })
+	_, _, err := c.Do(context.Background(), "k", func() ([]byte, error) { calls++; return nil, fmt.Errorf("boom") })
 	if err == nil {
 		t.Fatal("error swallowed")
 	}
-	body, out, err := c.Do("k", func() ([]byte, error) { calls++; return []byte("ok"), nil })
+	body, out, err := c.Do(context.Background(), "k", func() ([]byte, error) { calls++; return []byte("ok"), nil })
 	if err != nil || string(body) != "ok" || out != Miss {
 		t.Fatalf("retry: body=%q out=%v err=%v", body, out, err)
 	}
@@ -202,7 +202,7 @@ func TestCacheEviction(t *testing.T) {
 	c := NewCache(1, 2)
 	for i := 0; i < 10; i++ {
 		key := fmt.Sprintf("k%d", i)
-		if _, _, err := c.Do(key, func() ([]byte, error) { return []byte(key), nil }); err != nil {
+		if _, _, err := c.Do(context.Background(), key, func() ([]byte, error) { return []byte(key), nil }); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -357,7 +357,7 @@ func TestServerSheds429(t *testing.T) {
 
 func TestCachePanicDoesNotPoisonKey(t *testing.T) {
 	c := NewCache(1, 0)
-	_, _, err := c.Do("k", func() ([]byte, error) { panic("boom") })
+	_, _, err := c.Do(context.Background(), "k", func() ([]byte, error) { panic("boom") })
 	if err == nil || !strings.Contains(err.Error(), "boom") {
 		t.Fatalf("panic surfaced as %v", err)
 	}
@@ -366,7 +366,7 @@ func TestCachePanicDoesNotPoisonKey(t *testing.T) {
 	done := make(chan struct{})
 	go func() {
 		defer close(done)
-		body, out, err := c.Do("k", func() ([]byte, error) { return []byte("ok"), nil })
+		body, out, err := c.Do(context.Background(), "k", func() ([]byte, error) { return []byte("ok"), nil })
 		if err != nil || string(body) != "ok" || out != Miss {
 			t.Errorf("retry after panic: body=%q out=%v err=%v", body, out, err)
 		}

@@ -7,6 +7,7 @@ import (
 	"net/http"
 	"time"
 
+	"stochsched/internal/obs"
 	"stochsched/internal/sweep"
 	"stochsched/pkg/api"
 )
@@ -58,12 +59,12 @@ func (s *Server) Simulate(ctx context.Context, body []byte) ([]byte, error) {
 	// AcquireBlocking, not Acquire: a shed cell would fail the whole job,
 	// and background cells (bounded by the sweep's parallelism) can afford
 	// to wait for a slot where an interactive client cannot.
-	resp, outcome, err := s.cache.Do(p.key, func() ([]byte, error) {
+	resp, outcome, err := s.cache.Do(ctx, p.key, func() ([]byte, error) {
 		if err := s.admit.AcquireBlocking(ctx); err != nil {
 			return nil, err
 		}
 		defer s.admit.Release()
-		return p.compute()
+		return p.compute(ctx)
 	})
 	if err != nil {
 		m.errors.Add(1)
@@ -79,6 +80,7 @@ func (s *Server) handleSweepSubmit(w http.ResponseWriter, r *http.Request) {
 	begin := time.Now()
 	m.requests.Add(1)
 	defer func() { m.observeLatency(time.Since(begin)) }()
+	obs.RootSpan(r.Context()).Annotate("endpoint", "sweep")
 
 	body, err := s.readBody(w, r)
 	if err != nil {

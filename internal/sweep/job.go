@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"stochsched/internal/engine"
 	"stochsched/pkg/api"
@@ -70,6 +71,12 @@ type Manager struct {
 	seq   int64
 
 	evictions atomic.Int64
+	// cellsExecuted and computeNs accumulate across the store's lifetime
+	// (evicted jobs included): settled sweep cells and the wall-clock time
+	// spent executing them — the store-wide view /v1/stats and /metrics
+	// report, where per-job numbers die with eviction.
+	cellsExecuted atomic.Int64
+	computeNs     atomic.Int64
 }
 
 // NewManager returns a manager executing cells through be.
@@ -104,6 +111,7 @@ func (m *Manager) Submit(req *Request) (*Job, error) {
 		state:    StateRunning,
 		updated:  make(chan struct{}),
 		cancel:   cancel,
+		started:  time.Now(),
 	}
 
 	m.mu.Lock()
@@ -122,10 +130,17 @@ func (m *Manager) Submit(req *Request) (*Job, error) {
 	return job, nil
 }
 
-// run executes the plan and settles the job's terminal state.
+// run executes the plan and settles the job's terminal state. Cell
+// timings feed both the job (for its status) and the manager's
+// store-lifetime counters.
 func (m *Manager) run(ctx context.Context, job *Job, plan *Plan, pool *engine.Pool) {
 	defer job.cancel() // release the context once settled
-	err := Execute(ctx, m.be, plan, pool, job.observeProgress,
+	err := ExecuteObserved(ctx, m.be, plan, pool, job.observeProgress,
+		func(_ int, d time.Duration) {
+			job.observeCell(d)
+			m.cellsExecuted.Add(1)
+			m.computeNs.Add(d.Nanoseconds())
+		},
 		func(_ Row, line []byte) error { return job.appendRow(line) })
 	job.finish(err)
 }
@@ -175,7 +190,12 @@ type ManagerStats = api.SweepStoreStats
 func (m *Manager) Stats() ManagerStats {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	st := ManagerStats{Jobs: len(m.jobs), Evictions: m.evictions.Load()}
+	st := ManagerStats{
+		Jobs:          len(m.jobs),
+		Evictions:     m.evictions.Load(),
+		CellsExecuted: m.cellsExecuted.Load(),
+		ComputeNs:     m.computeNs.Load(),
+	}
 	for _, j := range m.jobs {
 		j.mu.Lock()
 		if !terminal(j.state) {
@@ -207,6 +227,13 @@ type Job struct {
 	cellsDone int
 	state     State
 	errMsg    string
+	// started/finished bound the job's wall time (finished zero while
+	// running); cellNs accumulates the per-cell execution time — compute
+	// time exceeds wall time when cells run in parallel, and falls below
+	// it when cells are cache hits.
+	started  time.Time
+	finished time.Time
+	cellNs   int64
 }
 
 // Status is the JSON body of GET /v1/sweep/{id} (the wire shape lives in
@@ -224,6 +251,10 @@ func (j *Job) Snapshot() Status {
 	for i, p := range j.Policies {
 		policies[i] = label(p)
 	}
+	end := j.finished
+	if end.IsZero() {
+		end = time.Now()
+	}
 	return Status{
 		ID:         j.ID,
 		SweepHash:  j.Hash,
@@ -234,6 +265,8 @@ func (j *Job) Snapshot() Status {
 		CellsDone:  j.cellsDone,
 		RowsReady:  len(j.rows),
 		Error:      j.errMsg,
+		ElapsedMs:  float64(end.Sub(j.started).Nanoseconds()) / 1e6,
+		ComputeMs:  float64(j.cellNs) / 1e6,
 	}
 }
 
@@ -250,6 +283,13 @@ func (j *Job) observeProgress(done, _ int) {
 	j.mu.Unlock()
 }
 
+// observeCell accumulates one settled cell's execution time.
+func (j *Job) observeCell(d time.Duration) {
+	j.mu.Lock()
+	j.cellNs += d.Nanoseconds()
+	j.mu.Unlock()
+}
+
 func (j *Job) appendRow(line []byte) error {
 	j.mu.Lock()
 	j.rows = append(j.rows, line)
@@ -262,6 +302,7 @@ func (j *Job) appendRow(line []byte) error {
 func (j *Job) finish(err error) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
+	j.finished = time.Now()
 	switch {
 	case err == nil:
 		j.state = StateDone

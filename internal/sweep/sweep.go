@@ -35,6 +35,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"time"
 
 	"stochsched/internal/engine"
 	"stochsched/internal/scenario"
@@ -274,10 +275,23 @@ func buildRow(plan *Plan, point int, cells []scenario.Outcome) Row {
 // counts in arrival order (see engine.ReduceProgress); emit errors abort
 // the run. Cancellation arrives through ctx.
 func Execute(ctx context.Context, be Backend, plan *Plan, pool *engine.Pool, progress func(done, total int), emit func(Row, []byte) error) error {
+	return ExecuteObserved(ctx, be, plan, pool, progress, nil, emit)
+}
+
+// ExecuteObserved is Execute with per-cell timing: observe, if non-nil,
+// receives each cell's index and the wall-clock time its execution took
+// to settle — computed, joined, or failed — as it happens (from worker
+// goroutines; the observer must be safe for concurrent use). The job
+// layer aggregates these into per-job and store-wide compute time.
+func ExecuteObserved(ctx context.Context, be Backend, plan *Plan, pool *engine.Pool, progress func(done, total int), observe func(i int, d time.Duration), emit func(Row, []byte) error) error {
 	perPoint := len(plan.Policies)
 	buf := make([]scenario.Outcome, 0, perPoint)
 	return engine.ReduceProgress(ctx, pool, plan.Cells(),
 		func(ctx context.Context, i int) (scenario.Outcome, error) {
+			if observe != nil {
+				begin := time.Now()
+				defer func() { observe(i, time.Since(begin)) }()
+			}
 			resp, err := be.Simulate(ctx, plan.Cell(i))
 			// A Canceled error while our own ctx is alive means the cell
 			// singleflight-joined a shared computation whose initiating

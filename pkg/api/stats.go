@@ -54,11 +54,17 @@ type CacheStats struct {
 	ShardEntries []int `json:"shard_entries"`
 }
 
-// SweepStoreStats summarizes the async sweep job store.
+// SweepStoreStats summarizes the async sweep job store. CellsExecuted and
+// ComputeNs are cumulative across the store's lifetime (evicted jobs
+// included): the total number of sweep cells whose execution settled and
+// the total wall-clock time spent executing them — how long sweeps spend
+// computing becomes a gauge, not just a per-job poll.
 type SweepStoreStats struct {
-	Jobs      int   `json:"jobs"`
-	Running   int   `json:"running"`
-	Evictions int64 `json:"evictions"`
+	Jobs          int   `json:"jobs"`
+	Running       int   `json:"running"`
+	Evictions     int64 `json:"evictions"`
+	CellsExecuted int64 `json:"cells_executed"`
+	ComputeNs     int64 `json:"compute_ns"`
 }
 
 // EngineStats describes the shared worker pool every request's
@@ -74,6 +80,18 @@ type EngineStats struct {
 	// QueueDepth is the number of admitted requests waiting for a slot
 	// (mirrors the legacy top-level waiting field).
 	QueueDepth int64 `json:"queue_depth"`
+	// BusyNs is the cumulative wall-clock time worker and dispatcher
+	// goroutines spent executing task chunks on the pool.
+	BusyNs int64 `json:"busy_ns"`
+	// ChunksDispatched counts task chunks that ran on a pool worker slot;
+	// ChunksInline counts chunks the dispatching goroutine executed itself
+	// because the pool was saturated. A high inline share under load means
+	// the pool is the bottleneck, not the admission queue.
+	ChunksDispatched int64 `json:"chunks_dispatched"`
+	ChunksInline     int64 `json:"chunks_inline"`
+	// QueueWaitNs is the cumulative time admitted computations spent
+	// waiting for an execution slot in the admission queue.
+	QueueWaitNs int64 `json:"queue_wait_ns"`
 }
 
 // StatsResponse is the body of GET /v1/stats. The legacy top-level

@@ -51,6 +51,14 @@ type SweepStatus struct {
 	CellsDone  int        `json:"cells_done"`
 	RowsReady  int        `json:"rows_ready"`
 	Error      string     `json:"error,omitempty"`
+	// ElapsedMs is the job's wall-clock age: submission to now for a
+	// running job, submission to settlement for a finished one. ComputeMs
+	// is the cumulative wall-clock time spent executing this job's cells
+	// (cache hits cost ~0, so ComputeMs ≪ CellsDone × cell cost is how
+	// cross-sweep cache reuse shows up). Both are diagnostics — unlike the
+	// result rows they are not deterministic.
+	ElapsedMs float64 `json:"elapsed_ms"`
+	ComputeMs float64 `json:"compute_ms"`
 }
 
 // SweepParam is one grid coordinate of a row: the axis path and the value

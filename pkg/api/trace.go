@@ -1,0 +1,44 @@
+package api
+
+// ---------------------------------------------------------------------------
+// GET /v1/trace/{id} — one retained request trace.
+//
+// Every response the service writes carries an X-Request-Id header; the
+// last N completed requests' span trees are retained in a bounded ring
+// buffer and served back by id. A trace is a diagnostic artifact, not a
+// result: its timings are wall-clock and non-deterministic, and nothing in
+// a response body is derived from it.
+
+// SpanAttr is one key/value annotation on a span (e.g. outcome=hit,
+// kind=mg1).
+type SpanAttr struct {
+	Key   string `json:"key"`
+	Value string `json:"value"`
+}
+
+// Span is one timed stage of a request: its name, when it started relative
+// to the trace start, how long it ran, its annotations, and its sub-stages.
+// The request path records the stages admission → cache → singleflight_wait
+// → parse → compute → encode → write (see docs/observability.md for what
+// each covers and when it appears).
+type Span struct {
+	Name    string `json:"name"`
+	StartNs int64  `json:"start_ns"`
+	// DurationNs is the span's observed duration; for a span still running
+	// at snapshot time (Running true) it is the duration so far.
+	DurationNs int64      `json:"duration_ns"`
+	Running    bool       `json:"running,omitempty"`
+	Attrs      []SpanAttr `json:"attrs,omitempty"`
+	Children   []Span     `json:"children,omitempty"`
+}
+
+// TraceResponse is the body of GET /v1/trace/{id}.
+type TraceResponse struct {
+	RequestID   string `json:"request_id"`
+	StartUnixNs int64  `json:"start_unix_ns"`
+	DurationNs  int64  `json:"duration_ns"`
+	// Complete reports whether the traced request has finished writing its
+	// response (a singleflight computation may still be running spans).
+	Complete bool `json:"complete"`
+	Root     Span `json:"root"`
+}

@@ -129,6 +129,19 @@ func (c *Client) do(ctx context.Context, method, path string, body []byte) ([]by
 	})
 }
 
+// doHeader is do, additionally returning the response headers of the
+// attempt that succeeded — how callers obtain the X-Request-Id the server
+// assigned (the handle for GET /v1/trace/{id}).
+func (c *Client) doHeader(ctx context.Context, method, path string, body []byte) ([]byte, http.Header, error) {
+	var hdr http.Header
+	data, err := c.withRetry(ctx, func() ([]byte, error) {
+		b, h, err := c.attemptHeader(ctx, method, path, body)
+		hdr = h
+		return b, err
+	})
+	return data, hdr, err
+}
+
 // withRetry runs attempt under the client's single retry policy: up to
 // retries additional tries after a 429, sleeping backoff, 2·backoff, …
 // between them. It is the ONE place the policy lives — the per-request
@@ -161,30 +174,37 @@ func asAPIError(err error, dst **APIError) bool {
 
 // attempt issues exactly one request.
 func (c *Client) attempt(ctx context.Context, method, path string, body []byte) ([]byte, error) {
+	data, _, err := c.attemptHeader(ctx, method, path, body)
+	return data, err
+}
+
+// attemptHeader issues exactly one request and returns the response
+// headers alongside the body (headers are returned even on a non-2xx).
+func (c *Client) attemptHeader(ctx context.Context, method, path string, body []byte) ([]byte, http.Header, error) {
 	var r io.Reader
 	if body != nil {
 		r = bytes.NewReader(body)
 	}
 	req, err := http.NewRequestWithContext(ctx, method, c.base+path, r)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
 	resp, err := c.doer.Do(req)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	defer resp.Body.Close()
 	data, err := io.ReadAll(resp.Body)
 	if err != nil {
-		return nil, fmt.Errorf("client: reading response body: %w", err)
+		return nil, resp.Header, fmt.Errorf("client: reading response body: %w", err)
 	}
 	if resp.StatusCode/100 != 2 {
-		return nil, decodeError(resp.StatusCode, data)
+		return nil, resp.Header, decodeError(resp.StatusCode, data)
 	}
-	return data, nil
+	return data, resp.Header, nil
 }
 
 // decodeError turns a non-2xx body into an *APIError, tolerating both the

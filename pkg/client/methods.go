@@ -80,6 +80,17 @@ func (c *Client) SimulateRaw(ctx context.Context, body []byte) ([]byte, error) {
 	return c.do(ctx, http.MethodPost, "/v1/simulate", body)
 }
 
+// SimulateRawTraced is SimulateRaw, additionally returning the
+// X-Request-Id the server stamped on the response — the handle Trace
+// resolves into the request's span tree.
+func (c *Client) SimulateRawTraced(ctx context.Context, body []byte) ([]byte, string, error) {
+	data, hdr, err := c.doHeader(ctx, http.MethodPost, "/v1/simulate", body)
+	if err != nil {
+		return nil, "", err
+	}
+	return data, hdr.Get("X-Request-Id"), nil
+}
+
 // ---------------------------------------------------------------------------
 // Batch.
 
@@ -195,6 +206,14 @@ func (c *Client) SweepCancel(ctx context.Context, id string) (*api.SweepStatus, 
 // Stats fetches the service counters (GET /v1/stats).
 func (c *Client) Stats(ctx context.Context) (*api.StatsResponse, error) {
 	return requestJSON[api.StatsResponse](ctx, c, http.MethodGet, "/v1/stats", nil)
+}
+
+// Trace fetches the retained span tree of a recent request
+// (GET /v1/trace/{id}); id is the X-Request-Id its response carried.
+// Traces survive for the server's last trace-buffer requests — fetch
+// promptly or receive a 404.
+func (c *Client) Trace(ctx context.Context, id string) (*api.TraceResponse, error) {
+	return requestJSON[api.TraceResponse](ctx, c, http.MethodGet, "/v1/trace/"+id, nil)
 }
 
 // Healthz reports whether the service answers its liveness probe.

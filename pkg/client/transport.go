@@ -6,6 +6,11 @@ import (
 	"net/http"
 )
 
+// InProcessDoer returns the Doer NewInProcess mounts: h invoked directly,
+// no sockets. Exported for callers that need to wrap the transport (e.g.
+// loadgen's response-header checks) while keeping the in-process path.
+func InProcessDoer(h http.Handler) Doer { return handlerTransport{h} }
+
 // handlerTransport satisfies Doer by invoking an http.Handler directly —
 // no listener, no sockets, no ports. It is the CLI's transport: the exact
 // handler the daemon would mount, called in-process, so responses (and

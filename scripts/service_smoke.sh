@@ -103,6 +103,54 @@ for field in '"requests"' '"shard_entries"' '"evictions"' '"sweeps"'; do
 done
 echo "ok /v1/stats"
 
+# Readiness: an idle daemon answers /readyz 200.
+curl -fsS "$BASE/readyz" | grep -q '^ok$' || {
+    echo "FAIL: /readyz did not answer ok" >&2
+    exit 1
+}
+echo "ok /readyz"
+
+# Every response carries an X-Request-Id, and the id resolves to a trace
+# whose span tree covers the compute path.
+rid="$(curl -fsS -D - -o /dev/null -X POST --data-binary "@$TESTDATA/simulate_req.json" "$BASE/v1/simulate" \
+    | tr -d '\r' | sed -n 's/^[Xx]-[Rr]equest-[Ii]d: //p')"
+[ -n "$rid" ] || {
+    echo "FAIL: /v1/simulate response lacked X-Request-Id" >&2
+    exit 1
+}
+trace="$(curl -fsS "$BASE/v1/trace/$rid")"
+for span in '"request"' '"parse"' '"cache"' '"write"'; do
+    echo "$trace" | grep -q "\"name\":$span" || {
+        echo "FAIL: trace $rid missing $span span: $trace" >&2
+        exit 1
+    }
+done
+echo "ok X-Request-Id -> /v1/trace round trip"
+
+# /metrics: Prometheus 0.0.4 exposition. Every non-comment line must be a
+# well-formed sample, and the families the dashboards depend on must exist.
+curl -fsS "$BASE/metrics" -o "$TMP/metrics.txt"
+bad="$(grep -v '^#' "$TMP/metrics.txt" | grep -cvE '^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? -?[0-9.]+([eE][-+]?[0-9]+)?$' || true)"
+[ "$bad" -eq 0 ] || {
+    echo "FAIL: /metrics has $bad malformed exposition lines:" >&2
+    grep -v '^#' "$TMP/metrics.txt" | grep -vE '^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? -?[0-9.]+([eE][-+]?[0-9]+)?$' >&2
+    exit 1
+}
+for series in \
+    'stochsched_requests_total{endpoint="gittins"}' \
+    'stochsched_cache_hits_total{endpoint="gittins"}' \
+    'stochsched_request_duration_seconds_bucket{endpoint="gittins",le="+Inf"}' \
+    'stochsched_request_duration_seconds_count{endpoint="gittins"}' \
+    'stochsched_cache_entries' \
+    'stochsched_engine_busy_seconds_total' \
+    'stochsched_inflight_requests'; do
+    grep -qF "$series" "$TMP/metrics.txt" || {
+        echo "FAIL: /metrics missing series $series" >&2
+        exit 1
+    }
+done
+echo "ok /metrics exposition"
+
 # Sweep round trip: submit, poll to done, stream NDJSON results.
 run_sweep() { # $1 = output file for the NDJSON stream, $2 = request file
     accept="$(curl -fsS -X POST --data-binary "@${2:-$TESTDATA/sweep_req.json}" "$BASE/v1/sweep")"
