@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race bench bench-service bench-simulate bench-batch bench-check loadgen-smoke smoke docs-check fmt fmt-check vet ci
+.PHONY: build test race conformance bench bench-service bench-simulate bench-batch bench-check loadgen-smoke smoke docs-check fmt fmt-check vet ci
 
 build:
 	$(GO) build ./...
@@ -14,8 +14,18 @@ race:
 	$(GO) test -race ./internal/engine/... ./internal/experiments/... \
 		./internal/queueing/... ./internal/batch/... \
 		./internal/bandit/... ./internal/restless/... \
+		./internal/markov/... ./internal/lp/... \
 		./internal/service/... ./internal/sweep/... \
 		./internal/scenario/... ./pkg/...
+
+# The registry-wide conformance suites: every registered scenario kind
+# through the full Scenario/Indexer contract (internal/scenario) and all
+# four public endpoints (internal/service), plus the analytic-vs-simulation
+# agreement tests. A named gate so a kind that regresses the registry
+# contract is called out by name in CI.
+conformance:
+	$(GO) test -count=1 -run 'TestConformance|TestEveryKind|TestEveryIndexer|TestJacksonProductForm|TestMDPOptimalGain|TestRestlessLPBound' \
+		./internal/scenario/... ./internal/service/...
 
 # Engine replication benchmark at parallelism 1/4/max, rendered as
 # machine-readable BENCH_engine.json for the performance trajectory.
@@ -97,4 +107,4 @@ vet:
 	$(GO) vet ./...
 
 # The CI entry point: identical to what .github/workflows/ci.yml runs.
-ci: build vet fmt-check test race smoke docs-check bench-check loadgen-smoke
+ci: build vet fmt-check test race conformance smoke docs-check bench-check loadgen-smoke

@@ -18,6 +18,8 @@ import (
 	"stochsched/internal/engine"
 	"stochsched/internal/experiments"
 	"stochsched/internal/rng"
+	"stochsched/internal/scenario"
+	"stochsched/internal/scenario/scenariotest"
 	"stochsched/internal/service"
 	"stochsched/pkg/api"
 	"stochsched/pkg/client"
@@ -139,34 +141,14 @@ func BenchmarkServiceIndexCache(b *testing.B) {
 }
 
 // BenchmarkSimulate measures the /v1/simulate path through the scenario
-// registry for each registered kind, cold (fresh seed every iteration, so
+// registry for every registered kind, cold (fresh seed every iteration, so
 // every request computes) and warm (one cached body served repeatedly).
-// `make bench-simulate` renders the measurements as BENCH_simulate.json,
-// tracking the simulate path like the engine and cache benches.
+// The bodies are the canonical per-kind requests from scenariotest — the
+// same ones the conformance suites pin — so a newly registered kind joins
+// the benchmark automatically. `make bench-simulate` renders the
+// measurements as BENCH_simulate.json, tracking the simulate path like the
+// engine and cache benches.
 func BenchmarkSimulate(b *testing.B) {
-	bodies := map[string]string{
-		"mg1": `{"kind":"mg1","mg1":{"spec":{"classes":[
-		    {"rate":0.3,"service_mean":0.5,"hold_cost":4},
-		    {"rate":0.2,"service_mean":1,"hold_cost":1}]},
-		  "policy":"cmu","horizon":400,"burnin":50},"seed":%d,"replications":10}`,
-		"bandit": `{"kind":"bandit","bandit":{"spec":{"beta":0.9,"projects":[
-		    {"transitions":[[0.5,0.5],[0.2,0.8]],"rewards":[1,0.3]},
-		    {"transitions":[[0.9,0.1],[0.4,0.6]],"rewards":[0.5,0.8]}]},
-		  "start":[0,1]},"seed":%d,"replications":20}`,
-		"restless": `{"kind":"restless","restless":{"spec":{"beta":0.9,
-		    "passive":{"transitions":[[0.7,0.3,0],[0,0.7,0.3],[0,0,1]],"rewards":[1,0.6,0.1]},
-		    "active":{"transitions":[[1,0,0],[1,0,0],[1,0,0]],"rewards":[-0.5,-0.5,-0.5]}},
-		  "n":10,"m":3,"policy":"whittle","horizon":150,"burnin":30},"seed":%d,"replications":10}`,
-		"batch": `{"kind":"batch","batch":{"spec":{"jobs":[
-		    {"weight":1,"dist":{"kind":"exp","mean":2}},
-		    {"weight":4,"dist":{"kind":"det","value":1}},
-		    {"weight":1,"dist":{"kind":"exp","mean":0.5}}],"machines":2},
-		  "policy":"wsept"},"seed":%d,"replications":40}`,
-		"mmm": `{"kind":"mmm","mmm":{"spec":{"classes":[
-		    {"rate":0.9,"service_mean":1,"hold_cost":4.5},
-		    {"rate":0.6,"service_mean":1,"hold_cost":1}],"servers":3},
-		  "policy":"cmu","horizon":400,"burnin":50},"seed":%d,"replications":10}`,
-	}
 	run := func(b *testing.B, h http.Handler, body func(i int) string) {
 		b.Helper()
 		for i := 0; i < b.N; i++ {
@@ -178,16 +160,19 @@ func BenchmarkSimulate(b *testing.B) {
 			}
 		}
 	}
-	for _, kind := range []string{"mg1", "mmm", "bandit", "restless", "batch"} {
-		tmpl := bodies[kind]
+	for _, kind := range scenario.Kinds() {
+		if scenariotest.SimulateBody(kind, 1) == "" {
+			b.Fatalf("kind %q has no canonical body in scenariotest", kind)
+		}
+		kind := kind
 		b.Run(kind+"/cold", func(b *testing.B) {
 			h := service.New(service.Config{}).Handler()
 			b.ResetTimer()
-			run(b, h, func(i int) string { return fmt.Sprintf(tmpl, i+1) })
+			run(b, h, func(i int) string { return scenariotest.SimulateBody(kind, uint64(i)+1) })
 		})
 		b.Run(kind+"/warm", func(b *testing.B) {
 			h := service.New(service.Config{}).Handler()
-			warm := fmt.Sprintf(tmpl, 1)
+			warm := scenariotest.SimulateBody(kind, 1)
 			// One un-timed request fills the cache; the measured loop is
 			// all hits.
 			req := httptest.NewRequest(http.MethodPost, "/v1/simulate", strings.NewReader(warm))

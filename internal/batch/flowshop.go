@@ -143,3 +143,40 @@ func BestFlowShopOrderCRN(jobs []FlowShopJob, reps int, s *rng.Stream) (Order, f
 	})
 	return bestOrder, bestVal
 }
+
+// FlowShopSEPT orders jobs by nondecreasing total expected processing time
+// across all stages — the natural SEPT analogue for flow shops.
+func FlowShopSEPT(jobs []FlowShopJob) Order {
+	o := identityOrder(len(jobs))
+	key := totalMeanKey(jobs)
+	sort.SliceStable(o, func(a, b int) bool { return key(o[a]) < key(o[b]) })
+	return o
+}
+
+// FlowShopLEPT orders jobs by nonincreasing total expected processing time.
+func FlowShopLEPT(jobs []FlowShopJob) Order {
+	o := identityOrder(len(jobs))
+	key := totalMeanKey(jobs)
+	sort.SliceStable(o, func(a, b int) bool { return key(o[a]) > key(o[b]) })
+	return o
+}
+
+func totalMeanKey(jobs []FlowShopJob) func(int) float64 {
+	return func(j int) float64 {
+		t := 0.0
+		for _, d := range jobs[j].Stages {
+			t += d.Mean()
+		}
+		return t
+	}
+}
+
+// EstimateFlowShopBlocking estimates E[makespan] of order o under the
+// bufferless (blocking) recurrence over reps replications on the pool.
+func EstimateFlowShopBlocking(ctx context.Context, pool *engine.Pool, jobs []FlowShopJob, o Order, reps int, s *rng.Stream) (*stats.Running, error) {
+	return engine.Replicate(ctx, pool, reps, s,
+		func(_ context.Context, _ int, sub *rng.Stream) (float64, error) {
+			p := SampleFlowShop(jobs, sub)
+			return FlowShopBlockingMakespan(p, o), nil
+		})
+}

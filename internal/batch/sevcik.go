@@ -1,11 +1,14 @@
 package batch
 
 import (
+	"context"
 	"fmt"
 	"math"
 
 	"stochsched/internal/dist"
+	"stochsched/internal/engine"
 	"stochsched/internal/rng"
+	"stochsched/internal/stats"
 )
 
 // Sevcik's preemptive priority index (Sevcik 1974) generalizes Smith's rule
@@ -139,4 +142,33 @@ func SimulateNonpreemptiveWSEPTDiscrete(jobs []DiscreteJob, s *rng.Stream) float
 		plain[i] = Job{ID: j.ID, Weight: j.Weight, Dist: j.Law}
 	}
 	return SimulateSingleMachine(plain, WSEPT(plain), s)
+}
+
+// WSEPTDiscrete returns the WSEPT order of the discrete job class (the
+// static sequence SimulateNonpreemptiveWSEPTDiscrete dispatches).
+func WSEPTDiscrete(jobs []DiscreteJob) Order {
+	plain := make([]Job, len(jobs))
+	for i, j := range jobs {
+		plain[i] = Job{ID: j.ID, Weight: j.Weight, Dist: j.Law}
+	}
+	return WSEPT(plain)
+}
+
+// EstimateSevcik aggregates replications of SimulateSevcik (the preemptive
+// Sevcik-index policy) on the pool, byte-identical for a given seed at any
+// parallelism level.
+func EstimateSevcik(ctx context.Context, p *engine.Pool, jobs []DiscreteJob, reps int, s *rng.Stream) (*stats.Running, error) {
+	return engine.Replicate(ctx, p, reps, s,
+		func(_ context.Context, _ int, sub *rng.Stream) (float64, error) {
+			return SimulateSevcik(jobs, sub)
+		})
+}
+
+// EstimateWSEPTDiscrete aggregates replications of the nonpreemptive WSEPT
+// baseline on the pool.
+func EstimateWSEPTDiscrete(ctx context.Context, p *engine.Pool, jobs []DiscreteJob, reps int, s *rng.Stream) (*stats.Running, error) {
+	return engine.Replicate(ctx, p, reps, s,
+		func(_ context.Context, _ int, sub *rng.Stream) (float64, error) {
+			return SimulateNonpreemptiveWSEPTDiscrete(jobs, sub), nil
+		})
 }

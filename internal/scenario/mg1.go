@@ -212,7 +212,7 @@ func (s mg1Scenario) ComputeIndex(payload any, hash string) (any, error) {
 		return nil, err
 	}
 	cost := q.HoldingCostRate(l)
-	return &api.PriorityResponse{
+	resp := &api.PriorityResponse{
 		SpecHash: hash,
 		Rule:     "cmu",
 		Order:    order,
@@ -220,5 +220,16 @@ func (s mg1Scenario) ComputeIndex(payload any, hash string) (any, error) {
 		Wq:       wq,
 		L:        l,
 		CostRate: &cost,
-	}, nil
+	}
+	// Klimov fluid-limit drain order, seeded with the exact steady-state
+	// queue lengths as the fluid initial condition (exhaustive over n!
+	// orders — small class counts only).
+	if len(q.Classes) <= 8 {
+		fluidOrder, fluidCost, ferr := queueing.BestFluidOrder(q.Classes, l)
+		if ferr == nil {
+			resp.FluidOrder = fluidOrder
+			resp.FluidDrainCost = &fluidCost
+		}
+	}
+	return resp, nil
 }

@@ -176,5 +176,17 @@ func (restlessScenario) ComputeIndex(payload any, hash string) (any, error) {
 		}
 		resp.Indexable = &rep.Indexable
 	}
+	if req.N != 0 || req.M != 0 {
+		if req.N < 1 || req.M < 0 || req.M > req.N {
+			return nil, BadSpec{fmt.Errorf("need 1 <= n and 0 <= m <= n, got n=%d m=%d", req.N, req.M)}
+		}
+		sol, err := restless.SolveRelaxation(p, float64(req.M)/float64(req.N))
+		if err != nil {
+			return nil, err
+		}
+		bound := float64(req.N) * sol.ValuePerProject
+		resp.LPBound = &bound
+		resp.PDIndex = sol.PDIndex
+	}
 	return resp, nil
 }

@@ -10,10 +10,11 @@ import (
 
 	"stochsched/internal/engine"
 	"stochsched/internal/spec"
+	"stochsched/pkg/api"
 )
 
 func TestRegistryHasBuiltins(t *testing.T) {
-	want := []string{"bandit", "batch", "mg1", "mmm", "restless"}
+	want := []string{"bandit", "batch", "flowshop", "jackson", "mdp", "mg1", "mmm", "polling", "restless"}
 	got := Kinds()
 	if fmt.Sprint(got) != fmt.Sprint(want) {
 		t.Fatalf("Kinds() = %v, want %v", got, want)
@@ -149,6 +150,9 @@ func TestReplicationWorkPerKind(t *testing.T) {
 		{"bandit", &BanditSim{Spec: banditSystem(1.5)}, 0}, // invalid β: Validate's problem, not the budget's
 		{"restless", &RestlessSim{Horizon: 100, N: 7}, 700},
 		{"batch", &BatchSim{Spec: batchSpec(3)}, 3},
+		{"jackson", &JacksonSim{Horizon: 300}, 300},
+		{"polling", &PollingSim{Horizon: 250}, 250},
+		{"mdp", &MDPSim{Horizon: 500}, 500},
 	}
 	for _, c := range cases {
 		sc, _ := Lookup(c.kind)
@@ -169,6 +173,9 @@ func TestPoliciesPerKind(t *testing.T) {
 		{"bandit", &BanditSim{}, "[gittins greedy]"},
 		{"restless", &RestlessSim{}, "[whittle myopic random]"},
 		{"batch", &BatchSim{}, "[wsept sept lept]"},
+		{"jackson", &JacksonSim{}, "[cmu fcfs lbfs]"},
+		{"polling", &PollingSim{}, "[exhaustive gated limited]"},
+		{"mdp", &MDPSim{}, "[optimal myopic random]"},
 	}
 	for _, c := range cases {
 		sc, _ := Lookup(c.kind)
@@ -182,6 +189,29 @@ func TestPoliciesPerKind(t *testing.T) {
 	fb.Spec.Feedback = [][]float64{{0}}
 	if got := fmt.Sprint(sc.Policies(fb)); got != "[klimov]" {
 		t.Errorf("feedback policies = %v", got)
+	}
+	// The flowshop policy set follows the spec variant, and talwar is
+	// listed only where its rule is defined (two stages, all exponential).
+	fs, _ := Lookup("flowshop")
+	exp2 := &FlowShopSim{Spec: api.FlowShop{Jobs: []api.FlowShopJobSpec{
+		{Stages: []api.Dist{{Kind: "exp", Rate: 2}, {Kind: "exp", Rate: 1}}},
+	}}}
+	if got := fmt.Sprint(fs.Policies(exp2)); got != "[talwar sept lept]" {
+		t.Errorf("flowshop exp policies = %v", got)
+	}
+	det2 := &FlowShopSim{Spec: api.FlowShop{Jobs: []api.FlowShopJobSpec{
+		{Stages: []api.Dist{{Kind: "det", Value: 1}, {Kind: "exp", Rate: 1}}},
+	}}}
+	if got := fmt.Sprint(fs.Policies(det2)); got != "[sept lept]" {
+		t.Errorf("flowshop det policies = %v", got)
+	}
+	tree := &FlowShopSim{Spec: api.FlowShop{Tree: &api.TreeSpec{Parent: []int{-1}, Rate: 1}}}
+	if got := fmt.Sprint(fs.Policies(tree)); got != "[hlf llf random]" {
+		t.Errorf("flowshop tree policies = %v", got)
+	}
+	sev := &FlowShopSim{Spec: api.FlowShop{Sevcik: []api.DiscreteJobSpec{{Weight: 1, Values: []float64{1}, Probs: []float64{1}}}}}
+	if got := fmt.Sprint(fs.Policies(sev)); got != "[sevcik wsept]" {
+		t.Errorf("flowshop sevcik policies = %v", got)
 	}
 }
 

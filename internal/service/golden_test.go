@@ -29,11 +29,18 @@ func TestGoldenBodies(t *testing.T) {
 		// The registry's non-mg1 simulate kinds, through the same endpoint.
 		{"simulate_restless", "simulate", ""},
 		{"simulate_batch", "simulate", ""},
+		{"simulate_jackson", "simulate", ""},
+		{"simulate_polling", "simulate", ""},
+		{"simulate_mdp", "simulate", ""},
+		{"simulate_flowshop", "simulate", ""},
 		// The v2 surface: the kind-dispatched index envelope answers the
 		// legacy gittins golden byte-identically, and a heterogeneous batch
 		// has its own golden.
 		{"index", "index", "gittins"},
 		{"batch", "batch", ""},
+		// The analytic indexes of the network and MDP kinds.
+		{"jackson_index", "index", ""},
+		{"mdp_index", "index", ""},
 	} {
 		req, err := os.ReadFile(filepath.Join("testdata", tc.stem+"_req.json"))
 		if err != nil {
@@ -60,14 +67,15 @@ func TestGoldenBodies(t *testing.T) {
 }
 
 // TestSweepGoldenRows pins the first and last NDJSON rows of the smoke
-// sweeps (the mg1 policy comparison and the restless fleet comparison) to
-// the same goldens scripts/service_smoke.sh checks, so a drift in sweep row
-// encoding or simulation output fails `go test` before CI.
+// sweeps (the mg1 policy comparison, the restless fleet comparison, and
+// the jackson network load sweep) to the same goldens
+// scripts/service_smoke.sh checks, so a drift in sweep row encoding or
+// simulation output fails `go test` before CI.
 func TestSweepGoldenRows(t *testing.T) {
 	if runtime.GOARCH != "amd64" {
 		t.Skipf("goldens are amd64-exact; running on %s", runtime.GOARCH)
 	}
-	for _, stem := range []string{"sweep", "sweep_restless"} {
+	for _, stem := range []string{"sweep", "sweep_restless", "sweep_jackson"} {
 		req, err := os.ReadFile(filepath.Join("testdata", stem+"_req.json"))
 		if err != nil {
 			t.Fatal(err)

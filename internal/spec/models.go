@@ -1,0 +1,288 @@
+package spec
+
+// Validation and conversion for the model families behind the jackson,
+// polling, mdp, and flowshop scenario kinds. Same layering as spec.go:
+// wire shapes are pkg/api aliases, this file adds the solver-side checks
+// and model construction.
+
+import (
+	"fmt"
+
+	"stochsched/internal/batch"
+	"stochsched/internal/dist"
+	"stochsched/internal/linalg"
+	"stochsched/internal/markov"
+	"stochsched/internal/queueing"
+	"stochsched/pkg/api"
+)
+
+// The wire shapes, aliased from the public contract (see spec.go).
+type (
+	Route           = api.Route
+	NetClass        = api.NetClass
+	Network         = api.Network
+	Polling         = api.Polling
+	MDPAction       = api.MDPAction
+	MDP             = api.MDP
+	FlowShop        = api.FlowShop
+	FlowShopJobSpec = api.FlowShopJobSpec
+	TreeSpec        = api.TreeSpec
+	DiscreteJobSpec = api.DiscreteJobSpec
+)
+
+// ---------------------------------------------------------------------------
+// Open multiclass queueing network ("jackson" kind)
+
+// ValidateNetwork checks every class, the routing graph, and that the
+// traffic equations have a finite nonnegative solution. Deliberately NOT
+// checked: station loads below 1 — simulating unstable networks (the
+// Lu–Kumar example) is the point of the kind. The product-form Indexer
+// separately demands stability.
+func ValidateNetwork(n *Network) error {
+	_, err := NetworkModel(n)
+	return err
+}
+
+// NetworkModel converts the spec into a validated queueing network.
+func NetworkModel(nw *Network) (*queueing.Network, error) {
+	if len(nw.Classes) == 0 {
+		return nil, fmt.Errorf("spec: network has no classes")
+	}
+	if nw.Stations <= 0 {
+		return nil, fmt.Errorf("spec: network needs a positive station count, got %d", nw.Stations)
+	}
+	out := &queueing.Network{Stations: nw.Stations}
+	external := false
+	for i := range nw.Classes {
+		c, err := netClass(&nw.Classes[i], i, len(nw.Classes))
+		if err != nil {
+			return nil, err
+		}
+		if c.ArrivalRate > 0 {
+			external = true
+		}
+		out.Classes = append(out.Classes, c)
+	}
+	if !external {
+		return nil, fmt.Errorf("spec: open network needs at least one class with a positive external rate")
+	}
+	if err := out.Validate(); err != nil {
+		return nil, err
+	}
+	lam, err := out.EffectiveRates()
+	if err != nil {
+		return nil, fmt.Errorf("spec: traffic equations: %w", err)
+	}
+	for i, l := range lam {
+		if l < -1e-9 || !finite(l) {
+			return nil, fmt.Errorf("spec: traffic equations give class %d effective rate %v", i, l)
+		}
+	}
+	return out, nil
+}
+
+func netClass(c *NetClass, i, n int) (queueing.NetClass, error) {
+	var zero queueing.NetClass
+	if c.Rate < 0 || !finite(c.Rate) {
+		return zero, fmt.Errorf("spec: class %d needs a nonnegative external rate, got %v", i, c.Rate)
+	}
+	if c.HoldCost < 0 || !finite(c.HoldCost) {
+		return zero, fmt.Errorf("spec: class %d needs a nonnegative holding cost, got %v", i, c.HoldCost)
+	}
+	if (c.ServiceMean != 0) == (c.Service != nil) {
+		return zero, fmt.Errorf("spec: class %d needs exactly one of service_mean, service", i)
+	}
+	var law dist.Distribution
+	if c.Service != nil {
+		var err error
+		if law, err = DistLaw(c.Service); err != nil {
+			return zero, fmt.Errorf("class %d: %w", i, err)
+		}
+	} else {
+		if !(c.ServiceMean > 0) || !finite(c.ServiceMean) {
+			return zero, fmt.Errorf("spec: class %d needs a positive service mean, got %v", i, c.ServiceMean)
+		}
+		law = dist.Exponential{Rate: 1 / c.ServiceMean}
+	}
+	if c.Next != nil && len(c.Routes) > 0 {
+		return zero, fmt.Errorf("spec: class %d sets both next and routes", i)
+	}
+	next := -1
+	if c.Next != nil {
+		if *c.Next < 0 || *c.Next >= n {
+			return zero, fmt.Errorf("spec: class %d routes to class %d outside [0,%d)", i, *c.Next, n)
+		}
+		next = *c.Next
+	}
+	routes := make([]queueing.Route, 0, len(c.Routes))
+	for _, r := range c.Routes {
+		if !finite(r.Prob) {
+			return zero, fmt.Errorf("spec: class %d has a non-finite routing probability", i)
+		}
+		routes = append(routes, queueing.Route{To: r.To, Prob: r.Prob})
+	}
+	name := c.Name
+	if name == "" {
+		name = fmt.Sprintf("c%d", i+1)
+	}
+	return queueing.NetClass{
+		Name:        name,
+		Station:     c.Station,
+		ArrivalRate: c.Rate,
+		Service:     law,
+		Next:        next,
+		Routes:      routes,
+		HoldCost:    c.HoldCost,
+	}, nil
+}
+
+// ---------------------------------------------------------------------------
+// Polling system ("polling" kind)
+
+// ValidatePolling checks the queues (positive rates, one service law each),
+// the switch-time law, and stability including switching overhead.
+func ValidatePolling(p *Polling) error {
+	_, err := PollingModel(p, queueing.Exhaustive)
+	return err
+}
+
+// PollingModel converts the spec into a validated polling model under the
+// given regime (the regime is the simulate policy, not part of the spec).
+func PollingModel(p *Polling, regime queueing.PollingRegime) (*queueing.Polling, error) {
+	cs, err := classes(p.Queues)
+	if err != nil {
+		return nil, err
+	}
+	sw, err := DistLaw(&p.Switch)
+	if err != nil {
+		return nil, fmt.Errorf("switch: %w", err)
+	}
+	out := &queueing.Polling{Queues: cs, Switch: sw, Regime: regime}
+	if err := out.Validate(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// ---------------------------------------------------------------------------
+// Average-reward MDP ("mdp" kind)
+
+// ValidateMDPSpec checks that every action shares one state count and is
+// row-stochastic with finite rewards.
+func ValidateMDPSpec(m *MDP) error {
+	_, err := MDPModel(m)
+	return err
+}
+
+// MDPModel converts the spec into a validated markov.MDP.
+func MDPModel(m *MDP) (*markov.MDP, error) {
+	if len(m.Actions) == 0 {
+		return nil, fmt.Errorf("spec: mdp has no actions")
+	}
+	n := len(m.Actions[0].Transitions)
+	out := &markov.MDP{}
+	for a := range m.Actions {
+		act := &m.Actions[a]
+		if err := checkMatrix(act.Transitions, act.Rewards); err != nil {
+			return nil, fmt.Errorf("action %d: %w", a, err)
+		}
+		if len(act.Transitions) != n {
+			return nil, fmt.Errorf("spec: action %d has %d states, want %d", a, len(act.Transitions), n)
+		}
+		out.Transitions = append(out.Transitions, linalg.FromRows(act.Transitions))
+		out.Rewards = append(out.Rewards, act.Rewards)
+	}
+	if err := out.Validate(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// ---------------------------------------------------------------------------
+// Batch shops ("flowshop" kind)
+
+// ValidateFlowShop checks the selected variant (exactly one of jobs, tree,
+// sevcik must be set).
+func ValidateFlowShop(f *FlowShop) error {
+	switch f.Variant() {
+	case "flowshop":
+		_, err := FlowShopJobs(f)
+		return err
+	case "tree":
+		_, _, err := TreeModel(f.Tree)
+		return err
+	case "sevcik":
+		_, err := DiscreteJobs(f.Sevcik)
+		return err
+	}
+	return fmt.Errorf("spec: flowshop needs exactly one of jobs, tree, sevcik")
+}
+
+// FlowShopJobs converts the flow-shop variant into solver jobs; every job
+// must share one positive stage count.
+func FlowShopJobs(f *FlowShop) ([]batch.FlowShopJob, error) {
+	stages := len(f.Jobs[0].Stages)
+	if stages == 0 {
+		return nil, fmt.Errorf("spec: flowshop job 0 has no stages")
+	}
+	out := make([]batch.FlowShopJob, 0, len(f.Jobs))
+	for i := range f.Jobs {
+		j := &f.Jobs[i]
+		if len(j.Stages) != stages {
+			return nil, fmt.Errorf("spec: flowshop job %d has %d stages, want %d", i, len(j.Stages), stages)
+		}
+		laws := make([]dist.Distribution, stages)
+		for k := range j.Stages {
+			law, err := DistLaw(&j.Stages[k])
+			if err != nil {
+				return nil, fmt.Errorf("job %d stage %d: %w", i, k, err)
+			}
+			laws[k] = law
+		}
+		out = append(out, batch.FlowShopJob{ID: i, Stages: laws})
+	}
+	return out, nil
+}
+
+// TreeModel converts the tree variant into a validated in-tree plus its
+// machine count (default 1).
+func TreeModel(t *TreeSpec) (*batch.InTree, int, error) {
+	if !(t.Rate > 0) || !finite(t.Rate) {
+		return nil, 0, fmt.Errorf("spec: tree needs a positive task rate, got %v", t.Rate)
+	}
+	machines := t.Machines
+	if machines == 0 {
+		machines = 1
+	}
+	if machines < 1 {
+		return nil, 0, fmt.Errorf("spec: tree needs at least one machine, got %d", t.Machines)
+	}
+	tree, err := batch.NewInTree(t.Parent)
+	if err != nil {
+		return nil, 0, err
+	}
+	return tree, machines, nil
+}
+
+// DiscreteJobs converts the sevcik variant into solver jobs with validated
+// discrete laws (positive finite values, probabilities summing to 1).
+func DiscreteJobs(list []DiscreteJobSpec) ([]batch.DiscreteJob, error) {
+	out := make([]batch.DiscreteJob, 0, len(list))
+	for i := range list {
+		j := &list[i]
+		if j.Weight < 0 || !finite(j.Weight) {
+			return nil, fmt.Errorf("spec: sevcik job %d needs a nonnegative weight, got %v", i, j.Weight)
+		}
+		for k, v := range j.Values {
+			if !(v > 0) || !finite(v) {
+				return nil, fmt.Errorf("spec: sevcik job %d value %d must be positive and finite, got %v", i, k, v)
+			}
+		}
+		law, err := dist.NewDiscrete(j.Values, j.Probs)
+		if err != nil {
+			return nil, fmt.Errorf("sevcik job %d: %w", i, err)
+		}
+		out = append(out, batch.DiscreteJob{ID: i, Weight: j.Weight, Law: law})
+	}
+	return out, nil
+}

@@ -21,6 +21,8 @@ type IndexRequest struct {
 	MG1      *MG1            `json:"mg1,omitempty"`
 	MMm      *MMm            `json:"mmm,omitempty"`
 	Batch    *Batch          `json:"batch,omitempty"`
+	Jackson  *Network        `json:"jackson,omitempty"`
+	MDP      *MDP            `json:"mdp,omitempty"`
 }
 
 // WhittleRequest is the "restless" index payload (and the whole body of
@@ -31,6 +33,11 @@ type WhittleRequest struct {
 	// CheckIndexability additionally sweeps the subsidy range and reports
 	// whether the passive set grows monotonically (more expensive).
 	CheckIndexability bool `json:"check_indexability,omitempty"`
+	// N and M (both optional) additionally solve the Whittle LP relaxation
+	// of a fleet of N iid copies with M activated per epoch, reporting the
+	// fleet-wide average-reward upper bound and the primal-dual indices.
+	N int `json:"n,omitempty"`
+	M int `json:"m,omitempty"`
 }
 
 // PriorityRequest is the body of the legacy POST /v1/priority. Kind
@@ -60,6 +67,12 @@ type WhittleResponse struct {
 	Beta      float64   `json:"beta"`
 	Whittle   []float64 `json:"whittle"`
 	Indexable *bool     `json:"indexable,omitempty"`
+
+	// Set when the request carried fleet sizes (n, m): the LP-relaxation
+	// upper bound on the fleet's achievable average reward per epoch and
+	// the per-state primal-dual activation indices.
+	LPBound *float64  `json:"lp_bound,omitempty"`
+	PDIndex []float64 `json:"pd_index,omitempty"`
 }
 
 // PriorityResponse is the body of a priority response (kinds "mg1" and
@@ -92,4 +105,39 @@ type PriorityResponse struct {
 	SEPT                  []int    `json:"sept,omitempty"`
 	LEPT                  []int    `json:"lept,omitempty"`
 	ExactWeightedFlowtime *float64 `json:"exact_weighted_flowtime,omitempty"`
+
+	// Feedback-free mg1 with at most 8 classes only: the Klimov fluid-limit
+	// optimal drain order (starting from the exact steady-state L) and its
+	// fluid holding cost.
+	FluidOrder     []int    `json:"fluid_order,omitempty"`
+	FluidDrainCost *float64 `json:"fluid_drain_cost,omitempty"`
+}
+
+// JacksonResponse is the body of a jackson index response: the product-form
+// steady state of a stable Jackson network — effective class arrival rates
+// from the traffic equations, per-station loads and mean queue lengths
+// (L = ρ/(1−ρ)), the per-class split of station lengths by arrival-rate
+// share, and the implied holding-cost rate.
+type JacksonResponse struct {
+	SpecHash     string    `json:"spec_hash"`
+	Stations     int       `json:"stations"`
+	Lambda       []float64 `json:"lambda"`
+	StationLoads []float64 `json:"station_loads"`
+	StationL     []float64 `json:"station_l"`
+	L            []float64 `json:"l"`
+	CostRate     float64   `json:"cost_rate"`
+}
+
+// MDPResponse is the body of an mdp index response: the optimal average
+// reward (gain) from relative value iteration with its bias vector and
+// stationary optimal policy, cross-checked by the occupation-measure LP
+// (LPGain ≈ Gain up to solver tolerance).
+type MDPResponse struct {
+	SpecHash string    `json:"spec_hash"`
+	States   int       `json:"states"`
+	Actions  int       `json:"actions"`
+	Gain     float64   `json:"gain"`
+	LPGain   float64   `json:"lp_gain"`
+	Bias     []float64 `json:"bias"`
+	Policy   []int     `json:"policy"`
 }

@@ -16,6 +16,10 @@ type SimulateRequest struct {
 	Bandit   *BanditSim   `json:"bandit,omitempty"`
 	Restless *RestlessSim `json:"restless,omitempty"`
 	Batch    *BatchSim    `json:"batch,omitempty"`
+	Jackson  *JacksonSim  `json:"jackson,omitempty"`
+	Polling  *PollingSim  `json:"polling,omitempty"`
+	MDP      *MDPSim      `json:"mdp,omitempty"`
+	FlowShop *FlowShopSim `json:"flowshop,omitempty"`
 
 	Seed         uint64 `json:"seed"`
 	Replications int    `json:"replications"`
@@ -51,6 +55,22 @@ func (r *SimulateRequest) Payload() (any, error) {
 		if r.Batch != nil {
 			p = r.Batch
 		}
+	case "jackson":
+		if r.Jackson != nil {
+			p = r.Jackson
+		}
+	case "polling":
+		if r.Polling != nil {
+			p = r.Polling
+		}
+	case "mdp":
+		if r.MDP != nil {
+			p = r.MDP
+		}
+	case "flowshop":
+		if r.FlowShop != nil {
+			p = r.FlowShop
+		}
 	default:
 		return nil, fmt.Errorf("api: kind %q has no typed payload field", r.Kind)
 	}
@@ -83,6 +103,10 @@ type SimulateResponse struct {
 	Bandit   *BanditResult   `json:"bandit,omitempty"`
 	Restless *RestlessResult `json:"restless,omitempty"`
 	Batch    *BatchResult    `json:"batch,omitempty"`
+	Jackson  *JacksonResult  `json:"jackson,omitempty"`
+	Polling  *PollingResult  `json:"polling,omitempty"`
+	MDP      *MDPResult      `json:"mdp,omitempty"`
+	FlowShop *FlowShopResult `json:"flowshop,omitempty"`
 }
 
 // ---------------------------------------------------------------------------
@@ -192,4 +216,90 @@ type BatchResult struct {
 	FlowtimeCI95         float64 `json:"flowtime_ci95"`
 	WeightedFlowtimeMean float64 `json:"weighted_flowtime_mean"`
 	WeightedFlowtimeCI95 float64 `json:"weighted_flowtime_ci95"`
+}
+
+// JacksonSim parameterizes an open-network simulation: the network spec,
+// the per-station static priority rule ("cmu" by descending hold-cost ×
+// service rate, "fcfs" by class index, or "lbfs" in reverse — the
+// last-buffer-first direction that destabilizes the Lu–Kumar network),
+// and the horizon.
+type JacksonSim struct {
+	Spec    Network `json:"spec"`
+	Policy  string  `json:"policy"`
+	Horizon float64 `json:"horizon"`
+	Burnin  float64 `json:"burnin"`
+}
+
+// JacksonResult carries replication means for the network simulation:
+// per-class time-average numbers in system and the holding-cost rate.
+type JacksonResult struct {
+	Policy       string    `json:"policy"`
+	L            []float64 `json:"l"`
+	CostRateMean float64   `json:"cost_rate_mean"`
+	CostRateCI95 float64   `json:"cost_rate_ci95"`
+}
+
+// PollingSim parameterizes a polling-system simulation: the spec, the
+// service regime as the policy ("exhaustive", "gated", or "limited" for
+// 1-limited), and the horizon.
+type PollingSim struct {
+	Spec    Polling `json:"spec"`
+	Policy  string  `json:"policy"`
+	Horizon float64 `json:"horizon"`
+	Burnin  float64 `json:"burnin"`
+}
+
+// PollingResult carries replication means for the polling simulation:
+// per-queue time-average numbers in system, mean waits, and the
+// holding-cost rate.
+type PollingResult struct {
+	Policy       string    `json:"policy"`
+	L            []float64 `json:"l"`
+	Wq           []float64 `json:"wq"`
+	CostRateMean float64   `json:"cost_rate_mean"`
+	CostRateCI95 float64   `json:"cost_rate_ci95"`
+}
+
+// MDPSim parameterizes an average-reward MDP simulation: the spec, the
+// policy ("optimal" via relative value iteration, "myopic" best immediate
+// reward, or "random"), the start state, and the epoch horizon. Average
+// reward per epoch is measured over [burnin, horizon).
+type MDPSim struct {
+	Spec    MDP    `json:"spec"`
+	Policy  string `json:"policy"`
+	Start   int    `json:"start,omitempty"`
+	Horizon int    `json:"horizon"`
+	Burnin  int    `json:"burnin"`
+}
+
+// MDPResult carries the average-reward-per-epoch estimate. For stationary
+// policies Actions lists the action taken in each state.
+type MDPResult struct {
+	Policy     string  `json:"policy"`
+	Actions    []int   `json:"actions,omitempty"`
+	RewardMean float64 `json:"reward_mean"`
+	RewardCI95 float64 `json:"reward_ci95"`
+}
+
+// FlowShopSim parameterizes a batch-shop simulation. The policy set
+// depends on the spec variant: flow shop — "talwar" (two exponential
+// stages only), "sept", "lept"; tree — "hlf", "llf", "random"; sevcik —
+// "sevcik" (preemptive Sevcik-index rule), "wsept" (nonpreemptive
+// baseline).
+type FlowShopSim struct {
+	Spec   FlowShop `json:"spec"`
+	Policy string   `json:"policy"`
+}
+
+// FlowShopResult carries the replication estimate of the variant's
+// objective: expected makespan (flowshop/tree variants) or expected
+// weighted flowtime (sevcik). Order is the static sequence when the
+// policy fixes one up front.
+type FlowShopResult struct {
+	Policy  string  `json:"policy"`
+	Variant string  `json:"variant"`
+	Metric  string  `json:"metric"`
+	Order   []int   `json:"order,omitempty"`
+	Mean    float64 `json:"mean"`
+	CI95    float64 `json:"ci95"`
 }

@@ -73,7 +73,7 @@ for ep in gittins whittle priority simulate; do
     check_endpoint "$ep"
 done
 # The registry's non-mg1 simulate kinds, through the same endpoint.
-for kind in restless batch; do
+for kind in restless batch jackson polling mdp flowshop; do
     check_endpoint "simulate_$kind" simulate
 done
 
@@ -83,6 +83,11 @@ done
 # pins its own golden.
 check_endpoint index index gittins
 check_endpoint batch
+
+# The analytic indexes of the network and MDP kinds, through the same
+# kind-dispatched envelope.
+check_endpoint jackson_index index
+check_endpoint mdp_index index
 
 # A repeated request must be a cache hit.
 hdr="$(curl -fsS -D - -o /dev/null -X POST --data-binary "@$TESTDATA/gittins_req.json" "$BASE/v1/gittins")"
@@ -221,12 +226,36 @@ fi
     exit 1
 }
 echo "ok /v1/sweep restless kind"
+
+# A network sweep: jackson tandem over the external arrival rate, fcfs vs
+# cmu vs lbfs, policies substituted at jackson.policy via the registry.
+run_sweep "$TMP/sweep_jackson_p1.ndjson" "$TESTDATA/sweep_jackson_req.json"
+head -n 1 "$TMP/sweep_jackson_p1.ndjson" > "$TMP/sweep_jackson_first.json"
+tail -n 1 "$TMP/sweep_jackson_p1.ndjson" > "$TMP/sweep_jackson_last.json"
+if [ "${REGEN:-}" = "1" ]; then
+    cp "$TMP/sweep_jackson_first.json" "$TESTDATA/sweep_jackson_first_golden.json"
+    cp "$TMP/sweep_jackson_last.json" "$TESTDATA/sweep_jackson_last_golden.json"
+    echo "regenerated jackson sweep first/last goldens"
+else
+    for part in first last; do
+        if ! cmp -s "$TMP/sweep_jackson_$part.json" "$TESTDATA/sweep_jackson_${part}_golden.json"; then
+            echo "FAIL: jackson sweep $part row differs from testdata/sweep_jackson_${part}_golden.json:" >&2
+            diff "$TESTDATA/sweep_jackson_${part}_golden.json" "$TMP/sweep_jackson_$part.json" >&2 || true
+            exit 1
+        fi
+    done
+fi
+[ "$(wc -l < "$TMP/sweep_jackson_p1.ndjson")" -eq 3 ] || {
+    echo "FAIL: jackson sweep stream is not 3 rows" >&2
+    exit 1
+}
+echo "ok /v1/sweep jackson kind"
 stop_daemon
 
 # Determinism across parallelism: a fresh daemon at -parallel 8 must return
 # the exact same simulate bodies (its cache is empty, so this recomputes).
 start_daemon 8
-for stem in simulate simulate_restless simulate_batch; do
+for stem in simulate simulate_restless simulate_batch simulate_jackson simulate_polling simulate_mdp simulate_flowshop; do
     curl -fsS -X POST --data-binary "@$TESTDATA/${stem}_req.json" "$BASE/v1/simulate" -o "$TMP/${stem}_p8.json"
     if ! cmp -s "$TMP/${stem}_p8.json" "$TESTDATA/${stem}_golden.json"; then
         echo "FAIL: /v1/simulate ($stem) differs between -parallel 1 and -parallel 8:" >&2
@@ -234,7 +263,7 @@ for stem in simulate simulate_restless simulate_batch; do
         exit 1
     fi
 done
-echo "ok simulate determinism across -parallel 1/8 (mg1, restless, batch)"
+echo "ok simulate determinism across -parallel 1/8 (all registered kinds)"
 
 # The batch response (whose third item is a simulation) must also be
 # byte-identical on the -parallel 8 daemon: batched execution preserves
@@ -261,7 +290,13 @@ if ! cmp -s "$TMP/sweep_restless_p8.ndjson" "$TMP/sweep_restless_p1.ndjson"; the
     diff "$TMP/sweep_restless_p1.ndjson" "$TMP/sweep_restless_p8.ndjson" >&2 || true
     exit 1
 fi
-echo "ok sweep determinism across -parallel 1/8 (mg1, restless)"
+run_sweep "$TMP/sweep_jackson_p8.ndjson" "$TESTDATA/sweep_jackson_req.json"
+if ! cmp -s "$TMP/sweep_jackson_p8.ndjson" "$TMP/sweep_jackson_p1.ndjson"; then
+    echo "FAIL: jackson sweep NDJSON differs between -parallel 1 and -parallel 8:" >&2
+    diff "$TMP/sweep_jackson_p1.ndjson" "$TMP/sweep_jackson_p8.ndjson" >&2 || true
+    exit 1
+fi
+echo "ok sweep determinism across -parallel 1/8 (mg1, restless, jackson)"
 stop_daemon
 
 echo "service smoke: all checks passed"
