@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race conformance bench bench-service bench-simulate bench-batch bench-check loadgen-smoke smoke docs-check fmt fmt-check vet ci
+.PHONY: build test race conformance bench bench-service bench-simulate bench-batch bench-precision bench-check loadgen-smoke smoke docs-check fmt fmt-check vet ci
 
 build:
 	$(GO) build ./...
@@ -15,6 +15,7 @@ race:
 		./internal/queueing/... ./internal/batch/... \
 		./internal/bandit/... ./internal/restless/... \
 		./internal/markov/... ./internal/lp/... \
+		./internal/rng/... ./internal/stats/... \
 		./internal/service/... ./internal/sweep/... \
 		./internal/scenario/... ./pkg/...
 
@@ -70,11 +71,25 @@ bench-batch:
 	@rm -f bench_batch.out
 	@echo wrote BENCH_batch.json
 
-# Benchmark regression gate: re-run the engine and simulate benchmarks
-# (best of BENCH_COUNT runs) and fail when any entry regresses more than
-# BENCH_TOLERANCE_PCT (default 15) percent in ns/op or bytes/op against the
-# checked-in BENCH_engine.json / BENCH_simulate.json baselines. Regenerate
-# the baselines with `make bench bench-simulate` after intentional changes.
+# Adaptive-precision benchmark: per kind, the conservative fixed budget a
+# user would provision for ±1% CI95 versus target-precision mode stopping
+# at the first round that meets it (the ns/op ratio is the replication
+# saving; the adaptive variants assert a ≥5x saving inline), plus the
+# implied replications to resolve a policy difference to ±1% with and
+# without common random numbers. Rendered as BENCH_precision.json.
+bench-precision:
+	$(GO) test -run '^$$' -bench BenchmarkAdaptivePrecision -benchmem -count 3 . > bench_precision.out
+	@cat bench_precision.out
+	$(GO) run ./cmd/bench2json < bench_precision.out > BENCH_precision.json
+	@rm -f bench_precision.out
+	@echo wrote BENCH_precision.json
+
+# Benchmark regression gate: re-run the engine, simulate, and adaptive-
+# precision benchmarks (best of BENCH_COUNT runs) and fail when any entry
+# regresses more than BENCH_TOLERANCE_PCT (default 15) percent in ns/op or
+# bytes/op against the checked-in BENCH_engine.json / BENCH_simulate.json /
+# BENCH_precision.json baselines. Regenerate the baselines with
+# `make bench bench-simulate bench-precision` after intentional changes.
 bench-check:
 	./scripts/bench_delta.sh
 

@@ -8,6 +8,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"math"
 	"net/http"
 	"net/http/httptest"
 	"runtime"
@@ -231,6 +232,159 @@ func BenchmarkBatchVsSingle(b *testing.B) {
 			}
 		}
 	})
+}
+
+// adaptiveBatchBody builds a 40-job batch scheduling request whose weighted
+// flowtime averages over enough jobs that its coefficient of variation is
+// small — the workload shape where sequential stopping pays. tail supplies
+// the budget member (`"replications":N` or a `"precision":{...}` block).
+func adaptiveBatchBody(policy string, seed uint64, tail string) string {
+	s := rng.New(99)
+	var sb strings.Builder
+	sb.WriteString(`{"kind":"batch","batch":{"spec":{"jobs":[`)
+	for i := 0; i < 40; i++ {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		w := 1 + int(s.Float64()*4)
+		switch i % 4 {
+		case 0:
+			fmt.Fprintf(&sb, `{"weight":%d,"dist":{"kind":"exp","mean":%.3f}}`, w, 0.5+s.Float64())
+		case 1:
+			fmt.Fprintf(&sb, `{"weight":%d,"dist":{"kind":"det","value":%.3f}}`, w, 0.5+s.Float64())
+		case 2:
+			lo := 0.2 + s.Float64()
+			fmt.Fprintf(&sb, `{"weight":%d,"dist":{"kind":"uniform","lo":%.3f,"hi":%.3f}}`, w, lo, lo+1)
+		case 3:
+			fmt.Fprintf(&sb, `{"weight":%d,"dist":{"kind":"erlang","k":3,"rate":%.3f}}`, w, 1+s.Float64())
+		}
+	}
+	fmt.Fprintf(&sb, `]},"policy":%q},"seed":%d,%s}`, policy, seed, tail)
+	return sb.String()
+}
+
+func adaptiveMDPBody(seed uint64, tail string) string {
+	return fmt.Sprintf(`{"kind":"mdp","mdp":{"spec":{"actions":[
+		{"transitions":[[0.9,0.1],[0.6,0.4]],"rewards":[1,0]},
+		{"transitions":[[0.2,0.8],[0.3,0.7]],"rewards":[2,-1]}
+	]},"policy":"optimal","horizon":400,"burnin":50},"seed":%d,%s}`, seed, tail)
+}
+
+// BenchmarkAdaptivePrecision measures what target-precision mode buys on
+// /v1/simulate: for each kind, "fixed" spends the conservative 4096-
+// replication budget a user without a stopping rule would provision for
+// ±1% CI95, while "adaptive" requests precision {target_ci95: 0.01} with
+// the same budget as ceiling and stops at the first round whose CI meets
+// the target. The adaptive variants assert the acceptance bar inline —
+// replications_used at most a fifth of the fixed budget — and report the
+// observed spend as reps/op, so the fixed/adaptive ns/op ratio in
+// BENCH_precision.json is the replication saving. The mg1-diff pair
+// measures the variance-reduction half: the implied replications to
+// resolve the cµ−FCFS cost-rate difference to ±1% CI95 (reps_to_1pct)
+// with common random numbers versus independently seeded policies.
+// `make bench-precision` renders the output as BENCH_precision.json.
+func BenchmarkAdaptivePrecision(b *testing.B) {
+	const budget = 4096
+	post := func(b *testing.B, h http.Handler, body string) []byte {
+		b.Helper()
+		req := httptest.NewRequest(http.MethodPost, "/v1/simulate", strings.NewReader(body))
+		w := httptest.NewRecorder()
+		h.ServeHTTP(w, req)
+		if w.Code != http.StatusOK {
+			b.Fatalf("code %d: %s", w.Code, w.Body)
+		}
+		return w.Body.Bytes()
+	}
+	for _, k := range []struct {
+		name string
+		body func(seed uint64, tail string) string
+	}{
+		{"batch", func(seed uint64, tail string) string { return adaptiveBatchBody("wsept", seed, tail) }},
+		{"mdp", adaptiveMDPBody},
+	} {
+		k := k
+		b.Run(k.name+"/fixed", func(b *testing.B) {
+			h := service.New(service.Config{}).Handler()
+			tail := fmt.Sprintf(`"replications":%d`, budget)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				post(b, h, k.body(uint64(i)+1, tail))
+			}
+		})
+		b.Run(k.name+"/adaptive", func(b *testing.B) {
+			h := service.New(service.Config{}).Handler()
+			tail := fmt.Sprintf(`"precision":{"target_ci95":0.01,"max_replications":%d}`, budget)
+			var used int64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				resp := post(b, h, k.body(uint64(i)+1, tail))
+				var env struct {
+					ReplicationsUsed int64 `json:"replications_used"`
+				}
+				if err := json.Unmarshal(resp, &env); err != nil {
+					b.Fatal(err)
+				}
+				if env.ReplicationsUsed < 1 || env.ReplicationsUsed > budget {
+					b.Fatalf("replications_used %d outside [1, %d]", env.ReplicationsUsed, budget)
+				}
+				if env.ReplicationsUsed*5 > budget {
+					b.Fatalf("seed %d: adaptive spent %d of %d replications to ±1%% CI95; want a ≥5x saving",
+						i+1, env.ReplicationsUsed, budget)
+				}
+				used += env.ReplicationsUsed
+			}
+			b.ReportMetric(float64(used)/float64(b.N), "reps/op")
+		})
+	}
+	for _, crn := range []bool{true, false} {
+		crn := crn
+		b.Run(fmt.Sprintf("mg1-diff/crn=%v", crn), func(b *testing.B) {
+			h := service.New(service.Config{}).Handler()
+			const reps = 16
+			mean := func(policy string, seed uint64) float64 {
+				body := fmt.Sprintf(`{"kind":"mg1","mg1":{"spec":{"classes":[
+					{"rate":0.3,"service_mean":0.5,"hold_cost":4},
+					{"rate":0.2,"service_mean":1,"hold_cost":1}
+				]},"policy":%q,"horizon":200,"burnin":20},"seed":%d,"replications":%d}`, policy, seed, reps)
+				var env struct {
+					MG1 struct {
+						Mean float64 `json:"cost_rate_mean"`
+					} `json:"mg1"`
+				}
+				if err := json.Unmarshal(post(b, h, body), &env); err != nil {
+					b.Fatal(err)
+				}
+				return env.MG1.Mean
+			}
+			diffs := make([]float64, 0, b.N)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				cmu := uint64(i) + 1
+				fifo := cmu
+				if !crn {
+					fifo = cmu + 1<<20
+				}
+				diffs = append(diffs, mean("cmu", cmu)-mean("fifo", fifo))
+			}
+			b.StopTimer()
+			var sum, sum2 float64
+			for _, d := range diffs {
+				sum += d
+				sum2 += d * d
+			}
+			m := sum / float64(len(diffs))
+			v := sum2/float64(len(diffs)) - m*m
+			if len(diffs) >= 16 && m != 0 && v > 0 {
+				// Each trial is a 16-replication mean, so the per-pair
+				// standard deviation is sqrt(16)·sd(trials); the implied
+				// spend to pin the difference to ±1% CI95 follows from
+				// n = (1.96·sd_pair / (0.01·|mean|))².
+				sd := math.Sqrt(v * reps)
+				n := 1.96 * sd / (0.01 * math.Abs(m))
+				b.ReportMetric(n*n, "reps_to_1pct")
+			}
+		})
+	}
 }
 
 func BenchmarkE01_WSEPTSingleMachine(b *testing.B)     { benchExperiment(b, "E01") }

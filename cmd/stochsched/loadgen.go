@@ -33,18 +33,20 @@ func runLoadgen(args []string) int {
 	rps := fs.Float64("rps", 50, "target aggregate request rate (0 = closed loop at full concurrency)")
 	concurrency := fs.Int("concurrency", 4, "concurrent workers")
 	duration := fs.Duration("duration", 10*time.Second, "soak duration")
-	mix := fs.String("mix", "index=1,simulate=1,batch=1", "endpoint weights (index, simulate, batch)")
+	mix := fs.String("mix", "index=1,simulate=1,batch=1", "endpoint weights (index, simulate, batch, adaptive)")
 	seed := fs.Uint64("seed", 1, "base seed varying the generated request specs")
 	parallel := fs.Int("parallel", 0, "in-process worker pool size (ignored with -addr)")
 	check := fs.Bool("check", false, "exit nonzero on any non-429 error or missing server histograms")
 	fs.Usage = func() {
-		fmt.Fprint(fs.Output(), `usage: stochsched loadgen [-addr URL] [-rps N] [-concurrency N] [-duration D] [-mix index=1,simulate=1,batch=1] [-check]
+		fmt.Fprint(fs.Output(), `usage: stochsched loadgen [-addr URL] [-rps N] [-concurrency N] [-duration D] [-mix index=1,simulate=1,batch=1,adaptive=1] [-check]
 
 Soaks a policy service through the Go SDK with a weighted mix of index,
-simulate, and batch requests, then prints client-observed latency
-quantiles per endpoint and the server-side /v1/stats latency histograms.
-With -check it exits 1 unless the soak saw zero non-429 errors and the
-server reported populated histograms for every driven endpoint.
+simulate, batch, and adaptive (target-precision simulate) requests, then
+prints client-observed latency quantiles per endpoint and the server-side
+/v1/stats latency histograms. Adaptive responses are validated inline:
+replications_used must stay within [1, max_replications]. With -check it
+exits 1 unless the soak saw zero non-429 errors and the server reported
+populated histograms for every driven endpoint.
 `)
 		fs.PrintDefaults()
 	}
@@ -112,9 +114,9 @@ func parseMix(s string) (map[string]int, error) {
 			return nil, fmt.Errorf("loadgen: mix weight %q is not a nonnegative integer", val)
 		}
 		switch name {
-		case opIndex, opSimulate, opBatch:
+		case opIndex, opSimulate, opBatch, opAdaptive:
 		default:
-			return nil, fmt.Errorf("loadgen: unknown mix endpoint %q (want index, simulate, or batch)", name)
+			return nil, fmt.Errorf("loadgen: unknown mix endpoint %q (want index, simulate, batch, or adaptive)", name)
 		}
 		out[name] = w
 		total += w
@@ -129,7 +131,18 @@ const (
 	opIndex    = "index"
 	opSimulate = "simulate"
 	opBatch    = "batch"
+	opAdaptive = "adaptive" // target-precision simulate through /v1/simulate
 )
+
+// serverEndpoint maps a mix op to the /v1/stats endpoint name its traffic
+// lands on: adaptive ops are /v1/simulate requests, so the server
+// histogram they populate is "simulate".
+func serverEndpoint(op string) string {
+	if op == opAdaptive {
+		return opSimulate
+	}
+	return op
+}
 
 // headerCheckDoer wraps the transport and counts responses missing the
 // X-Request-Id header every response of an observability-era service
@@ -331,6 +344,23 @@ func issue(ctx context.Context, c *client.Client, op string, seed uint64, n int6
 	case opSimulate:
 		_, err := c.SimulateRaw(ctx, simulateBody(seed, n))
 		return err
+	case opAdaptive:
+		raw, err := c.SimulateRaw(ctx, adaptiveBody(seed, n))
+		if err != nil {
+			return err
+		}
+		// The inline contract check -check relies on: the stopping rule's
+		// spend must be reported and stay within the request's ceiling.
+		var env struct {
+			ReplicationsUsed int64 `json:"replications_used"`
+		}
+		if err := json.Unmarshal(raw, &env); err != nil {
+			return fmt.Errorf("loadgen: decoding adaptive response: %w", err)
+		}
+		if env.ReplicationsUsed < 1 || env.ReplicationsUsed > adaptiveMaxReps {
+			return fmt.Errorf("loadgen: adaptive replications_used %d outside [1, %d]", env.ReplicationsUsed, adaptiveMaxReps)
+		}
+		return nil
 	case opBatch:
 		resp, err := c.Batch(ctx, &api.BatchRequest{Items: []api.BatchItem{
 			{Op: api.OpIndex, Body: indexBody(n)},
@@ -364,6 +394,22 @@ func simulateBody(seed uint64, n int64) []byte {
 		`{"rate":0.3,"service_mean":0.5,"hold_cost":1}]},`+
 		`"policy":"cmu","horizon":40,"burnin":5},"seed":%d,"replications":4}`,
 		seed+uint64(n%16)))
+}
+
+// adaptiveMaxReps is the replication ceiling of the adaptive-mix op; the
+// soak validates every response's replications_used against it.
+const adaptiveMaxReps = 64
+
+// adaptiveBody is simulateBody in target-precision mode: same model, the
+// fixed budget replaced by a loose CI target the stopping rule meets well
+// under the ceiling.
+func adaptiveBody(seed uint64, n int64) []byte {
+	return []byte(fmt.Sprintf(`{"kind":"mg1","mg1":{"spec":{"classes":[`+
+		`{"rate":0.5,"service_mean":1,"hold_cost":2},`+
+		`{"rate":0.3,"service_mean":0.5,"hold_cost":1}]},`+
+		`"policy":"cmu","horizon":40,"burnin":5},"seed":%d,`+
+		`"precision":{"target_ci95":0.2,"max_replications":%d}}`,
+		seed+uint64(n%16), adaptiveMaxReps))
 }
 
 // print renders the client-side table and the server-side histograms.
@@ -403,7 +449,7 @@ func (r *loadgenReport) print(w io.Writer) {
 	tw = tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(tw, "server endpoint\trequests\tp50 ms\tp95 ms\tp99 ms\tmax ms")
 	for _, op := range r.driven {
-		ep, ok := r.Stats.Endpoints[op]
+		ep, ok := r.Stats.Endpoints[serverEndpoint(op)]
 		if !ok || ep.Latency == nil {
 			fmt.Fprintf(tw, "%s\t-\t(no histogram)\n", op)
 			continue
@@ -435,7 +481,7 @@ func (r *loadgenReport) checkFailures() []string {
 		return append(msgs, fmt.Sprintf("stats: %v", r.StatsErr))
 	}
 	for _, op := range r.driven {
-		ep, ok := r.Stats.Endpoints[op]
+		ep, ok := r.Stats.Endpoints[serverEndpoint(op)]
 		if !ok || ep.Latency == nil || ep.Latency.Count == 0 {
 			msgs = append(msgs, fmt.Sprintf("%s: server reported no latency histogram", op))
 			continue

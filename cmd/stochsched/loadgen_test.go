@@ -24,6 +24,9 @@ func TestParseMix(t *testing.T) {
 			t.Errorf("mix %q accepted", bad)
 		}
 	}
+	if m, err := parseMix("adaptive=2"); err != nil || m[opAdaptive] != 2 {
+		t.Errorf("adaptive mix: %v %v", m, err)
+	}
 }
 
 // TestLoadgenInProcess drives a short closed-loop soak against an
@@ -34,7 +37,7 @@ func TestLoadgenInProcess(t *testing.T) {
 		RPS:         0, // closed loop: fastest way to accumulate ops in a test
 		Concurrency: 2,
 		Duration:    500 * time.Millisecond,
-		Mix:         map[string]int{opIndex: 1, opSimulate: 1, opBatch: 1},
+		Mix:         map[string]int{opIndex: 1, opSimulate: 1, opBatch: 1, opAdaptive: 1},
 		Seed:        42,
 	}
 	rep, err := loadgen(context.Background(), localClient(2), cfg)

@@ -2,6 +2,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -26,18 +27,29 @@ func runSimulate(args []string) int {
 	fs := flag.NewFlagSet("simulate", flag.ExitOnError)
 	file := fs.String("f", "-", "simulate request file (JSON; \"-\" = stdin)")
 	parallel := fs.Int("parallel", 0, "worker pool size (overrides the request; results do not depend on it)")
+	targetCI := fs.Float64("target-ci", 0, "switch to target-precision mode: stop when the 95% CI half-width falls below this fraction of the mean (replaces the request's replications)")
+	confidence := fs.Float64("confidence", 0, "stopping-rule confidence level (0 = the default 0.95; needs -target-ci)")
+	maxReps := fs.Int("max-reps", 4096, "replication ceiling in target-precision mode (needs -target-ci)")
+	antithetic := fs.Bool("antithetic", false, "pair replications antithetically (kinds with categorical draws reject this)")
 	fs.Usage = func() {
-		fmt.Fprintf(fs.Output(), `usage: stochsched simulate [-f request.json] [-parallel N]
+		fmt.Fprintf(fs.Output(), `usage: stochsched simulate [-f request.json] [-parallel N] [-target-ci F [-confidence F] [-max-reps N]] [-antithetic]
 
 Runs one simulate request in-process through the scenario registry — the
-same JSON POST /v1/simulate accepts, the same response body. Registered
-kinds: %s (see "stochsched scenarios").
+same JSON POST /v1/simulate accepts, the same response body. -target-ci
+rewrites the request into target-precision mode (a "precision" block in
+place of "replications"); the response then reports replications_used.
+Registered kinds: %s (see "stochsched scenarios").
 `, strings.Join(scenario.Kinds(), ", "))
 		fs.PrintDefaults()
 	}
 	fs.Parse(args)
 
 	raw, err := readInput(*file)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	raw, err = applyPrecisionFlags(raw, *targetCI, *confidence, *maxReps, *antithetic)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		return 1
@@ -49,6 +61,37 @@ kinds: %s (see "stochsched scenarios").
 	}
 	os.Stdout.Write(body)
 	return 0
+}
+
+// applyPrecisionFlags rewrites a raw simulate body per the precision
+// flags: -target-ci replaces the fixed replications field with a precision
+// block (the server enforces the mutual exclusion, so the flag must drop
+// the old budget), and -antithetic sets the envelope knob. A zero targetCI
+// leaves the body untouched except for the antithetic flag.
+func applyPrecisionFlags(raw []byte, targetCI, confidence float64, maxReps int, antithetic bool) ([]byte, error) {
+	if targetCI <= 0 && !antithetic {
+		return raw, nil
+	}
+	var fields map[string]json.RawMessage
+	if err := json.Unmarshal(raw, &fields); err != nil {
+		return nil, fmt.Errorf("parsing request: %w", err)
+	}
+	if targetCI > 0 {
+		delete(fields, "replications")
+		pr, err := json.Marshal(&api.Precision{
+			TargetCI95:      targetCI,
+			Confidence:      confidence,
+			MaxReplications: maxReps,
+		})
+		if err != nil {
+			return nil, err
+		}
+		fields["precision"] = pr
+	}
+	if antithetic {
+		fields["antithetic"] = json.RawMessage("true")
+	}
+	return json.Marshal(fields)
 }
 
 // readInput reads a request file ("-" = stdin).

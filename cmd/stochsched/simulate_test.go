@@ -41,6 +41,64 @@ func TestSimulateLocalMatchesAcrossParallelism(t *testing.T) {
 	}
 }
 
+// TestPrecisionFlagsRewriteBody: -target-ci swaps the fixed budget for a
+// precision block the service accepts, the response reports the spend,
+// and -antithetic flows through; the resulting runs stay byte-identical
+// across -parallel.
+func TestPrecisionFlagsRewriteBody(t *testing.T) {
+	body := []byte(`{"kind":"mg1","mg1":{"spec":{"classes":[
+	    {"rate":0.3,"service_mean":0.5,"hold_cost":4}]},
+	  "policy":"cmu","horizon":200,"burnin":20},"seed":7,"replications":8}`)
+
+	raw, err := applyPrecisionFlags(body, 0.1, 0, 256, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"precision":{"target_ci95":0.1,"max_replications":256}`, `"antithetic":true`} {
+		if !strings.Contains(string(raw), want) {
+			t.Errorf("rewritten body missing %s:\n%s", want, raw)
+		}
+	}
+	if strings.Contains(string(raw), `"replications"`) {
+		t.Errorf("rewritten body kept the fixed budget:\n%s", raw)
+	}
+	b1, err := SimulateLocal(raw, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b8, err := SimulateLocal(raw, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1, b8) {
+		t.Errorf("adaptive run differs between -parallel 1 and 8:\n%s\n%s", b1, b8)
+	}
+	if !bytes.Contains(b1, []byte(`"replications_used":`)) {
+		t.Errorf("adaptive response lacks replications_used: %s", b1)
+	}
+
+	// No flags: the body passes through untouched, byte for byte.
+	same, err := applyPrecisionFlags(body, 0, 0, 4096, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(same, body) {
+		t.Error("flagless pass rewrote the body")
+	}
+}
+
+// TestSweepCRNFlag: the sweep -crn override injects the boolean into the
+// raw request body.
+func TestSweepCRNFlag(t *testing.T) {
+	raw, err := setRawBool([]byte(`{"base":{"kind":"mg1"},"policies":["cmu","fifo"]}`), "crn", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(raw), `"crn":false`) {
+		t.Errorf("crn member not injected: %s", raw)
+	}
+}
+
 func TestSimulateLocalRejectsBadRequests(t *testing.T) {
 	bad := []string{
 		`not json`,

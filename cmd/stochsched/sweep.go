@@ -2,10 +2,12 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"strconv"
 	"strings"
 	"text/tabwriter"
 
@@ -27,8 +29,9 @@ func runSweep(args []string) int {
 	parallel := fs.Int("parallel", 0, "worker pool size for the cells (overrides the request; 0 = request value or GOMAXPROCS)")
 	timeout := fs.Duration("timeout", 0, "abort the sweep after this duration (0 = no limit)")
 	ndjson := fs.Bool("ndjson", false, "emit raw NDJSON result rows instead of the table")
+	crn := fs.Bool("crn", true, "common random numbers: policies at a grid point share the base seed (overrides the request when set explicitly; -crn=false derives an independent seed per policy)")
 	fs.Usage = func() {
-		fmt.Fprintf(fs.Output(), `usage: stochsched sweep [-f request.json] [-parallel N] [-timeout D] [-ndjson]
+		fmt.Fprintf(fs.Output(), `usage: stochsched sweep [-f request.json] [-parallel N] [-timeout D] [-ndjson] [-crn=BOOL]
 
 Expands a base /v1/simulate request over a parameter grid, evaluates every
 policy at every grid point, and prints the comparison table (per-policy
@@ -46,6 +49,16 @@ The request file is the same JSON POST /v1/sweep accepts; see docs/api.md.
 	}
 	if *parallel > 0 {
 		if raw, err = api.SetNumber(raw, "parallel", float64(*parallel)); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+	}
+	// The flag only overrides the request when it was set explicitly, so a
+	// body carrying its own crn member survives a plain invocation.
+	crnSet := false
+	fs.Visit(func(f *flag.Flag) { crnSet = crnSet || f.Name == "crn" })
+	if crnSet {
+		if raw, err = setRawBool(raw, "crn", *crn); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			return 1
 		}
@@ -112,6 +125,18 @@ The request file is the same JSON POST /v1/sweep accepts; see docs/api.md.
 	}
 	printSweepTable(os.Stdout, final, rows)
 	return 0
+}
+
+// setRawBool sets a top-level boolean member of a raw JSON object body —
+// the sweep request's crn knob has no numeric or string form for
+// api.SetNumber/SetString to cover.
+func setRawBool(raw []byte, name string, value bool) ([]byte, error) {
+	var fields map[string]json.RawMessage
+	if err := json.Unmarshal(raw, &fields); err != nil {
+		return nil, fmt.Errorf("parsing request: %w", err)
+	}
+	fields[name] = json.RawMessage(strconv.FormatBool(value))
+	return json.Marshal(fields)
 }
 
 // printSweepTable renders the comparison: one line per grid point, one

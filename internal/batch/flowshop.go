@@ -109,11 +109,22 @@ func TalwarOrder(jobs []FlowShopJob) Order {
 // on the pool, byte-identical for a given seed at any parallelism level.
 // The only possible error is cancellation of ctx.
 func EstimateFlowShop(ctx context.Context, pool *engine.Pool, jobs []FlowShopJob, o Order, reps int, s *rng.Stream) (*stats.Running, error) {
-	return engine.Replicate(ctx, pool, reps, s,
+	var out stats.Running
+	if err := EstimateFlowShopInto(ctx, pool, jobs, o, reps, s, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// EstimateFlowShopInto folds reps further replications into out,
+// continuing s's substream sequence — the accumulation form the adaptive
+// rounds use.
+func EstimateFlowShopInto(ctx context.Context, pool *engine.Pool, jobs []FlowShopJob, o Order, reps int, s *rng.Stream, out *stats.Running) error {
+	return engine.ReplicateInto(ctx, pool, 0, reps, s,
 		func(_ context.Context, _ int, sub *rng.Stream) (float64, error) {
 			p := SampleFlowShop(jobs, sub)
 			return FlowShopMakespan(p, o), nil
-		})
+		}, out)
 }
 
 // BestFlowShopOrderCRN estimates the best permutation for expected makespan
@@ -174,9 +185,19 @@ func totalMeanKey(jobs []FlowShopJob) func(int) float64 {
 // EstimateFlowShopBlocking estimates E[makespan] of order o under the
 // bufferless (blocking) recurrence over reps replications on the pool.
 func EstimateFlowShopBlocking(ctx context.Context, pool *engine.Pool, jobs []FlowShopJob, o Order, reps int, s *rng.Stream) (*stats.Running, error) {
-	return engine.Replicate(ctx, pool, reps, s,
+	var out stats.Running
+	if err := EstimateFlowShopBlockingInto(ctx, pool, jobs, o, reps, s, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// EstimateFlowShopBlockingInto folds reps further replications into out,
+// continuing s's substream sequence.
+func EstimateFlowShopBlockingInto(ctx context.Context, pool *engine.Pool, jobs []FlowShopJob, o Order, reps int, s *rng.Stream, out *stats.Running) error {
+	return engine.ReplicateInto(ctx, pool, 0, reps, s,
 		func(_ context.Context, _ int, sub *rng.Stream) (float64, error) {
 			p := SampleFlowShop(jobs, sub)
 			return FlowShopBlockingMakespan(p, o), nil
-		})
+		}, out)
 }

@@ -100,11 +100,21 @@ type ParallelEstimate struct {
 // objectives, byte-identical for a given seed at any parallelism level.
 // The only possible error is cancellation of ctx.
 func EstimateParallel(ctx context.Context, p *engine.Pool, in *Instance, o Order, reps int, s *rng.Stream) (*ParallelEstimate, error) {
+	var est ParallelEstimate
+	if err := EstimateParallelInto(ctx, p, in, o, reps, s, &est); err != nil {
+		return nil, err
+	}
+	return &est, nil
+}
+
+// EstimateParallelInto folds reps further replications into est,
+// continuing s's substream sequence — the accumulation form the adaptive
+// (target-precision) rounds use.
+func EstimateParallelInto(ctx context.Context, p *engine.Pool, in *Instance, o Order, reps int, s *rng.Stream, est *ParallelEstimate) error {
 	if !validOrder(o, len(in.Jobs)) {
 		panic("batch: invalid order")
 	}
-	var est ParallelEstimate
-	err := engine.ReplicateReduce(ctx, p, reps, s,
+	return engine.ReplicateReduce(ctx, p, reps, s,
 		func(_ context.Context, _ int, sub *rng.Stream) (ParallelResult, error) {
 			return simulateList(in, o, sub), nil
 		},
@@ -114,10 +124,6 @@ func EstimateParallel(ctx context.Context, p *engine.Pool, in *Instance, o Order
 			est.Makespan.Add(r.Makespan)
 			return nil
 		})
-	if err != nil {
-		return nil, err
-	}
-	return &est, nil
 }
 
 // supportOf extracts the finite support of a distribution, when it has one.

@@ -158,17 +158,37 @@ func WSEPTDiscrete(jobs []DiscreteJob) Order {
 // Sevcik-index policy) on the pool, byte-identical for a given seed at any
 // parallelism level.
 func EstimateSevcik(ctx context.Context, p *engine.Pool, jobs []DiscreteJob, reps int, s *rng.Stream) (*stats.Running, error) {
-	return engine.Replicate(ctx, p, reps, s,
+	var out stats.Running
+	if err := EstimateSevcikInto(ctx, p, jobs, reps, s, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// EstimateSevcikInto folds reps further replications into out, continuing
+// s's substream sequence — the accumulation form the adaptive rounds use.
+func EstimateSevcikInto(ctx context.Context, p *engine.Pool, jobs []DiscreteJob, reps int, s *rng.Stream, out *stats.Running) error {
+	return engine.ReplicateInto(ctx, p, 0, reps, s,
 		func(_ context.Context, _ int, sub *rng.Stream) (float64, error) {
 			return SimulateSevcik(jobs, sub)
-		})
+		}, out)
 }
 
 // EstimateWSEPTDiscrete aggregates replications of the nonpreemptive WSEPT
 // baseline on the pool.
 func EstimateWSEPTDiscrete(ctx context.Context, p *engine.Pool, jobs []DiscreteJob, reps int, s *rng.Stream) (*stats.Running, error) {
-	return engine.Replicate(ctx, p, reps, s,
+	var out stats.Running
+	if err := EstimateWSEPTDiscreteInto(ctx, p, jobs, reps, s, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// EstimateWSEPTDiscreteInto folds reps further replications into out,
+// continuing s's substream sequence.
+func EstimateWSEPTDiscreteInto(ctx context.Context, p *engine.Pool, jobs []DiscreteJob, reps int, s *rng.Stream, out *stats.Running) error {
+	return engine.ReplicateInto(ctx, p, 0, reps, s,
 		func(_ context.Context, _ int, sub *rng.Stream) (float64, error) {
 			return SimulateNonpreemptiveWSEPTDiscrete(jobs, sub), nil
-		})
+		}, out)
 }

@@ -41,6 +41,23 @@ type cdfer interface {
 	CDF(x float64) float64
 }
 
+// Invertible reports whether the law samples by a monotone transform of
+// its uniforms (inverse-CDF or a constant), which is what antithetic
+// variates need: complementing the uniform (u → 1−u) then yields a
+// negatively correlated variate. Exponential, Uniform, Weibull, and
+// Deterministic qualify; the discrete and mixture laws (TwoPoint,
+// Discrete, HyperExp) select branches with their uniforms and Erlang
+// multiplies several, so mirroring them is valid randomness but carries no
+// variance-reduction guarantee — scenarios reject the antithetic knob for
+// specs using them.
+func Invertible(d Distribution) bool {
+	switch d.(type) {
+	case Exponential, Deterministic, Uniform, Weibull:
+		return true
+	}
+	return false
+}
+
 // ---------------------------------------------------------------------------
 // Exponential
 

@@ -423,17 +423,8 @@ func Map[T any](ctx context.Context, p *Pool, n int, fn func(ctx context.Context
 // are folded into the Running accumulator in replication order, so the
 // returned aggregate is byte-identical at every parallelism level.
 func Replicate(ctx context.Context, p *Pool, reps int, src *rng.Stream, fn func(ctx context.Context, rep int, s *rng.Stream) (float64, error)) (*stats.Running, error) {
-	if err := ctx.Err(); err != nil {
-		return nil, err
-	}
 	var r stats.Running
-	err := reduceCore(ctx, p, reps,
-		// Blocks are split in ascending index order, so substream i is fixed
-		// by (src, i) regardless of chunking or scheduling.
-		func(_ int, args []rng.Stream) { src.SplitInto(args) },
-		func(ctx context.Context, i int, s *rng.Stream) (float64, error) { return fn(ctx, i, s) },
-		func(_ int, v float64) error { r.Add(v); return nil }, nil)
-	if err != nil {
+	if err := ReplicateInto(ctx, p, 0, reps, src, fn, &r); err != nil {
 		return nil, err
 	}
 	return &r, nil

@@ -132,12 +132,22 @@ func (m *MDP) simulateAverage(choose ActionChooser, start, horizon, burnin int, 
 // pool: per-replication substreams, replication-order fold, byte-identical
 // for a given seed at any parallelism level.
 func (m *MDP) Replicate(ctx context.Context, p *engine.Pool, choose ActionChooser, start, horizon, burnin, reps int, s *rng.Stream) (*stats.Running, error) {
-	if err := m.Validate(); err != nil {
+	var out stats.Running
+	if err := m.ReplicateInto(ctx, p, choose, start, horizon, burnin, reps, s, &out); err != nil {
 		return nil, err
 	}
-	return engine.Replicate(ctx, p, reps, s, func(_ context.Context, _ int, sub *rng.Stream) (float64, error) {
+	return &out, nil
+}
+
+// ReplicateInto folds reps further replications into out, continuing s's
+// substream sequence — the accumulation form the adaptive rounds use.
+func (m *MDP) ReplicateInto(ctx context.Context, p *engine.Pool, choose ActionChooser, start, horizon, burnin, reps int, s *rng.Stream, out *stats.Running) error {
+	if err := m.Validate(); err != nil {
+		return err
+	}
+	return engine.ReplicateInto(ctx, p, 0, reps, s, func(_ context.Context, _ int, sub *rng.Stream) (float64, error) {
 		return m.simulateAverage(choose, start, horizon, burnin, sub)
-	})
+	}, out)
 }
 
 // AverageRewardLP solves the occupation-measure linear program

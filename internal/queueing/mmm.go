@@ -289,7 +289,18 @@ func (m *MMm) ExactPriority(order []int) (wq []float64, l []float64, err error) 
 func (m *MMm) Replicate(ctx context.Context, p *engine.Pool, order []int, horizon, burnin float64, reps int, s *rng.Stream) (*ReplicatedResult, error) {
 	n := len(m.Classes)
 	out := &ReplicatedResult{L: make([]stats.Running, n), Wq: make([]stats.Running, n)}
-	err := engine.ReplicateReduce(ctx, p, reps, s,
+	if err := m.ReplicateInto(ctx, p, order, horizon, burnin, reps, s, out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// ReplicateInto folds reps further replications into out, continuing s's
+// substream sequence — see MG1.ReplicateInto for the accumulation
+// contract the adaptive rounds rely on.
+func (m *MMm) ReplicateInto(ctx context.Context, p *engine.Pool, order []int, horizon, burnin float64, reps int, s *rng.Stream, out *ReplicatedResult) error {
+	n := len(m.Classes)
+	return engine.ReplicateReduce(ctx, p, reps, s,
 		func(_ context.Context, _ int, sub *rng.Stream) (*SimResult, error) {
 			if order == nil {
 				return m.SimulateFIFO(horizon, burnin, sub)
@@ -303,8 +314,4 @@ func (m *MMm) Replicate(ctx context.Context, p *engine.Pool, order []int, horizo
 			out.CostRate.Add(res.CostRate)
 			return nil
 		})
-	if err != nil {
-		return nil, err
-	}
-	return out, nil
 }

@@ -2,7 +2,12 @@ package queueing
 
 // Engine-backed replication for the network and polling models, mirroring
 // MG1.Replicate: per-replication substreams, replication-order folds,
-// byte-identical results for a given seed at any parallelism level.
+// byte-identical results for a given seed at any parallelism level. Each
+// model also exposes a ReplicateInto variant folding into caller-owned
+// accumulators — repeated calls sharing the source stream and the
+// accumulator are bitwise-equal to one call with the summed count, which
+// is what lets the adaptive (target-precision) rounds stop anywhere on
+// the fixed-budget trajectory.
 
 import (
 	"context"
@@ -23,9 +28,18 @@ type ReplicatedNetworkResult struct {
 // Replicate aggregates independent replications of Simulate on the pool
 // (trajectory sampling disabled — sampleEvery 0).
 func (nw *Network) Replicate(ctx context.Context, p *engine.Pool, pol *NetworkPolicy, horizon, burnin float64, reps int, s *rng.Stream) (*ReplicatedNetworkResult, error) {
+	out := &ReplicatedNetworkResult{L: make([]stats.Running, len(nw.Classes))}
+	if err := nw.ReplicateInto(ctx, p, pol, horizon, burnin, reps, s, out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// ReplicateInto folds reps further replications into out, continuing s's
+// substream sequence.
+func (nw *Network) ReplicateInto(ctx context.Context, p *engine.Pool, pol *NetworkPolicy, horizon, burnin float64, reps int, s *rng.Stream, out *ReplicatedNetworkResult) error {
 	n := len(nw.Classes)
-	out := &ReplicatedNetworkResult{L: make([]stats.Running, n)}
-	err := engine.ReplicateReduce(ctx, p, reps, s,
+	return engine.ReplicateReduce(ctx, p, reps, s,
 		func(_ context.Context, _ int, sub *rng.Stream) (*NetworkResult, error) {
 			return nw.Simulate(pol, horizon, burnin, 0, sub)
 		},
@@ -36,10 +50,6 @@ func (nw *Network) Replicate(ctx context.Context, p *engine.Pool, pol *NetworkPo
 			out.CostRate.Add(res.CostRate)
 			return nil
 		})
-	if err != nil {
-		return nil, err
-	}
-	return out, nil
 }
 
 // Replicate aggregates independent replications of Simulate on the pool,
@@ -48,7 +58,17 @@ func (nw *Network) Replicate(ctx context.Context, p *engine.Pool, pol *NetworkPo
 func (p *Polling) Replicate(ctx context.Context, pool *engine.Pool, horizon, burnin float64, reps int, s *rng.Stream) (*ReplicatedResult, error) {
 	n := len(p.Queues)
 	out := &ReplicatedResult{L: make([]stats.Running, n), Wq: make([]stats.Running, n)}
-	err := engine.ReplicateReduce(ctx, pool, reps, s,
+	if err := p.ReplicateInto(ctx, pool, horizon, burnin, reps, s, out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// ReplicateInto folds reps further replications into out, continuing s's
+// substream sequence.
+func (p *Polling) ReplicateInto(ctx context.Context, pool *engine.Pool, horizon, burnin float64, reps int, s *rng.Stream, out *ReplicatedResult) error {
+	n := len(p.Queues)
+	return engine.ReplicateReduce(ctx, pool, reps, s,
 		func(_ context.Context, _ int, sub *rng.Stream) (*SimResult, error) {
 			return p.Simulate(horizon, burnin, sub)
 		},
@@ -60,8 +80,4 @@ func (p *Polling) Replicate(ctx context.Context, pool *engine.Pool, horizon, bur
 			out.CostRate.Add(res.CostRate)
 			return nil
 		})
-	if err != nil {
-		return nil, err
-	}
-	return out, nil
 }

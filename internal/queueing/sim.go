@@ -218,7 +218,19 @@ type ReplicatedResult struct {
 func (m *MG1) Replicate(ctx context.Context, p *engine.Pool, d Discipline, horizon, burnin float64, reps int, s *rng.Stream) (*ReplicatedResult, error) {
 	n := len(m.Classes)
 	out := &ReplicatedResult{L: make([]stats.Running, n), Wq: make([]stats.Running, n)}
-	err := engine.ReplicateReduce(ctx, p, reps, s,
+	if err := m.ReplicateInto(ctx, p, d, horizon, burnin, reps, s, out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// ReplicateInto folds reps further replications into out, drawing
+// substreams off s in order: repeated calls sharing s and out accumulate
+// exactly as one Replicate call with the summed count would — the
+// property the adaptive (target-precision) rounds are built on.
+func (m *MG1) ReplicateInto(ctx context.Context, p *engine.Pool, d Discipline, horizon, burnin float64, reps int, s *rng.Stream, out *ReplicatedResult) error {
+	n := len(m.Classes)
+	return engine.ReplicateReduce(ctx, p, reps, s,
 		func(_ context.Context, _ int, sub *rng.Stream) (*SimResult, error) {
 			rep := d
 			if sd, ok := d.(StreamDiscipline); ok {
@@ -234,10 +246,6 @@ func (m *MG1) Replicate(ctx context.Context, p *engine.Pool, d Discipline, horiz
 			out.CostRate.Add(res.CostRate)
 			return nil
 		})
-	if err != nil {
-		return nil, err
-	}
-	return out, nil
 }
 
 // SimulatePreemptive runs a preemptive-resume static priority M/M/1

@@ -22,8 +22,43 @@ type Stream struct {
 	incLo  uint64 // stream selector, low word
 
 	haveGauss bool
-	gauss     float64
+
+	// mirror flips every Float64 draw to its antithetic complement
+	// (u → 1−u); Split and SplitInto propagate it to children, so a
+	// mirrored replication substream mirrors all the uniforms it feeds
+	// to inverse-CDF samplers. Integer draws (Uint64, Intn, Shuffle) are
+	// deliberately left unmirrored: they index discrete choices with no
+	// monotone coupling to exploit.
+	mirror bool
+
+	// paired puts the stream in antithetic split mode (see Antithetic):
+	// substreams come off in (fresh, mirrored-twin) pairs. Rather than
+	// stashing the even split's derivation (which would bloat every
+	// Stream the engine slabs per replication), the odd split rewinds
+	// the LCG three steps and replays the same draws — so the pairing is
+	// a function of the split index alone and chunked block splitting
+	// (SplitInto) crosses pair boundaries invisibly. parity tracks which
+	// half of the current pair comes next; both flags live in the struct
+	// padding, keeping Stream the same size as without antithetic mode.
+	paired bool
+	parity bool
+
+	gauss float64
 }
+
+// Antithetic puts s into antithetic split mode: subsequent Split/SplitInto
+// calls produce substreams in pairs, where substream 2k is derived exactly
+// as a fresh split and substream 2k+1 is its mirrored twin (same state,
+// every Float64 complemented). For samplers that are monotone in their
+// uniforms — inverse-CDF laws such as Exponential, Uniform, Weibull — the
+// twin's observations are negatively correlated with its partner's, so the
+// pair's average has lower variance than two independent replications.
+// The mode only changes how substreams are derived; determinism is
+// untouched (substream i remains a function of (s, i) only).
+func (s *Stream) Antithetic() { s.paired = true }
+
+// Mirrored reports whether s complements its Float64 draws.
+func (s *Stream) Mirrored() bool { return s.mirror }
 
 // mul128 returns (hi, lo) of a*b for 64-bit a, b.
 func mul128(a, b uint64) (hi, lo uint64) {
@@ -42,10 +77,14 @@ func mul128(a, b uint64) (hi, lo uint64) {
 	return hi, lo
 }
 
-// multiplier for the 128-bit LCG (PCG reference constant).
+// multiplier for the 128-bit LCG (PCG reference constant), and its
+// multiplicative inverse mod 2^128 (the multiplier is odd, so the inverse
+// exists; mul*inv ≡ 1). The inverse lets unstep run the LCG backwards.
 const (
 	mulHi = 2549297995355413924
 	mulLo = 4865540595714422341
+	invHi = 566787436162029664
+	invLo = 11001107174925446285
 )
 
 // step advances the 128-bit LCG state.
@@ -60,6 +99,21 @@ func (s *Stream) step() {
 	}
 	s.lo = l2
 	s.hi = h + s.incHi + carry
+}
+
+// unstep runs the LCG one step backwards: state = (state − inc) * mul⁻¹
+// (mod 2^128). Antithetic splitting uses it to revisit the three draws the
+// even twin consumed instead of stashing them in every Stream.
+func (s *Stream) unstep() {
+	lo := s.lo - s.incLo
+	hi := s.hi - s.incHi
+	if s.lo < s.incLo {
+		hi--
+	}
+	h, l := mul128(lo, invLo)
+	h += hi*invLo + lo*invHi
+	s.lo = l
+	s.hi = h
 }
 
 // New returns a Stream seeded from seed. Streams created with distinct seeds
@@ -91,10 +145,9 @@ func (s *Stream) reset(seed, incHi, incLo uint64) {
 // receiver remains usable. Splitting is the supported way to hand substreams
 // to replications or components.
 func (s *Stream) Split() *Stream {
-	a := s.Uint64()
-	b := s.Uint64()
-	c := s.Uint64()
-	return newWithInc(a, b, c)
+	child := new(Stream)
+	s.splitChild(child)
+	return child
 }
 
 // SplitInto splits len(dst) consecutive substreams off s in index order into
@@ -106,11 +159,34 @@ func (s *Stream) Split() *Stream {
 // derivation.
 func (s *Stream) SplitInto(dst []Stream) {
 	for i := range dst {
-		a := s.Uint64()
-		b := s.Uint64()
-		c := s.Uint64()
-		dst[i].reset(a, b, c)
+		s.splitChild(&dst[i])
 	}
+}
+
+// splitChild derives the next substream into dst: the single derivation
+// Split and SplitInto share. In antithetic mode the odd-indexed split
+// rewinds the parent three steps and replays exactly the draws the even
+// twin consumed, flipping the mirror flag — so substream pairs (2k, 2k+1)
+// are twins whatever the block boundaries, the parent's net state advance
+// per pair is still three steps, and no per-Stream stash is needed.
+func (s *Stream) splitChild(dst *Stream) {
+	mirror := s.mirror
+	if s.paired {
+		if s.parity {
+			s.parity = false
+			s.unstep()
+			s.unstep()
+			s.unstep()
+			mirror = !mirror
+		} else {
+			s.parity = true
+		}
+	}
+	a := s.Uint64()
+	b := s.Uint64()
+	c := s.Uint64()
+	dst.reset(a, b, c)
+	dst.mirror = mirror
 }
 
 // Uint64 returns the next 64 uniformly distributed bits.
@@ -149,9 +225,14 @@ func (s *Stream) Intn(n int) int {
 	return int(s.Uint64n(uint64(n)))
 }
 
-// Float64 returns a uniform float64 in [0, 1) with 53 bits of precision.
+// Float64 returns a uniform float64 in [0, 1) with 53 bits of precision —
+// or, on a mirrored stream, the antithetic complement 1−u in (0, 1].
 func (s *Stream) Float64() float64 {
-	return float64(s.Uint64()>>11) * (1.0 / (1 << 53))
+	u := float64(s.Uint64()>>11) * (1.0 / (1 << 53))
+	if s.mirror {
+		return 1 - u
+	}
+	return u
 }
 
 // Float64Open returns a uniform float64 in the open interval (0, 1),

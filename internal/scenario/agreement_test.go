@@ -106,7 +106,7 @@ func TestMDPOptimalGainMatchesSimulation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := req.Scenario.Simulate(context.Background(), engine.NewPool(0), req.Payload, req.Seed, req.Replications)
+	res, _, err := req.Scenario.Simulate(context.Background(), engine.NewPool(0), req.Payload, req.Seed, req.Replications, SimOpts{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -150,7 +150,7 @@ func TestRestlessLPBoundDominatesSimulation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := req.Scenario.Simulate(context.Background(), engine.NewPool(0), req.Payload, req.Seed, req.Replications)
+	res, _, err := req.Scenario.Simulate(context.Background(), engine.NewPool(0), req.Payload, req.Seed, req.Replications, SimOpts{})
 	if err != nil {
 		t.Fatal(err)
 	}

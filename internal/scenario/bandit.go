@@ -7,8 +7,8 @@ import (
 
 	"stochsched/internal/bandit"
 	"stochsched/internal/engine"
-	"stochsched/internal/rng"
 	"stochsched/internal/spec"
+	"stochsched/internal/stats"
 	"stochsched/pkg/api"
 )
 
@@ -86,15 +86,18 @@ func (banditScenario) checkPolicy(policy string) error {
 	return nil
 }
 
-func (s banditScenario) Simulate(ctx context.Context, pool *engine.Pool, payload any, seed uint64, reps int) (any, error) {
+func (s banditScenario) Simulate(ctx context.Context, pool *engine.Pool, payload any, seed uint64, reps int, opts SimOpts) (any, int, error) {
 	p := payload.(*BanditSim)
 	policy := banditPolicy(p)
 	if err := s.checkPolicy(policy); err != nil {
-		return nil, BadSpec{err}
+		return nil, 0, BadSpec{err}
+	}
+	if opts.Antithetic {
+		return nil, 0, errAntithetic("bandit", "state transitions are categorical draws")
 	}
 	b, err := spec.BanditModel(&p.Spec)
 	if err != nil {
-		return nil, BadSpec{err}
+		return nil, 0, BadSpec{err}
 	}
 	var pol bandit.Policy
 	if policy == "greedy" {
@@ -103,16 +106,22 @@ func (s banditScenario) Simulate(ctx context.Context, pool *engine.Pool, payload
 		indices := make([][]float64, len(b.Projects))
 		for i, pr := range b.Projects {
 			if indices[i], err = bandit.GittinsRestart(pr, b.Beta); err != nil {
-				return nil, err
+				return nil, 0, err
 			}
 		}
 		pol = bandit.IndexPolicy(indices)
 	}
-	est, err := bandit.EstimateDiscounted(ctx, pool, b, pol, p.Start, reps, rng.New(seed))
+	var est stats.Running
+	src := opts.stream(seed)
+	used, err := runReplications(ctx, opts, reps,
+		func(ctx context.Context, nr int) error {
+			return bandit.EstimateDiscountedInto(ctx, pool, b, pol, p.Start, nr, src, &est)
+		},
+		func() *stats.Running { return &est })
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
-	return &BanditResult{Policy: policy, RewardMean: est.Mean(), RewardCI95: est.CI95()}, nil
+	return &BanditResult{Policy: policy, RewardMean: est.Mean(), RewardCI95: est.CI95()}, used, nil
 }
 
 func (banditScenario) Outcome(policy string, resp []byte) (Outcome, error) {

@@ -6,9 +6,10 @@ import (
 	"fmt"
 
 	"stochsched/internal/batch"
+	"stochsched/internal/dist"
 	"stochsched/internal/engine"
-	"stochsched/internal/rng"
 	"stochsched/internal/spec"
+	"stochsched/internal/stats"
 	"stochsched/pkg/api"
 )
 
@@ -90,18 +91,25 @@ func checkBatchObjective(objective string) error {
 	return fmt.Errorf("unknown batch objective %q (want weighted_flowtime, flowtime, or makespan)", objective)
 }
 
-func (s batchScenario) Simulate(ctx context.Context, pool *engine.Pool, payload any, seed uint64, reps int) (any, error) {
+func (s batchScenario) Simulate(ctx context.Context, pool *engine.Pool, payload any, seed uint64, reps int, opts SimOpts) (any, int, error) {
 	p := payload.(*BatchSim)
 	if err := s.checkPolicy(p.Policy); err != nil {
-		return nil, BadSpec{err}
+		return nil, 0, BadSpec{err}
 	}
 	objective := batchObjective(p)
 	if err := checkBatchObjective(objective); err != nil {
-		return nil, BadSpec{err}
+		return nil, 0, BadSpec{err}
 	}
 	in, err := spec.BatchInstance(&p.Spec)
 	if err != nil {
-		return nil, BadSpec{err}
+		return nil, 0, BadSpec{err}
+	}
+	if opts.Antithetic {
+		for j, job := range in.Jobs {
+			if !dist.Invertible(job.Dist) {
+				return nil, 0, errAntithetic("batch", fmt.Sprintf("job %d processing law %v is not inverse-CDF sampled", j, job.Dist))
+			}
+		}
 	}
 	var order batch.Order
 	switch p.Policy {
@@ -112,9 +120,24 @@ func (s batchScenario) Simulate(ctx context.Context, pool *engine.Pool, payload 
 	case "lept":
 		order = batch.LEPT(in.Jobs)
 	}
-	est, err := batch.EstimateParallel(ctx, pool, in, order, reps, rng.New(seed))
+	var est batch.ParallelEstimate
+	// The objective knob selects the comparison metric, so it also drives
+	// the sequential stopping rule.
+	primary := &est.WeightedFlowtime
+	switch objective {
+	case "makespan":
+		primary = &est.Makespan
+	case "flowtime":
+		primary = &est.Flowtime
+	}
+	src := opts.stream(seed)
+	used, err := runReplications(ctx, opts, reps,
+		func(ctx context.Context, nr int) error {
+			return batch.EstimateParallelInto(ctx, pool, in, order, nr, src, &est)
+		},
+		func() *stats.Running { return primary })
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	return &BatchResult{
 		Policy:               p.Policy,
@@ -126,7 +149,7 @@ func (s batchScenario) Simulate(ctx context.Context, pool *engine.Pool, payload 
 		FlowtimeCI95:         est.Flowtime.CI95(),
 		WeightedFlowtimeMean: est.WeightedFlowtime.Mean(),
 		WeightedFlowtimeCI95: est.WeightedFlowtime.CI95(),
-	}, nil
+	}, used, nil
 }
 
 func (batchScenario) Outcome(policy string, resp []byte) (Outcome, error) {

@@ -6,8 +6,8 @@ import (
 	"fmt"
 
 	"stochsched/internal/batch"
+	"stochsched/internal/dist"
 	"stochsched/internal/engine"
-	"stochsched/internal/rng"
 	"stochsched/internal/spec"
 	"stochsched/internal/stats"
 	"stochsched/pkg/api"
@@ -115,25 +115,34 @@ func (s flowshopScenario) checkPolicy(p *FlowShopSim) error {
 		p.Policy, p.Spec.Variant(), s.Policies(p))
 }
 
-func (s flowshopScenario) Simulate(ctx context.Context, pool *engine.Pool, payload any, seed uint64, reps int) (any, error) {
+func (s flowshopScenario) Simulate(ctx context.Context, pool *engine.Pool, payload any, seed uint64, reps int, opts SimOpts) (any, int, error) {
 	p := payload.(*FlowShopSim)
 	if err := s.checkPolicy(p); err != nil {
-		return nil, BadSpec{err}
+		return nil, 0, BadSpec{err}
 	}
 	switch p.Spec.Variant() {
 	case "flowshop":
-		return s.simulateFlowShop(ctx, pool, p, seed, reps)
+		return s.simulateFlowShop(ctx, pool, p, seed, reps, opts)
 	case "tree":
-		return s.simulateTree(ctx, pool, p, seed, reps)
+		return s.simulateTree(ctx, pool, p, seed, reps, opts)
 	default:
-		return s.simulateSevcik(ctx, pool, p, seed, reps)
+		return s.simulateSevcik(ctx, pool, p, seed, reps, opts)
 	}
 }
 
-func (flowshopScenario) simulateFlowShop(ctx context.Context, pool *engine.Pool, p *FlowShopSim, seed uint64, reps int) (any, error) {
+func (flowshopScenario) simulateFlowShop(ctx context.Context, pool *engine.Pool, p *FlowShopSim, seed uint64, reps int, opts SimOpts) (any, int, error) {
 	jobs, err := spec.FlowShopJobs(&p.Spec)
 	if err != nil {
-		return nil, BadSpec{err}
+		return nil, 0, BadSpec{err}
+	}
+	if opts.Antithetic {
+		for j := range jobs {
+			for k, d := range jobs[j].Stages {
+				if !dist.Invertible(d) {
+					return nil, 0, errAntithetic("flowshop", fmt.Sprintf("job %d stage %d law %v is not inverse-CDF sampled", j, k, d))
+				}
+			}
+		}
 	}
 	var order batch.Order
 	switch p.Policy {
@@ -144,14 +153,18 @@ func (flowshopScenario) simulateFlowShop(ctx context.Context, pool *engine.Pool,
 	case "lept":
 		order = batch.FlowShopLEPT(jobs)
 	}
-	var est *stats.Running
-	if p.Spec.Blocking {
-		est, err = batch.EstimateFlowShopBlocking(ctx, pool, jobs, order, reps, rng.New(seed))
-	} else {
-		est, err = batch.EstimateFlowShop(ctx, pool, jobs, order, reps, rng.New(seed))
+	var est stats.Running
+	src := opts.stream(seed)
+	round := func(ctx context.Context, nr int) error {
+		if p.Spec.Blocking {
+			return batch.EstimateFlowShopBlockingInto(ctx, pool, jobs, order, nr, src, &est)
+		}
+		return batch.EstimateFlowShopInto(ctx, pool, jobs, order, nr, src, &est)
 	}
+	used, err := runReplications(ctx, opts, reps, round,
+		func() *stats.Running { return &est })
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	return &FlowShopResult{
 		Policy:  p.Policy,
@@ -160,13 +173,16 @@ func (flowshopScenario) simulateFlowShop(ctx context.Context, pool *engine.Pool,
 		Order:   order,
 		Mean:    est.Mean(),
 		CI95:    est.CI95(),
-	}, nil
+	}, used, nil
 }
 
-func (flowshopScenario) simulateTree(ctx context.Context, pool *engine.Pool, p *FlowShopSim, seed uint64, reps int) (any, error) {
+func (flowshopScenario) simulateTree(ctx context.Context, pool *engine.Pool, p *FlowShopSim, seed uint64, reps int, opts SimOpts) (any, int, error) {
+	if opts.Antithetic {
+		return nil, 0, errAntithetic("flowshop", "the tree variant's finisher selection is a categorical draw")
+	}
 	tree, machines, err := spec.TreeModel(p.Spec.Tree)
 	if err != nil {
-		return nil, BadSpec{err}
+		return nil, 0, BadSpec{err}
 	}
 	var sel batch.TreeSelector
 	switch p.Policy {
@@ -177,9 +193,15 @@ func (flowshopScenario) simulateTree(ctx context.Context, pool *engine.Pool, p *
 	case "random":
 		sel = batch.RandomSelector
 	}
-	est, err := batch.EstimateTreeMakespan(ctx, pool, tree, machines, p.Spec.Tree.Rate, sel, reps, rng.New(seed))
+	var est stats.Running
+	src := opts.stream(seed)
+	used, err := runReplications(ctx, opts, reps,
+		func(ctx context.Context, nr int) error {
+			return batch.EstimateTreeMakespanInto(ctx, pool, tree, machines, p.Spec.Tree.Rate, sel, nr, src, &est)
+		},
+		func() *stats.Running { return &est })
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	return &FlowShopResult{
 		Policy:  p.Policy,
@@ -187,26 +209,37 @@ func (flowshopScenario) simulateTree(ctx context.Context, pool *engine.Pool, p *
 		Metric:  "makespan",
 		Mean:    est.Mean(),
 		CI95:    est.CI95(),
-	}, nil
+	}, used, nil
 }
 
-func (flowshopScenario) simulateSevcik(ctx context.Context, pool *engine.Pool, p *FlowShopSim, seed uint64, reps int) (any, error) {
+func (flowshopScenario) simulateSevcik(ctx context.Context, pool *engine.Pool, p *FlowShopSim, seed uint64, reps int, opts SimOpts) (any, int, error) {
+	if opts.Antithetic {
+		return nil, 0, errAntithetic("flowshop", "the sevcik variant's discrete laws are not inverse-CDF sampled")
+	}
 	jobs, err := spec.DiscreteJobs(p.Spec.Sevcik)
 	if err != nil {
-		return nil, BadSpec{err}
+		return nil, 0, BadSpec{err}
 	}
-	var est *stats.Running
+	var est stats.Running
 	var order batch.Order
+	src := opts.stream(seed)
+	var round func(ctx context.Context, nr int) error
 	if p.Policy == "wsept" {
 		order = batch.WSEPTDiscrete(jobs)
-		est, err = batch.EstimateWSEPTDiscrete(ctx, pool, jobs, reps, rng.New(seed))
+		round = func(ctx context.Context, nr int) error {
+			return batch.EstimateWSEPTDiscreteInto(ctx, pool, jobs, nr, src, &est)
+		}
 	} else {
 		// The Sevcik rule is dynamic (preemptive, index recomputed at
 		// milestones) — no static order to report.
-		est, err = batch.EstimateSevcik(ctx, pool, jobs, reps, rng.New(seed))
+		round = func(ctx context.Context, nr int) error {
+			return batch.EstimateSevcikInto(ctx, pool, jobs, nr, src, &est)
+		}
 	}
+	used, err := runReplications(ctx, opts, reps, round,
+		func() *stats.Running { return &est })
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	return &FlowShopResult{
 		Policy:  p.Policy,
@@ -215,7 +248,7 @@ func (flowshopScenario) simulateSevcik(ctx context.Context, pool *engine.Pool, p
 		Order:   order,
 		Mean:    est.Mean(),
 		CI95:    est.CI95(),
-	}, nil
+	}, used, nil
 }
 
 func (flowshopScenario) Outcome(policy string, resp []byte) (Outcome, error) {

@@ -10,8 +10,8 @@ import (
 	"stochsched/internal/dist"
 	"stochsched/internal/engine"
 	"stochsched/internal/queueing"
-	"stochsched/internal/rng"
 	"stochsched/internal/spec"
+	"stochsched/internal/stats"
 	"stochsched/pkg/api"
 )
 
@@ -100,20 +100,37 @@ func networkPolicy(nw *queueing.Network, rule string) *queueing.NetworkPolicy {
 	return &queueing.NetworkPolicy{StationOrder: orders}
 }
 
-func (s jacksonScenario) Simulate(ctx context.Context, pool *engine.Pool, payload any, seed uint64, reps int) (any, error) {
+func (s jacksonScenario) Simulate(ctx context.Context, pool *engine.Pool, payload any, seed uint64, reps int, opts SimOpts) (any, int, error) {
 	p := payload.(*JacksonSim)
 	if err := s.checkPolicy(p.Policy); err != nil {
-		return nil, BadSpec{err}
+		return nil, 0, BadSpec{err}
 	}
 	nw, err := spec.NetworkModel(&p.Spec)
 	if err != nil {
-		return nil, BadSpec{err}
+		return nil, 0, BadSpec{err}
 	}
-	rep, err := nw.Replicate(ctx, pool, networkPolicy(nw, p.Policy), p.Horizon, p.Burnin, reps, rng.New(seed))
-	if err != nil {
-		return nil, err
+	if opts.Antithetic {
+		for j, c := range nw.Classes {
+			if len(c.Routes) > 0 {
+				return nil, 0, errAntithetic("jackson", fmt.Sprintf("class %d uses probabilistic routing", j))
+			}
+			if !dist.Invertible(c.Service) {
+				return nil, 0, errAntithetic("jackson", fmt.Sprintf("class %d service law %v is not inverse-CDF sampled", j, c.Service))
+			}
+		}
 	}
 	n := len(nw.Classes)
+	rep := &queueing.ReplicatedNetworkResult{L: make([]stats.Running, n)}
+	src := opts.stream(seed)
+	pol := networkPolicy(nw, p.Policy)
+	used, err := runReplications(ctx, opts, reps,
+		func(ctx context.Context, nr int) error {
+			return nw.ReplicateInto(ctx, pool, pol, p.Horizon, p.Burnin, nr, src, rep)
+		},
+		func() *stats.Running { return &rep.CostRate })
+	if err != nil {
+		return nil, 0, err
+	}
 	res := &JacksonResult{
 		Policy:       p.Policy,
 		L:            make([]float64, n),
@@ -123,7 +140,7 @@ func (s jacksonScenario) Simulate(ctx context.Context, pool *engine.Pool, payloa
 	for j := 0; j < n; j++ {
 		res.L[j] = rep.L[j].Mean()
 	}
-	return res, nil
+	return res, used, nil
 }
 
 func (jacksonScenario) Outcome(policy string, resp []byte) (Outcome, error) {

@@ -7,8 +7,8 @@ import (
 
 	"stochsched/internal/engine"
 	"stochsched/internal/markov"
-	"stochsched/internal/rng"
 	"stochsched/internal/spec"
+	"stochsched/internal/stats"
 	"stochsched/pkg/api"
 )
 
@@ -80,17 +80,20 @@ func (mdpScenario) checkPolicy(policy string) error {
 	return fmt.Errorf("unknown mdp policy %q (want optimal, myopic, or random)", policy)
 }
 
-func (s mdpScenario) Simulate(ctx context.Context, pool *engine.Pool, payload any, seed uint64, reps int) (any, error) {
+func (s mdpScenario) Simulate(ctx context.Context, pool *engine.Pool, payload any, seed uint64, reps int, opts SimOpts) (any, int, error) {
 	p := payload.(*MDPSim)
 	if err := s.checkPolicy(p.Policy); err != nil {
-		return nil, BadSpec{err}
+		return nil, 0, BadSpec{err}
+	}
+	if opts.Antithetic {
+		return nil, 0, errAntithetic("mdp", "state transitions are categorical draws")
 	}
 	m, err := spec.MDPModel(&p.Spec)
 	if err != nil {
-		return nil, BadSpec{err}
+		return nil, 0, BadSpec{err}
 	}
 	if p.Start >= m.N() {
-		return nil, BadSpec{fmt.Errorf("start state %d outside [0,%d)", p.Start, m.N())}
+		return nil, 0, BadSpec{fmt.Errorf("start state %d outside [0,%d)", p.Start, m.N())}
 	}
 	var choose markov.ActionChooser
 	var actions []int
@@ -98,7 +101,7 @@ func (s mdpScenario) Simulate(ctx context.Context, pool *engine.Pool, payload an
 	case "optimal":
 		_, _, pol, err := m.Solve(mdpSolveTol, mdpSolveMaxIter)
 		if err != nil {
-			return nil, err
+			return nil, 0, err
 		}
 		actions, choose = pol, markov.StationaryChooser(pol)
 	case "myopic":
@@ -107,16 +110,22 @@ func (s mdpScenario) Simulate(ctx context.Context, pool *engine.Pool, payload an
 	case "random":
 		choose = markov.UniformChooser(m.A())
 	}
-	est, err := m.Replicate(ctx, pool, choose, p.Start, p.Horizon, p.Burnin, reps, rng.New(seed))
+	var est stats.Running
+	src := opts.stream(seed)
+	used, err := runReplications(ctx, opts, reps,
+		func(ctx context.Context, nr int) error {
+			return m.ReplicateInto(ctx, pool, choose, p.Start, p.Horizon, p.Burnin, nr, src, &est)
+		},
+		func() *stats.Running { return &est })
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	return &MDPResult{
 		Policy:     p.Policy,
 		Actions:    actions,
 		RewardMean: est.Mean(),
 		RewardCI95: est.CI95(),
-	}, nil
+	}, used, nil
 }
 
 func (mdpScenario) Outcome(policy string, resp []byte) (Outcome, error) {

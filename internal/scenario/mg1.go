@@ -5,10 +5,11 @@ import (
 	"encoding/json"
 	"fmt"
 
+	"stochsched/internal/dist"
 	"stochsched/internal/engine"
 	"stochsched/internal/queueing"
-	"stochsched/internal/rng"
 	"stochsched/internal/spec"
+	"stochsched/internal/stats"
 	"stochsched/pkg/api"
 )
 
@@ -82,35 +83,51 @@ func (mg1Scenario) checkPolicy(m *spec.MG1, policy string) error {
 	return nil
 }
 
-func (s mg1Scenario) Simulate(ctx context.Context, pool *engine.Pool, payload any, seed uint64, reps int) (any, error) {
+func (s mg1Scenario) Simulate(ctx context.Context, pool *engine.Pool, payload any, seed uint64, reps int, opts SimOpts) (any, int, error) {
 	sim := payload.(*MG1Sim)
 	if err := s.checkPolicy(&sim.Spec, sim.Policy); err != nil {
-		return nil, BadSpec{err}
+		return nil, 0, BadSpec{err}
 	}
 	if sim.Spec.HasFeedback() {
+		if opts.Antithetic {
+			return nil, 0, errAntithetic("mg1", "feedback routing draws are categorical")
+		}
 		k, err := spec.KlimovModel(&sim.Spec)
 		if err != nil {
-			return nil, BadSpec{err}
+			return nil, 0, BadSpec{err}
 		}
 		_, order, err := k.KlimovIndices()
 		if err != nil {
-			return nil, err
+			return nil, 0, err
 		}
-		est, err := k.ReplicateKlimov(ctx, pool, order, sim.Horizon, sim.Burnin, reps, rng.New(seed))
+		var est stats.Running
+		src := opts.stream(seed)
+		used, err := runReplications(ctx, opts, reps,
+			func(ctx context.Context, n int) error {
+				return k.ReplicateKlimovInto(ctx, pool, order, sim.Horizon, sim.Burnin, n, src, &est)
+			},
+			func() *stats.Running { return &est })
 		if err != nil {
-			return nil, err
+			return nil, 0, err
 		}
 		return &MG1Result{
 			Policy:       "klimov",
 			Order:        order,
 			CostRateMean: est.Mean(),
 			CostRateCI95: est.CI95(),
-		}, nil
+		}, used, nil
 	}
 
 	m, err := spec.MG1Model(&sim.Spec)
 	if err != nil {
-		return nil, BadSpec{err}
+		return nil, 0, BadSpec{err}
+	}
+	if opts.Antithetic {
+		for j, c := range m.Classes {
+			if !dist.Invertible(c.Service) {
+				return nil, 0, errAntithetic("mg1", fmt.Sprintf("class %d service law %v is not inverse-CDF sampled", j, c.Service))
+			}
+		}
 	}
 	// checkPolicy above admits exactly cmu and fifo here.
 	var d queueing.Discipline
@@ -121,11 +138,17 @@ func (s mg1Scenario) Simulate(ctx context.Context, pool *engine.Pool, payload an
 	} else {
 		d = queueing.FIFO{}
 	}
-	rep, err := m.Replicate(ctx, pool, d, sim.Horizon, sim.Burnin, reps, rng.New(seed))
-	if err != nil {
-		return nil, err
-	}
 	n := len(m.Classes)
+	rep := &queueing.ReplicatedResult{L: make([]stats.Running, n), Wq: make([]stats.Running, n)}
+	src := opts.stream(seed)
+	used, err := runReplications(ctx, opts, reps,
+		func(ctx context.Context, nr int) error {
+			return m.ReplicateInto(ctx, pool, d, sim.Horizon, sim.Burnin, nr, src, rep)
+		},
+		func() *stats.Running { return &rep.CostRate })
+	if err != nil {
+		return nil, 0, err
+	}
 	res := &MG1Result{
 		Policy:       sim.Policy,
 		Order:        order,
@@ -138,7 +161,7 @@ func (s mg1Scenario) Simulate(ctx context.Context, pool *engine.Pool, payload an
 		res.L[j] = rep.L[j].Mean()
 		res.Wq[j] = rep.Wq[j].Mean()
 	}
-	return res, nil
+	return res, used, nil
 }
 
 func (mg1Scenario) Outcome(policy string, resp []byte) (Outcome, error) {

@@ -6,8 +6,9 @@ import (
 	"fmt"
 
 	"stochsched/internal/engine"
-	"stochsched/internal/rng"
+	"stochsched/internal/queueing"
 	"stochsched/internal/spec"
+	"stochsched/internal/stats"
 	"stochsched/pkg/api"
 )
 
@@ -69,26 +70,34 @@ func (mmmScenario) checkPolicy(policy string) error {
 	return nil
 }
 
-func (s mmmScenario) Simulate(ctx context.Context, pool *engine.Pool, payload any, seed uint64, reps int) (any, error) {
+func (s mmmScenario) Simulate(ctx context.Context, pool *engine.Pool, payload any, seed uint64, reps int, opts SimOpts) (any, int, error) {
 	sim := payload.(*MMmSim)
 	if err := s.checkPolicy(sim.Policy); err != nil {
-		return nil, BadSpec{err}
+		return nil, 0, BadSpec{err}
 	}
 	m, err := spec.MMmModel(&sim.Spec)
 	if err != nil {
-		return nil, BadSpec{err}
+		return nil, 0, BadSpec{err}
 	}
+	// All M/M/m randomness is exponential (inverse-CDF sampled), so
+	// antithetic pairing is always admissible for this kind.
 	// checkPolicy above admits exactly cmu and fifo here; a nil order is
 	// Replicate's FIFO selector.
 	var order []int
 	if sim.Policy == "cmu" {
 		order = m.CMuOrder()
 	}
-	rep, err := m.Replicate(ctx, pool, order, sim.Horizon, sim.Burnin, reps, rng.New(seed))
-	if err != nil {
-		return nil, err
-	}
 	n := len(m.Classes)
+	rep := &queueing.ReplicatedResult{L: make([]stats.Running, n), Wq: make([]stats.Running, n)}
+	src := opts.stream(seed)
+	used, err := runReplications(ctx, opts, reps,
+		func(ctx context.Context, nr int) error {
+			return m.ReplicateInto(ctx, pool, order, sim.Horizon, sim.Burnin, nr, src, rep)
+		},
+		func() *stats.Running { return &rep.CostRate })
+	if err != nil {
+		return nil, 0, err
+	}
 	res := &MMmResult{
 		Policy:       sim.Policy,
 		Order:        order,
@@ -100,7 +109,7 @@ func (s mmmScenario) Simulate(ctx context.Context, pool *engine.Pool, payload an
 	for j := 0; j < n; j++ {
 		res.L[j] = rep.L[j].Mean()
 	}
-	return res, nil
+	return res, used, nil
 }
 
 func (mmmScenario) Outcome(policy string, resp []byte) (Outcome, error) {

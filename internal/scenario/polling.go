@@ -5,10 +5,11 @@ import (
 	"encoding/json"
 	"fmt"
 
+	"stochsched/internal/dist"
 	"stochsched/internal/engine"
 	"stochsched/internal/queueing"
-	"stochsched/internal/rng"
 	"stochsched/internal/spec"
+	"stochsched/internal/stats"
 	"stochsched/pkg/api"
 )
 
@@ -74,21 +75,37 @@ func pollingRegime(policy string) (queueing.PollingRegime, error) {
 	return 0, fmt.Errorf("unknown polling policy %q (want exhaustive, gated, or limited)", policy)
 }
 
-func (s pollingScenario) Simulate(ctx context.Context, pool *engine.Pool, payload any, seed uint64, reps int) (any, error) {
+func (s pollingScenario) Simulate(ctx context.Context, pool *engine.Pool, payload any, seed uint64, reps int, opts SimOpts) (any, int, error) {
 	p := payload.(*PollingSim)
 	regime, err := pollingRegime(p.Policy)
 	if err != nil {
-		return nil, BadSpec{err}
+		return nil, 0, BadSpec{err}
 	}
 	model, err := spec.PollingModel(&p.Spec, regime)
 	if err != nil {
-		return nil, BadSpec{err}
+		return nil, 0, BadSpec{err}
 	}
-	rep, err := model.Replicate(ctx, pool, p.Horizon, p.Burnin, reps, rng.New(seed))
-	if err != nil {
-		return nil, err
+	if opts.Antithetic {
+		for j, q := range model.Queues {
+			if !dist.Invertible(q.Service) {
+				return nil, 0, errAntithetic("polling", fmt.Sprintf("queue %d service law %v is not inverse-CDF sampled", j, q.Service))
+			}
+		}
+		if !dist.Invertible(model.Switch) {
+			return nil, 0, errAntithetic("polling", fmt.Sprintf("switchover law %v is not inverse-CDF sampled", model.Switch))
+		}
 	}
 	n := len(model.Queues)
+	rep := &queueing.ReplicatedResult{L: make([]stats.Running, n), Wq: make([]stats.Running, n)}
+	src := opts.stream(seed)
+	used, err := runReplications(ctx, opts, reps,
+		func(ctx context.Context, nr int) error {
+			return model.ReplicateInto(ctx, pool, p.Horizon, p.Burnin, nr, src, rep)
+		},
+		func() *stats.Running { return &rep.CostRate })
+	if err != nil {
+		return nil, 0, err
+	}
 	res := &PollingResult{
 		Policy:       p.Policy,
 		L:            make([]float64, n),
@@ -100,7 +117,7 @@ func (s pollingScenario) Simulate(ctx context.Context, pool *engine.Pool, payloa
 		res.L[j] = rep.L[j].Mean()
 		res.Wq[j] = rep.Wq[j].Mean()
 	}
-	return res, nil
+	return res, used, nil
 }
 
 func (pollingScenario) Outcome(policy string, resp []byte) (Outcome, error) {

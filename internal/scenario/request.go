@@ -33,8 +33,35 @@ type Request struct {
 	Parallel     int
 	Scenario     Scenario
 	Payload      any
+	// Precision, when non-nil, selects target-precision mode (mutually
+	// exclusive with Replications; Replications is 0). Antithetic opts the
+	// replications into antithetic pairing.
+	Precision  *api.Precision
+	Antithetic bool
 
 	hash string // memoized Hash(); requests are not shared across goroutines until computed
+}
+
+// enginePrecision converts the wire precision block to the engine's
+// stopping-rule parameters (nil in fixed-budget mode).
+func (r *Request) enginePrecision() *engine.Precision {
+	if r.Precision == nil {
+		return nil
+	}
+	return &engine.Precision{
+		TargetRelCI:     r.Precision.TargetCI95,
+		Confidence:      r.Precision.Confidence,
+		MaxReplications: r.Precision.MaxReplications,
+	}
+}
+
+// BudgetReplications is the replication count the work budget multiplies:
+// the fixed count, or the precision ceiling in target-precision mode.
+func (r *Request) BudgetReplications() int {
+	if r.Precision != nil {
+		return r.Precision.MaxReplications
+	}
+	return r.Replications
 }
 
 // fieldSet is a decoded JSON object whose fields are consumed one by one,
@@ -131,18 +158,44 @@ func ParseRequest(body []byte, lim Limits) (*Request, error) {
 	if err := fields.take("seed", &req.Seed); err != nil {
 		return nil, err
 	}
-	if err := fields.take("replications", &req.Replications); err != nil {
+	repRaw, hasReps := fields.pop("replications")
+	if hasReps {
+		if err := json.Unmarshal(repRaw, &req.Replications); err != nil {
+			return nil, fmt.Errorf("parsing request: field %q: %w", "replications", err)
+		}
+	}
+	prRaw, hasPrecision := fields.pop("precision")
+	if hasPrecision {
+		var pr api.Precision
+		if err := decodeStrictPayload(prRaw, &pr); err != nil {
+			return nil, fmt.Errorf("field \"precision\": %w", err)
+		}
+		req.Precision = &pr
+	}
+	if err := fields.take("antithetic", &req.Antithetic); err != nil {
 		return nil, err
 	}
 	if err := fields.take("parallel", &req.Parallel); err != nil {
 		return nil, err
 	}
 
-	if lim.MaxReplications > 0 && req.Replications > lim.MaxReplications {
-		return nil, fmt.Errorf("replications %d outside [1, %d]", req.Replications, lim.MaxReplications)
+	if hasPrecision {
+		// Target-precision mode: the fixed budget must be absent, and the
+		// stopping-rule parameters must be well-formed. The budget checks
+		// below run against the precision ceiling.
+		if hasReps {
+			return nil, fmt.Errorf("replications and precision are mutually exclusive: set exactly one")
+		}
+		if err := req.enginePrecision().Validate(); err != nil {
+			return nil, fmt.Errorf("field \"precision\": %w", err)
+		}
 	}
-	if req.Replications < 1 {
-		return nil, fmt.Errorf("replications %d must be at least 1", req.Replications)
+	budgetReps := req.BudgetReplications()
+	if lim.MaxReplications > 0 && budgetReps > lim.MaxReplications {
+		return nil, fmt.Errorf("replications %d outside [1, %d]", budgetReps, lim.MaxReplications)
+	}
+	if budgetReps < 1 {
+		return nil, fmt.Errorf("replications %d must be at least 1", budgetReps)
 	}
 	if req.Parallel < 0 || req.Parallel > 1024 {
 		return nil, fmt.Errorf("parallel %d outside [0, 1024]", req.Parallel)
@@ -166,7 +219,9 @@ func ParseRequest(body []byte, lim Limits) (*Request, error) {
 
 	if lim.MaxSimWork > 0 {
 		// NaN-propagating comparison: a non-finite work estimate fails too.
-		if work := sc.ReplicationWork(payload) * float64(req.Replications); !(work <= lim.MaxSimWork) {
+		// In target-precision mode the budget is charged for the worst case
+		// (the max_replications ceiling).
+		if work := sc.ReplicationWork(payload) * float64(req.BudgetReplications()); !(work <= lim.MaxSimWork) {
 			return nil, fmt.Errorf("work estimate per replication × replications = %g exceeds the work budget %g", work, lim.MaxSimWork)
 		}
 	}
@@ -185,7 +240,7 @@ func (r *Request) Hash() string {
 	if r.hash != "" {
 		return r.hash
 	}
-	h, err := api.SimulateHash(r.Kind, r.Payload, r.Seed, r.Replications)
+	h, err := api.SimulateHashOpts(r.Kind, r.Payload, r.Seed, r.Replications, r.Precision, r.Antithetic)
 	if err != nil {
 		// Payloads are plain data decoded from JSON; marshaling cannot
 		// fail on anything ParsePayload accepts.
@@ -207,18 +262,28 @@ func Run(ctx context.Context, req *Request, pool *engine.Pool) ([]byte, error) {
 	// Spans never feed back into the computation, so the body stays
 	// byte-identical with tracing on or off.
 	cctx, csp := obs.Start(ctx, "compute")
-	body, err := req.Scenario.Simulate(cctx, pool, req.Payload, req.Seed, req.Replications)
+	opts := SimOpts{Precision: req.enginePrecision(), Antithetic: req.Antithetic}
+	body, used, err := req.Scenario.Simulate(cctx, pool, req.Payload, req.Seed, req.Replications, opts)
 	csp.End()
 	if err != nil {
 		return nil, err
 	}
+	// The replications member echoes the request's budget — the fixed count,
+	// or the precision ceiling in target-precision mode, where the
+	// additional replications_used member reports the stopping rule's spend.
+	// Fixed-mode envelopes are byte-identical to the pre-precision encoding.
+	var usedOut int64
+	if req.Precision != nil {
+		usedOut = int64(used)
+	}
 	_, esp := obs.Start(ctx, "encode")
 	defer esp.End()
 	env, err := json.Marshal(struct {
-		SpecHash     string `json:"spec_hash"`
-		Seed         uint64 `json:"seed"`
-		Replications int64  `json:"replications"`
-	}{req.Hash(), req.Seed, int64(req.Replications)})
+		SpecHash         string `json:"spec_hash"`
+		Seed             uint64 `json:"seed"`
+		Replications     int64  `json:"replications"`
+		ReplicationsUsed int64  `json:"replications_used,omitempty"`
+	}{req.Hash(), req.Seed, int64(req.BudgetReplications()), usedOut})
 	if err != nil {
 		return nil, err
 	}

@@ -7,8 +7,8 @@ import (
 
 	"stochsched/internal/engine"
 	"stochsched/internal/restless"
-	"stochsched/internal/rng"
 	"stochsched/internal/spec"
+	"stochsched/internal/stats"
 	"stochsched/pkg/api"
 )
 
@@ -77,36 +77,44 @@ func (restlessScenario) checkPolicy(policy string) error {
 	return fmt.Errorf("unknown restless policy %q (want whittle, myopic, or random)", policy)
 }
 
-func (s restlessScenario) Simulate(ctx context.Context, pool *engine.Pool, payload any, seed uint64, reps int) (any, error) {
+func (s restlessScenario) Simulate(ctx context.Context, pool *engine.Pool, payload any, seed uint64, reps int, opts SimOpts) (any, int, error) {
 	p := payload.(*RestlessSim)
 	if err := s.checkPolicy(p.Policy); err != nil {
-		return nil, BadSpec{err}
+		return nil, 0, BadSpec{err}
+	}
+	if opts.Antithetic {
+		return nil, 0, errAntithetic("restless", "project transitions are categorical draws")
 	}
 	proj, err := spec.RestlessProject(&p.Spec)
 	if err != nil {
-		return nil, BadSpec{err}
+		return nil, 0, BadSpec{err}
 	}
 	fleet := &restless.Fleet{Type: proj, N: p.N, M: p.M}
-	var est interface {
-		Mean() float64
-		CI95() float64
-	}
+	var est stats.Running
+	var round func(ctx context.Context, nr int) error
+	src := opts.stream(seed)
 	switch p.Policy {
 	case "random":
-		est, err = fleet.EstimateRandomPolicy(ctx, pool, p.Horizon, p.Burnin, reps, rng.New(seed))
+		round = func(ctx context.Context, nr int) error {
+			return fleet.EstimateRandomPolicyInto(ctx, pool, p.Horizon, p.Burnin, nr, src, &est)
+		}
 	default:
 		score := restless.MyopicScore(proj)
 		if p.Policy == "whittle" {
 			if score, err = restless.WhittleIndex(proj, p.Spec.Beta); err != nil {
-				return nil, err
+				return nil, 0, err
 			}
 		}
-		est, err = fleet.EstimateStaticPriority(ctx, pool, score, p.Horizon, p.Burnin, reps, rng.New(seed))
+		round = func(ctx context.Context, nr int) error {
+			return fleet.EstimateStaticPriorityInto(ctx, pool, score, p.Horizon, p.Burnin, nr, src, &est)
+		}
 	}
+	used, err := runReplications(ctx, opts, reps, round,
+		func() *stats.Running { return &est })
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
-	return &RestlessResult{Policy: p.Policy, RewardMean: est.Mean(), RewardCI95: est.CI95()}, nil
+	return &RestlessResult{Policy: p.Policy, RewardMean: est.Mean(), RewardCI95: est.CI95()}, used, nil
 }
 
 func (restlessScenario) Outcome(policy string, resp []byte) (Outcome, error) {

@@ -29,10 +29,13 @@ package scenario
 import (
 	"context"
 	"encoding/json"
+	"fmt"
 	"sort"
 	"sync"
 
 	"stochsched/internal/engine"
+	"stochsched/internal/rng"
+	"stochsched/internal/stats"
 )
 
 // Scenario is one pluggable simulate kind. Implementations are stateless
@@ -71,17 +74,79 @@ type Scenario interface {
 	PolicyPath() string
 
 	// Simulate runs the scenario on the pool and returns the kind-keyed
-	// result fragment of the response body. The fragment must be plain
+	// result fragment of the response body plus the replication count
+	// actually spent (reps in fixed-budget mode; the sequential stopping
+	// rule's count in target-precision mode). The fragment must be plain
 	// data (no maps) so its encoding is canonical, and must be a pure
-	// function of (payload, seed, reps) — never of the pool size. Spec
-	// errors discovered here are wrapped in BadSpec.
-	Simulate(ctx context.Context, pool *engine.Pool, payload any, seed uint64, reps int) (any, error)
+	// function of (payload, seed, reps, opts) — never of the pool size.
+	// Spec errors discovered here are wrapped in BadSpec.
+	//
+	// When opts.Precision is set, reps is ignored and the implementation
+	// runs batched rounds until the kind's primary metric meets the target
+	// (or the budget is spent); rounds continue one substream sequence, so
+	// the result is byte-identical to a fixed-budget run of the same total
+	// count. When opts.Antithetic is set, implementations whose sampling
+	// is entirely inverse-CDF-capable pair substreams antithetically;
+	// others reject with BadSpec.
+	Simulate(ctx context.Context, pool *engine.Pool, payload any, seed uint64, reps int, opts SimOpts) (any, int, error)
 
 	// Outcome extracts the sweep comparison metric from an encoded
 	// /v1/simulate response body of this kind. policy is the sweep's
 	// substituted policy value ("" for a base-as-is cell; implementations
 	// default it from the body).
 	Outcome(policy string, resp []byte) (Outcome, error)
+}
+
+// SimOpts carries the request-envelope execution knobs into Simulate: the
+// target-precision block and the antithetic toggle. The zero value is the
+// legacy fixed-budget independent-replications mode.
+type SimOpts struct {
+	// Precision, when non-nil, switches to target-precision mode: reps is
+	// ignored and replication rounds run until the primary metric's CI is
+	// tight enough or Precision.MaxReplications is spent.
+	Precision *engine.Precision
+	// Antithetic pairs substreams antithetically (2k+1 mirrors 2k). Kinds
+	// whose sampling is not entirely inverse-CDF-capable reject it.
+	Antithetic bool
+}
+
+// stream builds the request's root substream source: rng.New(seed), with
+// antithetic pairing armed when requested. Every Simulate implementation
+// derives its replication substreams from exactly one call to this.
+func (o SimOpts) stream(seed uint64) *rng.Stream {
+	s := rng.New(seed)
+	if o.Antithetic {
+		s.Antithetic()
+	}
+	return s
+}
+
+// errAntithetic is the uniform rejection for kinds (or spec variants) whose
+// sampling involves categorical or acceptance-based draws that antithetic
+// mirroring cannot pair meaningfully.
+func errAntithetic(kind, why string) error {
+	return BadSpec{fmt.Errorf("kind %s does not support antithetic replications: %s", kind, why)}
+}
+
+// runReplications is the shared replication driver every Simulate
+// implementation delegates its budget handling to. In fixed mode it runs one
+// round of exactly reps replications. In target-precision mode it runs
+// engine.AdaptiveRounds, re-checking the stopping rule on the primary
+// accumulator after each round. round(ctx, n) must fold n FURTHER
+// replications into the implementation's persistent accumulators, continuing
+// the same substream source — which makes the adaptive result byte-identical
+// to a fixed-budget run of the returned count.
+func runReplications(ctx context.Context, opts SimOpts, reps int, round func(ctx context.Context, n int) error, primary func() *stats.Running) (int, error) {
+	if opts.Precision == nil {
+		if err := round(ctx, reps); err != nil {
+			return 0, err
+		}
+		return reps, nil
+	}
+	pr := *opts.Precision
+	return engine.AdaptiveRounds(ctx, pr,
+		func(ctx context.Context, _, n int) error { return round(ctx, n) },
+		func() bool { return pr.Met(primary()) })
 }
 
 // Outcome is one cell's contribution to a sweep comparison row: the named
@@ -99,6 +164,10 @@ type Outcome struct {
 	HigherIsBetter bool
 	// Mean and CI95 are the replication mean and 95% CI half-width.
 	Mean, CI95 float64
+	// ReplicationsUsed is the sequential stopping rule's spend, decoded
+	// generically from the response envelope by the sweep layer (zero for
+	// fixed-budget cells).
+	ReplicationsUsed int64
 }
 
 // BadSpec marks an error as the client's fault — a malformed or infeasible

@@ -33,6 +33,9 @@ func TestGoldenBodies(t *testing.T) {
 		{"simulate_polling", "simulate", ""},
 		{"simulate_mdp", "simulate", ""},
 		{"simulate_flowshop", "simulate", ""},
+		// Target-precision mode with antithetic draws: the golden pins the
+		// stopping rule's spend (replications_used) end to end.
+		{"simulate_adaptive", "simulate", ""},
 		// The v2 surface: the kind-dispatched index envelope answers the
 		// legacy gittins golden byte-identically, and a heterogeneous batch
 		// has its own golden.
@@ -67,15 +70,16 @@ func TestGoldenBodies(t *testing.T) {
 }
 
 // TestSweepGoldenRows pins the first and last NDJSON rows of the smoke
-// sweeps (the mg1 policy comparison, the restless fleet comparison, and
-// the jackson network load sweep) to the same goldens
+// sweeps (the mg1 policy comparison, the restless fleet comparison, the
+// jackson network load sweep, and the decorrelated crn=false variant of
+// the mg1 comparison) to the same goldens
 // scripts/service_smoke.sh checks, so a drift in sweep row encoding or
 // simulation output fails `go test` before CI.
 func TestSweepGoldenRows(t *testing.T) {
 	if runtime.GOARCH != "amd64" {
 		t.Skipf("goldens are amd64-exact; running on %s", runtime.GOARCH)
 	}
-	for _, stem := range []string{"sweep", "sweep_restless", "sweep_jackson"} {
+	for _, stem := range []string{"sweep", "sweep_restless", "sweep_jackson", "sweep_crn"} {
 		req, err := os.ReadFile(filepath.Join("testdata", stem+"_req.json"))
 		if err != nil {
 			t.Fatal(err)

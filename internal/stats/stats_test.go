@@ -209,3 +209,27 @@ func TestRelGap(t *testing.T) {
 		t.Fatal("RelGap zero reference")
 	}
 }
+
+// TestZScore pins the inverse-normal critical values against reference
+// figures (Abramowitz–Stegun tables, 4+ decimals).
+func TestZScore(t *testing.T) {
+	cases := []struct{ conf, want float64 }{
+		{0.80, 1.2815515655},
+		{0.90, 1.6448536270},
+		{0.95, 1.9599639845},
+		{0.99, 2.5758293035},
+		{0.999, 3.2905267315},
+	}
+	for _, c := range cases {
+		if got := ZScore(c.conf); math.Abs(got-c.want) > 1e-8 {
+			t.Errorf("ZScore(%v) = %.10f, want %.10f", c.conf, got, c.want)
+		}
+	}
+	for _, bad := range []float64{0, 1, -0.5, 1.5} {
+		func() {
+			defer func() { recover() }()
+			ZScore(bad)
+			t.Errorf("ZScore(%v) did not panic", bad)
+		}()
+	}
+}

@@ -35,6 +35,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"hash/fnv"
 	"time"
 
 	"stochsched/internal/engine"
@@ -81,10 +82,13 @@ func DecodeRequest(data []byte) (*Request, error) {
 
 // identity is the hashed portion of a Request: everything that determines
 // the results, nothing that only determines the execution schedule.
+// IndependentStreams is set only when CRN is explicitly disabled, so every
+// sweep hash minted before the knob existed is unchanged.
 type identity struct {
-	Base     json.RawMessage `json:"base"`
-	Grid     spec.Grid       `json:"grid"`
-	Policies []string        `json:"policies,omitempty"`
+	Base               json.RawMessage `json:"base"`
+	Grid               spec.Grid       `json:"grid"`
+	Policies           []string        `json:"policies,omitempty"`
+	IndependentStreams bool            `json:"independent_streams,omitempty"`
 }
 
 // Plan is an expanded sweep: one body per cell, in deterministic order —
@@ -94,6 +98,7 @@ type Plan struct {
 	Hash     string // canonical sweep hash (base compacted, parallel excluded)
 	Points   int
 	Policies []string // effective policy list: the request's, or [""] for "base as-is"
+	CRN      bool     // whether policies share common random numbers (the default)
 	grid     spec.Grid
 	scn      scenario.Scenario // resolved from the base body's kind
 	cells    [][]byte
@@ -148,9 +153,11 @@ func Expand(req *Request, be Backend, maxCells int) (*Plan, error) {
 
 	// The base's kind picks the scenario, which owns the policy
 	// substitution path and the metric decoding — the sweep layer itself
-	// knows nothing kind-specific.
+	// knows nothing kind-specific. The seed feeds per-policy seed
+	// derivation when common random numbers are disabled.
 	var probe struct {
 		Kind string `json:"kind"`
+		Seed uint64 `json:"seed"`
 	}
 	if err := json.Unmarshal(base, &probe); err != nil {
 		return nil, fmt.Errorf("sweep: base is not a JSON object: %w", err)
@@ -160,6 +167,10 @@ func Expand(req *Request, be Backend, maxCells int) (*Plan, error) {
 		return nil, fmt.Errorf("sweep: base has unknown simulate kind %q", probe.Kind)
 	}
 
+	crn := req.CRN == nil || *req.CRN
+	if !crn && len(req.Policies) == 0 {
+		return nil, fmt.Errorf("sweep: crn false needs a policy list to decorrelate")
+	}
 	policies := req.Policies
 	if len(policies) == 0 {
 		policies = []string{""}
@@ -172,9 +183,10 @@ func Expand(req *Request, be Backend, maxCells int) (*Plan, error) {
 			ErrTooLarge, points, len(policies), maxCells)
 	}
 	plan := &Plan{
-		Hash:     spec.Hash(&identity{Base: base, Grid: req.Grid, Policies: req.Policies}),
+		Hash:     spec.Hash(&identity{Base: base, Grid: req.Grid, Policies: req.Policies, IndependentStreams: !crn}),
 		Points:   req.Grid.Size(),
 		Policies: policies,
+		CRN:      crn,
 		grid:     req.Grid,
 		scn:      scn,
 	}
@@ -190,6 +202,11 @@ func Expand(req *Request, be Backend, maxCells int) (*Plan, error) {
 				if body, err = spec.SetString(pointBody, scn.PolicyPath(), pol); err != nil {
 					return nil, err
 				}
+				if !crn {
+					if body, err = api.SetInt(body, "seed", independentSeed(probe.Seed, pol)); err != nil {
+						return nil, err
+					}
+				}
 			}
 			if err := be.ValidateSimulate(body); err != nil {
 				return nil, fmt.Errorf("sweep: point %d policy %q: %w", pt, label(pol), err)
@@ -198,6 +215,17 @@ func Expand(req *Request, be Backend, maxCells int) (*Plan, error) {
 		}
 	}
 	return plan, nil
+}
+
+// independentSeed derives the per-policy seed substituted into cell bodies
+// when common random numbers are disabled: FNV-1a over "seed|policy",
+// masked to 53 bits so the value survives any consumer that routes JSON
+// numbers through float64. Deterministic in (seed, policy), so the sweep
+// stays byte-identical across parallelism and re-runs.
+func independentSeed(seed uint64, policy string) uint64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%d|%s", seed, policy)
+	return h.Sum64() & (1<<53 - 1)
 }
 
 func label(policy string) string {
@@ -232,6 +260,7 @@ func buildRow(plan *Plan, point int, cells []scenario.Outcome) Row {
 	row := Row{
 		Point:    point,
 		Metric:   cells[0].Metric,
+		CRN:      plan.CRN,
 		Policies: make([]PolicyResult, len(cells)),
 	}
 	if n := len(plan.grid.Axes); n > 0 {
@@ -258,11 +287,12 @@ func buildRow(plan *Plan, point int, cells []scenario.Outcome) Row {
 			regret = cells[best].Mean - c.Mean
 		}
 		row.Policies[i] = PolicyResult{
-			Policy:   c.Policy,
-			SpecHash: c.SpecHash,
-			Mean:     c.Mean,
-			CI95:     c.CI95,
-			Regret:   regret,
+			Policy:           c.Policy,
+			SpecHash:         c.SpecHash,
+			Mean:             c.Mean,
+			CI95:             c.CI95,
+			Regret:           regret,
+			ReplicationsUsed: c.ReplicationsUsed,
 		}
 	}
 	return row
@@ -317,6 +347,15 @@ func ExecuteObserved(ctx context.Context, be Backend, plan *Plan, pool *engine.P
 			out, err := plan.scn.Outcome(plan.Policies[i%perPoint], resp)
 			if err != nil {
 				return scenario.Outcome{}, fmt.Errorf("sweep: cell %d: %v", i, err)
+			}
+			// The stopping rule's spend lives in the kind-independent
+			// envelope, so it is decoded here instead of in every
+			// scenario's Outcome (zero for fixed-budget cells).
+			var env struct {
+				ReplicationsUsed int64 `json:"replications_used"`
+			}
+			if err := json.Unmarshal(resp, &env); err == nil {
+				out.ReplicationsUsed = env.ReplicationsUsed
 			}
 			return out, nil
 		},

@@ -130,6 +130,13 @@ func SetNumber(base []byte, path string, value float64) ([]byte, error) {
 	return setDocument(base, path, json.Number(strconv.FormatFloat(value, 'g', -1, 64)))
 }
 
+// SetInt returns base with the integer value substituted at path in plain
+// decimal — the form required by unsigned wire fields such as "seed",
+// which reject the exponent notation SetNumber may produce.
+func SetInt(base []byte, path string, value uint64) ([]byte, error) {
+	return setDocument(base, path, json.Number(strconv.FormatUint(value, 10)))
+}
+
 func setDocument(base []byte, path string, value any) ([]byte, error) {
 	doc, err := decodeTree(base)
 	if err != nil {

@@ -34,6 +34,22 @@ func Hash(v any) string {
 // in response bodies, and SimulateRequest.SpecHash on the client side, so
 // the three can never drift apart.
 func SimulateHash(kind string, payload any, seed uint64, reps int) (string, error) {
+	return SimulateHashOpts(kind, payload, seed, reps, nil, false)
+}
+
+// SimulateHashOpts is SimulateHash extended with the adaptive-precision and
+// antithetic knobs. When both are unset (nil, false) the encoding — and
+// therefore the hash — is byte-for-byte the legacy SimulateHash encoding, so
+// existing fixed-budget hashes are unchanged. In target-precision mode the
+// caller passes reps = 0 (a value no valid fixed request can carry, so the
+// two modes can never collide) and the precision block is appended:
+//
+//	{"kind":K,K:P,"seed":N,"replications":0,
+//	 "precision":{"target_ci95":T,"confidence":C,"max_replications":M}}
+//
+// with the confidence member omitted when zero, mirroring the wire form.
+// Antithetic requests append ,"antithetic":true before the closing brace.
+func SimulateHashOpts(kind string, payload any, seed uint64, reps int, pr *Precision, antithetic bool) (string, error) {
 	enc, err := json.Marshal(payload)
 	if err != nil {
 		return "", fmt.Errorf("api: unhashable simulate payload: %w", err)
@@ -49,7 +65,19 @@ func SimulateHash(kind string, payload any, seed uint64, reps int) (string, erro
 	buf = append(buf, key...)
 	buf = append(buf, ':')
 	buf = append(buf, enc...)
-	buf = append(buf, fmt.Sprintf(`,"seed":%d,"replications":%d}`, seed, reps)...)
+	buf = append(buf, fmt.Sprintf(`,"seed":%d,"replications":%d`, seed, reps)...)
+	if pr != nil {
+		pb, err := json.Marshal(pr)
+		if err != nil {
+			return "", fmt.Errorf("api: unhashable precision block: %w", err)
+		}
+		buf = append(buf, `,"precision":`...)
+		buf = append(buf, pb...)
+	}
+	if antithetic {
+		buf = append(buf, `,"antithetic":true`...)
+	}
+	buf = append(buf, '}')
 	sum := sha256.Sum256(buf)
 	return hex.EncodeToString(sum[:]), nil
 }

@@ -21,12 +21,43 @@ type SimulateRequest struct {
 	MDP      *MDPSim      `json:"mdp,omitempty"`
 	FlowShop *FlowShopSim `json:"flowshop,omitempty"`
 
-	Seed         uint64 `json:"seed"`
-	Replications int    `json:"replications"`
+	Seed uint64 `json:"seed"`
+	// Replications is the fixed replication budget. Mutually exclusive
+	// with Precision: set exactly one.
+	Replications int `json:"replications,omitempty"`
+	// Precision switches the request to target-precision mode: the server
+	// runs batched replication rounds until the primary metric's CI is
+	// tight enough (or MaxReplications is spent) and reports the count in
+	// the response's replications_used. Results stay byte-identical for a
+	// fixed (spec, seed, precision) at any parallelism.
+	Precision *Precision `json:"precision,omitempty"`
+	// Antithetic opts the replications into antithetic pairing (substream
+	// 2k+1 mirrors substream 2k). Only accepted when every law the
+	// scenario samples is inverse-CDF-capable (exponential, uniform,
+	// Weibull, deterministic); kinds driven by categorical draws reject
+	// it.
+	Antithetic bool `json:"antithetic,omitempty"`
 	// Parallel caps the worker-pool slots this request's replications fan
 	// out over (0 = server default; the server clamps to its own pool).
 	// Results never depend on it, and it is excluded from SpecHash.
 	Parallel int `json:"parallel,omitempty"`
+}
+
+// Precision is the target-precision request block: "give me the primary
+// metric to ±TargetCI95 (relative, e.g. 0.01 = ±1%) at the given
+// confidence, spending at most MaxReplications".
+type Precision struct {
+	// TargetCI95 is the target CI half-width as a fraction of the
+	// estimated |mean| of the scenario's primary metric.
+	TargetCI95 float64 `json:"target_ci95"`
+	// Confidence selects the stopping rule's confidence level (0 selects
+	// 0.95). Reported ci95 response fields remain 95% half-widths
+	// regardless, so the knob never changes response bytes for a given
+	// stopping point.
+	Confidence float64 `json:"confidence,omitempty"`
+	// MaxReplications is the hard budget ceiling; the work-budget check
+	// (ReplicationWork × MaxReplications) is enforced against it.
+	MaxReplications int `json:"max_replications"`
 }
 
 // Payload returns the payload field matching Kind, or an error when the
@@ -88,7 +119,13 @@ func (r *SimulateRequest) SpecHash() (string, error) {
 	if err != nil {
 		return "", err
 	}
-	return SimulateHash(r.Kind, payload, r.Seed, r.Replications)
+	reps := r.Replications
+	if r.Precision != nil {
+		// Target-precision requests hash with replications = 0 — a value no
+		// valid fixed request can carry — so the two modes never collide.
+		reps = 0
+	}
+	return SimulateHashOpts(r.Kind, payload, r.Seed, reps, r.Precision, r.Antithetic)
 }
 
 // SimulateResponse is the body of a /v1/simulate response: the
@@ -97,6 +134,10 @@ type SimulateResponse struct {
 	SpecHash     string `json:"spec_hash"`
 	Seed         uint64 `json:"seed"`
 	Replications int64  `json:"replications"`
+	// ReplicationsUsed is the replication count the sequential stopping rule
+	// actually spent; present only on target-precision responses (fixed-budget
+	// response bytes are unchanged). Replications echoes max_replications.
+	ReplicationsUsed int64 `json:"replications_used,omitempty"`
 
 	MG1      *MG1Result      `json:"mg1,omitempty"`
 	MMm      *MMmResult      `json:"mmm,omitempty"`

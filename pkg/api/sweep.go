@@ -24,6 +24,13 @@ type SweepRequest struct {
 	// server default). Like the simulate knob it never changes results,
 	// only throughput, and it is excluded from the sweep hash.
 	Parallel int `json:"parallel,omitempty"`
+	// CRN controls common random numbers across the policy comparison.
+	// Omitted or true (the default), every policy at a grid point runs on
+	// the base seed — paired substreams, so policy differences are not
+	// diluted by sampling noise. False derives an independent seed per
+	// policy (requires a non-empty policy list), the classical uncorrelated
+	// comparison; it changes the cell specs and therefore the sweep hash.
+	CRN *bool `json:"crn,omitempty"`
 }
 
 // SweepState is a sweep job's lifecycle stage.
@@ -78,6 +85,10 @@ type SweepPolicyResult struct {
 	// best and larger is worse for both metric senses (cost: mean − min;
 	// reward: max − mean).
 	Regret float64 `json:"regret"`
+	// ReplicationsUsed is the sequential stopping rule's spend when the
+	// base request runs in target-precision mode (absent for fixed-budget
+	// cells).
+	ReplicationsUsed int64 `json:"replications_used,omitempty"`
 }
 
 // SweepRow is one grid point's policy comparison: the NDJSON record
@@ -87,6 +98,7 @@ type SweepRow struct {
 	Params   []SweepParam        `json:"params,omitempty"`
 	Metric   string              `json:"metric"` // e.g. "cost_rate" (lower wins) or "reward" (higher wins)
 	Best     string              `json:"best"`   // winning policy (first in request order on ties)
+	CRN      bool                `json:"crn"`    // whether policies shared common random numbers
 	Policies []SweepPolicyResult `json:"policies"`
 }
 

@@ -127,6 +127,47 @@ func TestClientEndToEnd(t *testing.T) {
 	}
 }
 
+// TestClientAdaptiveSimulate drives the typed target-precision path end
+// to end: the precision block replaces the fixed budget, the client-side
+// spec-hash verification covers the adaptive encoding, and the response
+// reports the stopping rule's spend within the ceiling. The antithetic
+// knob rides the same envelope and must hash as a distinct computation.
+func TestClientAdaptiveSimulate(t *testing.T) {
+	c, _ := liveServer(t, service.Config{})
+	ctx := context.Background()
+
+	req := mg1SimReq()
+	req.Replications = 0
+	req.Precision = &api.Precision{TargetCI95: 0.2, MaxReplications: 128}
+	sim, err := c.Simulate(ctx, req)
+	if err != nil {
+		t.Fatalf("adaptive simulate: %v", err)
+	}
+	if sim.Replications != 128 {
+		t.Errorf("replications = %d, want the ceiling 128", sim.Replications)
+	}
+	if sim.ReplicationsUsed < 1 || sim.ReplicationsUsed > 128 {
+		t.Errorf("replications_used = %d outside [1, 128]", sim.ReplicationsUsed)
+	}
+	fixedHash, _ := mg1SimReq().SpecHash()
+	if sim.SpecHash == fixedHash {
+		t.Error("adaptive request shares the fixed request's spec hash")
+	}
+
+	anti := mg1SimReq()
+	anti.Antithetic = true
+	sa, err := c.Simulate(ctx, anti)
+	if err != nil {
+		t.Fatalf("antithetic simulate: %v", err)
+	}
+	if sa.SpecHash == fixedHash {
+		t.Error("antithetic request shares the plain request's spec hash")
+	}
+	if sa.ReplicationsUsed != 0 {
+		t.Errorf("fixed-budget response grew replications_used = %d", sa.ReplicationsUsed)
+	}
+}
+
 // TestClientParallelByteIdentity is the client-side half of the
 // determinism contract: two live servers at parallel 1 vs 8, raw simulate
 // bodies through the client, byte-identical.

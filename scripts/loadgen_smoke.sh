@@ -3,7 +3,9 @@
 # loadgen` and fail unless the run is clean.
 #
 # Builds and starts the daemon, drives LOADGEN_DURATION (default 30s) of
-# mixed index/simulate/batch traffic through the Go SDK, and relies on
+# mixed index/simulate/batch/adaptive traffic through the Go SDK (the
+# adaptive ops run target-precision simulations and validate
+# replications_used against the request ceiling inline), and relies on
 # loadgen -check to require zero non-429 errors and populated latency
 # histograms for every driven endpoint in GET /v1/stats. Same script CI's
 # loadgen-smoke job runs.
@@ -38,4 +40,4 @@ until curl -fsS "$BASE/healthz" >/dev/null 2>&1; do
 done
 
 "$TMP/stochsched" loadgen -addr "$BASE" -duration "$DURATION" \
-    -rps 60 -concurrency 4 -mix index=1,simulate=1,batch=1 -check
+    -rps 60 -concurrency 4 -mix index=1,simulate=1,batch=1,adaptive=1 -check

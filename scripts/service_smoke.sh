@@ -76,6 +76,10 @@ done
 for kind in restless batch jackson polling mdp flowshop; do
     check_endpoint "simulate_$kind" simulate
 done
+# Target-precision mode: the same endpoint with a precision block (and
+# antithetic draws) instead of a fixed budget; the golden pins the
+# sequential stopping rule's spend (replications_used) end to end.
+check_endpoint simulate_adaptive simulate
 
 # The v2 index surface: the kind-dispatched /v1/index envelope must answer
 # the legacy gittins golden byte-identically (shared computation, shared
@@ -250,12 +254,37 @@ fi
     exit 1
 }
 echo "ok /v1/sweep jackson kind"
+
+# A decorrelated sweep: crn false re-seeds each policy's cells
+# independently, flips the rows' crn member, and changes the sweep hash —
+# but stays fully deterministic, so it pins goldens like the others.
+run_sweep "$TMP/sweep_crn_p1.ndjson" "$TESTDATA/sweep_crn_req.json"
+head -n 1 "$TMP/sweep_crn_p1.ndjson" > "$TMP/sweep_crn_first.json"
+tail -n 1 "$TMP/sweep_crn_p1.ndjson" > "$TMP/sweep_crn_last.json"
+if [ "${REGEN:-}" = "1" ]; then
+    cp "$TMP/sweep_crn_first.json" "$TESTDATA/sweep_crn_first_golden.json"
+    cp "$TMP/sweep_crn_last.json" "$TESTDATA/sweep_crn_last_golden.json"
+    echo "regenerated crn sweep first/last goldens"
+else
+    for part in first last; do
+        if ! cmp -s "$TMP/sweep_crn_$part.json" "$TESTDATA/sweep_crn_${part}_golden.json"; then
+            echo "FAIL: crn sweep $part row differs from testdata/sweep_crn_${part}_golden.json:" >&2
+            diff "$TESTDATA/sweep_crn_${part}_golden.json" "$TMP/sweep_crn_$part.json" >&2 || true
+            exit 1
+        fi
+    done
+fi
+[ "$(wc -l < "$TMP/sweep_crn_p1.ndjson")" -eq 3 ] || {
+    echo "FAIL: crn sweep stream is not 3 rows" >&2
+    exit 1
+}
+echo "ok /v1/sweep crn false"
 stop_daemon
 
 # Determinism across parallelism: a fresh daemon at -parallel 8 must return
 # the exact same simulate bodies (its cache is empty, so this recomputes).
 start_daemon 8
-for stem in simulate simulate_restless simulate_batch simulate_jackson simulate_polling simulate_mdp simulate_flowshop; do
+for stem in simulate simulate_restless simulate_batch simulate_jackson simulate_polling simulate_mdp simulate_flowshop simulate_adaptive; do
     curl -fsS -X POST --data-binary "@$TESTDATA/${stem}_req.json" "$BASE/v1/simulate" -o "$TMP/${stem}_p8.json"
     if ! cmp -s "$TMP/${stem}_p8.json" "$TESTDATA/${stem}_golden.json"; then
         echo "FAIL: /v1/simulate ($stem) differs between -parallel 1 and -parallel 8:" >&2
@@ -296,7 +325,13 @@ if ! cmp -s "$TMP/sweep_jackson_p8.ndjson" "$TMP/sweep_jackson_p1.ndjson"; then
     diff "$TMP/sweep_jackson_p1.ndjson" "$TMP/sweep_jackson_p8.ndjson" >&2 || true
     exit 1
 fi
-echo "ok sweep determinism across -parallel 1/8 (mg1, restless, jackson)"
+run_sweep "$TMP/sweep_crn_p8.ndjson" "$TESTDATA/sweep_crn_req.json"
+if ! cmp -s "$TMP/sweep_crn_p8.ndjson" "$TMP/sweep_crn_p1.ndjson"; then
+    echo "FAIL: crn sweep NDJSON differs between -parallel 1 and -parallel 8:" >&2
+    diff "$TMP/sweep_crn_p1.ndjson" "$TMP/sweep_crn_p8.ndjson" >&2 || true
+    exit 1
+fi
+echo "ok sweep determinism across -parallel 1/8 (mg1, restless, jackson, crn)"
 stop_daemon
 
 echo "service smoke: all checks passed"
