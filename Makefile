@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race conformance bench bench-service bench-simulate bench-batch bench-precision bench-check loadgen-smoke smoke docs-check fmt fmt-check vet ci
+.PHONY: build test race conformance bench bench-service bench-simulate bench-batch bench-precision bench-cluster bench-check loadgen-smoke smoke cluster-smoke docs-check fmt fmt-check vet ci
 
 build:
 	$(GO) build ./...
@@ -84,12 +84,25 @@ bench-precision:
 	@rm -f bench_precision.out
 	@echo wrote BENCH_precision.json
 
-# Benchmark regression gate: re-run the engine, simulate, and adaptive-
-# precision benchmarks (best of BENCH_COUNT runs) and fail when any entry
-# regresses more than BENCH_TOLERANCE_PCT (default 15) percent in ns/op or
-# bytes/op against the checked-in BENCH_engine.json / BENCH_simulate.json /
-# BENCH_precision.json baselines. Regenerate the baselines with
-# `make bench bench-simulate bench-precision` after intentional changes.
+# Cluster benchmark: warm cache hit served by the owning node vs reached
+# through a forwarding peer (the relay overhead), and a fresh 4-point
+# sweep on one node vs a 3-node ring fanning cells out to their owners.
+# Rendered as BENCH_cluster.json.
+bench-cluster:
+	$(GO) test -run '^$$' -bench BenchmarkCluster -benchmem -count 3 . > bench_cluster.out
+	@cat bench_cluster.out
+	$(GO) run ./cmd/bench2json < bench_cluster.out > BENCH_cluster.json
+	@rm -f bench_cluster.out
+	@echo wrote BENCH_cluster.json
+
+# Benchmark regression gate: re-run the engine, simulate, adaptive-
+# precision, and cluster benchmarks (best of BENCH_COUNT runs) and fail
+# when any entry regresses more than BENCH_TOLERANCE_PCT (default 15)
+# percent in ns/op or bytes/op against the checked-in BENCH_engine.json /
+# BENCH_simulate.json / BENCH_precision.json / BENCH_cluster.json
+# baselines. Regenerate the baselines with
+# `make bench bench-simulate bench-precision bench-cluster` after
+# intentional changes.
 bench-check:
 	./scripts/bench_delta.sh
 
@@ -105,6 +118,15 @@ loadgen-smoke:
 # simulate bodies and sweep NDJSON. Same script CI's service-smoke job runs.
 smoke:
 	./scripts/service_smoke.sh
+
+# Multi-node smoke: build the daemon, start a 3-node loopback ring with
+# -peers/-self, and require every node's simulate bodies and sweep NDJSON
+# byte-identical to a single-node daemon's; then kill one peer (surviving
+# nodes must keep answering identically) and round-trip a -state-dir
+# snapshot across a SIGTERM restart (warm hits restored). Same script CI's
+# cluster-smoke job runs.
+cluster-smoke:
+	./scripts/cluster_smoke.sh
 
 # Lint the documentation tree: every relative link in README.md, docs/, and
 # examples/*/README.md must resolve to a file in the checkout.
@@ -122,4 +144,4 @@ vet:
 	$(GO) vet ./...
 
 # The CI entry point: identical to what .github/workflows/ci.yml runs.
-ci: build vet fmt-check test race conformance smoke docs-check bench-check loadgen-smoke
+ci: build vet fmt-check test race conformance smoke cluster-smoke docs-check bench-check loadgen-smoke

@@ -13,9 +13,12 @@ import (
 	"net/http/httptest"
 	"runtime"
 	"strings"
+	"sync"
 	"testing"
+	"time"
 
 	"stochsched/internal/batch"
+	"stochsched/internal/cluster"
 	"stochsched/internal/engine"
 	"stochsched/internal/experiments"
 	"stochsched/internal/rng"
@@ -385,6 +388,140 @@ func BenchmarkAdaptivePrecision(b *testing.B) {
 			}
 		})
 	}
+}
+
+// benchPeerRegistry wires an in-process ring for BenchmarkCluster: each
+// peer's "transport" resolves the target server's handler from a shared
+// map at call time, so the cyclic peer references cost one mutex hit — the
+// benchmark measures the forwarding machinery, not loopback TCP.
+type benchPeerRegistry struct {
+	mu sync.Mutex
+	m  map[string]http.Handler
+}
+
+func (r *benchPeerRegistry) dial(peer string) client.Doer {
+	return benchPeerDoer{r: r, peer: peer}
+}
+
+type benchPeerDoer struct {
+	r    *benchPeerRegistry
+	peer string
+}
+
+func (d benchPeerDoer) Do(req *http.Request) (*http.Response, error) {
+	d.r.mu.Lock()
+	h := d.r.m[d.peer]
+	d.r.mu.Unlock()
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, req)
+	return w.Result(), nil
+}
+
+func benchRing(b *testing.B, n int) []*service.Server {
+	b.Helper()
+	addrs := make([]string, n)
+	for i := range addrs {
+		addrs[i] = fmt.Sprintf("http://bench-node%d", i)
+	}
+	reg := &benchPeerRegistry{m: make(map[string]http.Handler, n)}
+	servers := make([]*service.Server, n)
+	for i, addr := range addrs {
+		cl, err := cluster.New(cluster.Config{Self: addr, Peers: addrs, Dial: reg.dial})
+		if err != nil {
+			b.Fatal(err)
+		}
+		servers[i] = service.New(service.Config{Cluster: cl})
+		reg.mu.Lock()
+		reg.m[addr] = servers[i].Handler()
+		reg.mu.Unlock()
+	}
+	return servers
+}
+
+// BenchmarkCluster measures what multi-node routing costs on top of the
+// single-node service. warm/local is a cache hit on the owning node (the
+// single-node fast path, unchanged by clustering); warm/forward is the
+// same hit reached through a non-owner, so the delta is the full relay:
+// routing, the in-process hop, and the body copy. The sweep pair runs a
+// fresh 4-point sweep per op on one node versus a 3-node ring where each
+// cell forwards to its ring owner — the per-cell fan-out overhead.
+// `make bench-cluster` renders the output as BENCH_cluster.json, and
+// `make bench-check` gates it against the checked-in baseline.
+func BenchmarkCluster(b *testing.B) {
+	post := func(b *testing.B, h http.Handler, path, body string) *httptest.ResponseRecorder {
+		b.Helper()
+		req := httptest.NewRequest(http.MethodPost, path, strings.NewReader(body))
+		w := httptest.NewRecorder()
+		h.ServeHTTP(w, req)
+		if w.Code != http.StatusOK {
+			b.Fatalf("code %d: %s", w.Code, w.Body)
+		}
+		return w
+	}
+
+	servers := benchRing(b, 3)
+	body := scenariotest.SimulateBody("mg1", 11)
+	// Locate the owner by its X-Cache header: the owner answers miss/hit,
+	// everyone else forwards.
+	local, forward := -1, -1
+	for i, s := range servers {
+		if post(b, s.Handler(), "/v1/simulate", body).Header().Get("X-Cache") == "forward" {
+			forward = i
+		} else {
+			local = i
+		}
+	}
+	if local < 0 || forward < 0 {
+		b.Fatal("could not locate an owner and a forwarder on the ring")
+	}
+
+	b.Run("warm/local", func(b *testing.B) {
+		h := servers[local].Handler()
+		for i := 0; i < b.N; i++ {
+			post(b, h, "/v1/simulate", body)
+		}
+	})
+	b.Run("warm/forward", func(b *testing.B) {
+		h := servers[forward].Handler()
+		for i := 0; i < b.N; i++ {
+			post(b, h, "/v1/simulate", body)
+		}
+	})
+
+	sweepFor := func(seed int) []byte {
+		return []byte(fmt.Sprintf(
+			`{"base": %s, "grid": {"axes": [{"path":"mg1.spec.classes.0.rate","values":[0.15,0.2,0.25,0.3]}]}}`,
+			scenariotest.SimulateBody("mg1", uint64(1000+seed))))
+	}
+	runSweep := func(b *testing.B, c *client.Client, seed int) {
+		b.Helper()
+		ctx := context.Background()
+		st, err := c.SweepSubmitRaw(ctx, sweepFor(seed))
+		if err != nil {
+			b.Fatal(err)
+		}
+		final, err := c.SweepWait(ctx, st.ID, 100*time.Microsecond)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if final.State != api.SweepDone {
+			b.Fatalf("sweep settled %q: %s", final.State, final.Error)
+		}
+	}
+	b.Run("sweep/1node", func(b *testing.B) {
+		c := client.NewInProcess(service.New(service.Config{}).Handler())
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			runSweep(b, c, i)
+		}
+	})
+	b.Run("sweep/3node", func(b *testing.B) {
+		c := client.NewInProcess(benchRing(b, 3)[0].Handler())
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			runSweep(b, c, i)
+		}
+	})
 }
 
 func BenchmarkE01_WSEPTSingleMachine(b *testing.B)     { benchExperiment(b, "E01") }

@@ -30,6 +30,7 @@ import (
 func runLoadgen(args []string) int {
 	fs := flag.NewFlagSet("loadgen", flag.ExitOnError)
 	addr := fs.String("addr", "", "daemon base URL (empty = soak an in-process service handler)")
+	peers := fs.String("peers", "", "comma-separated daemon base URLs; ops rotate across them per mix cycle (cluster soak, overrides -addr)")
 	rps := fs.Float64("rps", 50, "target aggregate request rate (0 = closed loop at full concurrency)")
 	concurrency := fs.Int("concurrency", 4, "concurrent workers")
 	duration := fs.Duration("duration", 10*time.Second, "soak duration")
@@ -38,15 +39,18 @@ func runLoadgen(args []string) int {
 	parallel := fs.Int("parallel", 0, "in-process worker pool size (ignored with -addr)")
 	check := fs.Bool("check", false, "exit nonzero on any non-429 error or missing server histograms")
 	fs.Usage = func() {
-		fmt.Fprint(fs.Output(), `usage: stochsched loadgen [-addr URL] [-rps N] [-concurrency N] [-duration D] [-mix index=1,simulate=1,batch=1,adaptive=1] [-check]
+		fmt.Fprint(fs.Output(), `usage: stochsched loadgen [-addr URL | -peers URL,URL,...] [-rps N] [-concurrency N] [-duration D] [-mix index=1,simulate=1,batch=1,adaptive=1] [-check]
 
 Soaks a policy service through the Go SDK with a weighted mix of index,
 simulate, batch, and adaptive (target-precision simulate) requests, then
 prints client-observed latency quantiles per endpoint and the server-side
 /v1/stats latency histograms. Adaptive responses are validated inline:
-replications_used must stay within [1, max_replications]. With -check it
-exits 1 unless the soak saw zero non-429 errors and the server reported
-populated histograms for every driven endpoint.
+replications_used must stay within [1, max_replications]. With -peers the
+ops rotate across the listed daemons (one full mix cycle per peer) and the
+report adds per-peer latency quantiles — soaking a cluster's forwarding
+path from every entry point. With -check it exits 1 unless the soak saw
+zero non-429 errors and the server reported populated histograms for every
+driven endpoint.
 `)
 		fs.PrintDefaults()
 	}
@@ -67,16 +71,33 @@ populated histograms for every driven endpoint.
 	// Every response — HTTP or in-process — must carry the X-Request-Id
 	// header the service stamps; the wrapper counts violations for -check.
 	hc := &headerCheckDoer{}
-	if *addr != "" {
+	if *addr != "" || *peers != "" {
 		hc.inner = &http.Client{Timeout: 30 * time.Second}
 	} else {
 		hc.inner = client.InProcessDoer(localHandler(*parallel))
 	}
-	base := *addr
-	if base == "" {
-		base = "http://in-process"
+	var c *client.Client
+	if *peers != "" {
+		for _, p := range strings.Split(*peers, ",") {
+			p = strings.TrimSpace(p)
+			if p == "" {
+				continue
+			}
+			cfg.PeerNames = append(cfg.PeerNames, p)
+			cfg.Peers = append(cfg.Peers, client.New(p, client.WithHTTPClient(hc)))
+		}
+		if len(cfg.Peers) == 0 {
+			fmt.Fprintln(os.Stderr, "loadgen: -peers lists no URLs")
+			return 1
+		}
+		c = cfg.Peers[0] // stats come from the first peer's vantage point
+	} else {
+		base := *addr
+		if base == "" {
+			base = "http://in-process"
+		}
+		c = client.New(base, client.WithHTTPClient(hc))
 	}
-	c := client.New(base, client.WithHTTPClient(hc))
 	rep, err := loadgen(context.Background(), c, cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -167,6 +188,12 @@ type loadgenConfig struct {
 	Duration    time.Duration
 	Mix         map[string]int
 	Seed        uint64
+	// Peers/PeerNames, when set, spread the soak across a cluster: op n
+	// targets peer (n / len(pattern)) % len(Peers), so consecutive full mix
+	// cycles land on consecutive peers and every entry point sees every op
+	// kind. Empty means single-target (the client passed to loadgen).
+	Peers     []*client.Client
+	PeerNames []string
 }
 
 // pattern expands the mix weights into the deterministic op cycle the
@@ -229,6 +256,10 @@ type loadgenReport struct {
 	Ops       int64
 	Skipped   int64 // open-loop ticks dropped because every worker was busy
 	Endpoints map[string]*endpointLoad
+	// PeerLoads aggregates latencies by target peer (all ops folded) when
+	// the soak spreads across a cluster; empty on single-target runs.
+	PeerLoads map[string]*endpointLoad
+	peerNames []string
 	Stats     *api.StatsResponse
 	StatsErr  error
 	// MissingRequestID counts responses that arrived without an
@@ -257,6 +288,18 @@ func loadgen(ctx context.Context, c *client.Client, cfg loadgenConfig) (*loadgen
 		}
 	}
 	sort.Strings(rep.driven)
+	clients := []*client.Client{c}
+	if len(cfg.Peers) > 0 {
+		if len(cfg.Peers) != len(cfg.PeerNames) {
+			return nil, fmt.Errorf("loadgen: %d peers but %d peer names", len(cfg.Peers), len(cfg.PeerNames))
+		}
+		clients = cfg.Peers
+		rep.PeerLoads = map[string]*endpointLoad{}
+		rep.peerNames = cfg.PeerNames
+		for _, name := range cfg.PeerNames {
+			rep.PeerLoads[name] = &endpointLoad{}
+		}
+	}
 
 	ctx, cancel := context.WithTimeout(ctx, cfg.Duration)
 	defer cancel()
@@ -264,12 +307,17 @@ func loadgen(ctx context.Context, c *client.Client, cfg loadgenConfig) (*loadgen
 	runOp := func() {
 		n := opN.Add(1) - 1
 		op := pattern[n%int64(len(pattern))]
+		peer := (n / int64(len(pattern))) % int64(len(clients))
 		begin := time.Now()
-		err := issue(ctx, c, op, cfg.Seed, n)
+		err := issue(ctx, clients[peer], op, cfg.Seed, n)
 		if ctx.Err() != nil && err != nil {
 			return // deadline tore the call down; not a service error
 		}
-		rep.Endpoints[op].observe(time.Since(begin), err)
+		d := time.Since(begin)
+		rep.Endpoints[op].observe(d, err)
+		if rep.PeerLoads != nil {
+			rep.PeerLoads[rep.peerNames[peer]].observe(d, err)
+		}
 	}
 
 	// Open loop: a ticker feeds a bounded token channel; a tick nobody can
@@ -324,6 +372,9 @@ func loadgen(ctx context.Context, c *client.Client, cfg loadgenConfig) (*loadgen
 	for _, e := range rep.Endpoints {
 		sort.Float64s(e.ms)
 		rep.Ops += int64(len(e.ms))
+	}
+	for _, e := range rep.PeerLoads {
+		sort.Float64s(e.ms)
 	}
 
 	// The stats snapshot is the server's half of the report; fetch it with
@@ -440,6 +491,22 @@ func (r *loadgenReport) print(w io.Writer) {
 	}
 	tw.Flush()
 
+	if len(r.peerNames) > 0 {
+		tw = tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+		fmt.Fprintln(tw, "peer\tops\terrors\tshed\tp50 ms\tp95 ms\tp99 ms\tmax ms")
+		for _, name := range r.peerNames {
+			e := r.PeerLoads[name]
+			max := 0.0
+			if len(e.ms) > 0 {
+				max = e.ms[len(e.ms)-1]
+			}
+			fmt.Fprintf(tw, "%s\t%d\t%d\t%d\t%.3f\t%.3f\t%.3f\t%.3f\n",
+				name, len(e.ms), e.errs, e.shed,
+				quantile(e.ms, 0.50), quantile(e.ms, 0.95), quantile(e.ms, 0.99), max)
+		}
+		tw.Flush()
+	}
+
 	if r.StatsErr != nil {
 		fmt.Fprintf(w, "server stats unavailable: %v\n", r.StatsErr)
 		return
@@ -472,6 +539,11 @@ func (r *loadgenReport) checkFailures() []string {
 		}
 		if len(e.ms) == 0 {
 			msgs = append(msgs, fmt.Sprintf("%s: no operations completed", op))
+		}
+	}
+	for _, name := range r.peerNames {
+		if len(r.PeerLoads[name].ms) == 0 {
+			msgs = append(msgs, fmt.Sprintf("peer %s: no operations completed", name))
 		}
 	}
 	if r.MissingRequestID > 0 {

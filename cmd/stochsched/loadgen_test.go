@@ -5,6 +5,8 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"stochsched/pkg/client"
 )
 
 func TestParseMix(t *testing.T) {
@@ -89,6 +91,50 @@ func TestLoadgenOpenLoop(t *testing.T) {
 	// near the tick budget rather than the closed-loop thousands.
 	if rep.Ops > 120 {
 		t.Errorf("open loop did not pace: %d ops in %v", rep.Ops, rep.Elapsed)
+	}
+}
+
+// TestLoadgenPeerRotation: with -peers wired, ops spread across every
+// peer (one mix cycle each) and the report carries per-peer quantiles.
+func TestLoadgenPeerRotation(t *testing.T) {
+	cfg := loadgenConfig{
+		RPS:         0,
+		Concurrency: 2,
+		Duration:    400 * time.Millisecond,
+		Mix:         map[string]int{opIndex: 1, opSimulate: 1},
+		Seed:        7,
+		Peers:       []*client.Client{localClient(1), localClient(1), localClient(1)},
+		PeerNames:   []string{"http://n0", "http://n1", "http://n2"},
+	}
+	rep, err := loadgen(context.Background(), cfg.Peers[0], cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.PeerLoads) != 3 {
+		t.Fatalf("peer loads %v", rep.PeerLoads)
+	}
+	var total int64
+	for name, e := range rep.PeerLoads {
+		if len(e.ms) == 0 {
+			t.Errorf("peer %s saw no ops", name)
+		}
+		if e.errs > 0 {
+			t.Errorf("peer %s: %d errors (last: %s)", name, e.errs, e.lastErr)
+		}
+		total += int64(len(e.ms))
+	}
+	if total != rep.Ops {
+		t.Errorf("peer ops sum %d != total ops %d", total, rep.Ops)
+	}
+	var sb strings.Builder
+	rep.print(&sb)
+	for _, want := range []string{"peer", "http://n0", "http://n1", "http://n2"} {
+		if !strings.Contains(sb.String(), want) {
+			t.Errorf("report missing %q:\n%s", want, sb.String())
+		}
+	}
+	if msgs := rep.checkFailures(); len(msgs) > 0 {
+		t.Errorf("check failures: %v", msgs)
 	}
 }
 

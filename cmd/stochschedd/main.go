@@ -20,7 +20,7 @@
 //	GET    /v1/trace/{id}         span tree of a recent request (id = its X-Request-Id)
 //	GET    /metrics               Prometheus text exposition of the same counters
 //	GET    /healthz               liveness
-//	GET    /readyz                readiness (503 while admission would shed)
+//	GET    /readyz                readiness (503 while restoring state or admission would shed)
 //
 // Every response carries an X-Request-Id header; -log-level/-log-format
 // select the structured access log, and -debug-addr opts into net/http/pprof
@@ -28,6 +28,15 @@
 // /v1/simulate responses and sweep result rows are byte-identical for a
 // given (spec, seed) at any parallelism — tracing and logging never touch
 // bodies. See docs/api.md and docs/observability.md for the full reference.
+//
+// Multi-node: -peers (comma-separated base URLs, self included) plus
+// -self (this node's entry in that list) arrange the daemons on a
+// consistent-hash ring — each request is served by the peer owning its
+// spec hash, with degraded-mode local fallback when the owner is down.
+// -state-dir enables durable snapshot/restore of the cache and finished
+// sweeps (periodic per -snapshot-interval, plus one final snapshot on
+// SIGTERM; restored on boot, with /readyz answering 503 until the restore
+// settles). See docs/architecture.md for the clustering design.
 package main
 
 import (
@@ -41,20 +50,25 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"stochsched/internal/cluster"
 	"stochsched/internal/service"
 )
 
 // options is the daemon's parsed command line: the listen addresses, the
-// logging selections, and the service configuration the flags map onto.
+// logging selections, the cluster topology, and the service configuration
+// the flags map onto.
 type options struct {
-	addr      string
-	debugAddr string
-	logLevel  string
-	logFormat string
-	cfg       service.Config
+	addr       string
+	debugAddr  string
+	logLevel   string
+	logFormat  string
+	stateDir   string
+	snapshotIv time.Duration
+	cfg        service.Config
 }
 
 // parseArgs resolves the command line into options. Errors (including
@@ -78,6 +92,11 @@ func parseArgs(args []string, stderr io.Writer) (*options, error) {
 	fs.IntVar(&opt.cfg.SweepMaxCells, "sweep-max-cells", 4096, "max grid points × policies per sweep")
 	fs.IntVar(&opt.cfg.BatchMaxItems, "batch-max-items", 64, "max calls one POST /v1/batch may multiplex")
 	fs.IntVar(&opt.cfg.TraceBuffer, "trace-buffer", 256, "request traces retained for GET /v1/trace/{id} (-1 = disabled)")
+	var peers, self string
+	fs.StringVar(&peers, "peers", "", "comma-separated peer base URLs forming a cluster ring, self included (empty = single node)")
+	fs.StringVar(&self, "self", "", "this node's base URL in the -peers list (required with -peers)")
+	fs.StringVar(&opt.stateDir, "state-dir", "", "directory for durable cache/sweep snapshots (empty = no persistence)")
+	fs.DurationVar(&opt.snapshotIv, "snapshot-interval", 30*time.Second, "period between state snapshots when -state-dir is set")
 	if err := fs.Parse(args); err != nil {
 		return nil, err
 	}
@@ -87,7 +106,35 @@ func parseArgs(args []string, stderr io.Writer) (*options, error) {
 		return nil, err
 	}
 	opt.cfg.Logger = logger
+	if cl, err := buildCluster(peers, self); err != nil {
+		fmt.Fprintf(stderr, "stochschedd: %v\n", err)
+		return nil, err
+	} else if cl != nil {
+		opt.cfg.Cluster = cl
+	}
 	return &opt, nil
+}
+
+// buildCluster resolves the -peers/-self flags into the node's cluster
+// runtime (nil for a single-node deployment). The peer list is split on
+// commas with empties dropped, so trailing commas are harmless.
+func buildCluster(peers, self string) (*cluster.Cluster, error) {
+	if peers == "" {
+		if self != "" {
+			return nil, fmt.Errorf("-self %q given without -peers", self)
+		}
+		return nil, nil
+	}
+	if self == "" {
+		return nil, fmt.Errorf("-peers requires -self (this node's entry in the list)")
+	}
+	var list []string
+	for _, p := range strings.Split(peers, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			list = append(list, p)
+		}
+	}
+	return cluster.New(cluster.Config{Self: self, Peers: list})
 }
 
 // buildLogger resolves the -log-level/-log-format flags into a slog.Logger
@@ -150,6 +197,53 @@ func main() {
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 
+	// Background work (peer health probes, periodic snapshots) stops when
+	// shutdown begins, so the final snapshot cannot race a periodic one.
+	bgCtx, stopBg := context.WithCancel(context.Background())
+	defer stopBg()
+
+	if opt.cfg.Cluster != nil {
+		opt.cfg.Cluster.Start(bgCtx)
+		log.Info("cluster ring", "self", opt.cfg.Cluster.Self(), "peers", opt.cfg.Cluster.Ring().Peers())
+	}
+
+	var store *cluster.Store
+	if opt.stateDir != "" {
+		var err error
+		if store, err = cluster.NewStore(opt.stateDir); err != nil {
+			log.Error("state dir", "error", err)
+			os.Exit(1)
+		}
+		// Restore runs concurrently with serving: /readyz answers 503 until
+		// it settles, so load balancers and peers hold traffic while the
+		// cache warms. A corrupt or missing snapshot boots cold — losing a
+		// cache of pure functions only costs recomputes. The periodic
+		// snapshot loop starts only after restore settles, so a half-restored
+		// state can never overwrite a good snapshot.
+		srv.SetRestoring(true)
+		go func() {
+			defer srv.SetRestoring(false)
+			defer func() {
+				go store.Run(bgCtx, opt.snapshotIv, srv.SnapshotState,
+					func(err error) { log.Warn("periodic snapshot", "error", err) })
+			}()
+			payload, err := store.Load()
+			if err != nil {
+				log.Warn("state restore failed; booting cold", "error", err)
+				return
+			}
+			if payload == nil {
+				log.Info("no state snapshot; booting cold", "path", store.Path())
+				return
+			}
+			if err := srv.RestoreState(payload); err != nil {
+				log.Warn("state restore failed; booting cold", "error", err)
+				return
+			}
+			log.Info("state restored", "path", store.Path(), "bytes", len(payload))
+		}()
+	}
+
 	if opt.debugAddr != "" {
 		dbg := &http.Server{Addr: opt.debugAddr, Handler: debugMux()}
 		go func() {
@@ -167,10 +261,22 @@ func main() {
 		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 		<-sig
 		log.Info("shutting down")
+		stopBg() // halt probes and periodic snapshots before draining
 		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
 		if err := hs.Shutdown(ctx); err != nil {
 			log.Warn("shutdown", "error", err)
+		}
+		// Final snapshot after the listener drains: every served response
+		// is captured, so the next boot restarts warm.
+		if store != nil {
+			if payload, err := srv.SnapshotState(); err != nil {
+				log.Warn("final snapshot", "error", err)
+			} else if err := store.Save(payload); err != nil {
+				log.Warn("final snapshot", "error", err)
+			} else {
+				log.Info("state saved", "path", store.Path(), "bytes", len(payload))
+			}
 		}
 	}()
 

@@ -84,6 +84,46 @@ func TestParseArgsDefaults(t *testing.T) {
 	}
 }
 
+// TestParseArgsWiresCluster pins the -peers/-self → Config.Cluster wiring
+// and the state-dir/interval options.
+func TestParseArgsWiresCluster(t *testing.T) {
+	var stderr strings.Builder
+	opt, err := parseArgs([]string{
+		"-peers", "http://127.0.0.1:1801,http://127.0.0.1:1802, http://127.0.0.1:1803,",
+		"-self", "http://127.0.0.1:1802",
+		"-state-dir", "/tmp/state",
+		"-snapshot-interval", "5s",
+	}, &stderr)
+	if err != nil {
+		t.Fatalf("parseArgs: %v (stderr: %s)", err, stderr.String())
+	}
+	if opt.cfg.Cluster == nil {
+		t.Fatal("Cluster not wired")
+	}
+	if got := opt.cfg.Cluster.Self(); got != "http://127.0.0.1:1802" {
+		t.Errorf("Self = %q", got)
+	}
+	if got := len(opt.cfg.Cluster.Ring().Peers()); got != 3 {
+		t.Errorf("ring holds %d peers, want 3 (empties dropped)", got)
+	}
+	if opt.stateDir != "/tmp/state" || opt.snapshotIv != 5*time.Second {
+		t.Errorf("state options %q/%v", opt.stateDir, opt.snapshotIv)
+	}
+}
+
+// TestParseArgsSingleNodeHasNoCluster: without -peers the daemon serves
+// everything locally and the stats cluster block stays absent.
+func TestParseArgsSingleNodeHasNoCluster(t *testing.T) {
+	var stderr strings.Builder
+	opt, err := parseArgs(nil, &stderr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opt.cfg.Cluster != nil {
+		t.Error("Cluster wired without -peers")
+	}
+}
+
 // TestParseArgsRejectsBadFlags: unknown flags and malformed values error
 // instead of being swallowed (main exits 2 on the error path).
 func TestParseArgsRejectsBadFlags(t *testing.T) {
@@ -93,6 +133,13 @@ func TestParseArgsRejectsBadFlags(t *testing.T) {
 		{"-compute-timeout", "fast"},
 		{"-log-level", "loud"},
 		{"-log-format", "xml"},
+		// Cluster topology mistakes must fail at boot, not at first request:
+		// -peers without -self, -self without -peers, self outside the list,
+		// a duplicated peer.
+		{"-peers", "http://a,http://b"},
+		{"-self", "http://a"},
+		{"-peers", "http://a,http://b", "-self", "http://c"},
+		{"-peers", "http://a,http://a", "-self", "http://a"},
 	}
 	for _, args := range bad {
 		var stderr strings.Builder

@@ -1,0 +1,60 @@
+package cluster
+
+import (
+	"context"
+
+	"stochsched/internal/sweep"
+)
+
+// Backend is a sweep.Backend that fans sweep cells out across the ring:
+// each cell routes by its canonical spec hash to the owning peer, exactly
+// like an interactive /v1/simulate for the same spec would, so a cell any
+// node computed — for HTTP traffic or another node's sweep — is a cache
+// hit cluster-wide. The sweep layer's grid-order fold is untouched, which
+// keeps the NDJSON stream byte-identical between 1-node and N-node
+// topologies.
+type Backend struct {
+	cluster *Cluster
+	local   sweep.Backend
+	// hash maps a validated cell body to its canonical spec hash — the
+	// routing key. The service supplies its own request parser, so sweep
+	// routing and interactive routing can never disagree on ownership.
+	hash func(body []byte) (string, error)
+}
+
+// NewBackend wraps local with ring routing. hash must produce the same
+// canonical spec hash the serving layer caches the cell body under.
+func NewBackend(c *Cluster, local sweep.Backend, hash func(body []byte) (string, error)) *Backend {
+	return &Backend{cluster: c, local: local, hash: hash}
+}
+
+// ValidateSimulate validates locally — every node holds the full scenario
+// registry, so validation needs no routing.
+func (b *Backend) ValidateSimulate(body []byte) error {
+	return b.local.ValidateSimulate(body)
+}
+
+// Simulate executes one cell on its owning peer, falling back to local
+// compute whenever forwarding does not yield a response — the owner being
+// down (transport error; Forward has already marked it), or the owner
+// answering an error envelope (e.g. 429 from its interactive admission
+// path). The fallback is always sound: cell bodies are pure functions of
+// the spec, so local bytes are identical to the owner's, and the sweep's
+// own admission billing (AcquireBlocking on sweep_cells) applies.
+func (b *Backend) Simulate(ctx context.Context, body []byte) ([]byte, error) {
+	key, err := b.hash(body)
+	if err != nil {
+		// Cells are validated at submission; an unhashable body here is a
+		// programming error, but local compute still reports it properly.
+		return b.local.Simulate(ctx, body)
+	}
+	if d := b.cluster.Route(key); d.Forward {
+		if resp, err := b.cluster.Forward(ctx, d.Peer, "/v1/simulate", body); err == nil {
+			return resp, nil
+		}
+		if ctx.Err() != nil {
+			return nil, ctx.Err() // the sweep itself was cancelled mid-forward
+		}
+	}
+	return b.local.Simulate(ctx, body)
+}

@@ -1,0 +1,195 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"stochsched/pkg/client"
+)
+
+// stubDoer routes each peer's requests through a test-provided function —
+// the same client.Doer seam production fills with *http.Client.
+type stubDoer func(*http.Request) (*http.Response, error)
+
+func (d stubDoer) Do(r *http.Request) (*http.Response, error) { return d(r) }
+
+func httpResp(status int, body string) *http.Response {
+	return &http.Response{
+		StatusCode: status,
+		Header:     make(http.Header),
+		Body:       io.NopCloser(strings.NewReader(body)),
+	}
+}
+
+func testCluster(t *testing.T, self string, peers []string, dial func(peer string) client.Doer) *Cluster {
+	t.Helper()
+	c, err := New(Config{Self: self, Peers: peers, Dial: dial})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestNewRejectsSelfOutsidePeerList(t *testing.T) {
+	_, err := New(Config{Self: "http://elsewhere", Peers: []string{"http://n1", "http://n2"}})
+	if err == nil {
+		t.Fatal("self outside the peer list accepted")
+	}
+}
+
+func TestRouteSelfOwnedKeyServesLocally(t *testing.T) {
+	peers := []string{"http://n1", "http://n2"}
+	c := testCluster(t, "http://n1", peers, nil)
+	// Find a key each of n1 and n2 owns; n1's must route local.
+	var selfKey, remoteKey string
+	for i := 0; selfKey == "" || remoteKey == ""; i++ {
+		key := "key-" + string(rune('a'+i%26)) + string(rune('0'+i/26))
+		if c.Ring().Owner(key) == "http://n1" {
+			selfKey = key
+		} else {
+			remoteKey = key
+		}
+	}
+	if d := c.Route(selfKey); d.Forward || d.Fallback || d.Peer != "http://n1" {
+		t.Fatalf("self-owned key routed %+v", d)
+	}
+	if d := c.Route(remoteKey); !d.Forward || d.Fallback || d.Peer != "http://n2" {
+		t.Fatalf("remote-owned key routed %+v", d)
+	}
+}
+
+func TestForwardStampsHeaderAndReturnsBody(t *testing.T) {
+	var gotHeader string
+	dial := func(peer string) client.Doer {
+		return stubDoer(func(r *http.Request) (*http.Response, error) {
+			gotHeader = r.Header.Get(ForwardHeader)
+			return httpResp(200, `{"ok":true}`), nil
+		})
+	}
+	c := testCluster(t, "http://n1", []string{"http://n1", "http://n2"}, dial)
+	body, err := c.Forward(context.Background(), "http://n2", "/v1/simulate", []byte(`{}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(body) != `{"ok":true}` {
+		t.Fatalf("forwarded body %q", body)
+	}
+	if gotHeader != "1" {
+		t.Fatalf("forwarded request carried %s=%q, want \"1\"", ForwardHeader, gotHeader)
+	}
+}
+
+func TestForwardTransportErrorMarksPeerDownAndProbeRevives(t *testing.T) {
+	down := true
+	dial := func(peer string) client.Doer {
+		return stubDoer(func(r *http.Request) (*http.Response, error) {
+			if down {
+				return nil, errors.New("connection refused")
+			}
+			return httpResp(200, "ok"), nil
+		})
+	}
+	c := testCluster(t, "http://n1", []string{"http://n1", "http://n2"}, dial)
+
+	if !c.Healthy("http://n2") {
+		t.Fatal("peer should start optimistically healthy")
+	}
+	if _, err := c.Forward(context.Background(), "http://n2", "/v1/simulate", []byte(`{}`)); err == nil {
+		t.Fatal("forward to a dead peer succeeded")
+	}
+	if c.Healthy("http://n2") {
+		t.Fatal("transport failure did not mark the peer down")
+	}
+	// Every key n2 owns now falls back locally instead of forwarding.
+	var remoteKey string
+	for i := 0; remoteKey == ""; i++ {
+		key := "key-" + string(rune('a'+i%26)) + string(rune('0'+i/26))
+		if c.Ring().Owner(key) == "http://n2" {
+			remoteKey = key
+		}
+	}
+	if d := c.Route(remoteKey); !d.Fallback {
+		t.Fatalf("down peer's key routed %+v, want fallback", d)
+	}
+
+	// The peer comes back; a probe cycle revives it.
+	down = false
+	c.probeOnce(context.Background())
+	if !c.Healthy("http://n2") {
+		t.Fatal("successful probe did not revive the peer")
+	}
+	if d := c.Route(remoteKey); !d.Forward {
+		t.Fatalf("revived peer's key routed %+v, want forward", d)
+	}
+}
+
+func TestForwardAPIErrorIsNotAHealthSignal(t *testing.T) {
+	dial := func(peer string) client.Doer {
+		return stubDoer(func(r *http.Request) (*http.Response, error) {
+			return httpResp(400, `{"error":{"code":"bad_request","message":"nope"}}`), nil
+		})
+	}
+	c := testCluster(t, "http://n1", []string{"http://n1", "http://n2"}, dial)
+	_, err := c.Forward(context.Background(), "http://n2", "/v1/simulate", []byte(`{}`))
+	var apiErr *client.APIError
+	if !errors.As(err, &apiErr) || apiErr.Status != 400 {
+		t.Fatalf("forward returned %v, want a 400 *client.APIError", err)
+	}
+	if !c.Healthy("http://n2") {
+		t.Fatal("an owner-served error envelope marked the peer down")
+	}
+}
+
+func TestProbe503MarksPeerDown(t *testing.T) {
+	dial := func(peer string) client.Doer {
+		return stubDoer(func(r *http.Request) (*http.Response, error) {
+			return httpResp(503, `{"error":{"code":"overloaded","message":"restoring"}}`), nil
+		})
+	}
+	c := testCluster(t, "http://n1", []string{"http://n1", "http://n2"}, dial)
+	c.probeOnce(context.Background())
+	if c.Healthy("http://n2") {
+		t.Fatal("peer answering 503 /readyz still considered healthy")
+	}
+}
+
+func TestStatsCoversEveryPeer(t *testing.T) {
+	dial := func(peer string) client.Doer {
+		return stubDoer(func(r *http.Request) (*http.Response, error) {
+			return httpResp(200, "ok"), nil
+		})
+	}
+	c := testCluster(t, "http://n2", []string{"http://n3", "http://n1", "http://n2"}, dial)
+	if _, err := c.Forward(context.Background(), "http://n3", "/v1/simulate", []byte(`{}`)); err != nil {
+		t.Fatal(err)
+	}
+	st := c.Stats()
+	if st.Self != "http://n2" || st.VNodes != DefaultVNodes {
+		t.Fatalf("stats header %+v", st)
+	}
+	if len(st.Peers) != 3 {
+		t.Fatalf("stats cover %d peers, want 3", len(st.Peers))
+	}
+	for i, p := range st.Peers {
+		if i > 0 && st.Peers[i-1].Addr >= p.Addr {
+			t.Fatalf("peers not in canonical order: %q before %q", st.Peers[i-1].Addr, p.Addr)
+		}
+		if p.OwnedVNodes != DefaultVNodes {
+			t.Errorf("peer %s owns %d vnodes, want %d", p.Addr, p.OwnedVNodes, DefaultVNodes)
+		}
+		switch p.Addr {
+		case "http://n2":
+			if !p.Self {
+				t.Error("self peer not marked")
+			}
+		case "http://n3":
+			if p.Forwards != 1 || p.ForwardNs <= 0 {
+				t.Errorf("forward counters %+v, want forwards=1 with latency", p)
+			}
+		}
+	}
+}

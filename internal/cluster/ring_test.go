@@ -1,0 +1,123 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+// The whole clustering design rests on every node computing identical
+// ownership from the same peer set — these tests pin that property.
+
+func TestRingOwnershipIsOrderInsensitive(t *testing.T) {
+	a, err := NewRing([]string{"http://n1", "http://n2", "http://n3"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewRing([]string{"http://n3", "http://n1", "http://n2"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 1000; i++ {
+		key := fmt.Sprintf("spec-hash-%d", i)
+		if ao, bo := a.Owner(key), b.Owner(key); ao != bo {
+			t.Fatalf("key %q: owner %q from one peer order, %q from another", key, ao, bo)
+		}
+	}
+}
+
+func TestRingEveryPeerOwnsAShare(t *testing.T) {
+	peers := []string{"http://n1", "http://n2", "http://n3", "http://n4", "http://n5"}
+	r, err := NewRing(peers, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	owned := make(map[string]int)
+	const keys = 10000
+	for i := 0; i < keys; i++ {
+		owned[r.Owner(fmt.Sprintf("spec-hash-%d", i))]++
+	}
+	for _, p := range peers {
+		if owned[p] == 0 {
+			t.Errorf("peer %s owns no keys out of %d", p, keys)
+		}
+	}
+	// With 64 vnodes the max/min share imbalance should be bounded — this
+	// is a loose sanity check (3x), not a balance guarantee. The measured
+	// ratio is ~1.6x; anything past 3x means the ring hash regressed.
+	min, max := keys, 0
+	for _, n := range owned {
+		if n < min {
+			min = n
+		}
+		if n > max {
+			max = n
+		}
+	}
+	if max > 3*min {
+		t.Errorf("ownership too skewed: min %d max %d", min, max)
+	}
+}
+
+func TestRingSinglePeerOwnsEverything(t *testing.T) {
+	r, err := NewRing([]string{"http://only"}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		if o := r.Owner(fmt.Sprintf("k%d", i)); o != "http://only" {
+			t.Fatalf("single-peer ring routed %q to %q", fmt.Sprintf("k%d", i), o)
+		}
+	}
+}
+
+func TestRingOwnerIsStableAcrossCalls(t *testing.T) {
+	r, err := NewRing([]string{"http://n1", "http://n2", "http://n3"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		key := fmt.Sprintf("k%d", i)
+		first := r.Owner(key)
+		for j := 0; j < 3; j++ {
+			if got := r.Owner(key); got != first {
+				t.Fatalf("key %q: owner changed between calls: %q then %q", key, first, got)
+			}
+		}
+	}
+}
+
+func TestRingRejectsBadPeerLists(t *testing.T) {
+	if _, err := NewRing(nil, 0); err == nil {
+		t.Error("empty peer list accepted")
+	}
+	if _, err := NewRing([]string{"http://n1", "http://n1"}, 0); err == nil {
+		t.Error("duplicate peer accepted")
+	}
+}
+
+func TestRingSharesSumToTotalPoints(t *testing.T) {
+	r, err := NewRing([]string{"http://n1", "http://n2"}, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, n := range r.Shares() {
+		total += n
+	}
+	if total != 64 {
+		t.Fatalf("shares sum to %d, want 2 peers x 32 vnodes = 64", total)
+	}
+	if r.VNodes() != 32 {
+		t.Fatalf("VNodes() = %d, want 32", r.VNodes())
+	}
+}
+
+func TestRingDefaultVNodes(t *testing.T) {
+	r, err := NewRing([]string{"http://n1"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.VNodes() != DefaultVNodes {
+		t.Fatalf("VNodes() = %d, want DefaultVNodes %d", r.VNodes(), DefaultVNodes)
+	}
+}

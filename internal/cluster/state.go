@@ -1,0 +1,138 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"time"
+)
+
+// Store persists one node's durable state — the response cache and the
+// finished sweep jobs, as one opaque payload produced by the service layer
+// — to a versioned on-disk format, so restarts are warm and long sweeps
+// survive deploys.
+//
+// The format is a single file, <dir>/state.snap:
+//
+//	stochsched-state v1 crc32=%08x size=%d\n
+//	<payload bytes>
+//
+// The header pins the format version and a CRC-32 (IEEE) of the payload;
+// Load rejects anything whose version, length, or checksum disagrees, so
+// a truncated or corrupted snapshot is discarded (the node boots cold)
+// rather than silently restoring garbage. Writes go through a temp file
+// and rename, so a crash mid-snapshot leaves the previous snapshot intact.
+type Store struct {
+	dir string
+}
+
+const (
+	stateFileName = "state.snap"
+	stateMagic    = "stochsched-state"
+	stateVersion  = "v1"
+)
+
+// NewStore opens (creating if needed) the state directory.
+func NewStore(dir string) (*Store, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("cluster: state dir is empty")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("cluster: creating state dir: %w", err)
+	}
+	return &Store{dir: dir}, nil
+}
+
+// Path returns the snapshot file's path.
+func (s *Store) Path() string { return filepath.Join(s.dir, stateFileName) }
+
+// Save atomically writes payload as the current snapshot.
+func (s *Store) Save(payload []byte) error {
+	var buf bytes.Buffer
+	fmt.Fprintf(&buf, "%s %s crc32=%08x size=%d\n",
+		stateMagic, stateVersion, crc32.ChecksumIEEE(payload), len(payload))
+	buf.Write(payload)
+
+	tmp, err := os.CreateTemp(s.dir, stateFileName+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("cluster: creating snapshot temp file: %w", err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if _, err := tmp.Write(buf.Bytes()); err != nil {
+		tmp.Close()
+		return fmt.Errorf("cluster: writing snapshot: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("cluster: writing snapshot: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), s.Path()); err != nil {
+		return fmt.Errorf("cluster: publishing snapshot: %w", err)
+	}
+	return nil
+}
+
+// Load reads and verifies the current snapshot, returning its payload.
+// A missing file is not an error: (nil, nil) means "boot cold". Any
+// mismatch between the header and the payload — wrong magic or version,
+// truncated payload, checksum disagreement — is an error and no payload
+// is returned.
+func (s *Store) Load() ([]byte, error) {
+	data, err := os.ReadFile(s.Path())
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("cluster: reading snapshot: %w", err)
+	}
+	nl := bytes.IndexByte(data, '\n')
+	if nl < 0 {
+		return nil, fmt.Errorf("cluster: snapshot %s: missing header", s.Path())
+	}
+	var version string
+	var sum uint32
+	var size int
+	if _, err := fmt.Sscanf(string(data[:nl]), stateMagic+" %s crc32=%x size=%d", &version, &sum, &size); err != nil {
+		return nil, fmt.Errorf("cluster: snapshot %s: malformed header: %w", s.Path(), err)
+	}
+	if version != stateVersion {
+		return nil, fmt.Errorf("cluster: snapshot %s: unsupported version %q (want %s)", s.Path(), version, stateVersion)
+	}
+	payload := data[nl+1:]
+	if len(payload) != size {
+		return nil, fmt.Errorf("cluster: snapshot %s: truncated: %d payload bytes, header says %d", s.Path(), len(payload), size)
+	}
+	if got := crc32.ChecksumIEEE(payload); got != sum {
+		return nil, fmt.Errorf("cluster: snapshot %s: checksum mismatch: %08x, header says %08x", s.Path(), got, sum)
+	}
+	return payload, nil
+}
+
+// Run snapshots periodically until ctx is cancelled: every interval it
+// calls snapshot for the current payload and saves it, reporting failures
+// to onErr (which may be nil). The final on-shutdown snapshot is the
+// daemon's responsibility — Run stops silently on cancellation so the
+// shutdown path controls the last write.
+func (s *Store) Run(ctx context.Context, interval time.Duration, snapshot func() ([]byte, error), onErr func(error)) {
+	if interval <= 0 {
+		return
+	}
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			payload, err := snapshot()
+			if err == nil {
+				err = s.Save(payload)
+			}
+			if err != nil && onErr != nil {
+				onErr(err)
+			}
+		}
+	}
+}

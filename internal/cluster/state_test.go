@@ -1,0 +1,114 @@
+package cluster
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestStoreRoundTrip(t *testing.T) {
+	st, err := NewStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := []byte(`{"cache":{"entries":[{"key":"k","body":"e30="}]}}`)
+	if err := st.Save(payload); err != nil {
+		t.Fatal(err)
+	}
+	got, err := st.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("Load returned %q, want %q", got, payload)
+	}
+}
+
+func TestStoreLoadMissingIsCold(t *testing.T) {
+	st, err := NewStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := st.Load()
+	if err != nil || got != nil {
+		t.Fatalf("Load on empty dir = (%q, %v), want (nil, nil)", got, err)
+	}
+}
+
+func TestStoreSaveOverwritesAtomically(t *testing.T) {
+	st, err := NewStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Save([]byte("first")); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Save([]byte("second")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := st.Load()
+	if err != nil || string(got) != "second" {
+		t.Fatalf("Load = (%q, %v), want second", got, err)
+	}
+	// No temp files left behind.
+	entries, err := os.ReadDir(filepath.Dir(st.Path()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("state dir holds %d files, want only the snapshot", len(entries))
+	}
+}
+
+func TestStoreRejectsCorruption(t *testing.T) {
+	cases := []struct {
+		name    string
+		corrupt func(path string, original []byte) []byte
+	}{
+		{"flipped payload byte", func(_ string, data []byte) []byte {
+			out := append([]byte(nil), data...)
+			out[len(out)-1] ^= 0xff
+			return out
+		}},
+		{"truncated payload", func(_ string, data []byte) []byte {
+			return data[:len(data)-3]
+		}},
+		{"missing header", func(_ string, _ []byte) []byte {
+			return []byte("not a snapshot at all")
+		}},
+		{"future version", func(_ string, data []byte) []byte {
+			return bytes.Replace(data, []byte(" v1 "), []byte(" v9 "), 1)
+		}},
+		{"empty file", func(_ string, _ []byte) []byte {
+			return nil
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			st, err := NewStore(t.TempDir())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := st.Save([]byte(`{"some":"payload"}`)); err != nil {
+				t.Fatal(err)
+			}
+			data, err := os.ReadFile(st.Path())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(st.Path(), tc.corrupt(st.Path(), data), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			if got, err := st.Load(); err == nil {
+				t.Fatalf("Load accepted corrupted snapshot, returned %d bytes", len(got))
+			}
+		})
+	}
+}
+
+func TestStoreRejectsEmptyDir(t *testing.T) {
+	if _, err := NewStore(""); err == nil {
+		t.Error("NewStore(\"\") accepted")
+	}
+}

@@ -3,6 +3,7 @@ package service
 import (
 	"context"
 	"fmt"
+	"sort"
 	"sync"
 
 	"stochsched/internal/obs"
@@ -167,6 +168,74 @@ func (c *Cache) Len() int {
 // how an over-budget working set shows up; watching entries grow with zero
 // evictions across a warm sweep is how per-point cache reuse shows up.
 type CacheStats = api.CacheStats
+
+// ---------------------------------------------------------------------------
+// Snapshot / restore (the durability layer — see internal/cluster.Store)
+
+// CacheEntrySnapshot is one completed entry's durable form. Body is the
+// exact cached response bytes, so a restored hit is byte-identical to the
+// hit the entry served before the restart.
+type CacheEntrySnapshot struct {
+	Key  string `json:"key"`
+	Body []byte `json:"body"`
+}
+
+// CacheSnapshot is the cache's durable form: every completed entry plus
+// the cumulative eviction count, so the /v1/stats eviction counter
+// survives restarts along with the entries themselves.
+type CacheSnapshot struct {
+	Entries   []CacheEntrySnapshot `json:"entries"`
+	Evictions int64                `json:"evictions"`
+}
+
+// Snapshot captures every completed entry, sorted by key so the encoded
+// snapshot is deterministic for a given cache content. In-flight entries
+// are skipped — their computation belongs to the live process — and failed
+// entries never exist (run unpublishes them).
+func (c *Cache) Snapshot() CacheSnapshot {
+	var snap CacheSnapshot
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		snap.Evictions += sh.evictions
+		for k, e := range sh.m {
+			select {
+			case <-e.done:
+				snap.Entries = append(snap.Entries, CacheEntrySnapshot{Key: k, Body: e.body})
+			default:
+			}
+		}
+		sh.mu.Unlock()
+	}
+	sort.Slice(snap.Entries, func(i, j int) bool { return snap.Entries[i].Key < snap.Entries[j].Key })
+	return snap
+}
+
+// Restore installs a snapshot's entries as completed cache entries,
+// skipping keys already present (live entries win) and silently dropping
+// entries beyond a shard's budget — a restore must not blow the memory
+// bound, and dropping an arbitrary completed entry is exactly the
+// eviction policy (without billing the eviction counter, since nothing
+// was ever resident). The snapshot's eviction count is credited to shard
+// 0 — per-shard attribution is not preserved, but CacheStats only ever
+// sums evictions, so the restored view is indistinguishable.
+func (c *Cache) Restore(snap CacheSnapshot) {
+	for _, ent := range snap.Entries {
+		sh := c.shard(ent.Key)
+		e := &cacheEntry{done: make(chan struct{}), body: ent.Body}
+		close(e.done)
+		sh.mu.Lock()
+		_, exists := sh.m[ent.Key]
+		if !exists && (c.perShard <= 0 || len(sh.m) < c.perShard) {
+			sh.m[ent.Key] = e
+		}
+		sh.mu.Unlock()
+	}
+	sh := &c.shards[0]
+	sh.mu.Lock()
+	sh.evictions += snap.Evictions
+	sh.mu.Unlock()
+}
 
 // Stats gathers per-shard counters. Shards are locked one at a time, so the
 // view is per-shard consistent, not globally atomic.

@@ -1,0 +1,148 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"stochsched/internal/cluster"
+	"stochsched/internal/obs"
+	"stochsched/internal/sweep"
+	"stochsched/pkg/api"
+	"stochsched/pkg/client"
+)
+
+// This file is the serving layer's cluster integration: relaying requests
+// whose cache key another peer owns (with the depth-1 forwarded guard and
+// degraded-mode local fallback), and the snapshot/restore surface the
+// daemon persists through internal/cluster.Store. The ring itself, the
+// per-peer clients, and the health probing live in internal/cluster.
+
+// maybeForward routes one parsed request on the ring and, when a healthy
+// remote peer owns its cache key, relays the request there and writes the
+// peer's response (or relays its error envelope). It reports whether the
+// response has been written — false means "serve locally": single-node
+// deployments, self-owned keys, requests already forwarded once (the loop
+// guard), and transport failures against an owner that just went down
+// (Forward has marked it; this request falls back rather than erroring).
+func (s *Server) maybeForward(w http.ResponseWriter, r *http.Request, m *EndpointMetrics, path, key string, body []byte) bool {
+	if s.cluster == nil || r.Header.Get(cluster.ForwardHeader) != "" {
+		return false
+	}
+	d := s.cluster.Route(key)
+	if !d.Forward {
+		if d.Fallback {
+			obs.RootSpan(r.Context()).Annotate("cluster", "fallback")
+		}
+		return false
+	}
+	root := obs.RootSpan(r.Context())
+	fsp := root.StartChild("forward")
+	fsp.Annotate("peer", d.Peer)
+	resp, err := s.cluster.Forward(r.Context(), d.Peer, path, body)
+	fsp.End()
+	if err != nil {
+		var apiErr *client.APIError
+		if errors.As(err, &apiErr) {
+			// The owner served the request and answered an error: relay it
+			// verbatim — writeError reproduces the identical envelope, so a
+			// forwarded rejection is byte-identical to a local one.
+			if apiErr.Status == http.StatusTooManyRequests {
+				m.shed.Add(1)
+			} else {
+				m.errors.Add(1)
+			}
+			root.Annotate("outcome", "forward")
+			writeError(w, apiErr.Status, apiErr.Code, apiErr.Message)
+			return true
+		}
+		// Transport failure: the peer is marked down; serve locally. The
+		// response is byte-identical either way — that is the determinism
+		// contract degraded mode rests on.
+		root.Annotate("cluster", "fallback")
+		return false
+	}
+	root.Annotate("outcome", "forward")
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("X-Cache", "forward")
+	w.Write(resp)
+	return true
+}
+
+// forwardItem is maybeForward for one /v1/batch item: same routing, same
+// loop guard (the caller suppresses it on forwarded batches), same
+// degraded-mode fallback, rendered as a per-item result instead of an
+// HTTP response. handled false means "serve the item locally".
+func (s *Server) forwardItem(ctx context.Context, m *EndpointMetrics, path, key string, body []byte) (res api.BatchItemResult, handled bool) {
+	if s.cluster == nil {
+		return res, false
+	}
+	d := s.cluster.Route(key)
+	if !d.Forward {
+		return res, false
+	}
+	fctx, fsp := obs.Start(ctx, "forward")
+	fsp.Annotate("peer", d.Peer)
+	resp, err := s.cluster.Forward(fctx, d.Peer, path, body)
+	fsp.End()
+	if err != nil {
+		var apiErr *client.APIError
+		if errors.As(err, &apiErr) {
+			if apiErr.Status == http.StatusTooManyRequests {
+				m.shed.Add(1)
+			} else {
+				m.errors.Add(1)
+			}
+			return batchItemError(apiErr.Status, apiErr.Code, apiErr.Message), true
+		}
+		return res, false // owner down: compute the item locally
+	}
+	return api.BatchItemResult{Status: http.StatusOK, Body: resp}, true
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot / restore
+
+// serverState is the on-disk payload internal/cluster.Store wraps in its
+// versioned, checksummed envelope: the response cache and the sweep job
+// store, the two stores whose loss makes a restart cold.
+type serverState struct {
+	SavedUnixNs int64               `json:"saved_unix_ns"`
+	Cache       CacheSnapshot       `json:"cache"`
+	Sweeps      sweep.StoreSnapshot `json:"sweeps"`
+}
+
+// SnapshotState encodes the server's durable state. Callable at any time;
+// each store is captured under its own locks (per-store consistent, not
+// globally atomic — fine for caches of pure functions).
+func (s *Server) SnapshotState() ([]byte, error) {
+	return json.Marshal(serverState{
+		SavedUnixNs: time.Now().UnixNano(),
+		Cache:       s.cache.Snapshot(),
+		Sweeps:      s.sweeps.SnapshotStore(),
+	})
+}
+
+// RestoreState decodes data (a SnapshotState payload) and installs it:
+// cached responses become warm hits, terminal sweep jobs become fetchable
+// again, and the eviction/lifetime counters resume. Live entries win over
+// restored ones, so restoring into a serving node is safe (the daemon
+// restores at boot, before readiness).
+func (s *Server) RestoreState(data []byte) error {
+	var st serverState
+	if err := json.Unmarshal(data, &st); err != nil {
+		return fmt.Errorf("service: decoding state snapshot: %w", err)
+	}
+	s.cache.Restore(st.Cache)
+	s.sweeps.RestoreStore(st.Sweeps)
+	return nil
+}
+
+// SetRestoring flips the /readyz restore gate: while true, readiness
+// answers 503 so load balancers and cluster peers do not route to a node
+// still cold-loading its snapshot. The daemon sets it around its boot
+// restore; /healthz is unaffected (the process is alive throughout).
+func (s *Server) SetRestoring(v bool) { s.restoring.Store(v) }

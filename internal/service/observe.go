@@ -132,12 +132,20 @@ func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 
 // handleReadyz serves GET /readyz — readiness, as distinct from the
 // /healthz liveness probe. The node is unready (503 + the standard error
-// envelope) exactly when admission would shed a new request right now:
-// every execution slot busy and the interactive queue at its bound. A
-// load balancer draining on /readyz steers traffic away before clients
-// see 429s; /healthz stays 200 throughout, so the process is not killed
+// envelope) when a boot-time state restore is still in progress (the
+// cache and job store are cold-loading — see Server.SetRestoring) or when
+// admission would shed a new request right now: every execution slot busy
+// and the interactive queue at its bound. A load balancer draining on
+// /readyz steers traffic away before clients see 429s, and cluster peers
+// probing it treat an unready node as down (degraded-mode local
+// fallback); /healthz stays 200 throughout, so the process is not killed
 // for being busy.
 func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if s.restoring.Load() {
+		writeError(w, http.StatusServiceUnavailable, api.ErrCodeUnavailable,
+			"state restore in progress")
+		return
+	}
 	if s.admit.Saturated() {
 		writeError(w, http.StatusServiceUnavailable, api.ErrCodeOverloaded,
 			"admission queue saturated: new requests would be shed")

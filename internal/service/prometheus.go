@@ -6,6 +6,8 @@ import (
 	"sort"
 	"strconv"
 	"time"
+
+	"stochsched/pkg/api"
 )
 
 // This file renders GET /metrics: the Prometheus text exposition (format
@@ -112,6 +114,38 @@ func (s *Server) renderMetrics(b *bytes.Buffer) {
 	promHeader(b, "stochsched_engine_chunks_total", "Task chunks executed, by where they ran.", "counter")
 	promSample(b, "stochsched_engine_chunks_total", `mode="worker"`, float64(pm.ChunksDispatched))
 	promSample(b, "stochsched_engine_chunks_total", `mode="inline"`, float64(pm.ChunksInline))
+
+	// Cluster families appear only on multi-node deployments (-peers),
+	// labelled by peer address — this node's view of the ring, matching the
+	// cluster block of /v1/stats sample for sample.
+	if s.cluster != nil {
+		cs := s.cluster.Stats()
+		perPeer := func(metric, help, typ string, value func(p api.ClusterPeerStats) float64) {
+			promHeader(b, metric, help, typ)
+			for _, p := range cs.Peers {
+				promSample(b, metric, `peer="`+p.Addr+`"`, value(p))
+			}
+		}
+		perPeer("stochsched_cluster_peer_healthy", "Current health view of each ring peer (1 healthy, 0 down).", "gauge",
+			func(p api.ClusterPeerStats) float64 {
+				if p.Healthy {
+					return 1
+				}
+				return 0
+			})
+		perPeer("stochsched_cluster_forwards_total", "Requests forwarded to each owning peer.", "counter",
+			func(p api.ClusterPeerStats) float64 { return float64(p.Forwards) })
+		perPeer("stochsched_cluster_forward_errors_total", "Forwards that failed at the transport level (fell back to local compute).", "counter",
+			func(p api.ClusterPeerStats) float64 { return float64(p.ForwardErrors) })
+		perPeer("stochsched_cluster_forward_seconds_total", "Cumulative wall-clock time spent forwarding, by peer.", "counter",
+			func(p api.ClusterPeerStats) float64 { return float64(p.ForwardNs) / float64(time.Second) })
+		perPeer("stochsched_cluster_fallbacks_total", "Requests a down peer owned that were served locally (degraded mode).", "counter",
+			func(p api.ClusterPeerStats) float64 { return float64(p.Fallbacks) })
+		perPeer("stochsched_cluster_probes_total", "Health probes issued against each peer's /readyz.", "counter",
+			func(p api.ClusterPeerStats) float64 { return float64(p.Probes) })
+		perPeer("stochsched_cluster_probe_failures_total", "Health probes that failed, by peer.", "counter",
+			func(p api.ClusterPeerStats) float64 { return float64(p.ProbeFailures) })
+	}
 }
 
 // promHeader writes a family's HELP and TYPE lines.

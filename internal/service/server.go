@@ -28,8 +28,10 @@ import (
 	"io"
 	"log/slog"
 	"net/http"
+	"sync/atomic"
 	"time"
 
+	"stochsched/internal/cluster"
 	"stochsched/internal/engine"
 	"stochsched/internal/obs"
 	"stochsched/internal/scenario"
@@ -93,6 +95,12 @@ type Config struct {
 	// in-process/test use; the daemon wires a real handler from its
 	// -log-level/-log-format flags.
 	Logger *slog.Logger
+	// Cluster, when non-nil, makes this node one member of a multi-node
+	// ring (the daemon builds it from -peers/-self): index/simulate
+	// requests for spec hashes another peer owns are forwarded there, and
+	// sweep cells fan out across the ring. nil — the default — serves
+	// everything locally.
+	Cluster *cluster.Cluster
 }
 
 func (c Config) withDefaults() Config {
@@ -141,27 +149,33 @@ func (c Config) withDefaults() Config {
 // Server is the policy service. Construct with New; it is safe for
 // concurrent use.
 type Server struct {
-	cfg    Config
-	pool   *engine.Pool
-	cache  *Cache
-	admit  *Admission
-	sweeps *sweep.Manager
-	eps    map[string]*EndpointMetrics
-	rec    *obs.Recorder
-	log    *slog.Logger
+	cfg     Config
+	pool    *engine.Pool
+	cache   *Cache
+	admit   *Admission
+	sweeps  *sweep.Manager
+	eps     map[string]*EndpointMetrics
+	rec     *obs.Recorder
+	log     *slog.Logger
+	cluster *cluster.Cluster
+	// restoring gates /readyz: true while a state-snapshot restore is in
+	// progress at boot, so load balancers do not route to a node whose
+	// cache and job store are still cold-loading (see SetRestoring).
+	restoring atomic.Bool
 }
 
 // New returns a server with the given configuration.
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	s := &Server{
-		cfg:   cfg,
-		pool:  engine.NewPool(cfg.Parallel),
-		cache: NewCache(cfg.CacheShards, cfg.CacheEntriesPerShard),
-		admit: NewAdmission(cfg.MaxInflight, cfg.MaxQueue),
-		eps:   make(map[string]*EndpointMetrics),
-		rec:   obs.NewRecorder(cfg.TraceBuffer),
-		log:   cfg.Logger,
+		cfg:     cfg,
+		pool:    engine.NewPool(cfg.Parallel),
+		cache:   NewCache(cfg.CacheShards, cfg.CacheEntriesPerShard),
+		admit:   NewAdmission(cfg.MaxInflight, cfg.MaxQueue),
+		eps:     make(map[string]*EndpointMetrics),
+		rec:     obs.NewRecorder(cfg.TraceBuffer),
+		log:     cfg.Logger,
+		cluster: cfg.Cluster,
 	}
 	// gittins/whittle/priority are the legacy alias routes over /v1/index,
 	// kept as distinct buckets so pre-v2 dashboards keep working. sweep and
@@ -173,7 +187,23 @@ func New(cfg Config) *Server {
 	} {
 		s.eps[name] = &EndpointMetrics{}
 	}
-	s.sweeps = sweep.NewManager(s, sweep.Config{
+	// In a cluster, sweep cells route to their owning peer exactly like
+	// interactive /v1/simulate traffic for the same spec would, so the
+	// whole ring is one memoization domain for sweeps too. The routing key
+	// is the simulate cache key, built by the service's own request parser
+	// — sweep routing and interactive routing can never disagree on
+	// ownership.
+	var be sweep.Backend = s
+	if s.cluster != nil {
+		be = cluster.NewBackend(s.cluster, s, func(body []byte) (string, error) {
+			req, err := s.parseSimulate(body)
+			if err != nil {
+				return "", err
+			}
+			return "simulate:" + req.Hash(), nil
+		})
+	}
+	s.sweeps = sweep.NewManager(be, sweep.Config{
 		MaxJobs:  cfg.SweepMaxJobs,
 		MaxCells: cfg.SweepMaxCells,
 		Parallel: cfg.Parallel,
@@ -363,6 +393,14 @@ func (s *Server) solverEndpoint(name string, parse func(s *Server, body []byte) 
 		}
 		root.Annotate("kind", p.kind)
 		root.Annotate("spec_hash", p.hash)
+		// In a cluster, a spec hash another peer owns is relayed there —
+		// unless this request is itself a forward (depth-1 loop guard) or
+		// the owner is down (degraded-mode local fallback). Routing is by
+		// cache key, so requests that share a cached body (a legacy alias
+		// and its /v1/index equivalent) also share an owner.
+		if s.maybeForward(w, r, m, "/v1/"+name, p.key, body) {
+			return
+		}
 		resp, outcome, err := s.serve(ctx, p)
 		if err != nil {
 			status, code := errorStatus(err)
@@ -591,6 +629,10 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	}
 	m.batchItems.Add(int64(len(req.Items)))
 
+	// Forwarded batches serve every item locally (depth-1 loop guard):
+	// the peer that forwarded already made the routing decision.
+	forwarded := r.Header.Get(cluster.ForwardHeader) != ""
+
 	// engine.Map fans the items out over the shared pool (degrading to
 	// inline execution when it is saturated) and returns results in item
 	// order. Item functions never return errors — failures are encoded
@@ -600,7 +642,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	results, err := engine.Map(r.Context(), s.pool, len(req.Items),
 		func(ctx context.Context, i int) (api.BatchItemResult, error) {
 			ictx, isp := obs.Start(ctx, fmt.Sprintf("item[%d]", i))
-			res := s.batchItem(ictx, m, req.Items[i])
+			res := s.batchItem(ictx, m, req.Items[i], forwarded)
 			isp.Annotate("status", fmt.Sprint(res.Status))
 			isp.End()
 			return res, nil
@@ -623,21 +665,31 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 
 // batchItem executes one batch item end to end and renders its outcome as
 // the per-item status/body pair — the same status and body the single-call
-// endpoint would have produced.
-func (s *Server) batchItem(ctx context.Context, m *EndpointMetrics, item api.BatchItem) api.BatchItemResult {
+// endpoint would have produced. In a cluster, each item routes on its own
+// cache key (forwarded set suppresses re-routing on relayed batches), so
+// one batch fans out across every peer that owns one of its items.
+func (s *Server) batchItem(ctx context.Context, m *EndpointMetrics, item api.BatchItem, forwarded bool) api.BatchItemResult {
 	var p parsed
+	var path string
 	var err error
 	switch item.Op {
 	case api.OpIndex:
 		p, err = parseIndex(s, item.Body)
+		path = "/v1/index"
 	case api.OpSimulate:
 		p, err = computeSimulate(s, item.Body)
+		path = "/v1/simulate"
 	default:
 		err = badRequest{fmt.Errorf("unknown batch op %q (want %s or %s)", item.Op, api.OpIndex, api.OpSimulate)}
 	}
 	if err != nil {
 		m.errors.Add(1)
 		return batchItemError(http.StatusBadRequest, api.ErrCodeBadRequest, err.Error())
+	}
+	if !forwarded {
+		if res, handled := s.forwardItem(ctx, m, path, p.key, item.Body); handled {
+			return res
+		}
 	}
 	resp, outcome, err := s.serve(ctx, p)
 	if err != nil {
@@ -703,6 +755,9 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		},
 		InFlight: s.admit.InFlight(),
 		Waiting:  s.admit.Waiting(),
+	}
+	if s.cluster != nil {
+		resp.Cluster = s.cluster.Stats()
 	}
 	for name, m := range s.eps {
 		resp.Endpoints[name] = m.snapshot()

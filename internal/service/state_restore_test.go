@@ -1,0 +1,280 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"stochsched/internal/cluster"
+	"stochsched/internal/scenario/scenariotest"
+	"stochsched/pkg/api"
+)
+
+// These tests pin the durability satellite at the serving layer: a
+// SnapshotState payload restored into a fresh server reproduces warm-hit
+// bodies byte-for-byte, carries the eviction and sweep lifetime counters
+// across, and makes finished sweeps fetchable again. Envelope-level
+// corruption (CRC, truncation, versioning) is pinned in
+// internal/cluster/state_test.go; here we cover the payload contract.
+
+func statsOf(t *testing.T, s *Server) api.StatsResponse {
+	t.Helper()
+	w := httptest.NewRecorder()
+	s.Handler().ServeHTTP(w, httptest.NewRequest(http.MethodGet, "/v1/stats", nil))
+	var resp api.StatsResponse
+	if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+// TestSnapshotRestoreWarmHits: every body cached before the snapshot is a
+// byte-identical warm hit after restoring into a cold server.
+func TestSnapshotRestoreWarmHits(t *testing.T) {
+	a := New(Config{})
+	bodies := map[string][]byte{}
+	for _, kind := range scenariotest.SimulateKinds() {
+		body := scenariotest.SimulateBody(kind, 71)
+		w := post(t, a.Handler(), "/v1/simulate", body)
+		if w.Code != http.StatusOK {
+			t.Fatalf("%s: code %d: %s", kind, w.Code, w.Body)
+		}
+		bodies[body] = w.Body.Bytes()
+	}
+
+	snap, err := a.SnapshotState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := New(Config{})
+	if err := b.RestoreState(snap); err != nil {
+		t.Fatal(err)
+	}
+	for body, want := range bodies {
+		w := post(t, b.Handler(), "/v1/simulate", body)
+		if w.Code != http.StatusOK {
+			t.Fatalf("restored server: code %d: %s", w.Code, w.Body)
+		}
+		if got := w.Header().Get("X-Cache"); got != "hit" {
+			t.Errorf("restored server answered X-Cache %q, want hit", got)
+		}
+		if !bytes.Equal(w.Body.Bytes(), want) {
+			t.Errorf("restored warm hit differs from the body cached before snapshot")
+		}
+	}
+	if n := b.eps["simulate"].misses.Load(); n != 0 {
+		t.Errorf("restored server recomputed %d specs, want 0", n)
+	}
+}
+
+// TestSnapshotRestorePreservesEvictionCounters: a cache that evicted
+// before the snapshot reports the same eviction count after restore —
+// operators comparing stats across a restart see continuity, not a reset.
+func TestSnapshotRestorePreservesEvictionCounters(t *testing.T) {
+	a := New(Config{CacheShards: 1, CacheEntriesPerShard: 1})
+	for seed := uint64(0); seed < 4; seed++ {
+		w := post(t, a.Handler(), "/v1/simulate", scenariotest.SimulateBody("mg1", 200+seed))
+		if w.Code != http.StatusOK {
+			t.Fatalf("seed %d: code %d", seed, w.Code)
+		}
+	}
+	before := statsOf(t, a).Cache.Evictions
+	if before == 0 {
+		t.Fatal("setup failed to force evictions")
+	}
+
+	snap, err := a.SnapshotState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := New(Config{CacheShards: 1, CacheEntriesPerShard: 1})
+	if err := b.RestoreState(snap); err != nil {
+		t.Fatal(err)
+	}
+	if got := statsOf(t, b).Cache.Evictions; got != before {
+		t.Errorf("evictions after restore = %d, want %d", got, before)
+	}
+}
+
+// TestSnapshotRestoreRespectsCapacity: restoring a large snapshot into a
+// smaller cache keeps the budget — entries beyond capacity are dropped,
+// not crammed in, and the drop is not billed as an eviction.
+func TestSnapshotRestoreRespectsCapacity(t *testing.T) {
+	a := New(Config{})
+	for seed := uint64(0); seed < 6; seed++ {
+		post(t, a.Handler(), "/v1/simulate", scenariotest.SimulateBody("mg1", 300+seed))
+	}
+	snap, err := a.SnapshotState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := New(Config{CacheShards: 1, CacheEntriesPerShard: 2})
+	if err := b.RestoreState(snap); err != nil {
+		t.Fatal(err)
+	}
+	st := statsOf(t, b).Cache
+	if st.Entries > 2 {
+		t.Errorf("restored cache holds %d entries, capacity 2", st.Entries)
+	}
+	if st.Evictions != 0 {
+		t.Errorf("capacity drops billed as %d evictions, want 0", st.Evictions)
+	}
+}
+
+// TestSnapshotRestoreSweepJobs: finished sweeps survive a restart — the
+// job is fetchable under its old ID with byte-identical NDJSON, lifetime
+// counters carry over, and new submissions never collide with restored IDs.
+func TestSnapshotRestoreSweepJobs(t *testing.T) {
+	a := New(Config{})
+	sweepBody := fmt.Sprintf(
+		`{"base": %s, "grid": {"axes": [{"path":"mg1.spec.classes.0.rate","values":[0.2,0.3]}]}, "policies": ["cmu","fifo"]}`,
+		scenariotest.SimulateBody("mg1", 73))
+	w := post(t, a.Handler(), "/v1/sweep", sweepBody)
+	if w.Code != http.StatusAccepted {
+		t.Fatalf("submit code %d: %s", w.Code, w.Body)
+	}
+	var st api.SweepStatus
+	if err := json.Unmarshal(w.Body.Bytes(), &st); err != nil {
+		t.Fatal(err)
+	}
+	waitSweep(t, a.Handler(), st.ID)
+	wantRows := getBody(t, a.Handler(), "/v1/sweep/"+st.ID+"/results")
+	sweepsBefore := statsOf(t, a).Sweeps
+
+	snap, err := a.SnapshotState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := New(Config{})
+	if err := b.RestoreState(snap); err != nil {
+		t.Fatal(err)
+	}
+
+	// The restored job is fetchable: status terminal, results identical.
+	sw := httptest.NewRecorder()
+	b.Handler().ServeHTTP(sw, httptest.NewRequest(http.MethodGet, "/v1/sweep/"+st.ID, nil))
+	if sw.Code != http.StatusOK {
+		t.Fatalf("restored job status code %d: %s", sw.Code, sw.Body)
+	}
+	var restored api.SweepStatus
+	if err := json.Unmarshal(sw.Body.Bytes(), &restored); err != nil {
+		t.Fatal(err)
+	}
+	if restored.State != api.SweepDone || restored.CellsDone != restored.CellsTotal {
+		t.Errorf("restored job %+v, want done and fully counted", restored)
+	}
+	gotRows := getBody(t, b.Handler(), "/v1/sweep/"+st.ID+"/results")
+	if !bytes.Equal(gotRows, wantRows) {
+		t.Errorf("restored sweep NDJSON differs:\n got %s\nwant %s", gotRows, wantRows)
+	}
+
+	// Lifetime counters resumed, not reset.
+	sweepsAfter := statsOf(t, b).Sweeps
+	if sweepsAfter.CellsExecuted != sweepsBefore.CellsExecuted {
+		t.Errorf("cells_executed after restore = %d, want %d",
+			sweepsAfter.CellsExecuted, sweepsBefore.CellsExecuted)
+	}
+
+	// A fresh submission on the restored server gets a new ID.
+	w2 := post(t, b.Handler(), "/v1/sweep", sweepBody)
+	if w2.Code != http.StatusAccepted {
+		t.Fatalf("post-restore submit code %d: %s", w2.Code, w2.Body)
+	}
+	var st2 api.SweepStatus
+	if err := json.Unmarshal(w2.Body.Bytes(), &st2); err != nil {
+		t.Fatal(err)
+	}
+	if st2.ID == st.ID {
+		t.Errorf("post-restore submission reused restored job ID %s", st.ID)
+	}
+	waitSweep(t, b.Handler(), st2.ID)
+}
+
+// TestRestoreStateRejectsGarbage: a payload that is not a state snapshot
+// errors instead of partially applying (the daemon then boots cold).
+func TestRestoreStateRejectsGarbage(t *testing.T) {
+	s := New(Config{})
+	if err := s.RestoreState([]byte("not json")); err == nil {
+		t.Error("garbage payload restored without error")
+	}
+	if err := s.RestoreState([]byte(`{"cache": {"entries": "wrong-type"}}`)); err == nil {
+		t.Error("mistyped payload restored without error")
+	}
+}
+
+// TestReadyzGatedOnRestore: while a restore is in flight /readyz answers
+// 503 unavailable (so peers and load balancers hold traffic) and /healthz
+// stays 200 (the process is alive); readiness returns once restore ends.
+func TestReadyzGatedOnRestore(t *testing.T) {
+	s := New(Config{})
+	s.SetRestoring(true)
+
+	w := httptest.NewRecorder()
+	s.Handler().ServeHTTP(w, httptest.NewRequest(http.MethodGet, "/readyz", nil))
+	if w.Code != http.StatusServiceUnavailable {
+		t.Errorf("/readyz during restore = %d, want 503", w.Code)
+	}
+	if !strings.Contains(w.Body.String(), api.ErrCodeUnavailable) {
+		t.Errorf("/readyz 503 body %s, want code %s", w.Body, api.ErrCodeUnavailable)
+	}
+	w = httptest.NewRecorder()
+	s.Handler().ServeHTTP(w, httptest.NewRequest(http.MethodGet, "/healthz", nil))
+	if w.Code != http.StatusOK {
+		t.Errorf("/healthz during restore = %d, want 200", w.Code)
+	}
+
+	s.SetRestoring(false)
+	w = httptest.NewRecorder()
+	s.Handler().ServeHTTP(w, httptest.NewRequest(http.MethodGet, "/readyz", nil))
+	if w.Code != http.StatusOK {
+		t.Errorf("/readyz after restore = %d, want 200", w.Code)
+	}
+}
+
+// TestStoreRoundTripThroughService: the full daemon path — snapshot
+// through the versioned cluster.Store envelope to disk, load, restore —
+// reproduces warm hits. This is the integration seam main() wires.
+func TestStoreRoundTripThroughService(t *testing.T) {
+	store, err := cluster.NewStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := New(Config{})
+	body := scenariotest.SimulateBody("mg1", 79)
+	want := post(t, a.Handler(), "/v1/simulate", body).Body.Bytes()
+	snap, err := a.SnapshotState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := store.Save(snap); err != nil {
+		t.Fatal(err)
+	}
+
+	loaded, err := store.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := New(Config{})
+	if err := b.RestoreState(loaded); err != nil {
+		t.Fatal(err)
+	}
+	w := post(t, b.Handler(), "/v1/simulate", body)
+	if w.Header().Get("X-Cache") != "hit" || !bytes.Equal(w.Body.Bytes(), want) {
+		t.Error("disk round-trip did not reproduce the warm hit")
+	}
+}
+
+// getBody GETs path and returns the response body, failing on non-200.
+func getBody(t *testing.T, h http.Handler, path string) []byte {
+	t.Helper()
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, httptest.NewRequest(http.MethodGet, path, nil))
+	if w.Code != http.StatusOK {
+		t.Fatalf("GET %s: code %d: %s", path, w.Code, w.Body)
+	}
+	return w.Body.Bytes()
+}

@@ -207,6 +207,112 @@ func (m *Manager) Stats() ManagerStats {
 }
 
 // ---------------------------------------------------------------------------
+// Snapshot / restore (the durability layer — see internal/cluster.Store)
+
+// JobSnapshot is one terminal job's durable form: identity, outcome, and
+// the encoded NDJSON rows exactly as streamed, so a restored job's results
+// endpoint serves byte-identical output across a restart.
+type JobSnapshot struct {
+	ID        string   `json:"id"`
+	Hash      string   `json:"hash"`
+	Points    int      `json:"points"`
+	Policies  []string `json:"policies"`
+	Cells     int      `json:"cells"`
+	State     State    `json:"state"`
+	Error     string   `json:"error,omitempty"`
+	CellsDone int      `json:"cells_done"`
+	Rows      [][]byte `json:"rows"`
+	StartedNs int64    `json:"started_unix_ns"`
+	EndedNs   int64    `json:"finished_unix_ns"`
+	CellNs    int64    `json:"cell_ns"`
+}
+
+// StoreSnapshot is the job store's durable form: every terminal job in
+// insertion order plus the store-lifetime counters, so /v1/stats gauges
+// survive restarts. Running jobs are excluded — their computation belongs
+// to the live process and cannot be resumed from rows alone.
+type StoreSnapshot struct {
+	Jobs          []JobSnapshot `json:"jobs"`
+	Evictions     int64         `json:"evictions"`
+	CellsExecuted int64         `json:"cells_executed"`
+	ComputeNs     int64         `json:"compute_ns"`
+}
+
+// SnapshotStore captures every terminal job and the lifetime counters.
+func (m *Manager) SnapshotStore() StoreSnapshot {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	snap := StoreSnapshot{
+		Evictions:     m.evictions.Load(),
+		CellsExecuted: m.cellsExecuted.Load(),
+		ComputeNs:     m.computeNs.Load(),
+	}
+	for _, id := range m.order {
+		j := m.jobs[id]
+		j.mu.Lock()
+		if terminal(j.state) {
+			snap.Jobs = append(snap.Jobs, JobSnapshot{
+				ID:        j.ID,
+				Hash:      j.Hash,
+				Points:    j.Points,
+				Policies:  j.Policies,
+				Cells:     j.Cells,
+				State:     j.state,
+				Error:     j.errMsg,
+				CellsDone: j.cellsDone,
+				Rows:      j.rows,
+				StartedNs: j.started.UnixNano(),
+				EndedNs:   j.finished.UnixNano(),
+				CellNs:    j.cellNs,
+			})
+		}
+		j.mu.Unlock()
+	}
+	return snap
+}
+
+// RestoreStore installs a snapshot's jobs into the store, oldest first,
+// skipping IDs already present and respecting MaxJobs (excess newest jobs
+// are dropped — the same age preference as eviction). The sequence counter
+// advances past every restored ID, so new submissions can never collide
+// with a restored job's ID, and the lifetime counters resume where the
+// previous process left off.
+func (m *Manager) RestoreStore(snap StoreSnapshot) {
+	m.evictions.Add(snap.Evictions)
+	m.cellsExecuted.Add(snap.CellsExecuted)
+	m.computeNs.Add(snap.ComputeNs)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, js := range snap.Jobs {
+		var seq int64
+		if _, err := fmt.Sscanf(js.ID, "swp-%d-", &seq); err == nil && seq > m.seq {
+			m.seq = seq
+		}
+		if _, exists := m.jobs[js.ID]; exists || len(m.jobs) >= m.cfg.MaxJobs {
+			continue
+		}
+		job := &Job{
+			ID:        js.ID,
+			Hash:      js.Hash,
+			Points:    js.Points,
+			Policies:  js.Policies,
+			Cells:     js.Cells,
+			cancel:    func() {}, // terminal: nothing to cancel
+			updated:   make(chan struct{}),
+			rows:      js.Rows,
+			cellsDone: js.CellsDone,
+			state:     js.State,
+			errMsg:    js.Error,
+			started:   time.Unix(0, js.StartedNs),
+			finished:  time.Unix(0, js.EndedNs),
+			cellNs:    js.CellNs,
+		}
+		m.jobs[js.ID] = job
+		m.order = append(m.order, js.ID)
+	}
+}
+
+// ---------------------------------------------------------------------------
 // Job
 
 // Job is one asynchronous sweep. All mutable state is guarded by mu;

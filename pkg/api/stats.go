@@ -94,6 +94,44 @@ type EngineStats struct {
 	QueueWaitNs int64 `json:"queue_wait_ns"`
 }
 
+// ClusterPeerStats is one peer's view from this node: ring share, health,
+// and the forwarding counters this node accumulated against it. The self
+// entry is the node itself (never forwarded to; its counters stay zero).
+type ClusterPeerStats struct {
+	Addr string `json:"addr"`
+	Self bool   `json:"self,omitempty"`
+	// Healthy reflects the last health observation: a /readyz probe, or
+	// passively a forward that failed at the transport level.
+	Healthy bool `json:"healthy"`
+	// OwnedVNodes is the peer's virtual-point count on the ring — its
+	// approximate keyspace share relative to the cluster total.
+	OwnedVNodes int `json:"owned_vnodes"`
+	// Forwards counts requests this node forwarded to the peer because the
+	// peer owned their spec hash; ForwardErrors the subset that failed at
+	// the transport level (and fell back to local compute); ForwardNs the
+	// cumulative wall-clock forwarding latency.
+	Forwards      int64 `json:"forwards"`
+	ForwardErrors int64 `json:"forward_errors"`
+	ForwardNs     int64 `json:"forward_ns"`
+	// Fallbacks counts requests the peer owned but this node served
+	// locally because the peer was known unhealthy (degraded mode).
+	Fallbacks int64 `json:"fallbacks"`
+	// Probes / ProbeFailures count active /readyz health probes.
+	Probes        int64 `json:"probes"`
+	ProbeFailures int64 `json:"probe_failures"`
+}
+
+// ClusterStats is the multi-node view in GET /v1/stats: absent entirely on
+// a single-node deployment (no -peers flag).
+type ClusterStats struct {
+	// Self is this node's own peer address.
+	Self string `json:"self"`
+	// VNodes is the virtual-node count per peer on the ring.
+	VNodes int `json:"vnodes_per_peer"`
+	// Peers lists every ring member in canonical (sorted) order.
+	Peers []ClusterPeerStats `json:"peers"`
+}
+
 // StatsResponse is the body of GET /v1/stats. The legacy top-level
 // cache_entries field (kept for pre-sweep clients) is not a struct field:
 // MarshalJSON derives it from Cache.Entries, so the two can never disagree.
@@ -102,8 +140,10 @@ type StatsResponse struct {
 	Cache     CacheStats               `json:"cache"`
 	Sweeps    SweepStoreStats          `json:"sweeps"`
 	Engine    EngineStats              `json:"engine"`
-	InFlight  int                      `json:"in_flight"`
-	Waiting   int64                    `json:"waiting"`
+	// Cluster is present only when the node runs with -peers.
+	Cluster  *ClusterStats `json:"cluster,omitempty"`
+	InFlight int           `json:"in_flight"`
+	Waiting  int64         `json:"waiting"`
 }
 
 // MarshalJSON appends the derived cache_entries compatibility field.

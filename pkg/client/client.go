@@ -46,6 +46,7 @@ type Doer interface {
 type Client struct {
 	base    string
 	doer    Doer
+	headers http.Header   // default headers stamped on every request
 	retries int           // max retry attempts after a 429 (0 = no retries)
 	backoff time.Duration // first retry delay; doubles per attempt
 	sleep   func(ctx context.Context, d time.Duration) error
@@ -65,6 +66,18 @@ func WithRetry(retries int, backoff time.Duration) Option {
 	return func(c *Client) {
 		c.retries = retries
 		c.backoff = backoff
+	}
+}
+
+// WithHeader stamps a default header on every request the client issues —
+// how the cluster layer marks forwarded requests (the forwarding-depth
+// header) without threading headers through every call site.
+func WithHeader(key, value string) Option {
+	return func(c *Client) {
+		if c.headers == nil {
+			c.headers = make(http.Header)
+		}
+		c.headers.Set(key, value)
 	}
 }
 
@@ -191,6 +204,9 @@ func (c *Client) attemptHeader(ctx context.Context, method, path string, body []
 	}
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
+	}
+	for key, vals := range c.headers {
+		req.Header[key] = vals
 	}
 	resp, err := c.doer.Do(req)
 	if err != nil {

@@ -221,3 +221,19 @@ func (c *Client) Healthz(ctx context.Context) error {
 	_, err := c.do(ctx, http.MethodGet, "/healthz", nil)
 	return err
 }
+
+// Readyz reports whether the service answers its readiness probe: a 503
+// (admission saturated, or state restore in progress) surfaces as an
+// *APIError. The cluster layer's peer health probes go through here.
+func (c *Client) Readyz(ctx context.Context) error {
+	_, err := c.attempt(ctx, http.MethodGet, "/readyz", nil)
+	return err
+}
+
+// PostRaw POSTs a raw body to an arbitrary service path and returns the
+// raw response bytes exactly as served — the path-generic passthrough the
+// cluster layer forwards non-owned requests through (the per-endpoint raw
+// methods above are fixed-path conveniences over the same machinery).
+func (c *Client) PostRaw(ctx context.Context, path string, body []byte) ([]byte, error) {
+	return c.do(ctx, http.MethodPost, path, body)
+}

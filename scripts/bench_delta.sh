@@ -1,9 +1,10 @@
 #!/bin/sh
 # bench_delta.sh — the benchmark regression gate behind `make bench-check`.
 #
-# Re-runs the engine, simulate, and adaptive-precision benchmarks and
-# compares them against the checked-in baselines (BENCH_engine.json,
-# BENCH_simulate.json, BENCH_precision.json): any
+# Re-runs the engine, simulate, adaptive-precision, and cluster
+# benchmarks and compares them against the checked-in baselines
+# (BENCH_engine.json, BENCH_simulate.json, BENCH_precision.json,
+# BENCH_cluster.json): any
 # benchmark regressing more than BENCH_TOLERANCE_PCT (default 15) percent
 # in ns/op or bytes/op fails the gate. Each benchmark is measured
 # BENCH_COUNT (default 6) times at BENCH_TIME (default 0.5s) each and
@@ -54,6 +55,7 @@ gate() {
 gate 'BenchmarkEngineReplications$' BENCH_engine.json
 gate 'BenchmarkSimulate$' BENCH_simulate.json
 gate 'BenchmarkAdaptivePrecision$' BENCH_precision.json
+gate 'BenchmarkCluster$' BENCH_cluster.json
 
 if [ "$fail" -ne 0 ]; then
     echo "bench_delta: regression beyond ${TOL}% after $ATTEMPTS attempts — see FAIL lines above" >&2

@@ -7,8 +7,11 @@
 # adaptive ops run target-precision simulations and validate
 # replications_used against the request ceiling inline), and relies on
 # loadgen -check to require zero non-429 errors and populated latency
-# histograms for every driven endpoint in GET /v1/stats. Same script CI's
-# loadgen-smoke job runs.
+# histograms for every driven endpoint in GET /v1/stats. A second leg
+# soaks a 3-node ring through `loadgen -peers` (CLUSTER_DURATION, default
+# 10s): ops rotate across all three entry points, exercising the
+# consistent-hash forwarding path under load with the same -check bar.
+# Same script CI's loadgen-smoke job runs.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -16,11 +19,14 @@ cd "$(dirname "$0")/.."
 ADDR=127.0.0.1:18427
 BASE="http://$ADDR"
 DURATION="${LOADGEN_DURATION:-30s}"
+CLUSTER_DURATION="${CLUSTER_DURATION:-10s}"
 TMP="$(mktemp -d)"
 DAEMON_PID=""
+RING_PIDS=""
 
 cleanup() {
     [ -n "$DAEMON_PID" ] && kill "$DAEMON_PID" 2>/dev/null || true
+    for pid in $RING_PIDS; do kill "$pid" 2>/dev/null || true; done
     rm -rf "$TMP"
 }
 trap cleanup EXIT
@@ -41,3 +47,26 @@ done
 
 "$TMP/stochsched" loadgen -addr "$BASE" -duration "$DURATION" \
     -rps 60 -concurrency 4 -mix index=1,simulate=1,batch=1,adaptive=1 -check
+
+kill "$DAEMON_PID" 2>/dev/null || true
+wait "$DAEMON_PID" 2>/dev/null || true
+DAEMON_PID=""
+
+# Cluster leg: a 3-node ring soaked through every entry point at once.
+C1=127.0.0.1:18437 C2=127.0.0.1:18438 C3=127.0.0.1:18439
+PEERS="http://$C1,http://$C2,http://$C3"
+for a in $C1 $C2 $C3; do
+    "$TMP/stochschedd" -addr "$a" -parallel 2 -peers "$PEERS" -self "http://$a" &
+    RING_PIDS="$RING_PIDS $!"
+done
+for a in $C1 $C2 $C3; do
+    i=0
+    until curl -fsS "http://$a/readyz" >/dev/null 2>&1; do
+        i=$((i + 1))
+        [ "$i" -ge 50 ] && { echo "ring daemon $a did not come up" >&2; exit 1; }
+        sleep 0.1
+    done
+done
+
+"$TMP/stochsched" loadgen -peers "$PEERS" -duration "$CLUSTER_DURATION" \
+    -rps 60 -concurrency 4 -mix index=1,simulate=1,batch=1 -check
